@@ -1,0 +1,94 @@
+// ABL-STRUCT — ablation: what does carrying the enriched-view structure
+// actually cost the run-time?
+//
+// The paper claims enriched view synchrony "requires minor modifications
+// to the view synchrony run-time support and can be implemented
+// efficiently" (Section 6). In this implementation the only additional
+// run-time cost is the structure context that rides in every flush ACK
+// and the e-view bookkeeping at install. This bench runs an identical
+// merge-heavy churn schedule over
+//   (a) plain vsync endpoints (no structure), and
+//   (b) EVS endpoints (structure maintained and shipped in every flush),
+// and reports flush/install byte volume and total network bytes. Expected
+// shape: the structure adds a few dozen bytes per member per view change —
+// noise compared to the membership traffic itself.
+#include <benchmark/benchmark.h>
+
+#include "support/cluster.hpp"
+#include "support/evs_cluster.hpp"
+
+namespace evs::bench {
+namespace {
+
+// One churn cycle: partition in half, stabilise, heal, stabilise.
+template <typename Cluster>
+void churn(Cluster& c, std::size_t n, int cycles) {
+  for (int k = 0; k < cycles; ++k) {
+    std::vector<SiteId> left(c.sites().begin(),
+                             c.sites().begin() + static_cast<long>(n / 2));
+    std::vector<SiteId> right(c.sites().begin() + static_cast<long>(n / 2),
+                              c.sites().end());
+    c.world().network().set_partition({left, right});
+    c.world().run_for(2 * kSecond);
+    c.world().network().heal();
+    c.await_stable_view(c.all_indices(), 300 * kSecond);
+  }
+}
+
+void PlainVsync(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  double ack_bytes = 0;
+  double net_bytes = 0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    test::ClusterOptions opt;
+    opt.sites = n;
+    opt.seed = 23000 + runs;
+    test::Cluster c(opt);
+    c.await_stable_view(c.all_indices(), 300 * kSecond);
+    churn(c, n, 3);
+    for (std::size_t i = 0; i < n; ++i)
+      ack_bytes += static_cast<double>(c.ep(i).stats().ack_bytes);
+    net_bytes += static_cast<double>(c.world().network().stats().bytes_sent);
+    ++runs;
+  }
+  state.counters["ack_bytes_per_member"] = ack_bytes / runs / n;
+  state.counters["net_bytes_total"] = net_bytes / runs;
+  state.counters["ctx_bytes_per_member"] = 0;
+}
+
+void EnrichedVsync(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  double ack_bytes = 0;
+  double ctx_bytes = 0;
+  double net_bytes = 0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    test::EvsClusterOptions opt;
+    opt.sites = n;
+    opt.seed = 23000 + runs;  // same schedule as the plain run
+    test::EvsCluster c(opt);
+    c.await_stable_view(c.all_indices(), 300 * kSecond);
+    // Keep some structure alive so the contexts are non-trivial.
+    c.ep(0).request_merge_all();
+    c.world().run_for(1 * kSecond);
+    churn(c, n, 3);
+    for (std::size_t i = 0; i < n; ++i) {
+      ack_bytes += static_cast<double>(c.ep(i).stats().ack_bytes);
+      ctx_bytes += static_cast<double>(c.ep(i).evs_stats().context_bytes);
+    }
+    net_bytes += static_cast<double>(c.world().network().stats().bytes_sent);
+    ++runs;
+  }
+  state.counters["ack_bytes_per_member"] = ack_bytes / runs / n;
+  state.counters["ctx_bytes_per_member"] = ctx_bytes / runs / n;
+  state.counters["net_bytes_total"] = net_bytes / runs;
+}
+
+BENCHMARK(PlainVsync)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(EnrichedVsync)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+}  // namespace evs::bench

@@ -1,0 +1,29 @@
+// Shared helpers for the benchmark harness.
+//
+// Each bench binary regenerates one figure or quantitative claim from the
+// paper (see DESIGN.md §4 and EXPERIMENTS.md). Measurements of *protocol*
+// quantities (view changes, messages, bytes, simulated latencies) are
+// reported as benchmark counters; wall-clock time measures only the cost
+// of simulating, which is not a paper quantity.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "objects/replicated_file.hpp"
+#include "support/object_cluster.hpp"
+
+namespace evs::bench {
+
+inline objects::ReplicatedFileConfig file_config(
+    const std::vector<SiteId>& universe,
+    app::ClassifierMode classifier = app::ClassifierMode::Enriched) {
+  objects::ReplicatedFileConfig cfg;
+  cfg.object.endpoint.universe = universe;
+  cfg.object.classifier = classifier;
+  return cfg;
+}
+
+using FileCluster =
+    test::ObjectCluster<objects::ReplicatedFile, objects::ReplicatedFileConfig>;
+
+}  // namespace evs::bench

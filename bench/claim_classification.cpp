@@ -1,0 +1,110 @@
+// CLAIM-CLASSIFY — Sections 4 + 6.2: classifying the shared-state problem.
+//
+// The paper's central argument: with flat views a process entering S-mode
+// cannot tell state transfer from creation from merging using local
+// information; it needs "complex and costly protocols". With enriched
+// views the classification is a local computation over the structure.
+//
+// This bench runs the same join-after-writes scenario (one stale member
+// meets an up-to-date majority) at several group sizes with the two
+// configurations of the same group object:
+//   Enriched      — zero discovery messages, classification immediate;
+//                   only one snapshot (the serving subview's rep) travels.
+//   FlatDiscovery — every member multicasts its (prior view, prior mode,
+//                   version, snapshot); classification must wait for a
+//                   full round.
+// Reported per configuration: discovery multicasts, snapshot bytes,
+// ambiguous classifications encountered, and the simulated settle latency
+// at the joiner. Expected shape: flat costs grow with n (n snapshots, one
+// round), enriched stays flat (1-2 snapshots, no round).
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+
+namespace evs::bench {
+namespace {
+
+void Classification(benchmark::State& state, app::ClassifierMode mode) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+
+  double discovery_msgs = 0;
+  double snapshot_bytes = 0;
+  double ambiguous = 0;
+  double settle_ms = 0;
+  std::uint64_t settles = 0;
+  std::uint64_t runs = 0;
+
+  for (auto _ : state) {
+    FileCluster c(n, 13000 + runs,
+                  [mode](const auto& u) { return file_config(u, mode); }, {},
+                  /*spawn_all=*/false);
+    // n-1 members form the group and write some state.
+    std::vector<std::size_t> old(n - 1);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      old[i] = i;
+      c.spawn_at(c.site(i));
+    }
+    c.await_all_normal(old, 300 * kSecond);
+    c.obj(0).write(std::string(512, 'x'));
+    c.world().run_for(2 * kSecond);
+
+    // Snapshot the counters, then the straggler joins: a state transfer.
+    std::vector<std::uint64_t> d0(n - 1);
+    std::vector<std::uint64_t> b0(n - 1);
+    std::vector<std::uint64_t> a0(n - 1);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      d0[i] = c.obj(i).object_stats().discovery_messages;
+      b0[i] = c.obj(i).object_stats().snapshot_bytes;
+      a0[i] = c.obj(i).object_stats().ambiguous_classifications;
+    }
+    c.spawn_at(c.site(n - 1));
+    c.await_all_normal(c.all_indices(), 300 * kSecond);
+
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      discovery_msgs +=
+          static_cast<double>(c.obj(i).object_stats().discovery_messages - d0[i]);
+      snapshot_bytes +=
+          static_cast<double>(c.obj(i).object_stats().snapshot_bytes - b0[i]);
+      ambiguous += static_cast<double>(
+          c.obj(i).object_stats().ambiguous_classifications - a0[i]);
+    }
+    // Joiner contributes too.
+    discovery_msgs +=
+        static_cast<double>(c.obj(n - 1).object_stats().discovery_messages);
+    snapshot_bytes +=
+        static_cast<double>(c.obj(n - 1).object_stats().snapshot_bytes);
+
+    for (const app::SettleRecord& rec : c.obj(n - 1).settle_log()) {
+      if (rec.problems == app::kNoProblem) continue;
+      settle_ms += static_cast<double>(rec.serve_ready - rec.started) /
+                   kMillisecond;
+      ++settles;
+    }
+    ++runs;
+  }
+
+  state.counters["discovery_multicasts"] = discovery_msgs / runs;
+  state.counters["snapshot_bytes"] = snapshot_bytes / runs;
+  state.counters["ambiguous"] = ambiguous / runs;
+  state.counters["sim_settle_ms"] =
+      settles == 0 ? 0.0 : settle_ms / static_cast<double>(settles);
+}
+
+void EnrichedClassifier(benchmark::State& state) {
+  Classification(state, app::ClassifierMode::Enriched);
+}
+void FlatClassifier(benchmark::State& state) {
+  Classification(state, app::ClassifierMode::FlatDiscovery);
+}
+
+BENCHMARK(EnrichedClassifier)
+    ->Arg(3)->Arg(6)->Arg(12)->Arg(24)->Arg(48)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+BENCHMARK(FlatClassifier)
+    ->Arg(3)->Arg(6)->Arg(12)->Arg(24)->Arg(48)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+}  // namespace evs::bench

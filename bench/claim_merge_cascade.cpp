@@ -1,0 +1,94 @@
+// CLAIM-MERGE — Section 5's quantitative argument against one-at-a-time
+// view expansion:
+//
+//   "consider two partitions of N members each that merge after repairs.
+//    This event will result in N view changes in each of the two
+//    partitions, admitting one new process at a time into the view. When
+//    in fact, a single view change is all that is really required."
+//
+// This bench creates two partitions of N members, lets each stabilise,
+// heals the network, and counts the view changes every process installs
+// until the merged 2N-view is stable — under the Batch admission policy
+// (Relacs/Transis model, ours) and the OneAtATime policy (Isis model).
+// Expected shape: Batch needs ~1 view change per process regardless of N;
+// OneAtATime needs ~N, i.e. the count grows linearly. Time-to-stable-view
+// shows the same divergence.
+#include <benchmark/benchmark.h>
+
+#include "support/cluster.hpp"
+
+namespace evs::bench {
+namespace {
+
+void MergeCascade(benchmark::State& state, gms::JoinPolicy policy) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+
+  double total_views_per_process = 0;
+  double max_views = 0;
+  double merge_time_ms = 0;
+  std::uint64_t runs = 0;
+
+  for (auto _ : state) {
+    test::ClusterOptions opt;
+    opt.sites = 2 * n;
+    opt.seed = 5000 + runs;
+    opt.endpoint.policy = policy;
+    test::Cluster c(opt);
+
+    // Two partitions of N members each, stabilised independently.
+    std::vector<SiteId> left(c.sites().begin(), c.sites().begin() + n);
+    std::vector<SiteId> right(c.sites().begin() + n, c.sites().end());
+    c.world().network().set_partition({left, right});
+
+    std::vector<std::size_t> left_idx(n);
+    std::vector<std::size_t> right_idx(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      left_idx[i] = i;
+      right_idx[i] = n + i;
+    }
+    c.await_stable_view(left_idx, 300 * kSecond);
+    c.await_stable_view(right_idx, 300 * kSecond);
+
+    // Snapshot per-process view counts, then heal.
+    std::vector<std::uint64_t> before(2 * n);
+    for (std::size_t i = 0; i < 2 * n; ++i)
+      before[i] = c.ep(i).stats().views_installed;
+    const SimTime heal_at = c.world().scheduler().now();
+    c.world().network().heal();
+    c.await_stable_view(c.all_indices(), 600 * kSecond);
+    const SimTime stable_at = c.world().scheduler().now();
+
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      const double delta =
+          static_cast<double>(c.ep(i).stats().views_installed - before[i]);
+      total_views_per_process += delta / (2.0 * n);
+      max_views = std::max(max_views, delta);
+    }
+    merge_time_ms +=
+        static_cast<double>(stable_at - heal_at) / kMillisecond;
+    ++runs;
+  }
+
+  state.counters["views_per_process"] = total_views_per_process / runs;
+  state.counters["max_views_one_process"] = max_views;
+  state.counters["sim_merge_ms"] = merge_time_ms / runs;
+}
+
+void BatchPolicy(benchmark::State& state) {
+  MergeCascade(state, gms::JoinPolicy::Batch);
+}
+void OneAtATimePolicy(benchmark::State& state) {
+  MergeCascade(state, gms::JoinPolicy::OneAtATime);
+}
+
+BENCHMARK(BatchPolicy)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+BENCHMARK(OneAtATimePolicy)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+}  // namespace evs::bench

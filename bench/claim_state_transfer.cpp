@@ -1,0 +1,119 @@
+// CLAIM-XFER — Section 5: state transfer strategies.
+//
+// "If the application involved very large amounts of data ... the strategy
+//  of blocking view installations while state transfer is in progress
+//  might be infeasible. In such a situation, it will be desirable to split
+//  the state into two parts: a (small) piece that needs to be transferred
+//  in synchrony with the join event; another (large) piece that can be
+//  transferred concurrently with application activity in the new view."
+//
+// This bench grows a replicated file to the given size, has a stale member
+// join, and compares three strategies on the joiner:
+//   WholeSnapshot       — the full state rides in the OFFER,
+//   SplitSmallLarge     — small critical part at once, bulk streamed in
+//                         chunks while the group already serves,
+//   Isis-style blocking — WholeSnapshot + every member suspends external
+//                         operations while any settle is in progress.
+// Reported: simulated time-to-serve and time-to-full-state at the joiner,
+// and for the blocking variant the writes the up-to-date members refused
+// during the transfer. Expected shape: time-to-serve for Split stays flat
+// as the state grows; WholeSnapshot's grows with size; blocking turns the
+// transfer time into whole-group downtime.
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+
+namespace evs::bench {
+namespace {
+
+void StateTransfer(benchmark::State& state, app::TransferStrategy strategy,
+                   bool block_all) {
+  const std::size_t size_kb = static_cast<std::size_t>(state.range(0));
+
+  double serve_ms = 0;
+  double full_ms = 0;
+  double refused_writes = 0;
+  std::uint64_t runs = 0;
+
+  for (auto _ : state) {
+    constexpr std::size_t kSites = 4;
+    // Finite bandwidth (~50 MB/s): the whole point of the experiment is
+    // that big snapshots occupy the wire.
+    sim::NetworkConfig net;
+    net.bytes_per_us = 50.0;
+    FileCluster c(kSites, 15000 + runs,
+                  [&](const auto& u) {
+                    auto cfg = file_config(u);
+                    cfg.object.transfer = strategy;
+                    cfg.object.block_all_during_settle = block_all;
+                    cfg.object.chunk_bytes = 8192;
+                    return cfg;
+                  },
+                  net, /*spawn_all=*/false);
+    for (std::size_t i = 0; i + 1 < kSites; ++i) c.spawn_at(c.site(i));
+    std::vector<std::size_t> old{0, 1, 2};
+    c.await_all_normal(old, 300 * kSecond);
+    c.obj(0).write(std::string(size_kb * 1024, 'd'));
+    c.world().run_for(2 * kSecond);
+
+    c.spawn_at(c.site(kSites - 1));
+    // While the transfer runs, sample whether the up-to-date members are
+    // still allowed to serve writes (without mutating the state being
+    // transferred): each refusal is one 1ms slice of whole-group downtime.
+    std::uint64_t refused = 0;
+    const SimTime deadline = c.world().scheduler().now() + 300 * kSecond;
+    const auto transfer_fully_done = [&]() {
+      for (const app::SettleRecord& rec : c.obj(kSites - 1).settle_log()) {
+        if ((rec.problems & app::kStateTransfer) && rec.fully_done != 0)
+          return true;
+      }
+      return false;
+    };
+    while (c.world().scheduler().now() < deadline) {
+      if (c.all_normal(c.all_indices()) && transfer_fully_done()) break;
+      if (!c.obj(0).serving_normal()) ++refused;
+      c.world().run_for(1 * kMillisecond);
+    }
+
+    const auto& log = c.obj(kSites - 1).settle_log();
+    for (const app::SettleRecord& rec : log) {
+      if (!(rec.problems & app::kStateTransfer)) continue;
+      serve_ms +=
+          static_cast<double>(rec.serve_ready - rec.started) / kMillisecond;
+      full_ms +=
+          static_cast<double>(rec.fully_done - rec.started) / kMillisecond;
+    }
+    refused_writes += static_cast<double>(refused);
+    ++runs;
+  }
+
+  state.counters["sim_serve_ms"] = serve_ms / runs;
+  state.counters["sim_full_ms"] = full_ms / runs;
+  state.counters["writes_refused"] = refused_writes / runs;
+}
+
+void WholeSnapshot(benchmark::State& state) {
+  StateTransfer(state, app::TransferStrategy::WholeSnapshot, false);
+}
+void SplitSmallLarge(benchmark::State& state) {
+  StateTransfer(state, app::TransferStrategy::SplitSmallLarge, false);
+}
+void IsisBlocking(benchmark::State& state) {
+  StateTransfer(state, app::TransferStrategy::WholeSnapshot, true);
+}
+
+BENCHMARK(WholeSnapshot)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+BENCHMARK(SplitSmallLarge)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+BENCHMARK(IsisBlocking)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+}  // namespace evs::bench

@@ -1,0 +1,84 @@
+// FIG1 — Figure 1: the mode-transition machine under fault load.
+//
+// The paper's Figure 1 defines the NORMAL / REDUCED / SETTLING modes and
+// the four legal transitions. This bench drives a 5-replica quorum file
+// object through random crash/recover/partition/heal schedules of varying
+// intensity and reports, per process-second:
+//   - counts of each transition (Failure / Repair / Reconfigure /
+//     Reconcile),
+//   - the fraction of time spent in each mode.
+// The ModeMachine throws on any edge not in Figure 1, so merely running
+// to completion re-verifies the figure's edge set under load. Expected
+// shape: transition counts grow with fault rate, N-mode occupancy falls;
+// Repair+Reconcile track each other (every settle that completes came
+// from R or a reconfiguration).
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+#include "sim/fault.hpp"
+
+namespace evs::bench {
+namespace {
+
+void Fig1ModeTransitions(benchmark::State& state) {
+  const auto mean_fault_interval =
+      static_cast<SimDuration>(state.range(0)) * kMillisecond;
+  constexpr std::size_t kSites = 5;
+  constexpr SimDuration kHorizon = 60 * kSecond;
+
+  std::array<std::uint64_t, 4> transitions{};
+  std::array<std::uint64_t, 3> occupancy{};
+  std::uint64_t runs = 0;
+
+  for (auto _ : state) {
+    FileCluster c(kSites, 1000 + runs, [](const auto& u) {
+      return file_config(u);
+    });
+    c.await_all_normal(c.all_indices());
+
+    sim::Rng rng(77 + runs);
+    sim::FaultProfile profile;
+    profile.mean_interval = mean_fault_interval;
+    const SimTime start = c.world().scheduler().now();
+    auto plan =
+        sim::random_fault_plan(rng, c.sites(), start + kHorizon, profile);
+    plan.arm(c.world());
+    c.world().run_for(kHorizon);
+    c.world().network().heal();
+    c.world().run_for(5 * kSecond);
+
+    const SimTime now = c.world().scheduler().now();
+    for (std::size_t i = 0; i < kSites; ++i) {
+      if (!c.world().site_alive(c.site(i))) continue;
+      const app::ModeMachine* m = c.obj(i).mode_machine();
+      for (int t = 0; t < 4; ++t)
+        transitions[t] += m->count(static_cast<app::Transition>(t));
+      occupancy[0] += m->occupancy(app::Mode::Normal, now);
+      occupancy[1] += m->occupancy(app::Mode::Reduced, now);
+      occupancy[2] += m->occupancy(app::Mode::Settling, now);
+    }
+    ++runs;
+  }
+
+  const double total_time = static_cast<double>(occupancy[0] + occupancy[1] +
+                                                occupancy[2]);
+  state.counters["failure"] = static_cast<double>(transitions[0]) / runs;
+  state.counters["repair"] = static_cast<double>(transitions[1]) / runs;
+  state.counters["reconfigure"] = static_cast<double>(transitions[2]) / runs;
+  state.counters["reconcile"] = static_cast<double>(transitions[3]) / runs;
+  state.counters["pct_normal"] = 100.0 * occupancy[0] / total_time;
+  state.counters["pct_reduced"] = 100.0 * occupancy[1] / total_time;
+  state.counters["pct_settling"] = 100.0 * occupancy[2] / total_time;
+}
+
+// Fault inter-arrival time sweep: 4s (calm) to 500ms (storm).
+BENCHMARK(Fig1ModeTransitions)
+    ->Arg(4000)
+    ->Arg(2000)
+    ->Arg(1000)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace evs::bench

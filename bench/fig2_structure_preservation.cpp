@@ -1,0 +1,89 @@
+// FIG2 — Figure 2: views, subviews and sv-sets across view changes.
+//
+// Figure 2 illustrates the enriched-view model: subviews/sv-sets shrink
+// asynchronously with failures, survive view changes (P6.3), and fresh
+// or re-merged processes appear as singletons. This bench runs the
+// figure's lifecycle at scale — form a group of n, collapse it to one
+// subview, partition it, let both sides settle, heal — and reports:
+//   - subview/sv-set counts after the healing view (expected: exactly 2
+//     cluster subviews in 2 sv-sets, for any n),
+//   - the structure bytes carried through the flush per view change,
+//   - simulated time from heal to the stable merged e-view.
+#include <benchmark/benchmark.h>
+
+#include "support/evs_cluster.hpp"
+
+namespace evs::bench {
+namespace {
+
+void Fig2StructurePreservation(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+
+  double context_bytes = 0;
+  double subviews_after_merge = 0;
+  double svsets_after_merge = 0;
+  double heal_ms = 0;
+  std::uint64_t runs = 0;
+
+  for (auto _ : state) {
+    test::EvsClusterOptions opt;
+    opt.sites = n;
+    opt.seed = 9000 + runs;
+    test::EvsCluster c(opt);
+    c.await_stable_view(c.all_indices(), 300 * kSecond);
+
+    // Collapse to one subview (two e-view changes).
+    c.ep(0).request_merge_all();
+    c.await([&]() { return c.ep(0).eview().structure.svsets().size() == 1; });
+    c.ep(0).request_merge_all();
+    c.await([&]() { return c.ep(0).eview().degenerate(); });
+
+    // Partition into two halves; each settles to one subview again.
+    std::vector<SiteId> left(c.sites().begin(),
+                             c.sites().begin() + static_cast<long>(n / 2));
+    std::vector<SiteId> right(c.sites().begin() + static_cast<long>(n / 2),
+                              c.sites().end());
+    c.world().network().set_partition({left, right});
+    std::vector<std::size_t> li(n / 2);
+    std::vector<std::size_t> ri(n - n / 2);
+    for (std::size_t i = 0; i < li.size(); ++i) li[i] = i;
+    for (std::size_t i = 0; i < ri.size(); ++i) ri[i] = n / 2 + i;
+    c.await_stable_view(li, 300 * kSecond);
+    c.await_stable_view(ri, 300 * kSecond);
+    c.ep(li.front()).request_merge_all();
+    c.ep(ri.front()).request_merge_all();
+    c.world().run_for(2 * kSecond);
+    c.ep(li.front()).request_merge_all();
+    c.ep(ri.front()).request_merge_all();
+    c.world().run_for(2 * kSecond);
+
+    const SimTime heal_at = c.world().scheduler().now();
+    c.world().network().heal();
+    c.await_stable_view(c.all_indices(), 600 * kSecond);
+    heal_ms += static_cast<double>(c.world().scheduler().now() - heal_at) /
+               kMillisecond;
+
+    subviews_after_merge +=
+        static_cast<double>(c.ep(0).eview().structure.subviews().size());
+    svsets_after_merge +=
+        static_cast<double>(c.ep(0).eview().structure.svsets().size());
+    double bytes = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      bytes += static_cast<double>(c.ep(i).evs_stats().context_bytes);
+    context_bytes += bytes / static_cast<double>(n);
+    ++runs;
+  }
+
+  state.counters["subviews_after_heal"] = subviews_after_merge / runs;
+  state.counters["svsets_after_heal"] = svsets_after_merge / runs;
+  state.counters["ctx_bytes_per_member"] = context_bytes / runs;
+  state.counters["sim_heal_ms"] = heal_ms / runs;
+}
+
+BENCHMARK(Fig2StructurePreservation)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+}  // namespace evs::bench

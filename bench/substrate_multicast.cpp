@@ -1,0 +1,112 @@
+// SUBSTRATE — view-synchronous multicast cost under the three ordering
+// layers (Section 2 notes view synchrony imposes no order; the layers are
+// what applications add on top, and what EVS's total order costs).
+//
+// A stable group of n members exchanges a fixed number of multicasts; we
+// report, per configuration:
+//   - simulated mean delivery latency (multicast -> delivered at all),
+//   - physical messages the network carried per application multicast,
+//   - ordering-metadata overhead bytes per multicast.
+// Expected shape: FIFO ~ cheapest (n-1 messages, no metadata); causal adds
+// a vector-clock per message (O(n) bytes); total doubles the message count
+// (forward + sequencer stamp) and centralises load at the sequencer.
+#include <benchmark/benchmark.h>
+
+#include "order/layers.hpp"
+#include "sim/world.hpp"
+
+namespace evs::bench {
+namespace {
+
+class CountingDelegate : public order::OrderDelegate {
+ public:
+  void on_view(const gms::View&, const vsync::InstallInfo&) override {}
+  void on_deliver(ProcessId, const Bytes&) override { ++delivered; }
+  std::uint64_t delivered = 0;
+};
+
+template <typename Layer>
+void MulticastBench(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  constexpr int kMessages = 200;
+
+  double latency_ms = 0;
+  double net_msgs_per_mc = 0;
+  double overhead_per_mc = 0;
+  std::uint64_t runs = 0;
+
+  for (auto _ : state) {
+    sim::World world(21000 + runs);
+    const auto sites = world.add_sites(n);
+    vsync::EndpointConfig cfg;
+    cfg.universe = sites;
+
+    std::vector<vsync::Endpoint*> eps;
+    std::vector<std::unique_ptr<CountingDelegate>> delegates;
+    std::vector<std::unique_ptr<Layer>> layers;
+    for (const SiteId site : sites) {
+      eps.push_back(&world.spawn<vsync::Endpoint>(site, cfg));
+      delegates.push_back(std::make_unique<CountingDelegate>());
+      layers.push_back(std::make_unique<Layer>(*eps.back(), *delegates.back()));
+    }
+    // Group formation.
+    for (int i = 0; i < 3000; ++i) {
+      world.run_for(10 * kMillisecond);
+      bool stable = true;
+      for (auto* ep : eps)
+        stable = stable && ep->view().size() == n && !ep->blocked();
+      if (stable) break;
+    }
+
+    const std::uint64_t net_before = world.network().stats().messages_sent;
+    const SimTime t0 = world.scheduler().now();
+    for (int m = 0; m < kMessages; ++m) {
+      layers[static_cast<std::size_t>(m) % n]->multicast(
+          to_bytes("payload-" + std::to_string(m)));
+      world.run_for(2 * kMillisecond);
+    }
+    // Drain.
+    const std::uint64_t want = static_cast<std::uint64_t>(kMessages) * n;
+    for (int i = 0; i < 3000; ++i) {
+      std::uint64_t got = 0;
+      for (auto& d : delegates) got += d->delivered;
+      if (got >= want) break;
+      world.run_for(10 * kMillisecond);
+    }
+    const SimTime t1 = world.scheduler().now();
+
+    latency_ms += static_cast<double>(t1 - t0) / kMillisecond / kMessages;
+    net_msgs_per_mc +=
+        static_cast<double>(world.network().stats().messages_sent - net_before) /
+        kMessages;
+    double overhead = 0;
+    for (auto& layer : layers)
+      overhead += static_cast<double>(layer->stats().overhead_bytes);
+    overhead_per_mc += overhead / kMessages;
+    ++runs;
+  }
+
+  state.counters["sim_ms_per_mc"] = latency_ms / runs;
+  state.counters["net_msgs_per_mc"] = net_msgs_per_mc / runs;
+  state.counters["overhead_bytes_per_mc"] = overhead_per_mc / runs;
+}
+
+void FifoOrder(benchmark::State& state) {
+  MulticastBench<order::FifoLayer>(state);
+}
+void CausalOrder(benchmark::State& state) {
+  MulticastBench<order::CausalLayer>(state);
+}
+void TotalOrder(benchmark::State& state) {
+  MulticastBench<order::TotalLayer>(state);
+}
+
+BENCHMARK(FifoOrder)->Arg(3)->Arg(6)->Arg(12)->Arg(24)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(CausalOrder)->Arg(3)->Arg(6)->Arg(12)->Arg(24)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(TotalOrder)->Arg(3)->Arg(6)->Arg(12)->Arg(24)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+}  // namespace evs::bench

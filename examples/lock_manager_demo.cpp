@@ -1,0 +1,78 @@
+// The Section-6.2 example: a mutually-exclusive write lock managed in
+// majority views, with the shared state (manager + holder) replicated via
+// totally-ordered multicast.
+//
+// The demo shows the scenario the paper uses to argue for enriched views:
+// the lock holder is cut off in a minority partition, the majority side
+// re-grants the lock, and after healing every member converges on the
+// majority's holder — no two processes ever believe they hold the lock at
+// the same time.
+//
+// Build & run:  ./build/examples/lock_manager_demo
+#include <cstdio>
+
+#include "objects/lock_manager.hpp"
+#include "sim/world.hpp"
+
+using namespace evs;
+
+namespace {
+
+void report(const char* label, std::vector<objects::LockManager*>& locks) {
+  std::printf("%s\n", label);
+  for (auto* lock : locks) {
+    if (!lock->alive()) continue;
+    const auto holder = lock->holder();
+    std::printf("  %s  mode=%-8s holder=%s%s\n", to_string(lock->id()).c_str(),
+                app::to_string(lock->mode()),
+                holder ? to_string(*holder).c_str() : "<free>",
+                lock->i_hold_the_lock() ? "  <-- me" : "");
+  }
+}
+
+}  // namespace
+
+int main() {
+  sim::World world(13);
+  const auto sites = world.add_sites(3);
+
+  // Long lease so the demo narrative is about views, not expiry; see
+  // LockConfig::lease for the asynchronous-safety fence.
+  objects::LockConfig config;
+  config.object.endpoint.universe = sites;
+  config.lease = 60 * kSecond;
+
+  std::vector<objects::LockManager*> locks;
+  for (const SiteId site : sites)
+    locks.push_back(&world.spawn<objects::LockManager>(site, config));
+  world.run_for(3 * kSecond);
+  report("after formation:", locks);
+
+  std::printf("\np at s2 acquires the lock...\n");
+  locks[2]->acquire();
+  world.run_for(1 * kSecond);
+  report("after the grant:", locks);
+
+  std::printf("\n*** partition: the holder is isolated in a minority ***\n");
+  world.network().set_partition({{sites[0], sites[1]}, {sites[2]}});
+  world.run_for(3 * kSecond);
+  report("during the partition:", locks);
+  std::printf("  isolated ex-holder acquire retry: %s\n",
+              locks[2]->acquire() ? "accepted (BUG)" : "refused (R-mode)");
+
+  std::printf("\nthe majority side grants the lock to s0...\n");
+  locks[0]->acquire();
+  world.run_for(1 * kSecond);
+  report("after the majority re-grant:", locks);
+
+  std::printf("\n*** heal ***\n");
+  world.network().heal();
+  world.run_for(3 * kSecond);
+  report("after healing (everyone adopts the majority's state):", locks);
+
+  std::size_t holders = 0;
+  for (auto* lock : locks)
+    if (lock->alive() && lock->i_hold_the_lock()) ++holders;
+  std::printf("\nsafety: %zu process(es) believe they hold the lock\n", holders);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// The paper's second Section-3 example: a replicated database whose
+// look-up is executed in parallel, each member scanning the fraction of
+// the database it is responsible for in the current view.
+//
+// "An inconsistency in this global state information could result in some
+//  portion of the database not being searched at all or being searched
+//  multiple times." — the demo prints the division of responsibility and
+// verifies the exactly-once coverage invariant before and after a crash.
+//
+// Build & run:  ./build/examples/parallel_db_demo
+#include <cstdio>
+#include <set>
+
+#include "objects/parallel_db.hpp"
+#include "sim/world.hpp"
+
+using namespace evs;
+
+namespace {
+
+void distributed_lookup(std::vector<objects::ParallelDb*>& dbs,
+                        std::size_t total_keys) {
+  std::set<std::string> covered;
+  bool duplicates = false;
+  for (auto* db : dbs) {
+    if (!db->alive()) continue;
+    const auto share = db->local_scan();
+    std::printf("  %s scans %zu keys (mode=%s)\n", to_string(db->id()).c_str(),
+                share.size(), app::to_string(db->mode()));
+    for (const auto& [key, value] : share) {
+      if (!covered.insert(key).second) duplicates = true;
+    }
+  }
+  std::printf("  coverage: %zu/%zu keys, duplicates: %s\n", covered.size(),
+              total_keys, duplicates ? "YES (invariant violated!)" : "none");
+}
+
+}  // namespace
+
+int main() {
+  sim::World world(11);
+  const auto sites = world.add_sites(4);
+
+  app::GroupObjectConfig config;
+  config.endpoint.universe = sites;
+
+  std::vector<objects::ParallelDb*> dbs;
+  for (const SiteId site : sites)
+    dbs.push_back(&world.spawn<objects::ParallelDb>(site, config));
+  world.run_for(3 * kSecond);
+
+  std::printf("loading 32 records...\n");
+  for (int k = 0; k < 32; ++k)
+    dbs[k % 4]->insert("record-" + std::to_string(k),
+                       "payload-" + std::to_string(k));
+  world.run_for(1 * kSecond);
+
+  std::printf("\nparallel look-up over 4 members:\n");
+  distributed_lookup(dbs, 32);
+
+  std::printf("\n*** crash s3: responsibility must be redivided ***\n");
+  world.crash_site(sites[3]);
+  world.run_for(3 * kSecond);
+
+  std::printf("parallel look-up over the 3 survivors:\n");
+  distributed_lookup(dbs, 32);
+
+  std::printf("\nnote: R-mode does not exist for this object — every view\n"
+              "change was a Reconfigure straight into SETTLING:\n");
+  for (auto* db : dbs) {
+    if (!db->alive()) continue;
+    std::printf("  %s: Failure=%llu Reconfigure=%llu Repair=%llu Reconcile=%llu\n",
+                to_string(db->id()).c_str(),
+                static_cast<unsigned long long>(
+                    db->mode_machine()->count(app::Transition::Failure)),
+                static_cast<unsigned long long>(
+                    db->mode_machine()->count(app::Transition::Reconfigure)),
+                static_cast<unsigned long long>(
+                    db->mode_machine()->count(app::Transition::Repair)),
+                static_cast<unsigned long long>(
+                    db->mode_machine()->count(app::Transition::Reconcile)));
+  }
+  return 0;
+}

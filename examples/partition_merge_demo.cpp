@@ -1,0 +1,71 @@
+// State merging after concurrent partitions — the problem class that the
+// primary-partition model rules out by construction (Section 5) and that
+// enriched view synchrony makes tractable (Section 6.2).
+//
+// A last-writer-wins key-value store keeps serving in BOTH halves of a
+// partition. On healing, the new e-view contains the two cluster subviews
+// in separate sv-sets, so every member classifies the situation as State
+// Merging locally, merges the diverged states deterministically, and then
+// collapses the structure with the Section-6.1 merge calls.
+//
+// Build & run:  ./build/examples/partition_merge_demo
+#include <cstdio>
+
+#include "objects/mergeable_kv.hpp"
+#include "sim/world.hpp"
+
+using namespace evs;
+
+namespace {
+
+void dump(const char* label, std::vector<objects::MergeableKv*>& stores) {
+  std::printf("%s\n", label);
+  for (auto* kv : stores) {
+    if (!kv->alive()) continue;
+    std::printf("  %s (mode=%-8s): cart=%s shared=%s\n",
+                to_string(kv->id()).c_str(), app::to_string(kv->mode()),
+                kv->get("cart").value_or("<none>").c_str(),
+                kv->get("shared").value_or("<none>").c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  sim::World world(17);
+  const auto sites = world.add_sites(4);
+
+  app::GroupObjectConfig config;
+  config.endpoint.universe = sites;
+
+  std::vector<objects::MergeableKv*> stores;
+  for (const SiteId site : sites)
+    stores.push_back(&world.spawn<objects::MergeableKv>(site, config));
+  world.run_for(3 * kSecond);
+
+  stores[0]->put("shared", "written before the partition");
+  world.run_for(1 * kSecond);
+  dump("before the partition:", stores);
+
+  std::printf("\n*** partition: {s0,s1} | {s2,s3} — both sides keep going ***\n");
+  world.network().set_partition({{sites[0], sites[1]}, {sites[2], sites[3]}});
+  world.run_for(3 * kSecond);
+  stores[0]->put("cart", "left side's update");
+  stores[2]->put("cart", "right side's update (later)");
+  stores[2]->put("shared", "rewritten on the right");
+  world.run_for(1 * kSecond);
+  dump("during the partition (diverged!):", stores);
+
+  std::printf("\n*** heal: state merging ***\n");
+  world.network().heal();
+  world.run_for(3 * kSecond);
+  dump("after healing (last-writer-wins merge):", stores);
+
+  std::printf("\nevery member classified the settle locally as: ");
+  std::printf("%s\n",
+              app::problems_to_string(stores[0]->object_stats().last_problems)
+                  .c_str());
+  std::printf("final e-view structure: %s\n",
+              stores[0]->eview().structure.str().c_str());
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "app/classify.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace evs::app {
+
+std::string problems_to_string(ProblemSet problems) {
+  if (problems == kNoProblem) return "none";
+  std::string s;
+  const auto add = [&s](const char* name) {
+    if (!s.empty()) s += "+";
+    s += name;
+  };
+  if (problems & kStateTransfer) add("transfer");
+  if (problems & kStateCreation) add("creation");
+  if (problems & kStateMerging) add("merging");
+  return s;
+}
+
+Classification classify_enriched(const core::EView& eview,
+                                 const ServePredicate& can_serve) {
+  Classification result;
+  // N_set clusters are exactly the subviews that can serve: by the
+  // Section 6.2 methodology external operations run within a subview, so
+  // a subview capable of serving was serving.
+  for (const core::Subview& sv : eview.structure.subviews()) {
+    if (can_serve(sv.members)) {
+      result.serving_subviews.push_back(sv.id);
+    } else {
+      result.r_set.insert(result.r_set.end(), sv.members.begin(),
+                          sv.members.end());
+    }
+  }
+  std::sort(result.r_set.begin(), result.r_set.end());
+  // Most-capable serving subview first (largest membership, then id) so a
+  // transferee has a deterministic source.
+  std::sort(result.serving_subviews.begin(), result.serving_subviews.end(),
+            [&](SubviewId a, SubviewId b) {
+              const auto* sa = eview.structure.find_subview(a);
+              const auto* sb = eview.structure.find_subview(b);
+              if (sa->members.size() != sb->members.size())
+                return sa->members.size() > sb->members.size();
+              return a < b;
+            });
+
+  if (result.serving_subviews.size() >= 2) result.problems |= kStateMerging;
+  if (result.serving_subviews.size() >= 1 && !result.r_set.empty())
+    result.problems |= kStateTransfer;
+  if (result.serving_subviews.empty() && !result.r_set.empty()) {
+    result.problems |= kStateCreation;
+    // Section 6.2 case (ii): an sv-set whose combined membership can serve
+    // marks a creation already in progress.
+    for (const core::SvSet& ss : eview.structure.svsets()) {
+      std::vector<ProcessId> combined;
+      for (const SubviewId id : ss.subviews) {
+        const core::Subview* sv = eview.structure.find_subview(id);
+        combined.insert(combined.end(), sv->members.begin(), sv->members.end());
+      }
+      std::sort(combined.begin(), combined.end());
+      if (can_serve(combined)) {
+        result.creation_in_progress = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+ProblemSet classify_flat(Mode own_prior_mode, const gms::View& new_view,
+                         const ServePredicate& can_serve) {
+  if (!can_serve(new_view.members)) return kNoProblem;  // still R: nothing to settle
+  // The paper's Section 4 example: a process coming out of R-mode knows
+  // only that R_set is non-empty (it contains the process itself); it
+  // cannot tell transfer from creation, and with partitions it cannot
+  // rule out merging either.
+  if (own_prior_mode == Mode::Reduced || own_prior_mode == Mode::Settling)
+    return kStateTransfer | kStateCreation | kStateMerging;
+  // A process that stayed N knows N_set is non-empty, so creation is out —
+  // but it cannot count clusters locally.
+  return kStateTransfer | kStateMerging;
+}
+
+Classification classify_from_discovery(
+    const std::vector<DiscoveryReply>& replies, const gms::View& new_view,
+    const ServePredicate& can_serve) {
+  (void)can_serve;
+  Classification result;
+  // Cluster prior-N members by prior view.
+  std::map<ViewId, std::vector<ProcessId>> clusters;
+  for (const DiscoveryReply& reply : replies) {
+    if (!new_view.contains(reply.member)) continue;  // stale reply
+    if (reply.prior_mode == Mode::Normal) {
+      clusters[reply.prior_view].push_back(reply.member);
+    } else {
+      result.r_set.push_back(reply.member);
+    }
+  }
+  std::sort(result.r_set.begin(), result.r_set.end());
+  // Represent discovered clusters as pseudo-subviews keyed by their prior
+  // view's coordinator (flat mode has no real subview ids).
+  std::vector<std::pair<std::size_t, SubviewId>> ranked;
+  for (auto& [view_id, members] : clusters) {
+    ranked.emplace_back(members.size(),
+                        SubviewId{view_id.coordinator, view_id.epoch});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (const auto& [size, id] : ranked) result.serving_subviews.push_back(id);
+
+  if (clusters.size() >= 2) result.problems |= kStateMerging;
+  if (!clusters.empty() && !result.r_set.empty())
+    result.problems |= kStateTransfer;
+  if (clusters.empty() && !result.r_set.empty())
+    result.problems |= kStateCreation;
+  return result;
+}
+
+ServePredicate majority_of(std::size_t universe_size) {
+  return [universe_size](const std::vector<ProcessId>& members) {
+    return members.size() * 2 > universe_size;
+  };
+}
+
+ServePredicate always_serves() {
+  return [](const std::vector<ProcessId>&) { return true; };
+}
+
+}  // namespace evs::app

@@ -1,0 +1,82 @@
+// Shared-state problem classification (Sections 4 and 6.2).
+//
+// When a view change pushes processes into S-mode they must determine
+// *which* shared-state problem they face:
+//   State Transfer — R-mode processes meet an up-to-date N-mode set,
+//   State Creation — nobody is up to date (e.g. after total failure),
+//   State Merging  — two or more N-mode clusters evolved independently.
+//
+// classify_enriched() does this with *local information only*, by reading
+// the subview/sv-set structure of the new e-view — the paper's Section 6.2
+// argument. classify_flat() shows the baseline: with a flat view the
+// process can only narrow the answer to a set of possibilities; resolving
+// the ambiguity costs a discovery round (modelled by DiscoveryReply and
+// classify_from_discovery, whose message cost the CLAIM-CLASSIFY bench
+// charges to the flat configuration).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "app/mode.hpp"
+#include "evs/structure.hpp"
+#include "gms/view.hpp"
+
+namespace evs::app {
+
+enum ProblemBits : std::uint8_t {
+  kNoProblem = 0,
+  kStateTransfer = 1,
+  kStateCreation = 2,
+  kStateMerging = 4,
+};
+using ProblemSet = std::uint8_t;
+
+std::string problems_to_string(ProblemSet problems);
+
+/// Application predicate: can a group of processes holding up-to-date
+/// state serve all external operations (e.g. "is a quorum")?
+using ServePredicate = std::function<bool(const std::vector<ProcessId>&)>;
+
+struct Classification {
+  ProblemSet problems = kNoProblem;
+  /// Subviews that were serving (N-mode clusters), most-capable first.
+  std::vector<SubviewId> serving_subviews;
+  /// Members of non-serving subviews (the R_set).
+  std::vector<ProcessId> r_set;
+  /// Section 6.2 case (ii): no subview serves, but an sv-set would — a
+  /// state creation was already in progress; do not disturb it.
+  bool creation_in_progress = false;
+};
+
+/// Local-only classification from the enriched view structure.
+Classification classify_enriched(const core::EView& eview,
+                                 const ServePredicate& can_serve);
+
+/// What a process can conclude from a flat view plus its own history only:
+/// a *set* of possible problems (the ambiguity of Section 4's example).
+ProblemSet classify_flat(Mode own_prior_mode, const gms::View& new_view,
+                         const ServePredicate& can_serve);
+
+/// One member's answer in the discovery round the flat configuration must
+/// run to disambiguate (prior view, prior mode, state version).
+struct DiscoveryReply {
+  ProcessId member;
+  ViewId prior_view;
+  Mode prior_mode = Mode::Settling;
+  std::uint64_t state_version = 0;
+};
+
+/// Exact classification from a complete discovery round: clusters are the
+/// groups of prior-N members that shared a prior view.
+Classification classify_from_discovery(
+    const std::vector<DiscoveryReply>& replies, const gms::View& new_view,
+    const ServePredicate& can_serve);
+
+/// Convenience predicates.
+ServePredicate majority_of(std::size_t universe_size);
+ServePredicate always_serves();
+
+}  // namespace evs::app

@@ -1,0 +1,529 @@
+#include "app/group_object.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace evs::app {
+
+namespace {
+
+constexpr const char* kEpochKey = "evs.last_epoch";
+
+int popcount(ProblemSet p) {
+  int n = 0;
+  while (p != 0) {
+    n += p & 1;
+    p >>= 1;
+  }
+  return n;
+}
+
+}  // namespace
+
+GroupObjectBase::GroupObjectBase(GroupObjectConfig config)
+    : core::EvsEndpoint(config.endpoint), object_config_(std::move(config)) {
+  set_evs_delegate(this);
+}
+
+void GroupObjectBase::on_start() {
+  // Skeen-style recovery hint: the epoch of the last view this *site*
+  // participated in, surviving crashes in stable storage. Used to pick
+  // the freshest state during a creation (Section 4, reference [11]).
+  if (const auto bytes = store().get(kEpochKey)) {
+    try {
+      Decoder dec(*bytes);
+      recovered_epoch_ = dec.get_u64();
+    } catch (const DecodeError&) {
+      recovered_epoch_ = 0;
+    }
+  }
+  machine_.emplace(scheduler().now());
+  core::EvsEndpoint::on_start();  // installs the first (singleton) view
+}
+
+bool GroupObjectBase::serving_normal() const {
+  if (mode() != Mode::Normal) return false;
+  // Isis-style comparison: a settle anywhere in the view suspends even
+  // up-to-date members.
+  if (object_config_.block_all_during_settle && settling_ && !adopted_)
+    return false;
+  return true;
+}
+
+void GroupObjectBase::object_multicast(const Bytes& payload) {
+  Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(FrameKind::Object));
+  enc.put_bytes(payload);
+  app_multicast(std::move(enc).take());
+}
+
+// ----------------------------------------------------------- delegates ---
+
+void GroupObjectBase::on_eview(const core::EView& eview) {
+  const bool view_changed = eview.ev_seq == 0;
+  if (view_changed) {
+    if (object_config_.record_history) history_.record_view(eview.view);
+    prior_view_ = current_settle_.view;  // the previous view's id
+    current_settle_.view = eview.view.id;
+    // Persist the epoch for post-crash recovery ranking.
+    Encoder enc;
+    enc.put_u64(eview.view.id.epoch);
+    store().put(kEpochKey, std::move(enc).take());
+    // Reset per-view settle state.
+    settling_ = false;
+    adopted_ = false;
+    classification_ready_ = false;
+    classification_ = Classification{};
+    offers_.clear();
+    chunks_.clear();
+    awaiting_full_from_.reset();
+    last_merge_request_ev_ = UINT64_MAX;
+  }
+  EVS_DEBUG(to_string(id()) << " on_eview " << gms::to_string(eview.view)
+            << " ev_seq=" << eview.ev_seq << " mode=" << to_string(mode())
+            << " struct=" << eview.structure.str());
+  evaluate_mode(eview, view_changed);
+  if (view_changed) {
+    on_new_view(eview);
+    // Protocol participation is group-wide: even members staying in
+    // N-mode must answer offers (the serving representative *is* an
+    // N-mode process).
+    const bool group_needs_settle =
+        object_config_.classifier == ClassifierMode::FlatDiscovery
+            ? eview.view.size() > 0
+            : (eview.structure.subviews().size() > 1 || !state_current_);
+    if (group_needs_settle) start_settle(eview);
+  }
+  maybe_complete_settle();
+  maybe_finish_chunks();
+  maybe_request_merges();
+  try_reconcile();
+}
+
+void GroupObjectBase::on_app_deliver(ProcessId sender, const Bytes& payload) {
+  try {
+    dispatch_frame(sender, payload);
+  } catch (const DecodeError& err) {
+    std::string head;
+    for (std::size_t i = 0; i < payload.size() && i < 24; ++i)
+      head += std::to_string(payload[i]) + " ";
+    throw DecodeError(std::string("object-frame: ") + err.what() +
+                      " size=" + std::to_string(payload.size()) + " head=" + head);
+  }
+}
+
+void GroupObjectBase::dispatch_frame(ProcessId sender, const Bytes& payload) {
+  Decoder dec(payload);
+  switch (static_cast<FrameKind>(dec.get_u8())) {
+    case FrameKind::Object: {
+      Bytes body = dec.get_bytes();
+      if (object_config_.record_history) history_.record_delivery(sender, body);
+      on_object_deliver(sender, body);
+      break;
+    }
+    case FrameKind::Offer:
+      handle_offer(sender, dec);
+      break;
+    case FrameKind::Chunk:
+      handle_chunk(sender, dec);
+      break;
+    default:
+      throw DecodeError("GroupObject: unknown frame");
+  }
+}
+
+// ----------------------------------------------------------------- mode ---
+
+bool GroupObjectBase::my_subview_serves() const {
+  const auto sv = eview().structure.subview_of(id());
+  if (!sv) return false;
+  const core::Subview* subview = eview().structure.find_subview(*sv);
+  return subview != nullptr && can_serve(subview->members);
+}
+
+std::size_t GroupObjectBase::serving_subview_count() const {
+  std::size_t count = 0;
+  for (const core::Subview& sv : eview().structure.subviews()) {
+    if (can_serve(sv.members)) ++count;
+  }
+  return count;
+}
+
+void GroupObjectBase::evaluate_mode(const core::EView& eview, bool view_changed) {
+  if (!view_changed) return;  // structure growth is handled by try_reconcile
+  const Mode before = machine_->mode();
+  prior_mode_ = before;
+  ModeInput input;
+  input.can_serve_all = can_serve(eview.view.members);
+  if (object_config_.classifier == ClassifierMode::Enriched) {
+    input.needs_settling = !(state_current_ && serving_subview_count() == 1 &&
+                             my_subview_serves());
+  } else {
+    // Flat views carry no structure: any view change may have invalidated
+    // the shared state, so the process must always settle.
+    input.needs_settling = true;
+  }
+  machine_->on_view(input, scheduler().now());
+  if (machine_->mode() != before) on_mode_change(before, machine_->mode());
+}
+
+// --------------------------------------------------------------- settle ---
+
+void GroupObjectBase::start_settle(const core::EView& eview) {
+  settling_ = true;
+  adopted_ = false;
+  ++object_stats_.settles_started;
+  current_settle_.problems = kNoProblem;
+  current_settle_.started = scheduler().now();
+  current_settle_.serve_ready = 0;
+  current_settle_.fully_done = 0;
+
+  if (object_config_.classifier == ClassifierMode::Enriched) {
+    classification_ =
+        classify_enriched(eview, [this](const std::vector<ProcessId>& m) {
+          return can_serve(m);
+        });
+    classification_ready_ = true;
+  } else {
+    const ProblemSet possible = classify_flat(
+        prior_mode_, eview.view,
+        [this](const std::vector<ProcessId>& m) { return can_serve(m); });
+    if (popcount(possible) > 1) ++object_stats_.ambiguous_classifications;
+    ++object_stats_.discovery_rounds;
+    classification_ready_ = false;
+  }
+  send_offer_if_rep(eview);
+}
+
+void GroupObjectBase::send_offer_if_rep(const core::EView& eview) {
+  Offer offer;
+  offer.view = eview.view.id;
+  offer.prior_view = prior_view_;
+  offer.prior_mode = prior_mode_;
+  offer.version = state_version();
+  offer.recovered_epoch = recovered_epoch_;
+
+  if (object_config_.classifier == ClassifierMode::Enriched) {
+    const auto sv = eview.structure.subview_of(id());
+    if (!sv) return;
+    const core::Subview* subview = eview.structure.find_subview(*sv);
+    EVS_CHECK(subview != nullptr);
+    if (subview->members.front() != id()) return;  // not the representative
+    offer.subview = *sv;
+    offer.serving = can_serve(subview->members);
+  } else {
+    // Flat: every member reports; its "pseudo-subview" is derived from its
+    // prior view so discovery can group clusters.
+    ++object_stats_.discovery_messages;
+    offer.subview = SubviewId{prior_view_.coordinator, prior_view_.epoch};
+    offer.serving = prior_mode_ == Mode::Normal;
+  }
+
+  const Bytes full = snapshot_state();
+  const bool split = object_config_.transfer == TransferStrategy::SplitSmallLarge &&
+                     full.size() > object_config_.chunk_bytes;
+  if (split) {
+    offer.snapshot = snapshot_small();
+    offer.chunk_count =
+        (full.size() + object_config_.chunk_bytes - 1) / object_config_.chunk_bytes;
+  } else {
+    offer.snapshot = full;
+  }
+  object_stats_.snapshot_bytes += offer.snapshot.size();
+  ++object_stats_.offer_messages;
+
+  Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(FrameKind::Offer));
+  enc.put_view_id(offer.view);
+  enc.put_subview_id(offer.subview);
+  enc.put_view_id(offer.prior_view);
+  enc.put_u8(static_cast<std::uint8_t>(offer.prior_mode));
+  enc.put_bool(offer.serving);
+  enc.put_varint(offer.version);
+  enc.put_varint(offer.recovered_epoch);
+  enc.put_varint(offer.chunk_count);
+  enc.put_bytes(offer.snapshot);
+  app_multicast(std::move(enc).take());
+
+  if (split) {
+    // Stream the full state in paced chunks, concurrently with new-view
+    // traffic (foreground messages interleave between chunks).
+    const ViewId chunk_view = offer.view;
+    const std::uint64_t count = offer.chunk_count;
+    const auto shared_full = std::make_shared<const Bytes>(full);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      set_timer(object_config_.chunk_interval * (i + 1),
+                [this, chunk_view, count, i, shared_full]() {
+                  const Bytes& full = *shared_full;
+                  if (this->eview().view.id != chunk_view) return;  // superseded
+                  const std::size_t begin =
+                      static_cast<std::size_t>(i) * object_config_.chunk_bytes;
+                  const std::size_t end =
+                      std::min(full.size(), begin + object_config_.chunk_bytes);
+                  Encoder chunk;
+                  chunk.put_u8(static_cast<std::uint8_t>(FrameKind::Chunk));
+                  chunk.put_view_id(chunk_view);
+                  chunk.put_varint(i);
+                  chunk.put_varint(count);
+                  chunk.put_bytes(
+                      Bytes(full.begin() + static_cast<std::ptrdiff_t>(begin),
+                            full.begin() + static_cast<std::ptrdiff_t>(end)));
+                  ++object_stats_.chunk_messages;
+                  object_stats_.snapshot_bytes += end - begin;
+                  EVS_DEBUG(to_string(id()) << " sends chunk " << i << "/" << count);
+                  app_multicast(std::move(chunk).take());
+                });
+    }
+  }
+}
+
+void GroupObjectBase::handle_offer(ProcessId sender, Decoder& dec) {
+  Offer offer;
+  offer.view = dec.get_view_id();
+  offer.subview = dec.get_subview_id();
+  offer.prior_view = dec.get_view_id();
+  const std::uint8_t mode_byte = dec.get_u8();
+  if (mode_byte > 2) throw DecodeError("bad mode in offer");
+  offer.prior_mode = static_cast<Mode>(mode_byte);
+  offer.serving = dec.get_bool();
+  offer.version = dec.get_varint();
+  offer.recovered_epoch = dec.get_varint();
+  offer.chunk_count = dec.get_varint();
+  offer.snapshot = dec.get_bytes();
+  if (offer.view != eview().view.id) return;  // stale
+  offers_[sender] = std::move(offer);
+  maybe_complete_settle();
+}
+
+void GroupObjectBase::handle_chunk(ProcessId sender, Decoder& dec) {
+  const ViewId view = dec.get_view_id();
+  const std::uint64_t index = dec.get_varint();
+  const std::uint64_t total = dec.get_varint();
+  Bytes part = dec.get_bytes();
+  if (view != eview().view.id) return;
+  ChunkAssembly& assembly = chunks_[sender];
+  assembly.expected = total;
+  assembly.parts.emplace(index, std::move(part));
+  EVS_DEBUG(to_string(id()) << " chunk " << index << "/" << total << " from "
+            << to_string(sender) << " have=" << assembly.parts.size()
+            << " awaiting=" << (awaiting_full_from_ ? to_string(*awaiting_full_from_) : "none"));
+  maybe_complete_settle();
+  maybe_finish_chunks();
+}
+
+void GroupObjectBase::maybe_finish_chunks() {
+  if (!adopted_ || !awaiting_full_from_) return;
+  const auto it = chunks_.find(*awaiting_full_from_);
+  if (it == chunks_.end() || it->second.parts.size() != it->second.expected ||
+      it->second.expected == 0) {
+    return;
+  }
+  Bytes full;
+  for (const auto& [index, part] : it->second.parts)
+    full.insert(full.end(), part.begin(), part.end());
+  install_state(full);
+  awaiting_full_from_.reset();
+  current_settle_.fully_done = scheduler().now();
+  settle_log_.push_back(current_settle_);
+  try_reconcile();
+}
+
+void GroupObjectBase::maybe_complete_settle() {
+  if (!settling_ || adopted_) return;
+
+  // Completeness.
+  if (object_config_.classifier == ClassifierMode::Enriched) {
+    for (const core::Subview& sv : eview().structure.subviews()) {
+      bool found = false;
+      for (const auto& [sender, offer] : offers_) {
+        if (offer.subview == sv.id) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return;
+    }
+  } else {
+    for (const ProcessId member : eview().view.members) {
+      if (!offers_.contains(member)) return;
+    }
+  }
+
+  if (!classification_ready_) {
+    // Flat: derive the exact classification from the discovery replies.
+    std::vector<DiscoveryReply> replies;
+    for (const auto& [sender, offer] : offers_) {
+      replies.push_back(DiscoveryReply{sender, offer.prior_view,
+                                       offer.prior_mode, offer.version});
+    }
+    classification_ = classify_from_discovery(
+        replies, eview().view,
+        [this](const std::vector<ProcessId>& m) { return can_serve(m); });
+    classification_ready_ = true;
+  }
+
+  current_settle_.problems = classification_.problems;
+  object_stats_.last_problems = classification_.problems;
+  EVS_DEBUG(to_string(id()) << " settle complete: problems="
+            << problems_to_string(classification_.problems)
+            << " offers=" << offers_.size());
+
+  // For merging (and split transfers) we may still be waiting for chunks
+  // from the source(s); adopt_states() checks availability itself.
+  adopt_states();
+  if (adopted_) {
+    // The settle may have completed on an offer/chunk arrival rather than
+    // an e-view event: drive the merge phase and reconciliation from here.
+    maybe_request_merges();
+    try_reconcile();
+  }
+}
+
+void GroupObjectBase::adopt_states() {
+  // Per-subview source offer: the minimum sender claiming each subview.
+  std::map<SubviewId, const Offer*> source;
+  std::map<SubviewId, ProcessId> source_sender;
+  for (const auto& [sender, offer] : offers_) {
+    const auto it = source_sender.find(offer.subview);
+    if (it == source_sender.end() || sender < it->second) {
+      source_sender[offer.subview] = sender;
+      source[offer.subview] = &offer;
+    }
+  }
+
+  const auto full_of = [&](SubviewId sv) -> std::optional<Bytes> {
+    const Offer* offer = source.at(sv);
+    if (offer->chunk_count == 0) return offer->snapshot;
+    const auto it = chunks_.find(source_sender.at(sv));
+    if (it == chunks_.end() || it->second.parts.size() != offer->chunk_count)
+      return std::nullopt;
+    Bytes full;
+    for (const auto& [index, part] : it->second.parts)
+      full.insert(full.end(), part.begin(), part.end());
+    return full;
+  };
+
+  const SimTime now = scheduler().now();
+  const auto& serving = classification_.serving_subviews;
+
+  if (serving.size() >= 2) {
+    // State merging: requires every cluster's *full* state.
+    std::vector<Bytes> inputs;
+    for (const SubviewId sv : serving) {
+      auto full = full_of(sv);
+      if (!full) return;  // chunks still in flight; retry on next chunk
+      inputs.push_back(*std::move(full));
+    }
+    install_state(merge_cluster_states(inputs));
+    state_current_ = true;
+    ++object_stats_.merges;
+    if (!classification_.r_set.empty()) ++object_stats_.transfers;
+    current_settle_.serve_ready = now;
+    current_settle_.fully_done = now;
+  } else if (serving.size() == 1) {
+    // State transfer: stale members adopt the serving subview's state.
+    const SubviewId src = serving.front();
+    const bool i_am_source =
+        object_config_.classifier == ClassifierMode::Enriched
+            ? eview().structure.subview_of(id()) == src
+            : offers_.contains(id()) && offers_.at(id()).subview == src;
+    if (i_am_source && state_current_) {
+      current_settle_.serve_ready = now;
+      current_settle_.fully_done = now;
+    } else {
+      const Offer* offer = source.at(src);
+      if (offer->chunk_count == 0) {
+        install_state(offer->snapshot);
+        current_settle_.fully_done = now;
+      } else {
+        // Split strategy: critical part now, bulk later.
+        install_small(offer->snapshot);
+        if (const auto full = full_of(src)) {
+          install_state(*full);
+          current_settle_.fully_done = now;
+        } else {
+          awaiting_full_from_ = source_sender.at(src);
+        }
+      }
+      state_current_ = true;
+      current_settle_.serve_ready = now;
+    }
+    ++object_stats_.transfers;
+  } else {
+    // State creation: adopt the freshest state anyone can produce,
+    // last-process-to-fail first (recovered epoch), then version.
+    const Offer* winner = nullptr;
+    ProcessId winner_sender{};
+    for (const auto& [sender, offer] : offers_) {
+      const auto key = std::make_tuple(offer.version, offer.recovered_epoch,
+                                       sender);
+      if (winner == nullptr ||
+          key > std::make_tuple(winner->version, winner->recovered_epoch,
+                                winner_sender)) {
+        winner = &offer;
+        winner_sender = sender;
+      }
+    }
+    EVS_CHECK(winner != nullptr);
+    if (winner_sender != id()) {
+      auto full = full_of(winner->subview);
+      if (winner->chunk_count != 0 && !full) {
+        install_small(winner->snapshot);
+        awaiting_full_from_ = winner_sender;  // bulk still streaming
+      } else if (full) {
+        install_state(*full);
+        current_settle_.fully_done = now;
+      }
+    } else {
+      current_settle_.fully_done = now;
+    }
+    state_current_ = true;
+    current_settle_.serve_ready = now;
+    ++object_stats_.creations;
+  }
+
+  if (current_settle_.fully_done == 0) {
+    // Still waiting for chunks: stay in "adopted but filling" state. The
+    // settle counts as serveable; chunk arrivals will finish it.
+    adopted_ = true;
+    ++object_stats_.settles_completed;
+    return;
+  }
+  adopted_ = true;
+  ++object_stats_.settles_completed;
+  settle_log_.push_back(current_settle_);
+}
+
+void GroupObjectBase::maybe_request_merges() {
+  if (object_config_.classifier != ClassifierMode::Enriched) return;
+  if (!settling_ || !adopted_) return;
+  if (eview().structure.subviews().size() == 1 &&
+      eview().structure.svsets().size() == 1) {
+    return;  // degenerate: done
+  }
+  if (eview().view.primary() != id()) return;
+  if (last_merge_request_ev_ == eview().ev_seq) return;  // already asked
+  last_merge_request_ev_ = eview().ev_seq;
+  request_merge_all();
+}
+
+void GroupObjectBase::try_reconcile() {
+  if (!machine_ || machine_->mode() != Mode::Settling) return;
+  if (!can_serve(eview().view.members)) return;
+  bool done = false;
+  if (object_config_.classifier == ClassifierMode::Enriched) {
+    done = state_current_ && serving_subview_count() == 1 && my_subview_serves();
+  } else {
+    done = state_current_ && adopted_;
+  }
+  if (!done) return;
+  EVS_DEBUG(to_string(id()) << " reconciles to NORMAL");
+  const Mode before = machine_->mode();
+  machine_->reconcile(scheduler().now());
+  on_mode_change(before, machine_->mode());
+}
+
+}  // namespace evs::app

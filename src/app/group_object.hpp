@@ -1,0 +1,210 @@
+// Group-object runtime (Sections 3-6 made executable).
+//
+// GroupObjectBase turns the paper's methodology into a reusable engine.
+// A concrete group object (replicated file, parallel database, lock
+// manager, ...) supplies:
+//   - a serve predicate  ("can this member set serve all external ops?"),
+//   - state plumbing     (snapshot / install / deterministic merge),
+//   - its external operations, built on mode() and object_multicast().
+//
+// The base drives the Figure-1 mode machine, classifies every entry into
+// S-mode as transfer / creation / merging, and runs the generic
+// reconciliation protocol:
+//
+//   Enriched classifier (the paper's proposal): classification is local —
+//   the serving subviews are read straight off the e-view structure. One
+//   representative per subview multicasts an OFFER (version + snapshot);
+//   once offers cover the structure, everyone deterministically adopts
+//   the right state (transfer source, creation winner by Skeen-style
+//   last-to-fail epoch, or an application merge of diverged clusters),
+//   then the primary collapses the structure with SV-SetMerge +
+//   SubviewMerge and members Reconcile back to N-mode. Members of the
+//   single serving subview are never disturbed.
+//
+//   Flat classifier (the Section-4 baseline): structure is ignored. The
+//   process can only narrow the problem to a set of possibilities; it
+//   must run a discovery round in which *every* member multicasts its
+//   prior view, prior mode, version and snapshot. Costs (messages, bytes,
+//   latency) are accounted so CLAIM-CLASSIFY can compare.
+//
+// Transfer strategies (Section 5's discussion): WholeSnapshot ships the
+// state inside the OFFER; SplitSmallLarge ships a small critical part
+// synchronously and streams the rest in chunks while the new view is
+// already serving — time-to-serve vs time-to-full-state are recorded for
+// the CLAIM-XFER bench.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "app/classify.hpp"
+#include "app/history.hpp"
+#include "app/mode.hpp"
+#include "evs/endpoint.hpp"
+
+namespace evs::app {
+
+enum class ClassifierMode : std::uint8_t { Enriched = 0, FlatDiscovery = 1 };
+enum class TransferStrategy : std::uint8_t {
+  WholeSnapshot = 0,
+  SplitSmallLarge = 1,
+};
+
+struct GroupObjectConfig {
+  vsync::EndpointConfig endpoint;
+  ClassifierMode classifier = ClassifierMode::Enriched;
+  TransferStrategy transfer = TransferStrategy::WholeSnapshot;
+  /// Isis-style comparison point: while any settle is in progress, even
+  /// up-to-date members suspend external operations.
+  bool block_all_during_settle = false;
+  /// Chunk size for SplitSmallLarge.
+  std::size_t chunk_bytes = 4096;
+  /// Pacing between background chunks (SplitSmallLarge): keeps the bulk
+  /// stream from starving foreground traffic on a finite-bandwidth link —
+  /// this is what makes "transferred concurrently with application
+  /// activity in the new view" (Section 5) actually concurrent.
+  SimDuration chunk_interval = 300 * kMicrosecond;
+  /// Record the Section-3 formal history (view + object-delivery events);
+  /// lets tests and tools re-derive mode sequences via app::mode_trace.
+  bool record_history = false;
+};
+
+struct SettleRecord {
+  ViewId view;
+  ProblemSet problems = kNoProblem;
+  SimTime started = 0;
+  SimTime serve_ready = 0;  // state good enough to serve
+  SimTime fully_done = 0;   // all state applied (chunks included)
+};
+
+struct ObjectStats {
+  std::uint64_t settles_started = 0;
+  std::uint64_t settles_completed = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t creations = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t discovery_rounds = 0;
+  std::uint64_t discovery_messages = 0;
+  std::uint64_t offer_messages = 0;
+  std::uint64_t snapshot_bytes = 0;
+  std::uint64_t chunk_messages = 0;
+  std::uint64_t ambiguous_classifications = 0;  // flat: |possibility set| > 1
+  ProblemSet last_problems = kNoProblem;
+};
+
+class GroupObjectBase : public core::EvsEndpoint, private core::EvsDelegate {
+ public:
+  explicit GroupObjectBase(GroupObjectConfig config);
+
+  Mode mode() const { return machine_ ? machine_->mode() : Mode::Settling; }
+  const ModeMachine* mode_machine() const {
+    return machine_ ? &*machine_ : nullptr;
+  }
+
+  /// External operations permitted right now? NORMAL always is; REDUCED
+  /// callers must additionally consult their own reduced-op rules.
+  bool serving_normal() const;
+
+  const ObjectStats& object_stats() const { return object_stats_; }
+  const std::vector<SettleRecord>& settle_log() const { return settle_log_; }
+  const Classification& last_classification() const { return classification_; }
+  bool state_current() const { return state_current_; }
+  /// The recorded formal history (empty unless config.record_history).
+  const History& history() const { return history_; }
+
+  void on_start() override;
+
+ protected:
+  // ----- subclass interface ------------------------------------------
+  virtual bool can_serve(const std::vector<ProcessId>& members) const = 0;
+  virtual Bytes snapshot_state() const = 0;
+  virtual void install_state(const Bytes& snapshot) = 0;
+  /// Deterministic merge of diverged cluster states (most-capable cluster
+  /// first); every member applies the same inputs in the same order.
+  virtual Bytes merge_cluster_states(const std::vector<Bytes>& snapshots) = 0;
+  virtual std::uint64_t state_version() const = 0;
+  /// Small critical part for SplitSmallLarge (default: whole snapshot).
+  virtual Bytes snapshot_small() const { return snapshot_state(); }
+  virtual void install_small(const Bytes& snapshot) { install_state(snapshot); }
+  /// Object-level application traffic (external-operation messages).
+  virtual void on_object_deliver(ProcessId sender, const Bytes& payload) = 0;
+  virtual void on_mode_change(Mode previous, Mode current) {
+    (void)previous;
+    (void)current;
+  }
+  /// Called once per installed view, after mode evaluation — the hook for
+  /// deterministic per-view state rules (e.g. dropping a lock whose
+  /// holder left the view).
+  virtual void on_new_view(const core::EView& eview) { (void)eview; }
+
+  /// Multicasts an external-operation message (totally ordered).
+  void object_multicast(const Bytes& payload);
+
+ private:
+  enum class FrameKind : std::uint8_t { Object = 1, Offer = 2, Chunk = 3 };
+
+  struct Offer {
+    ViewId view;
+    SubviewId subview;  // enriched: real id; flat: pseudo-id from sender
+    ViewId prior_view;
+    Mode prior_mode = Mode::Settling;
+    bool serving = false;
+    std::uint64_t version = 0;
+    std::uint64_t recovered_epoch = 0;
+    std::uint64_t chunk_count = 0;  // >0: snapshot streamed separately
+    Bytes snapshot;
+  };
+
+  // EvsDelegate
+  void on_eview(const core::EView& eview) override;
+  void on_app_deliver(ProcessId sender, const Bytes& payload) override;
+  void dispatch_frame(ProcessId sender, const Bytes& payload);
+
+  void evaluate_mode(const core::EView& eview, bool view_changed);
+  void start_settle(const core::EView& eview);
+  void send_offer_if_rep(const core::EView& eview);
+  void handle_offer(ProcessId sender, Decoder& dec);
+  void handle_chunk(ProcessId sender, Decoder& dec);
+  void maybe_complete_settle();
+  void adopt_states();
+  void maybe_finish_chunks();
+  void maybe_request_merges();
+  void try_reconcile();
+  bool my_subview_serves() const;
+  std::size_t serving_subview_count() const;
+
+  GroupObjectConfig object_config_;
+  History history_;
+  std::optional<ModeMachine> machine_;
+  Classification classification_;
+  bool classification_ready_ = false;
+
+  bool state_current_ = false;
+  ViewId prior_view_;        // view before the current one
+  Mode prior_mode_ = Mode::Settling;
+  std::uint64_t recovered_epoch_ = 0;  // from stable store at startup
+
+  // Per-view settle state.
+  bool settling_ = false;
+  bool adopted_ = false;
+  std::map<ProcessId, Offer> offers_;
+  struct ChunkAssembly {
+    std::uint64_t expected = 0;
+    std::map<std::uint64_t, Bytes> parts;
+  };
+  std::map<ProcessId, ChunkAssembly> chunks_;
+  /// Set while a split transfer's bulk is still streaming in.
+  std::optional<ProcessId> awaiting_full_from_;
+  std::uint64_t last_merge_request_ev_ = UINT64_MAX;
+  SettleRecord current_settle_;
+
+  ObjectStats object_stats_;
+  std::vector<SettleRecord> settle_log_;
+};
+
+}  // namespace evs::app

@@ -1,0 +1,129 @@
+#include "app/history.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace evs::app {
+
+void History::record_view(const gms::View& view) {
+  events_.push_back(ViewEvent{view});
+}
+
+void History::record_delivery(ProcessId sender, Bytes payload) {
+  events_.push_back(DeliverEvent{sender, std::move(payload)});
+}
+
+History History::prefix(std::size_t k) const {
+  History h;
+  const std::size_t n = std::min(k, events_.size());
+  h.events_.assign(events_.begin(),
+                   events_.begin() + static_cast<std::ptrdiff_t>(n));
+  return h;
+}
+
+std::optional<gms::View> History::current_view() const {
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (const auto* v = std::get_if<ViewEvent>(&*it)) return v->view;
+  }
+  return std::nullopt;
+}
+
+std::vector<DeliverEvent> History::deliveries_in_current_view() const {
+  std::vector<DeliverEvent> out;
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (std::holds_alternative<ViewEvent>(*it)) break;
+    out.push_back(std::get<DeliverEvent>(*it));
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::size_t History::delivery_count() const {
+  std::size_t n = 0;
+  for (const HistoryEvent& e : events_) {
+    if (std::holds_alternative<DeliverEvent>(e)) ++n;
+  }
+  return n;
+}
+
+bool History::well_formed() const {
+  if (events_.empty()) return true;  // the empty prefix is fine
+  return std::holds_alternative<ViewEvent>(events_.front());
+}
+
+std::string History::str() const {
+  std::ostringstream os;
+  for (const HistoryEvent& e : events_) {
+    if (const auto* v = std::get_if<ViewEvent>(&e)) {
+      os << "view(" << gms::to_string(v->view) << ") ";
+    } else {
+      const auto& d = std::get<DeliverEvent>(e);
+      os << "dlvr(" << to_string(d.sender) << ") ";
+    }
+  }
+  return os.str();
+}
+
+HistoryModeFunction quorum_mode_function(
+    std::size_t universe_size,
+    std::function<bool(const History&)> caught_up) {
+  EVS_CHECK(caught_up != nullptr);
+  return [universe_size, caught_up = std::move(caught_up)](const History& h) {
+    const auto view = h.current_view();
+    if (!view) return Mode::Settling;  // pre-join: nothing to serve
+    if (view->size() * 2 <= universe_size) return Mode::Reduced;
+    // "To return back to N-mode, a process must first pass through
+    // S-mode": the prefix ending in the view event itself is always S.
+    if (!h.events().empty() &&
+        std::holds_alternative<ViewEvent>(h.events().back())) {
+      return Mode::Settling;
+    }
+    return caught_up(h) ? Mode::Normal : Mode::Settling;
+  };
+}
+
+HistoryModeFunction always_available_mode_function(
+    std::function<bool(const History&)> settled) {
+  EVS_CHECK(settled != nullptr);
+  return [settled = std::move(settled)](const History& h) {
+    if (!h.current_view()) return Mode::Settling;
+    // Every view change passes through S (the paper's parallel-db
+    // example: redefine the division of responsibility first).
+    if (!h.events().empty() &&
+        std::holds_alternative<ViewEvent>(h.events().back())) {
+      return Mode::Settling;
+    }
+    return settled(h) ? Mode::Normal : Mode::Settling;
+  };
+}
+
+std::function<bool(const History&)> after_deliveries(std::size_t n) {
+  return [n](const History& h) {
+    return h.deliveries_in_current_view().size() >= n;
+  };
+}
+
+std::vector<Mode> mode_trace(const History& history,
+                             const HistoryModeFunction& f) {
+  EVS_CHECK_MSG(history.well_formed(), "history must begin with a join view");
+  std::vector<Mode> trace;
+  trace.reserve(history.size());
+  for (std::size_t k = 1; k <= history.size(); ++k) {
+    trace.push_back(f(history.prefix(k)));
+  }
+  return trace;
+}
+
+std::optional<std::size_t> first_illegal_transition(
+    const std::vector<Mode>& trace) {
+  // Figure-1 edge set, expressed over consecutive modes. Self-loops are
+  // always fine; the single forbidden *direct* step is R -> N ("to return
+  // back to N-mode, a process must first pass through S-mode").
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if (trace[i - 1] == Mode::Reduced && trace[i] == Mode::Normal) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace evs::app

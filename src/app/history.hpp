@@ -1,0 +1,121 @@
+// The paper's formal application model (Section 3): process histories and
+// mode functions.
+//
+// "We define the history of a process p, denoted by h_p, as a (possibly
+//  infinite) sequence of deliver and view events. [...] In general, the
+//  mode of a process can depend on an arbitrary number of past delivery
+//  events since it joined the group. In other words, after k delivery
+//  events, the mode of process p is defined by f(h_p^k), where f is
+//  called the mode function."
+//
+// This module makes that model executable: a History records the
+// delivery/view event sequence of one process; a HistoryModeFunction maps
+// history prefixes to modes. Per the paper's simplifying assumption, the
+// provided combinators depend on the full history with respect to
+// deliveries but only on the *current view* with respect to view changes.
+//
+// GroupObjectBase drives its Figure-1 machine from the serve predicate
+// directly (the common case); this module exists for applications whose
+// mode genuinely depends on what has been delivered — e.g. "NORMAL only
+// after the recovery log has been replayed" — and for analysis: the
+// tests use it to re-derive mode sequences from recorded histories and
+// cross-check the machine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "app/mode.hpp"
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "gms/view.hpp"
+
+namespace evs::app {
+
+/// One event in a process history (the paper's deliver(m) and view(v)).
+struct DeliverEvent {
+  ProcessId sender;
+  Bytes payload;
+};
+
+struct ViewEvent {
+  gms::View view;
+};
+
+using HistoryEvent = std::variant<ViewEvent, DeliverEvent>;
+
+class History {
+ public:
+  /// The paper: "the first event of process p's history is the view event
+  /// corresponding to joining the group object."
+  void record_view(const gms::View& view);
+  void record_delivery(ProcessId sender, Bytes payload);
+
+  const std::vector<HistoryEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// h_p^k: the prefix containing the first k events.
+  History prefix(std::size_t k) const;
+
+  /// The most recent view event, if any (what "current view" means for a
+  /// view-dependent mode function).
+  std::optional<gms::View> current_view() const;
+
+  /// Deliveries since the last view event (the view-local suffix).
+  std::vector<DeliverEvent> deliveries_in_current_view() const;
+
+  /// Total delivery events over the whole history.
+  std::size_t delivery_count() const;
+
+  /// The paper's well-formedness rule: a history must start with a view
+  /// event (the join) and every delivery must fall inside some view.
+  bool well_formed() const;
+
+  std::string str() const;
+
+ private:
+  std::vector<HistoryEvent> events_;
+};
+
+/// f : history prefix -> Mode. Must be deterministic; all members of a
+/// group object share the same mode function (Section 3).
+using HistoryModeFunction = std::function<Mode(const History&)>;
+
+/// Mode function combinators matching the paper's examples.
+
+/// The replicated-file shape: NORMAL in a quorum view, REDUCED otherwise;
+/// SETTLING in a quorum view until `caught_up(history)` says the replica
+/// is up to date.
+HistoryModeFunction quorum_mode_function(
+    std::size_t universe_size,
+    std::function<bool(const History&)> caught_up);
+
+/// The parallel-db shape: R-mode does not exist; every view change puts
+/// the process into SETTLING until `settled(history)` holds in the
+/// current view.
+HistoryModeFunction always_available_mode_function(
+    std::function<bool(const History&)> settled);
+
+/// A delivery-counting readiness predicate: caught up after at least `n`
+/// deliveries in the current view (models "replay n log entries").
+std::function<bool(const History&)> after_deliveries(std::size_t n);
+
+/// Replays a history through a mode function, returning the mode after
+/// every event — the sequence m_k = f(h^k) from the paper. Throws if the
+/// history is not well-formed.
+std::vector<Mode> mode_trace(const History& history,
+                             const HistoryModeFunction& f);
+
+/// Checks that a mode trace only uses Figure-1 edges (with view events
+/// allowed to trigger Failure/Repair/Reconfigure and delivery events only
+/// the application-driven Reconcile or no change). Returns the offending
+/// index, or nullopt if the trace is legal.
+std::optional<std::size_t> first_illegal_transition(
+    const std::vector<Mode>& trace);
+
+}  // namespace evs::app

@@ -1,0 +1,89 @@
+#include "app/mode.hpp"
+
+namespace evs::app {
+
+const char* to_string(Mode mode) {
+  switch (mode) {
+    case Mode::Normal: return "NORMAL";
+    case Mode::Reduced: return "REDUCED";
+    case Mode::Settling: return "SETTLING";
+  }
+  return "?";
+}
+
+const char* to_string(Transition transition) {
+  switch (transition) {
+    case Transition::Failure: return "Failure";
+    case Transition::Repair: return "Repair";
+    case Transition::Reconfigure: return "Reconfigure";
+    case Transition::Reconcile: return "Reconcile";
+  }
+  return "?";
+}
+
+void ModeMachine::accumulate(SimTime now) {
+  EVS_CHECK(now >= mode_since_);
+  occupancy_[static_cast<std::size_t>(mode_)] += now - mode_since_;
+  mode_since_ = now;
+}
+
+void ModeMachine::switch_to(Mode next, Transition via, SimTime now) {
+  // Figure 1's edge set, and nothing else.
+  const bool legal =
+      (mode_ == Mode::Normal && next == Mode::Reduced && via == Transition::Failure) ||
+      (mode_ == Mode::Settling && next == Mode::Reduced && via == Transition::Failure) ||
+      (mode_ == Mode::Reduced && next == Mode::Settling && via == Transition::Repair) ||
+      (mode_ == Mode::Normal && next == Mode::Settling && via == Transition::Reconfigure) ||
+      (mode_ == Mode::Settling && next == Mode::Settling && via == Transition::Reconfigure) ||
+      (mode_ == Mode::Settling && next == Mode::Normal && via == Transition::Reconcile);
+  EVS_CHECK_MSG(legal, std::string("illegal mode transition ") +
+                           to_string(mode_) + " -> " + to_string(next) +
+                           " via " + to_string(via));
+  accumulate(now);
+  mode_ = next;
+  ++transition_counts_[static_cast<std::size_t>(via)];
+}
+
+std::optional<Transition> ModeMachine::on_view(const ModeInput& input,
+                                               SimTime now) {
+  if (!input.can_serve_all) {
+    // The new view cannot support full service.
+    if (mode_ == Mode::Reduced) {
+      accumulate(now);
+      return std::nullopt;  // R -> R, no transition
+    }
+    switch_to(Mode::Reduced, Transition::Failure, now);
+    return Transition::Failure;
+  }
+  if (input.needs_settling || mode_ == Mode::Reduced) {
+    // The paper forbids R -> N directly; the settle step may be empty,
+    // in which case the application reconciles immediately afterwards.
+    const Transition via = mode_ == Mode::Reduced ? Transition::Repair
+                                                  : Transition::Reconfigure;
+    switch_to(Mode::Settling, via, now);
+    return via;
+  }
+  // Full service, no reconstruction needed.
+  if (mode_ == Mode::Normal) {
+    accumulate(now);
+    return std::nullopt;
+  }
+  // From SETTLING with nothing to settle: the application still owns the
+  // Reconcile edge; report a Reconfigure self-loop so it re-evaluates.
+  switch_to(Mode::Settling, Transition::Reconfigure, now);
+  return Transition::Reconfigure;
+}
+
+Transition ModeMachine::reconcile(SimTime now) {
+  switch_to(Mode::Normal, Transition::Reconcile, now);
+  return Transition::Reconcile;
+}
+
+std::uint64_t ModeMachine::occupancy(Mode mode, SimTime now) const {
+  // Flush the open interval without mutating mode_since_ semantics.
+  std::array<std::uint64_t, 3> snapshot = occupancy_;
+  snapshot[static_cast<std::size_t>(mode_)] += now - mode_since_;
+  return snapshot[static_cast<std::size_t>(mode)];
+}
+
+}  // namespace evs::app

@@ -1,0 +1,86 @@
+// The paper's application model (Section 3, Figure 1).
+//
+// A group-object process is always in one of three modes:
+//   NORMAL   — serves all external operations,
+//   REDUCED  — serves only a subset of external operations,
+//   SETTLING — serves internal (reconciliation) operations only,
+// and moves between them along exactly four transitions:
+//   Failure     (N->R, S->R) — a view not conducive to full service,
+//   Repair      (R->S)       — conditions restored, reconstruction begins,
+//   Reconfigure (N->S, S->S) — view expanded, state must be rebuilt,
+//   Reconcile   (S->N)       — reconstruction done (application-driven,
+//                              the only transition synchronous with the
+//                              computation).
+// ModeMachine enforces that no other edge is ever taken and accounts for
+// time spent in each mode (the FIG1 bench reads these counters).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+
+namespace evs::app {
+
+enum class Mode : std::uint8_t { Normal = 0, Reduced = 1, Settling = 2 };
+
+enum class Transition : std::uint8_t {
+  Failure = 0,
+  Repair = 1,
+  Reconfigure = 2,
+  Reconcile = 3,
+};
+
+const char* to_string(Mode mode);
+const char* to_string(Transition transition);
+
+/// What the next view supports, from the process's standpoint.
+struct ModeInput {
+  /// The view permits all external operations (e.g. holds a quorum).
+  bool can_serve_all = false;
+  /// The process must reconstruct shared state before serving (stale
+  /// replica, new members, divergent clusters...). Ignored when
+  /// can_serve_all is false.
+  bool needs_settling = false;
+};
+
+class ModeMachine {
+ public:
+  /// Processes start in SETTLING: the paper's first event for any process
+  /// is the view change delivered by its join, and it cannot serve before
+  /// reconciling with whatever state exists.
+  explicit ModeMachine(SimTime now) : mode_since_(now) {}
+
+  Mode mode() const { return mode_; }
+
+  /// Evaluates the mode function's verdict for a new view. Returns the
+  /// transition taken, if the mode changed class (self-loops such as
+  /// S->S Reconfigure are reported too, as the paper treats overlapping
+  /// reconstructions as Reconfigure transitions).
+  std::optional<Transition> on_view(const ModeInput& input, SimTime now);
+
+  /// Application signals successful completion of the shared-state
+  /// reconciliation. Only legal in SETTLING.
+  Transition reconcile(SimTime now);
+
+  std::uint64_t count(Transition t) const {
+    return transition_counts_[static_cast<std::size_t>(t)];
+  }
+
+  /// Accumulated simulated time spent in each mode (flushed up to `now`).
+  std::uint64_t occupancy(Mode mode, SimTime now) const;
+
+ private:
+  void switch_to(Mode next, Transition via, SimTime now);
+  void accumulate(SimTime now);
+
+  Mode mode_ = Mode::Settling;
+  SimTime mode_since_ = 0;
+  std::array<std::uint64_t, 4> transition_counts_{};
+  mutable std::array<std::uint64_t, 3> occupancy_{};
+};
+
+}  // namespace evs::app

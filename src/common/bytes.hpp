@@ -1,0 +1,23 @@
+// Raw byte-buffer type used for all wire payloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace evs {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Builds a byte buffer from a string literal / std::string (test helper).
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Interprets a byte buffer as text (test helper; no validation).
+inline std::string to_string(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace evs

@@ -1,0 +1,32 @@
+// Internal invariant checking.
+//
+// EVS_CHECK is used for programmer errors and protocol invariants whose
+// violation means the process state is corrupt; it throws
+// evs::InvariantViolation so tests can assert on invariant failures
+// without killing the test binary.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace evs {
+
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+
+}  // namespace evs
+
+#define EVS_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::evs::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define EVS_CHECK_MSG(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) ::evs::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

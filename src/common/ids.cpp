@@ -1,0 +1,35 @@
+#include "common/ids.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace evs {
+
+std::string to_string(SiteId id) {
+  return "s" + std::to_string(id.value);
+}
+
+std::string to_string(ProcessId id) {
+  return "p" + std::to_string(id.site.value) + "." +
+         std::to_string(id.incarnation);
+}
+
+std::string to_string(ViewId id) {
+  return "v" + std::to_string(id.epoch) + "@" + to_string(id.coordinator);
+}
+
+std::string to_string(SubviewId id) {
+  return "sv(" + to_string(id.origin) + "," + std::to_string(id.counter) + ")";
+}
+
+std::string to_string(SvSetId id) {
+  return "ss(" + to_string(id.origin) + "," + std::to_string(id.counter) + ")";
+}
+
+std::ostream& operator<<(std::ostream& os, SiteId id) { return os << to_string(id); }
+std::ostream& operator<<(std::ostream& os, ProcessId id) { return os << to_string(id); }
+std::ostream& operator<<(std::ostream& os, ViewId id) { return os << to_string(id); }
+std::ostream& operator<<(std::ostream& os, SubviewId id) { return os << to_string(id); }
+std::ostream& operator<<(std::ostream& os, SvSetId id) { return os << to_string(id); }
+
+}  // namespace evs

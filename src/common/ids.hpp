@@ -1,0 +1,119 @@
+// Strong identifier types shared by every layer.
+//
+// The paper models process recovery by assigning the recovered process a
+// *new identifier* (Section 2). We realise that with a two-part id:
+// a SiteId names the stable location (which owns permanent storage), and
+// a ProcessId is a (site, incarnation) pair — each recovery bumps the
+// incarnation, so a recovered process is a brand-new group member while
+// still finding its permanent local state at the site.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace evs {
+
+/// Stable location of a process; owns the site's StableStore.
+struct SiteId {
+  std::uint32_t value = 0;
+
+  auto operator<=>(const SiteId&) const = default;
+};
+
+/// One incarnation of a process at a site. A fresh incarnation after a
+/// crash is a different ProcessId, per the paper's recovery model.
+struct ProcessId {
+  SiteId site;
+  std::uint32_t incarnation = 0;
+
+  auto operator<=>(const ProcessId&) const = default;
+};
+
+/// Identifies an installed view. Epochs grow across view changes; the
+/// coordinator id breaks ties between views formed concurrently in
+/// disjoint partitions.
+struct ViewId {
+  std::uint64_t epoch = 0;
+  ProcessId coordinator;
+
+  auto operator<=>(const ViewId&) const = default;
+};
+
+/// Identifies a subview (Section 6.1). A fresh member joins in a singleton
+/// subview identified by (member, 0); a SubviewMerge creates a new subview
+/// whose id is minted by the view coordinator from its monotonic counter,
+/// so ids are unique system-wide (ProcessId includes the incarnation).
+struct SubviewId {
+  ProcessId origin;
+  std::uint64_t counter = 0;
+
+  auto operator<=>(const SubviewId&) const = default;
+};
+
+/// Identifies an sv-set (Section 6.1); same minting scheme as SubviewId.
+struct SvSetId {
+  ProcessId origin;
+  std::uint64_t counter = 0;
+
+  auto operator<=>(const SvSetId&) const = default;
+};
+
+std::string to_string(SiteId id);
+std::string to_string(ProcessId id);
+std::string to_string(ViewId id);
+std::string to_string(SubviewId id);
+std::string to_string(SvSetId id);
+
+std::ostream& operator<<(std::ostream& os, SiteId id);
+std::ostream& operator<<(std::ostream& os, ProcessId id);
+std::ostream& operator<<(std::ostream& os, ViewId id);
+std::ostream& operator<<(std::ostream& os, SubviewId id);
+std::ostream& operator<<(std::ostream& os, SvSetId id);
+
+}  // namespace evs
+
+namespace std {
+
+template <>
+struct hash<evs::SiteId> {
+  size_t operator()(evs::SiteId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct hash<evs::ProcessId> {
+  size_t operator()(evs::ProcessId id) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{id.site.value} << 32) | id.incarnation);
+  }
+};
+
+template <>
+struct hash<evs::ViewId> {
+  size_t operator()(evs::ViewId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.epoch * 0x9e3779b97f4a7c15ULL) ^
+           std::hash<evs::ProcessId>{}(id.coordinator);
+  }
+};
+
+template <>
+struct hash<evs::SubviewId> {
+  size_t operator()(evs::SubviewId id) const noexcept {
+    return std::hash<evs::ProcessId>{}(id.origin) ^
+           std::hash<std::uint64_t>{}(id.counter * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+template <>
+struct hash<evs::SvSetId> {
+  size_t operator()(evs::SvSetId id) const noexcept {
+    return std::hash<evs::ProcessId>{}(id.origin) ^
+           std::hash<std::uint64_t>{}(id.counter * 0xbf58476d1ce4e5b9ULL);
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,38 @@
+// Minimal leveled logger.
+//
+// Protocol layers log through this so that debugging a failing randomized
+// schedule is a matter of flipping the level; the default (Warn) keeps
+// test and bench output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace evs::log {
+
+enum class Level { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global log threshold; messages below it are discarded cheaply.
+void set_level(Level level);
+Level level();
+
+/// Emits one line to stderr; used via the EVS_LOG macro.
+void write(Level level, const std::string& message);
+
+}  // namespace evs::log
+
+#define EVS_LOG(lvl, expr)                                    \
+  do {                                                        \
+    if (static_cast<int>(lvl) >=                              \
+        static_cast<int>(::evs::log::level())) {              \
+      std::ostringstream evs_log_os_;                         \
+      evs_log_os_ << expr;                                    \
+      ::evs::log::write((lvl), evs_log_os_.str());            \
+    }                                                         \
+  } while (0)
+
+#define EVS_TRACE(expr) EVS_LOG(::evs::log::Level::Trace, expr)
+#define EVS_DEBUG(expr) EVS_LOG(::evs::log::Level::Debug, expr)
+#define EVS_INFO(expr) EVS_LOG(::evs::log::Level::Info, expr)
+#define EVS_WARN(expr) EVS_LOG(::evs::log::Level::Warn, expr)
+#define EVS_ERROR(expr) EVS_LOG(::evs::log::Level::Error, expr)

@@ -1,0 +1,24 @@
+// Simulated-time primitives.
+//
+// All protocol code in this repository runs on a discrete-event simulator
+// (see sim/scheduler.hpp); simulated time is an integral count of
+// microseconds since the start of the run. Using a distinct strong-ish
+// alias (rather than std::chrono) keeps the simulator honest: nothing in
+// protocol code can accidentally consult the wall clock.
+#pragma once
+
+#include <cstdint>
+
+namespace evs {
+
+/// Microseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// A span of simulated microseconds.
+using SimDuration = std::uint64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000;
+constexpr SimDuration kSecond = 1000 * 1000;
+
+}  // namespace evs

@@ -1,0 +1,95 @@
+#include "detector/heartbeat.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace evs::detector {
+
+HeartbeatDetector::HeartbeatDetector(ProcessId self, std::vector<SiteId> universe,
+                                     DetectorHost host, DetectorConfig config,
+                                     ChangeCallback on_change)
+    : self_(self),
+      universe_(std::move(universe)),
+      host_(std::move(host)),
+      config_(config),
+      on_change_(std::move(on_change)) {
+  EVS_CHECK(host_.send_heartbeat != nullptr);
+  EVS_CHECK(host_.set_timer != nullptr);
+  EVS_CHECK(host_.now != nullptr);
+  last_reported_ = {self_};
+}
+
+void HeartbeatDetector::start() {
+  EVS_CHECK(!started_);
+  started_ = true;
+  tick();
+}
+
+void HeartbeatDetector::tick() {
+  for (const SiteId site : universe_) {
+    if (site == self_.site) continue;
+    host_.send_heartbeat(site);
+    ++stats_.heartbeats_sent;
+  }
+  evaluate();
+  host_.set_timer(config_.heartbeat_interval, [this]() { tick(); });
+}
+
+void HeartbeatDetector::on_heartbeat(ProcessId from) {
+  if (left_.contains(from)) return;
+  ++stats_.heartbeats_received;
+  // A heartbeat from a newer incarnation at the same site supersedes the
+  // older one: the old incarnation is dead by definition.
+  for (auto it = last_seen_.begin(); it != last_seen_.end();) {
+    if (it->first.site == from.site && it->first.incarnation < from.incarnation) {
+      it = last_seen_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  last_seen_[from] = host_.now();
+}
+
+void HeartbeatDetector::mark_left(ProcessId id) {
+  left_.insert(id);
+  last_seen_.erase(id);
+  evaluate();
+}
+
+std::vector<ProcessId> HeartbeatDetector::reachable() const {
+  const SimTime now = host_.now();
+  std::vector<ProcessId> result;
+  result.push_back(self_);
+  for (const auto& [id, seen] : last_seen_) {
+    if (now - seen <= config_.suspect_timeout) result.push_back(id);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+bool HeartbeatDetector::is_reachable(ProcessId id) const {
+  if (id == self_) return true;
+  const auto it = last_seen_.find(id);
+  if (it == last_seen_.end()) return false;
+  return host_.now() - it->second <= config_.suspect_timeout;
+}
+
+void HeartbeatDetector::evaluate() {
+  std::vector<ProcessId> current = reachable();
+  if (current == last_reported_) return;
+  // Count transitions for stats (suspicion = peer dropped out).
+  for (const ProcessId id : last_reported_) {
+    if (!std::binary_search(current.begin(), current.end(), id))
+      ++stats_.suspicions;
+  }
+  for (const ProcessId id : current) {
+    if (!std::binary_search(last_reported_.begin(), last_reported_.end(), id))
+      ++stats_.unsuspicions;
+  }
+  last_reported_ = current;
+  if (on_change_) on_change_(current);
+}
+
+}  // namespace evs::detector

@@ -1,0 +1,390 @@
+#include "evs/structure.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace evs::core {
+
+void Subview::encode(Encoder& enc) const {
+  enc.put_subview_id(id);
+  enc.put_vector(members, [](Encoder& e, ProcessId p) { e.put_process(p); });
+}
+
+Subview Subview::decode(Decoder& dec) {
+  Subview sv;
+  sv.id = dec.get_subview_id();
+  sv.members =
+      dec.get_vector<ProcessId>([](Decoder& d) { return d.get_process(); });
+  return sv;
+}
+
+void SvSet::encode(Encoder& enc) const {
+  enc.put_svset_id(id);
+  enc.put_vector(subviews, [](Encoder& e, SubviewId s) { e.put_subview_id(s); });
+}
+
+SvSet SvSet::decode(Decoder& dec) {
+  SvSet ss;
+  ss.id = dec.get_svset_id();
+  ss.subviews =
+      dec.get_vector<SubviewId>([](Decoder& d) { return d.get_subview_id(); });
+  return ss;
+}
+
+void EvOp::encode(Encoder& enc) const {
+  enc.put_u8(static_cast<std::uint8_t>(kind));
+  enc.put_vector(svsets, [](Encoder& e, SvSetId s) { e.put_svset_id(s); });
+  enc.put_vector(subviews, [](Encoder& e, SubviewId s) { e.put_subview_id(s); });
+  enc.put_svset_id(new_svset);
+  enc.put_subview_id(new_subview);
+}
+
+EvOp EvOp::decode(Decoder& dec) {
+  EvOp op;
+  const std::uint8_t k = dec.get_u8();
+  if (k != 1 && k != 2) throw DecodeError("bad EvOp kind");
+  op.kind = static_cast<Kind>(k);
+  op.svsets = dec.get_vector<SvSetId>([](Decoder& d) { return d.get_svset_id(); });
+  op.subviews =
+      dec.get_vector<SubviewId>([](Decoder& d) { return d.get_subview_id(); });
+  op.new_svset = dec.get_svset_id();
+  op.new_subview = dec.get_subview_id();
+  return op;
+}
+
+EViewStructure EViewStructure::singleton(ProcessId p) {
+  EViewStructure s;
+  s.add_singleton(p);
+  return s;
+}
+
+EViewStructure EViewStructure::from_parts(std::vector<Subview> subviews,
+                                          std::vector<SvSet> svsets) {
+  EViewStructure s;
+  s.subviews_ = std::move(subviews);
+  s.svsets_ = std::move(svsets);
+  s.sort_all();
+  return s;
+}
+
+const Subview* EViewStructure::find_subview(SubviewId id) const {
+  for (const Subview& sv : subviews_) {
+    if (sv.id == id) return &sv;
+  }
+  return nullptr;
+}
+
+const SvSet* EViewStructure::find_svset(SvSetId id) const {
+  for (const SvSet& ss : svsets_) {
+    if (ss.id == id) return &ss;
+  }
+  return nullptr;
+}
+
+std::optional<SubviewId> EViewStructure::subview_of(ProcessId p) const {
+  for (const Subview& sv : subviews_) {
+    if (std::binary_search(sv.members.begin(), sv.members.end(), p))
+      return sv.id;
+  }
+  return std::nullopt;
+}
+
+std::optional<SvSetId> EViewStructure::svset_of(SubviewId sv) const {
+  for (const SvSet& ss : svsets_) {
+    if (std::binary_search(ss.subviews.begin(), ss.subviews.end(), sv))
+      return ss.id;
+  }
+  return std::nullopt;
+}
+
+std::vector<ProcessId> EViewStructure::all_members() const {
+  std::vector<ProcessId> out;
+  for (const Subview& sv : subviews_)
+    out.insert(out.end(), sv.members.begin(), sv.members.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool EViewStructure::apply(const EvOp& op) {
+  if (op.kind == EvOp::Kind::SvSetMerge) {
+    if (op.svsets.size() < 2) return false;
+    // All inputs must exist and be distinct.
+    std::set<SvSetId> inputs(op.svsets.begin(), op.svsets.end());
+    if (inputs.size() != op.svsets.size()) return false;
+    std::vector<SubviewId> merged;
+    for (const SvSetId id : op.svsets) {
+      const SvSet* ss = find_svset(id);
+      if (ss == nullptr) return false;
+      merged.insert(merged.end(), ss->subviews.begin(), ss->subviews.end());
+    }
+    std::erase_if(svsets_, [&](const SvSet& ss) { return inputs.contains(ss.id); });
+    std::sort(merged.begin(), merged.end());
+    svsets_.push_back(SvSet{op.new_svset, std::move(merged)});
+    sort_all();
+    return true;
+  }
+
+  // SubviewMerge: all inputs must exist, be distinct, and share an sv-set.
+  if (op.subviews.size() < 2) return false;
+  std::set<SubviewId> inputs(op.subviews.begin(), op.subviews.end());
+  if (inputs.size() != op.subviews.size()) return false;
+  std::optional<SvSetId> home;
+  std::vector<ProcessId> merged_members;
+  for (const SubviewId id : op.subviews) {
+    const Subview* sv = find_subview(id);
+    if (sv == nullptr) return false;
+    const auto owner = svset_of(id);
+    if (!owner) return false;
+    if (!home) {
+      home = owner;
+    } else if (*home != *owner) {
+      return false;  // "the call has no effect" (Section 6.1)
+    }
+    merged_members.insert(merged_members.end(), sv->members.begin(),
+                          sv->members.end());
+  }
+  std::erase_if(subviews_,
+                [&](const Subview& sv) { return inputs.contains(sv.id); });
+  std::sort(merged_members.begin(), merged_members.end());
+  subviews_.push_back(Subview{op.new_subview, std::move(merged_members)});
+  for (SvSet& ss : svsets_) {
+    if (ss.id != *home) continue;
+    std::erase_if(ss.subviews,
+                  [&](const SubviewId id) { return inputs.contains(id); });
+    ss.subviews.push_back(op.new_subview);
+    std::sort(ss.subviews.begin(), ss.subviews.end());
+  }
+  sort_all();
+  return true;
+}
+
+void EViewStructure::restrict_to(const std::vector<ProcessId>& members) {
+  EVS_CHECK(std::is_sorted(members.begin(), members.end()));
+  for (Subview& sv : subviews_) {
+    std::erase_if(sv.members, [&](const ProcessId p) {
+      return !std::binary_search(members.begin(), members.end(), p);
+    });
+  }
+  std::set<SubviewId> dead;
+  for (const Subview& sv : subviews_) {
+    if (sv.members.empty()) dead.insert(sv.id);
+  }
+  std::erase_if(subviews_,
+                [&](const Subview& sv) { return sv.members.empty(); });
+  for (SvSet& ss : svsets_) {
+    std::erase_if(ss.subviews, [&](const SubviewId id) { return dead.contains(id); });
+  }
+  std::erase_if(svsets_, [](const SvSet& ss) { return ss.subviews.empty(); });
+}
+
+void EViewStructure::add_singleton(ProcessId p) {
+  EVS_CHECK_MSG(!subview_of(p).has_value(), "member already in structure");
+  const SubviewId sv_id{p, 0};
+  const SvSetId ss_id{p, 0};
+  subviews_.push_back(Subview{sv_id, {p}});
+  svsets_.push_back(SvSet{ss_id, {sv_id}});
+  sort_all();
+}
+
+void EViewStructure::sort_all() {
+  std::sort(subviews_.begin(), subviews_.end(),
+            [](const Subview& a, const Subview& b) { return a.id < b.id; });
+  std::sort(svsets_.begin(), svsets_.end(),
+            [](const SvSet& a, const SvSet& b) { return a.id < b.id; });
+}
+
+void EViewStructure::validate(const std::vector<ProcessId>& view_members) const {
+  // Subviews partition the member set.
+  std::vector<ProcessId> seen;
+  std::set<SubviewId> subview_ids;
+  for (const Subview& sv : subviews_) {
+    EVS_CHECK_MSG(!sv.members.empty(), "empty subview");
+    EVS_CHECK_MSG(subview_ids.insert(sv.id).second, "duplicate subview id");
+    EVS_CHECK(std::is_sorted(sv.members.begin(), sv.members.end()));
+    seen.insert(seen.end(), sv.members.begin(), sv.members.end());
+  }
+  std::sort(seen.begin(), seen.end());
+  EVS_CHECK_MSG(std::adjacent_find(seen.begin(), seen.end()) == seen.end(),
+                "member in two subviews");
+  EVS_CHECK_MSG(seen == view_members, "subviews do not cover the view");
+
+  // Sv-sets partition the subviews.
+  std::set<SvSetId> svset_ids;
+  std::set<SubviewId> covered;
+  for (const SvSet& ss : svsets_) {
+    EVS_CHECK_MSG(!ss.subviews.empty(), "empty sv-set");
+    EVS_CHECK_MSG(svset_ids.insert(ss.id).second, "duplicate sv-set id");
+    for (const SubviewId id : ss.subviews) {
+      EVS_CHECK_MSG(subview_ids.contains(id), "sv-set references unknown subview");
+      EVS_CHECK_MSG(covered.insert(id).second, "subview in two sv-sets");
+    }
+  }
+  EVS_CHECK_MSG(covered.size() == subview_ids.size(),
+                "subview not in any sv-set");
+}
+
+void EViewStructure::encode(Encoder& enc) const {
+  enc.put_vector(subviews_, [](Encoder& e, const Subview& sv) { sv.encode(e); });
+  enc.put_vector(svsets_, [](Encoder& e, const SvSet& ss) { ss.encode(e); });
+}
+
+EViewStructure EViewStructure::decode(Decoder& dec) {
+  EViewStructure s;
+  s.subviews_ =
+      dec.get_vector<Subview>([](Decoder& d) { return Subview::decode(d); });
+  s.svsets_ = dec.get_vector<SvSet>([](Decoder& d) { return SvSet::decode(d); });
+  return s;
+}
+
+std::string EViewStructure::str() const {
+  std::ostringstream os;
+  for (const SvSet& ss : svsets_) {
+    os << "{";
+    bool first_sv = true;
+    for (const SubviewId id : ss.subviews) {
+      if (!first_sv) os << " ";
+      first_sv = false;
+      os << "[";
+      const Subview* sv = find_subview(id);
+      if (sv != nullptr) {
+        bool first_m = true;
+        for (const ProcessId p : sv->members) {
+          if (!first_m) os << ",";
+          first_m = false;
+          os << to_string(p);
+        }
+      }
+      os << "]";
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+bool EView::degenerate() const {
+  return structure.subviews().size() == 1 && structure.svsets().size() == 1;
+}
+
+Bytes StructureContext::encode() const {
+  Encoder enc;
+  structure.encode(enc);
+  enc.put_varint(applied_ev_seq);
+  return std::move(enc).take();
+}
+
+std::optional<StructureContext> StructureContext::decode(const Bytes& bytes) {
+  if (bytes.empty()) return std::nullopt;
+  try {
+    Decoder dec(bytes);
+    StructureContext ctx;
+    ctx.structure = EViewStructure::decode(dec);
+    ctx.applied_ev_seq = dec.get_varint();
+    dec.expect_end();
+    return ctx;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+EViewStructure merge_structures(
+    const ViewId& new_view, const std::vector<ProcessId>& new_members,
+    const std::vector<MemberStructureInfo>& infos,
+    const std::map<ViewId, std::vector<std::pair<std::uint64_t, EvOp>>>&
+        pending_ops) {
+  // 1. Group contexts by prior view (clusters) and compute each cluster's
+  //    final structure: the most advanced frozen structure plus any ops
+  //    that were still in the flush union past that point.
+  std::map<ViewId, const MemberStructureInfo*> rep_of;
+  for (const MemberStructureInfo& info : infos) {
+    auto& rep = rep_of[info.prior_view];
+    if (rep == nullptr ||
+        info.context.applied_ev_seq > rep->context.applied_ev_seq) {
+      rep = &info;
+    }
+  }
+  std::map<ViewId, EViewStructure> cluster_structure;
+  for (const auto& [view_id, rep] : rep_of) {
+    EViewStructure s = rep->context.structure;
+    const auto ops_it = pending_ops.find(view_id);
+    if (ops_it != pending_ops.end()) {
+      // Ops sorted by their per-view sequence; apply the suffix the
+      // representative had not yet seen.
+      auto ops = ops_it->second;
+      std::sort(ops.begin(), ops.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (const auto& [seq, op] : ops) {
+        if (seq <= rep->context.applied_ev_seq) continue;
+        s.apply(op);  // invalid ops were no-ops everywhere; ignore result
+      }
+    }
+    cluster_structure.emplace(view_id, std::move(s));
+  }
+
+  // 2. Place every new member according to its *own* cluster's final
+  //    structure; members with no usable context become singletons.
+  std::map<ProcessId, const MemberStructureInfo*> info_of;
+  for (const MemberStructureInfo& info : infos) info_of[info.member] = &info;
+
+  // Group survivors by (prior view, old subview id) — the grouping key
+  // must include the prior view, because the same pre-partition id can
+  // live on in several concurrent clusters.
+  struct NewSubview {
+    std::pair<ViewId, SvSetId> svset_key;
+    std::vector<ProcessId> members;
+  };
+  std::map<std::pair<ViewId, SubviewId>, NewSubview> assembled;
+  std::vector<ProcessId> singletons;
+
+  for (const ProcessId member : new_members) {
+    const auto info_it = info_of.find(member);
+    if (info_it == info_of.end()) {
+      singletons.push_back(member);
+      continue;
+    }
+    const ViewId prior = info_it->second->prior_view;
+    const EViewStructure& s = cluster_structure.at(prior);
+    const auto sv = s.subview_of(member);
+    if (!sv) {
+      singletons.push_back(member);
+      continue;
+    }
+    const auto ss = s.svset_of(*sv);
+    EVS_CHECK_MSG(ss.has_value(), "subview without sv-set in context");
+    auto& slot = assembled[{prior, *sv}];
+    slot.svset_key = {prior, *ss};
+    slot.members.push_back(member);
+  }
+  for (const ProcessId p : singletons) {
+    // Fresh processes: singleton groups keyed by a pseudo prior view.
+    auto& slot = assembled[{ViewId{0, p}, SubviewId{p, 0}}];
+    slot.svset_key = {ViewId{0, p}, SvSetId{p, 0}};
+    slot.members.push_back(p);
+  }
+
+  // Mint per-view ids: (min member, new epoch). Subviews are disjoint, so
+  // min members are unique within the view; an sv-set's id comes from its
+  // smallest subview.
+  std::map<std::pair<ViewId, SvSetId>, std::vector<SubviewId>> svset_contents;
+  std::vector<Subview> subviews;
+  for (auto& [key, slot] : assembled) {
+    std::sort(slot.members.begin(), slot.members.end());
+    const SubviewId id{slot.members.front(), new_view.epoch};
+    subviews.push_back(Subview{id, std::move(slot.members)});
+    svset_contents[slot.svset_key].push_back(id);
+  }
+  std::vector<SvSet> svsets;
+  for (auto& [key, content] : svset_contents) {
+    std::sort(content.begin(), content.end());
+    const SvSetId id{content.front().origin, new_view.epoch};
+    svsets.push_back(SvSet{id, std::move(content)});
+  }
+  EViewStructure result =
+      EViewStructure::from_parts(std::move(subviews), std::move(svsets));
+  result.validate(new_members);
+  return result;
+}
+
+}  // namespace evs::core

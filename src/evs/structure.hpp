@@ -1,0 +1,161 @@
+// Enriched-view structures: subviews and subview-sets (Section 6.1).
+//
+// Within a view, every process belongs to exactly one subview and every
+// subview to exactly one sv-set. Structures shrink asynchronously when
+// members fail and grow only by application-requested merges (EvOps).
+// Across a view change, survivors that shared a subview (sv-set) remain
+// together (Property 6.3); the deterministic merge_structures() function
+// here is what every member runs at install time to agree on the new
+// structure without any extra communication.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "common/ids.hpp"
+#include "gms/view.hpp"
+
+namespace evs::core {
+
+struct Subview {
+  SubviewId id;
+  std::vector<ProcessId> members;  // sorted
+
+  bool operator==(const Subview&) const = default;
+  void encode(Encoder& enc) const;
+  static Subview decode(Decoder& dec);
+};
+
+struct SvSet {
+  SvSetId id;
+  std::vector<SubviewId> subviews;  // sorted
+
+  bool operator==(const SvSet&) const = default;
+  void encode(Encoder& enc) const;
+  static SvSet decode(Decoder& dec);
+};
+
+/// One application-requested e-view change (Section 6.1's SV-SetMerge and
+/// SubviewMerge calls), with the result ids minted by the sequencer so
+/// every member creates identical structure.
+struct EvOp {
+  enum class Kind : std::uint8_t { SvSetMerge = 1, SubviewMerge = 2 };
+
+  Kind kind = Kind::SvSetMerge;
+  std::vector<SvSetId> svsets;      // inputs for SvSetMerge
+  std::vector<SubviewId> subviews;  // inputs for SubviewMerge
+  SvSetId new_svset;                // minted id (SvSetMerge)
+  SubviewId new_subview;            // minted id (SubviewMerge)
+
+  bool operator==(const EvOp&) const = default;
+  void encode(Encoder& enc) const;
+  static EvOp decode(Decoder& dec);
+};
+
+class EViewStructure {
+ public:
+  EViewStructure() = default;
+
+  /// The structure of a freshly joined process: one singleton subview in
+  /// one singleton sv-set, both identified by the process itself.
+  static EViewStructure singleton(ProcessId p);
+
+  /// Builds a structure from parts (sorted internally). Used by the
+  /// deterministic structure merge at view installation.
+  static EViewStructure from_parts(std::vector<Subview> subviews,
+                                   std::vector<SvSet> svsets);
+
+  const std::vector<Subview>& subviews() const { return subviews_; }
+  const std::vector<SvSet>& svsets() const { return svsets_; }
+
+  const Subview* find_subview(SubviewId id) const;
+  const SvSet* find_svset(SvSetId id) const;
+
+  /// The subview containing `p`; nullopt if `p` is not in the structure.
+  std::optional<SubviewId> subview_of(ProcessId p) const;
+
+  /// The sv-set containing `sv`; nullopt if unknown.
+  std::optional<SvSetId> svset_of(SubviewId sv) const;
+
+  std::vector<ProcessId> all_members() const;
+
+  /// Applies a merge op. Returns false (leaving the structure unchanged)
+  /// when the op is invalid — unknown ids, or a SubviewMerge whose inputs
+  /// are not all in the same sv-set (the paper: "the call has no effect").
+  bool apply(const EvOp& op);
+
+  /// Removes members not in `members`; drops empty subviews and sv-sets.
+  void restrict_to(const std::vector<ProcessId>& members);
+
+  /// Adds a fresh singleton subview + sv-set for `p`.
+  void add_singleton(ProcessId p);
+
+  /// Invariants from Section 6.1: subviews partition the member set,
+  /// sv-sets partition the subviews, all ids unique. Throws on violation.
+  void validate(const std::vector<ProcessId>& view_members) const;
+
+  bool operator==(const EViewStructure&) const = default;
+
+  void encode(Encoder& enc) const;
+  static EViewStructure decode(Decoder& dec);
+
+  std::string str() const;
+
+ private:
+  void sort_all();
+
+  std::vector<Subview> subviews_;  // sorted by id
+  std::vector<SvSet> svsets_;      // sorted by id
+};
+
+/// An enriched view: the view plus its structure and the count of e-view
+/// changes applied within it.
+struct EView {
+  gms::View view;
+  std::uint64_t ev_seq = 0;
+  EViewStructure structure;
+
+  /// True when the structure has collapsed to one subview containing the
+  /// whole view — the degenerate case equivalent to a traditional view.
+  bool degenerate() const;
+};
+
+/// One member's flush context: the structure it had when it froze, and
+/// how many e-view changes it had applied in its prior view.
+struct StructureContext {
+  EViewStructure structure;
+  std::uint64_t applied_ev_seq = 0;
+
+  Bytes encode() const;
+  static std::optional<StructureContext> decode(const Bytes& bytes);
+};
+
+struct MemberStructureInfo {
+  ProcessId member;
+  ViewId prior_view;
+  StructureContext context;
+};
+
+/// Deterministically computes the structure of a new view from every
+/// member's flush context plus the e-view ops that were still in flight
+/// per prior view (recovered from the flush unions). All members run this
+/// with identical inputs and obtain identical structures — the heart of
+/// Property 6.3.
+///
+/// Subviews "do not span across view boundaries" (Section 6.1): what is
+/// preserved is the *grouping* of survivors, not identity. Ids are
+/// re-minted per view as (min member, view epoch) — crucial, because the
+/// same pre-partition subview id legitimately survives into both sides of
+/// a partition, and keeping it would alias the two clusters back into one
+/// subview when the partition heals.
+EViewStructure merge_structures(
+    const ViewId& new_view, const std::vector<ProcessId>& new_members,
+    const std::vector<MemberStructureInfo>& infos,
+    const std::map<ViewId, std::vector<std::pair<std::uint64_t, EvOp>>>&
+        pending_ops);
+
+}  // namespace evs::core

@@ -1,0 +1,38 @@
+#include "gms/policy.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace evs::gms {
+
+std::vector<ProcessId> admit(JoinPolicy policy,
+                             const std::vector<ProcessId>& current,
+                             const std::vector<ProcessId>& reachable) {
+  EVS_CHECK(std::is_sorted(current.begin(), current.end()));
+  EVS_CHECK(std::is_sorted(reachable.begin(), reachable.end()));
+
+  // Survivors: current members still reachable.
+  std::vector<ProcessId> survivors;
+  std::set_intersection(current.begin(), current.end(), reachable.begin(),
+                        reachable.end(), std::back_inserter(survivors));
+
+  // Newcomers: reachable processes not in the current view.
+  std::vector<ProcessId> newcomers;
+  std::set_difference(reachable.begin(), reachable.end(), current.begin(),
+                      current.end(), std::back_inserter(newcomers));
+
+  std::vector<ProcessId> proposed = survivors;
+  switch (policy) {
+    case JoinPolicy::Batch:
+      proposed.insert(proposed.end(), newcomers.begin(), newcomers.end());
+      break;
+    case JoinPolicy::OneAtATime:
+      if (!newcomers.empty()) proposed.push_back(newcomers.front());
+      break;
+  }
+  std::sort(proposed.begin(), proposed.end());
+  return proposed;
+}
+
+}  // namespace evs::gms

@@ -1,0 +1,32 @@
+// View-expansion admission policy (Section 5 of the paper).
+//
+// Isis restricts consecutive views to expand by at most one member, which
+// simplifies local reasoning but makes partition mergers cost N view
+// changes instead of 1 — the paper's quantitative argument against it.
+// Both policies are implemented so the CLAIM-MERGE bench can reproduce
+// that argument. Shrinking is never restricted: failures remove members
+// asynchronously under either policy.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace evs::gms {
+
+enum class JoinPolicy {
+  /// Admit every reachable candidate in one view change (Relacs/Transis
+  /// model; the paper's system model).
+  Batch,
+  /// Admit at most one new member per view change (Isis model).
+  OneAtATime,
+};
+
+/// Computes the membership a coordinator should propose: reachable
+/// survivors of `current` plus new candidates as the policy allows.
+/// Inputs must be sorted; the result is sorted.
+std::vector<ProcessId> admit(JoinPolicy policy,
+                             const std::vector<ProcessId>& current,
+                             const std::vector<ProcessId>& reachable);
+
+}  // namespace evs::gms

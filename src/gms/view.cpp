@@ -1,0 +1,66 @@
+#include "gms/view.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace evs::gms {
+
+bool View::contains(ProcessId p) const {
+  return std::binary_search(members.begin(), members.end(), p);
+}
+
+std::size_t View::rank_of(ProcessId p) const {
+  const auto it = std::lower_bound(members.begin(), members.end(), p);
+  EVS_CHECK_MSG(it != members.end() && *it == p,
+                "rank_of: " + evs::to_string(p) + " not in view");
+  return static_cast<std::size_t>(it - members.begin());
+}
+
+ProcessId View::primary() const {
+  EVS_CHECK(!members.empty());
+  return members.front();
+}
+
+void View::encode(Encoder& enc) const {
+  enc.put_view_id(id);
+  enc.put_vector(members, [](Encoder& e, ProcessId p) { e.put_process(p); });
+}
+
+View View::decode(Decoder& dec) {
+  View view;
+  view.id = dec.get_view_id();
+  view.members =
+      dec.get_vector<ProcessId>([](Decoder& d) { return d.get_process(); });
+  if (!std::is_sorted(view.members.begin(), view.members.end()))
+    throw DecodeError("view members not sorted");
+  return view;
+}
+
+std::string to_string(const View& view) {
+  std::string s = evs::to_string(view.id) + "{";
+  for (std::size_t i = 0; i < view.members.size(); ++i) {
+    if (i > 0) s += ",";
+    s += evs::to_string(view.members[i]);
+  }
+  return s + "}";
+}
+
+void RoundId::encode(Encoder& enc) const {
+  enc.put_u64(number);
+  enc.put_process(coordinator);
+}
+
+RoundId RoundId::decode(Decoder& dec) {
+  RoundId round;
+  round.number = dec.get_u64();
+  round.coordinator = dec.get_process();
+  return round;
+}
+
+std::string to_string(RoundId round) {
+  return "r" + std::to_string(round.number) + "@" +
+         evs::to_string(round.coordinator);
+}
+
+}  // namespace evs::gms

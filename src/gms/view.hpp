@@ -1,0 +1,57 @@
+// Views and view-change round identifiers (Section 2 of the paper).
+//
+// A view is the membership service's agreed snapshot of which processes
+// are up and mutually reachable. Concurrent views may exist in disjoint
+// partitions; a ViewId orders them by (epoch, coordinator).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "common/ids.hpp"
+
+namespace evs::gms {
+
+struct View {
+  ViewId id;
+  /// Sorted, unique member list.
+  std::vector<ProcessId> members;
+
+  bool contains(ProcessId p) const;
+
+  /// Index of `p` in the sorted member list; checks membership.
+  std::size_t rank_of(ProcessId p) const;
+
+  /// The distinguished member (smallest id): coordinator for view changes
+  /// within this view and default sequencer for total order.
+  ProcessId primary() const;
+
+  std::size_t size() const { return members.size(); }
+
+  bool operator==(const View&) const = default;
+
+  void encode(Encoder& enc) const;
+  static View decode(Decoder& dec);
+};
+
+std::string to_string(const View& view);
+
+/// Identifies one attempt to agree on a new view. Numbers grow past every
+/// epoch and round either endpoint has seen, so a restarted or competing
+/// round always wins over a stale one.
+struct RoundId {
+  std::uint64_t number = 0;
+  ProcessId coordinator;
+
+  auto operator<=>(const RoundId&) const = default;
+
+  void encode(Encoder& enc) const;
+  static RoundId decode(Decoder& dec);
+};
+
+std::string to_string(RoundId round);
+
+}  // namespace evs::gms

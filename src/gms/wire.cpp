@@ -1,0 +1,158 @@
+#include "gms/wire.hpp"
+
+namespace evs::gms {
+
+void FlushedMessage::encode(Encoder& enc) const {
+  enc.put_process(sender);
+  enc.put_varint(seq);
+  enc.put_bytes(payload);
+}
+
+FlushedMessage FlushedMessage::decode(Decoder& dec) {
+  FlushedMessage msg;
+  msg.sender = dec.get_process();
+  msg.seq = dec.get_varint();
+  msg.payload = dec.get_bytes();
+  return msg;
+}
+
+void Propose::encode(Encoder& enc) const {
+  round.encode(enc);
+  enc.put_vector(members, [](Encoder& e, ProcessId p) { e.put_process(p); });
+}
+
+Propose Propose::decode(Decoder& dec) {
+  Propose msg;
+  msg.round = RoundId::decode(dec);
+  msg.members =
+      dec.get_vector<ProcessId>([](Decoder& d) { return d.get_process(); });
+  return msg;
+}
+
+void Ack::encode(Encoder& enc) const {
+  round.encode(enc);
+  enc.put_view_id(prior_view);
+  enc.put_varint(max_number_seen);
+  enc.put_vector(unstable,
+                 [](Encoder& e, const FlushedMessage& m) { m.encode(e); });
+  enc.put_bytes(context);
+}
+
+Ack Ack::decode(Decoder& dec) {
+  Ack msg;
+  msg.round = RoundId::decode(dec);
+  msg.prior_view = dec.get_view_id();
+  msg.max_number_seen = dec.get_varint();
+  msg.unstable = dec.get_vector<FlushedMessage>(
+      [](Decoder& d) { return FlushedMessage::decode(d); });
+  msg.context = dec.get_bytes();
+  return msg;
+}
+
+void Nack::encode(Encoder& enc) const {
+  round.encode(enc);
+  enc.put_varint(max_number_seen);
+}
+
+Nack Nack::decode(Decoder& dec) {
+  Nack msg;
+  msg.round = RoundId::decode(dec);
+  msg.max_number_seen = dec.get_varint();
+  return msg;
+}
+
+void MemberContext::encode(Encoder& enc) const {
+  enc.put_process(member);
+  enc.put_view_id(prior_view);
+  enc.put_bytes(context);
+}
+
+MemberContext MemberContext::decode(Decoder& dec) {
+  MemberContext ctx;
+  ctx.member = dec.get_process();
+  ctx.prior_view = dec.get_view_id();
+  ctx.context = dec.get_bytes();
+  return ctx;
+}
+
+void Install::encode(Encoder& enc) const {
+  round.encode(enc);
+  view.encode(enc);
+  enc.put_vector(contexts,
+                 [](Encoder& e, const MemberContext& c) { c.encode(e); });
+  enc.put_varint(unions.size());
+  for (const auto& [view_id, messages] : unions) {
+    enc.put_view_id(view_id);
+    enc.put_vector(messages,
+                   [](Encoder& e, const FlushedMessage& m) { m.encode(e); });
+  }
+}
+
+Install Install::decode(Decoder& dec) {
+  Install msg;
+  msg.round = RoundId::decode(dec);
+  msg.view = View::decode(dec);
+  msg.contexts = dec.get_vector<MemberContext>(
+      [](Decoder& d) { return MemberContext::decode(d); });
+  const std::uint64_t n = dec.get_varint();
+  if (n > dec.remaining()) throw DecodeError("unions length exceeds buffer");
+  msg.unions.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ViewId view_id = dec.get_view_id();
+    auto messages = dec.get_vector<FlushedMessage>(
+        [](Decoder& d) { return FlushedMessage::decode(d); });
+    msg.unions.emplace_back(view_id, std::move(messages));
+  }
+  return msg;
+}
+
+void DataMsg::encode(Encoder& enc) const {
+  enc.put_view_id(view);
+  enc.put_varint(seq);
+  enc.put_bytes(payload);
+}
+
+DataMsg DataMsg::decode(Decoder& dec) {
+  DataMsg msg;
+  msg.view = dec.get_view_id();
+  msg.seq = dec.get_varint();
+  msg.payload = dec.get_bytes();
+  return msg;
+}
+
+void StabilityMsg::encode(Encoder& enc) const {
+  enc.put_view_id(view);
+  enc.put_vector(delivered_upto,
+                 [](Encoder& e, std::uint64_t v) { e.put_varint(v); });
+}
+
+StabilityMsg StabilityMsg::decode(Decoder& dec) {
+  StabilityMsg msg;
+  msg.view = dec.get_view_id();
+  msg.delivered_upto =
+      dec.get_vector<std::uint64_t>([](Decoder& d) { return d.get_varint(); });
+  return msg;
+}
+
+Bytes frame(Channel channel, const Encoder& body) {
+  Encoder framed;
+  framed.put_u8(static_cast<std::uint8_t>(channel));
+  Bytes out = std::move(framed).take();
+  const Bytes& inner = body.buffer();
+  out.insert(out.end(), inner.begin(), inner.end());
+  return out;
+}
+
+Channel peek_channel(Decoder& dec) {
+  const std::uint8_t tag = dec.get_u8();
+  switch (tag) {
+    case 1: return Channel::Heartbeat;
+    case 2: return Channel::Membership;
+    case 3: return Channel::Data;
+    case 4: return Channel::Stability;
+    case 5: return Channel::Leave;
+    default: throw DecodeError("unknown channel tag");
+  }
+}
+
+}  // namespace evs::gms

@@ -1,0 +1,137 @@
+// Wire formats for the membership / view-synchrony protocol.
+//
+// Every payload on the simulated network starts with a channel tag:
+//   Heartbeat  — failure-detector traffic
+//   Membership — PROPOSE / ACK / INSTALL view-agreement rounds
+//   Data       — view-tagged application multicasts
+//   Stability  — gossip used to garbage-collect stable messages
+//   Leave      — voluntary-leave announcements
+//
+// The structures here are pure data + codec; the protocol engine lives in
+// src/vsync/endpoint.*.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "gms/view.hpp"
+
+namespace evs::gms {
+
+enum class Channel : std::uint8_t {
+  Heartbeat = 1,
+  Membership = 2,
+  Data = 3,
+  Stability = 4,
+  Leave = 5,
+};
+
+enum class MembershipKind : std::uint8_t {
+  Propose = 1,
+  Ack = 2,
+  Install = 3,
+  Nack = 4,
+};
+
+/// One buffered multicast, identified within its view by (sender, seq).
+struct FlushedMessage {
+  ProcessId sender;
+  std::uint64_t seq = 0;
+  Bytes payload;
+
+  bool operator==(const FlushedMessage&) const = default;
+
+  void encode(Encoder& enc) const;
+  static FlushedMessage decode(Decoder& dec);
+};
+
+/// Coordinator's proposal: freeze and report your state for this round.
+struct Propose {
+  RoundId round;
+  std::vector<ProcessId> members;
+
+  void encode(Encoder& enc) const;
+  static Propose decode(Decoder& dec);
+};
+
+/// Member's reply: its identity in the old world plus everything the new
+/// world needs — unstable messages for the flush and the upper layer's
+/// opaque flush context (the enriched-view structure, see src/evs/).
+struct Ack {
+  RoundId round;
+  ViewId prior_view;
+  /// Highest epoch/round number this member has seen; lets the
+  /// coordinator pick an adequate round number when partitions merge.
+  std::uint64_t max_number_seen = 0;
+  std::vector<FlushedMessage> unstable;
+  Bytes context;
+
+  void encode(Encoder& enc) const;
+  static Ack decode(Decoder& dec);
+};
+
+/// Refusal of a PROPOSE whose round number is not high enough (typically
+/// after a partition merge where the other side's epoch is far ahead).
+/// Tells the coordinator what number to exceed on the restart.
+struct Nack {
+  RoundId round;
+  std::uint64_t max_number_seen = 0;
+
+  void encode(Encoder& enc) const;
+  static Nack decode(Decoder& dec);
+};
+
+/// (member, its prior view, its flush context) as gathered from ACKs.
+struct MemberContext {
+  ProcessId member;
+  ViewId prior_view;
+  Bytes context;
+
+  bool operator==(const MemberContext&) const = default;
+
+  void encode(Encoder& enc) const;
+  static MemberContext decode(Decoder& dec);
+};
+
+/// Coordinator's decision: the new view, every member's context, and the
+/// per-prior-view unions of unstable messages (each member delivers the
+/// remainder of its own prior view's union before installing).
+struct Install {
+  RoundId round;
+  View view;
+  std::vector<MemberContext> contexts;
+  std::vector<std::pair<ViewId, std::vector<FlushedMessage>>> unions;
+
+  void encode(Encoder& enc) const;
+  static Install decode(Decoder& dec);
+};
+
+/// Application multicast within a view.
+struct DataMsg {
+  ViewId view;
+  std::uint64_t seq = 0;
+  Bytes payload;
+
+  void encode(Encoder& enc) const;
+  static DataMsg decode(Decoder& dec);
+};
+
+/// Stability gossip: per-member contiguously-delivered sequence numbers,
+/// indexed by sender rank in `view`.
+struct StabilityMsg {
+  ViewId view;
+  std::vector<std::uint64_t> delivered_upto;
+
+  void encode(Encoder& enc) const;
+  static StabilityMsg decode(Decoder& dec);
+};
+
+/// Helpers that frame a channel payload.
+Bytes frame(Channel channel, const Encoder& body);
+Channel peek_channel(Decoder& dec);
+
+}  // namespace evs::gms

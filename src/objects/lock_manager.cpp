@@ -1,0 +1,127 @@
+#include "objects/lock_manager.hpp"
+
+#include "common/log.hpp"
+
+namespace evs::objects {
+
+LockManager::LockManager(LockConfig config)
+    : app::GroupObjectBase(config.object), config_(std::move(config)) {}
+
+bool LockManager::can_serve(const std::vector<ProcessId>& members) const {
+  return members.size() * 2 > config().universe.size();
+}
+
+bool LockManager::acquire() {
+  if (!serving_normal()) return false;
+  Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(Op::Acquire));
+  enc.put_u64(scheduler().now());  // lease decisions use message stamps
+  object_multicast(std::move(enc).take());
+  return true;
+}
+
+bool LockManager::release() {
+  if (!serving_normal()) return false;
+  Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(Op::Release));
+  enc.put_u64(scheduler().now());
+  object_multicast(std::move(enc).take());
+  return true;
+}
+
+std::optional<ProcessId> LockManager::holder() const {
+  // An expired lease no longer names a holder, even before anyone
+  // re-acquires.
+  if (!lease_active_at(now())) return std::nullopt;
+  return holder_;
+}
+
+bool LockManager::i_hold_the_lock() const {
+  // Fencing: the belief dies with the lease, with the quorum (R-mode),
+  // and during view changes (blocked). Mutual exclusion then holds even
+  // while this process has not yet learned it was partitioned away.
+  if (mode() != app::Mode::Normal || blocked()) return false;
+  return lease_active_at(now()) && holder_ == id();
+}
+
+void LockManager::on_object_deliver(ProcessId sender, const Bytes& payload) {
+  Decoder dec(payload);
+  const Op op = static_cast<Op>(dec.get_u8());
+  const SimTime stamp = dec.get_u64();
+  switch (op) {
+    case Op::Acquire:
+      // Deterministic at every replica: grant iff no lease was active at
+      // the *acquirer's* timestamp. Total order arbitrates ties.
+      if (!lease_active_at(stamp)) {
+        holder_ = sender;
+        grant_stamp_ = stamp;
+        ++grants_;
+        ++version_;
+      }
+      break;
+    case Op::Release:
+      if (holder_ == sender) {
+        holder_.reset();
+        grant_stamp_ = 0;
+        ++version_;
+      }
+      break;
+    default:
+      throw DecodeError("LockManager: bad op");
+  }
+}
+
+void LockManager::on_new_view(const core::EView& eview) {
+  // A holder that did not survive into the view loses its *identity* as
+  // holder immediately — but the lease window still fences re-grants, in
+  // case the departed holder is alive on the other side of a partition
+  // and still (correctly) believes the lock is its own until expiry.
+  if (holder_ && !eview.view.contains(*holder_)) {
+    holder_.reset();  // grant_stamp_ deliberately kept
+    ++version_;
+  }
+}
+
+Bytes LockManager::snapshot_state() const {
+  Encoder enc;
+  enc.put_varint(version_);
+  enc.put_u64(grant_stamp_);
+  enc.put_bool(holder_.has_value());
+  if (holder_) enc.put_process(*holder_);
+  return std::move(enc).take();
+}
+
+void LockManager::install_state(const Bytes& snapshot) {
+  // The settle engine only hands us the agreed authoritative state; any
+  // local divergence (e.g. state touched while our view was already
+  // superseded) must be discarded, so no monotonicity guard here.
+  Decoder dec(snapshot);
+  version_ = dec.get_varint();
+  // Never shorten a lease fence we already know about: the authoritative
+  // side may not have seen the latest grant we did (or vice versa).
+  grant_stamp_ = std::max(grant_stamp_, dec.get_u64());
+  if (dec.get_bool()) {
+    holder_ = dec.get_process();
+  } else {
+    holder_.reset();
+  }
+}
+
+Bytes LockManager::merge_cluster_states(const std::vector<Bytes>& snapshots) {
+  // Majority quorums intersect: at most one cluster was serving, and the
+  // classification orders it first. Its state is authoritative; versions
+  // break ties defensively.
+  Bytes best;
+  std::uint64_t best_version = 0;
+  for (const Bytes& snapshot : snapshots) {
+    Decoder dec(snapshot);
+    const std::uint64_t version = dec.get_varint();
+    if (best.empty() || version > best_version) {
+      best_version = version;
+      best = snapshot;
+    }
+  }
+  return best;
+}
+
+}  // namespace evs::objects

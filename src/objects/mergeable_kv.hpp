@@ -1,0 +1,59 @@
+// A weak-consistency key-value store that keeps serving in *every*
+// partition — the class of applications the paper says the primary-
+// partition model cannot support ("the inability to support applications
+// with weak consistency requirements that could make progress in multiple
+// concurrent partitions", Section 5) and the reason state merging exists.
+//
+// Every put is stamped with a Lamport timestamp and the writer id; when
+// partitions heal, the clusters' states merge per-key by last-writer-wins
+// — a genuine exercise of the State Merging problem where *both* inputs
+// contribute.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "app/group_object.hpp"
+
+namespace evs::objects {
+
+class MergeableKv : public app::GroupObjectBase {
+ public:
+  explicit MergeableKv(app::GroupObjectConfig config);
+
+  /// External operation, available in any view (N-mode everywhere).
+  bool put(const std::string& key, const std::string& value);
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t version() const { return version_; }
+  std::uint64_t lamport() const { return lamport_; }
+
+ protected:
+  bool can_serve(const std::vector<ProcessId>& members) const override;
+  Bytes snapshot_state() const override;
+  void install_state(const Bytes& snapshot) override;
+  Bytes merge_cluster_states(const std::vector<Bytes>& snapshots) override;
+  std::uint64_t state_version() const override { return version_; }
+  void on_object_deliver(ProcessId sender, const Bytes& payload) override;
+
+ private:
+  struct Entry {
+    std::string value;
+    std::uint64_t stamp = 0;
+    ProcessId writer;
+  };
+
+  static Bytes encode_entries(const std::map<std::string, Entry>& entries,
+                              std::uint64_t version, std::uint64_t lamport);
+  static void decode_entries(Decoder& dec, std::map<std::string, Entry>& out,
+                             std::uint64_t& version, std::uint64_t& lamport);
+
+  std::map<std::string, Entry> entries_;
+  std::uint64_t version_ = 0;
+  std::uint64_t lamport_ = 0;
+};
+
+}  // namespace evs::objects

@@ -1,0 +1,115 @@
+#include "objects/parallel_db.hpp"
+
+namespace evs::objects {
+
+ParallelDb::ParallelDb(app::GroupObjectConfig config)
+    : app::GroupObjectBase(std::move(config)) {}
+
+bool ParallelDb::can_serve(const std::vector<ProcessId>& members) const {
+  // Look-ups run in any view: R-mode does not exist for this object.
+  (void)members;
+  return true;
+}
+
+std::uint64_t ParallelDb::hash_key(const std::string& key) {
+  // FNV-1a; assignment must be identical at every member.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool ParallelDb::responsible_for(const std::string& key) const {
+  const gms::View& v = eview().view;
+  return hash_key(key) % v.size() == v.rank_of(id());
+}
+
+bool ParallelDb::insert(const std::string& key, const std::string& value) {
+  // Inserts are accepted in N-mode; the object reaches N in every view
+  // once responsibility is settled (can_serve is always true).
+  if (!serving_normal()) return false;
+  Encoder enc;
+  enc.put_string(key);
+  enc.put_string(value);
+  object_multicast(std::move(enc).take());
+  return true;
+}
+
+std::vector<std::pair<std::string, std::string>> ParallelDb::local_scan() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [key, value] : entries_) {
+    if (responsible_for(key)) out.emplace_back(key, value);
+  }
+  return out;
+}
+
+std::optional<std::string> ParallelDb::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ParallelDb::on_object_deliver(ProcessId sender, const Bytes& payload) {
+  (void)sender;
+  Decoder dec(payload);
+  std::string key = dec.get_string();
+  std::string value = dec.get_string();
+  entries_[std::move(key)] = std::move(value);
+  ++version_;
+}
+
+Bytes ParallelDb::snapshot_state() const {
+  Encoder enc;
+  enc.put_varint(version_);
+  enc.put_varint(entries_.size());
+  for (const auto& [key, value] : entries_) {
+    enc.put_string(key);
+    enc.put_string(value);
+  }
+  return std::move(enc).take();
+}
+
+void ParallelDb::install_state(const Bytes& snapshot) {
+  Decoder dec(snapshot);
+  const std::uint64_t version = dec.get_varint();
+  const std::uint64_t n = dec.get_varint();
+  std::map<std::string, std::string> entries;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key = dec.get_string();
+    entries[std::move(key)] = dec.get_string();
+  }
+  entries_ = std::move(entries);
+  version_ = std::max(version_, version);
+}
+
+Bytes ParallelDb::merge_cluster_states(const std::vector<Bytes>& snapshots) {
+  // Partitions may have inserted independently: union the entries.
+  // (Same key updated on both sides resolves to the lexicographically
+  // larger value — deterministic everywhere; a production database would
+  // carry per-entry timestamps, as MergeableKv does.)
+  std::map<std::string, std::string> merged;
+  std::uint64_t version = 0;
+  for (const Bytes& snapshot : snapshots) {
+    Decoder dec(snapshot);
+    version = std::max(version, dec.get_varint());
+    const std::uint64_t n = dec.get_varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::string key = dec.get_string();
+      std::string value = dec.get_string();
+      auto [it, inserted] = merged.emplace(std::move(key), value);
+      if (!inserted && value > it->second) it->second = std::move(value);
+    }
+  }
+  Encoder enc;
+  enc.put_varint(version + 1);
+  enc.put_varint(merged.size());
+  for (const auto& [key, value] : merged) {
+    enc.put_string(key);
+    enc.put_string(value);
+  }
+  return std::move(enc).take();
+}
+
+}  // namespace evs::objects

@@ -1,0 +1,130 @@
+#include "objects/replicated_file.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace evs::objects {
+
+namespace {
+constexpr const char* kStateKey = "file.state";
+}
+
+ReplicatedFile::ReplicatedFile(ReplicatedFileConfig config)
+    : app::GroupObjectBase(config.object), config_(std::move(config)) {
+  for (const SiteId site : config_.object.endpoint.universe)
+    total_votes_ += votes_of(site);
+  if (config_.quorum == 0) config_.quorum = total_votes_ / 2 + 1;
+}
+
+std::uint32_t ReplicatedFile::votes_of(SiteId site) const {
+  const auto it = config_.votes.find(site);
+  return it == config_.votes.end() ? 1 : it->second;
+}
+
+void ReplicatedFile::on_start() {
+  // Permanent local state: a recovered incarnation resumes from its
+  // site's replica (possibly stale — the settle protocol fixes that).
+  if (const auto bytes = store().get(kStateKey)) {
+    try {
+      Decoder dec(*bytes);
+      version_ = dec.get_varint();
+      content_ = dec.get_string();
+    } catch (const DecodeError&) {
+      version_ = 0;
+      content_.clear();
+    }
+  }
+  app::GroupObjectBase::on_start();
+}
+
+bool ReplicatedFile::can_serve(const std::vector<ProcessId>& members) const {
+  std::uint32_t votes = 0;
+  for (const ProcessId member : members) votes += votes_of(member.site);
+  return votes >= config_.quorum;
+}
+
+bool ReplicatedFile::write(const std::string& content) {
+  if (!serving_normal()) return false;
+  Encoder enc;
+  enc.put_varint(version_ + 1);
+  enc.put_string(content);
+  object_multicast(std::move(enc).take());
+  return true;
+}
+
+std::optional<std::string> ReplicatedFile::read() const {
+  // Reads are permitted in N- and R-mode (stale data is allowed); a
+  // process that has never installed any state has nothing to return.
+  if (mode() == app::Mode::Settling && !state_current()) return std::nullopt;
+  return content_;
+}
+
+void ReplicatedFile::on_object_deliver(ProcessId sender, const Bytes& payload) {
+  (void)sender;
+  Decoder dec(payload);
+  const std::uint64_t new_version = dec.get_varint();
+  std::string new_content = dec.get_string();
+  // Total order makes versions monotone; a concurrent write raced an
+  // earlier one and was ordered second — it wins with a bumped version.
+  version_ = std::max(version_ + 1, new_version);
+  content_ = std::move(new_content);
+  ++writes_applied_;
+  persist();
+}
+
+Bytes ReplicatedFile::snapshot_state() const {
+  Encoder enc;
+  enc.put_varint(version_);
+  enc.put_string(content_);
+  return std::move(enc).take();
+}
+
+void ReplicatedFile::install_state(const Bytes& snapshot) {
+  // The settle engine only installs the agreed authoritative state. A
+  // local version that is *higher* can only come from writes applied in a
+  // superseded view that never reached a quorum — they are correctly
+  // discarded here (one-copy semantics).
+  Decoder dec(snapshot);
+  version_ = dec.get_varint();
+  content_ = dec.get_string();
+  persist();
+}
+
+Bytes ReplicatedFile::snapshot_small() const {
+  Encoder enc;
+  enc.put_varint(version_);
+  enc.put_string("");  // content follows via chunks
+  return std::move(enc).take();
+}
+
+void ReplicatedFile::install_small(const Bytes& snapshot) {
+  Decoder dec(snapshot);
+  const std::uint64_t version = dec.get_varint();
+  // Adopt the version marker only; local content stays (stale reads are
+  // allowed) until the streamed full state arrives.
+  if (version > version_) version_ = version;
+}
+
+Bytes ReplicatedFile::merge_cluster_states(const std::vector<Bytes>& snapshots) {
+  // Write quorums intersect, so at most one cluster can have accepted
+  // writes; the highest version is the authoritative copy.
+  Bytes best;
+  std::uint64_t best_version = 0;
+  for (const Bytes& snapshot : snapshots) {
+    Decoder dec(snapshot);
+    const std::uint64_t version = dec.get_varint();
+    if (best.empty() || version > best_version) {
+      best_version = version;
+      best = snapshot;
+    }
+  }
+  EVS_CHECK(!best.empty());
+  return best;
+}
+
+void ReplicatedFile::persist() {
+  store().put(kStateKey, snapshot_state());
+}
+
+}  // namespace evs::objects

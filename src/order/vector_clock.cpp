@@ -1,0 +1,60 @@
+#include "order/vector_clock.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace evs::order {
+
+void VectorClock::merge(const VectorClock& other) {
+  EVS_CHECK(size() == other.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] = std::max(counts_[i], other.counts_[i]);
+}
+
+bool VectorClock::leq(const VectorClock& other) const {
+  EVS_CHECK(size() == other.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    if (counts_[i] > other.counts_[i]) return false;
+  return true;
+}
+
+std::uint64_t VectorClock::total() const {
+  std::uint64_t sum = 0;
+  for (const auto c : counts_) sum += c;
+  return sum;
+}
+
+bool VectorClock::deliverable_at(std::size_t sender_rank,
+                                 const VectorClock& delivered) const {
+  EVS_CHECK(size() == delivered.size());
+  EVS_CHECK(sender_rank < size());
+  if (counts_[sender_rank] != delivered.counts_[sender_rank] + 1) return false;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i == sender_rank) continue;
+    if (counts_[i] > delivered.counts_[i]) return false;
+  }
+  return true;
+}
+
+void VectorClock::encode(Encoder& enc) const {
+  enc.put_vector(counts_, [](Encoder& e, std::uint64_t v) { e.put_varint(v); });
+}
+
+VectorClock VectorClock::decode(Decoder& dec) {
+  VectorClock vc;
+  vc.counts_ =
+      dec.get_vector<std::uint64_t>([](Decoder& d) { return d.get_varint(); });
+  return vc;
+}
+
+std::string VectorClock::str() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(counts_[i]);
+  }
+  return s + "]";
+}
+
+}  // namespace evs::order

@@ -1,0 +1,54 @@
+// Vector clocks, indexed by member rank within a view.
+//
+// Used by the causal ordering layer (Section 2 of the paper notes that
+// ordering guarantees "can only help" with shared-state problems; the
+// causal layer is what makes e-view changes define consistent cuts when
+// the total-order layer is not in use).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/codec.hpp"
+
+namespace evs::order {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t n) : counts_(n, 0) {}
+
+  std::size_t size() const { return counts_.size(); }
+  std::uint64_t at(std::size_t rank) const { return counts_.at(rank); }
+  void set(std::size_t rank, std::uint64_t value) { counts_.at(rank) = value; }
+  void increment(std::size_t rank) { ++counts_.at(rank); }
+
+  /// Component-wise maximum.
+  void merge(const VectorClock& other);
+
+  /// True iff this <= other component-wise.
+  bool leq(const VectorClock& other) const;
+
+  /// Sum of components — a cheap deterministic tiebreaker.
+  std::uint64_t total() const;
+
+  /// A message stamped `msg_vc` by `sender_rank` is causally deliverable
+  /// once the receiver's clock `delivered` covers every dependency:
+  /// delivered[sender] == msg_vc[sender] - 1 and delivered[i] >= msg_vc[i]
+  /// for all other i.
+  bool deliverable_at(std::size_t sender_rank,
+                      const VectorClock& delivered) const;
+
+  bool operator==(const VectorClock&) const = default;
+
+  void encode(Encoder& enc) const;
+  static VectorClock decode(Decoder& dec);
+
+  std::string str() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace evs::order

@@ -1,0 +1,109 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.hpp"
+#include "sim/world.hpp"
+
+namespace evs::sim {
+
+FaultPlan& FaultPlan::crash_at(SimTime t, SiteId site) {
+  entries_.push_back({t, [site](World& w) { w.crash_site(site); }});
+  return *this;
+}
+
+FaultPlan& FaultPlan::recover_at(SimTime t, SiteId site) {
+  entries_.push_back({t, [site](World& w) {
+                        if (!w.site_alive(site)) w.respawn(site);
+                      }});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition_at(SimTime t,
+                                   std::vector<std::vector<SiteId>> groups) {
+  entries_.push_back({t, [groups = std::move(groups)](World& w) {
+                        w.network().set_partition(groups);
+                      }});
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal_at(SimTime t) {
+  entries_.push_back({t, [](World& w) { w.network().heal(); }});
+  return *this;
+}
+
+FaultPlan& FaultPlan::custom_at(SimTime t, std::function<void(World&)> action) {
+  EVS_CHECK(action != nullptr);
+  entries_.push_back({t, std::move(action)});
+  return *this;
+}
+
+void FaultPlan::arm(World& world) const {
+  for (const Entry& entry : entries_) {
+    world.scheduler().schedule_at(entry.time,
+                                  [&world, action = entry.action]() {
+                                    action(world);
+                                  });
+  }
+}
+
+FaultPlan random_fault_plan(Rng& rng, const std::vector<SiteId>& sites,
+                            SimTime horizon, const FaultProfile& profile) {
+  EVS_CHECK(!sites.empty());
+  FaultPlan plan;
+
+  // Model of which sites the plan has killed so far, so recover events are
+  // well-targeted. (The world itself is the source of truth at run time;
+  // crash/recover on an already-dead/live site is a no-op there.)
+  std::unordered_set<SiteId> dead;
+  bool partitioned = false;
+
+  const double total_weight = profile.crash_weight + profile.recover_weight +
+                              profile.partition_weight + profile.heal_weight;
+  EVS_CHECK(total_weight > 0.0);
+
+  SimTime t = 0;
+  for (;;) {
+    t += static_cast<SimDuration>(
+        rng.exponential(static_cast<double>(profile.mean_interval)));
+    if (t > horizon) break;
+
+    const double pick = rng.uniform01() * total_weight;
+    if (pick < profile.crash_weight) {
+      std::vector<SiteId> live;
+      for (const SiteId s : sites)
+        if (!dead.contains(s)) live.push_back(s);
+      const std::size_t min_live = profile.keep_one_alive ? 2 : 1;
+      if (live.size() < min_live) continue;
+      const SiteId victim = live[rng.uniform(live.size())];
+      dead.insert(victim);
+      plan.crash_at(t, victim);
+    } else if (pick < profile.crash_weight + profile.recover_weight) {
+      if (dead.empty()) continue;
+      std::vector<SiteId> candidates(dead.begin(), dead.end());
+      std::sort(candidates.begin(), candidates.end());
+      const SiteId site = candidates[rng.uniform(candidates.size())];
+      dead.erase(site);
+      plan.recover_at(t, site);
+    } else if (pick < profile.crash_weight + profile.recover_weight +
+                          profile.partition_weight) {
+      if (sites.size() < 2) continue;
+      // Random bipartition with both sides nonempty.
+      std::vector<SiteId> a;
+      std::vector<SiteId> b;
+      for (const SiteId s : sites) (rng.bernoulli(0.5) ? a : b).push_back(s);
+      if (a.empty() || b.empty()) continue;
+      plan.partition_at(t, {a, b});
+      partitioned = true;
+    } else {
+      if (!partitioned) continue;
+      plan.heal_at(t);
+      partitioned = false;
+    }
+  }
+  return plan;
+}
+
+}  // namespace evs::sim

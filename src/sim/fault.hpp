@@ -1,0 +1,60 @@
+// Fault injection: scripted and randomized crash/recover/partition/heal
+// schedules, used by integration tests, property suites and benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "sim/rng.hpp"
+
+namespace evs::sim {
+
+class World;
+
+/// A deterministic schedule of fault events. Build it, then arm() it on a
+/// world: each entry becomes one scheduler event.
+class FaultPlan {
+ public:
+  FaultPlan& crash_at(SimTime t, SiteId site);
+  /// Respawn via the world's default spawner (new incarnation).
+  FaultPlan& recover_at(SimTime t, SiteId site);
+  FaultPlan& partition_at(SimTime t, std::vector<std::vector<SiteId>> groups);
+  FaultPlan& heal_at(SimTime t);
+  FaultPlan& custom_at(SimTime t, std::function<void(World&)> action);
+
+  void arm(World& world) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::function<void(World&)> action;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Parameters for random fault generation (property tests).
+struct FaultProfile {
+  /// Mean time between fault events (exponential inter-arrival).
+  SimDuration mean_interval = 500 * kMillisecond;
+  /// Relative weights of the four event kinds.
+  double crash_weight = 1.0;
+  double recover_weight = 1.0;
+  double partition_weight = 1.0;
+  double heal_weight = 1.0;
+  /// Never crash the last live site (keeps some runs total-failure-free);
+  /// set false to exercise total failures.
+  bool keep_one_alive = true;
+};
+
+/// Generates a random but deterministic (seeded) FaultPlan over [0, horizon]
+/// for the given sites. Tracks which sites it has crashed so recover events
+/// target genuinely dead sites.
+FaultPlan random_fault_plan(Rng& rng, const std::vector<SiteId>& sites,
+                            SimTime horizon, const FaultProfile& profile = {});
+
+}  // namespace evs::sim

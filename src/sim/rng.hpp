@@ -1,0 +1,67 @@
+// Deterministic pseudo-random source (splitmix64).
+//
+// Every run of the simulator is fully reproducible from one seed: the
+// world forks independent substreams for the network, the fault injector
+// and each process, so adding a random draw in one component never
+// perturbs the stream seen by another.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace evs::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t uniform(std::uint64_t bound) {
+    EVS_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi) {
+    EVS_CHECK(lo <= hi);
+    return lo + uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean) {
+    double u = uniform01();
+    // Guard against log(0).
+    if (u <= 0.0) u = 1e-18;
+    return -mean * std::log(u);
+  }
+
+  /// Derives an independent substream.
+  Rng fork() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace evs::sim

@@ -1,0 +1,67 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace evs::sim {
+
+EventId Scheduler::schedule_at(SimTime t, std::function<void()> fn) {
+  EVS_CHECK(fn != nullptr);
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Scheduler::schedule_after(SimDuration d, std::function<void()> fn) {
+  return schedule_at(now_ + d, std::move(fn));
+}
+
+void Scheduler::cancel(EventId id) { callbacks_.erase(id); }
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(entry.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    // Move the callback out before invoking: the callback may schedule
+    // new events and rehash callbacks_.
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = entry.time;
+    ++events_fired_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (fired < max_events && step()) ++fired;
+  EVS_CHECK_MSG(fired < max_events || queue_.empty(),
+                "event budget exhausted — livelock?");
+  return fired;
+}
+
+std::size_t Scheduler::run_until(SimTime t) {
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    // Skip cancelled entries at the head so their timestamps do not
+    // prevent progress decisions.
+    const Entry entry = queue_.top();
+    if (callbacks_.find(entry.id) == callbacks_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (entry.time > t) break;
+    if (step()) ++fired;
+  }
+  if (now_ < t) now_ = t;
+  return fired;
+}
+
+}  // namespace evs::sim

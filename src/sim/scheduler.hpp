@@ -1,0 +1,71 @@
+// Discrete-event scheduler: the single source of time in the system.
+//
+// Events fire in (time, insertion-sequence) order, so simultaneous events
+// run in a deterministic order and a run is reproducible event-for-event.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace evs::sim {
+
+using EventId = std::uint64_t;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute simulated time `t` (clamped to now).
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `d` microseconds from now.
+  EventId schedule_after(SimDuration d, std::function<void()> fn);
+
+  /// Cancels a pending event; no-op if already fired or cancelled.
+  void cancel(EventId id);
+
+  /// Runs the next pending event. Returns false if none are pending.
+  bool step();
+
+  /// Runs events until the queue is empty or `max_events` have fired.
+  /// Returns the number of events fired.
+  std::size_t run(std::size_t max_events = kDefaultEventBudget);
+
+  /// Runs all events with time <= t, then advances the clock to t.
+  std::size_t run_until(SimTime t);
+
+  std::size_t pending() const { return callbacks_.size(); }
+  std::uint64_t events_fired() const { return events_fired_; }
+
+  /// Backstop against livelocked protocols in tests.
+  static constexpr std::size_t kDefaultEventBudget = 50'000'000;
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t events_fired_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+}  // namespace evs::sim

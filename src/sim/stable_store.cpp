@@ -1,0 +1,30 @@
+#include "sim/stable_store.hpp"
+
+#include <utility>
+
+namespace evs::sim {
+
+void StableStore::put(const std::string& key, Bytes value) {
+  entries_[key] = std::move(value);
+  ++writes_;
+}
+
+std::optional<Bytes> StableStore::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void StableStore::erase(const std::string& key) { entries_.erase(key); }
+
+bool StableStore::contains(const std::string& key) const {
+  return entries_.contains(key);
+}
+
+std::size_t StableStore::bytes() const {
+  std::size_t total = 0;
+  for (const auto& [key, value] : entries_) total += key.size() + value.size();
+  return total;
+}
+
+}  // namespace evs::sim

@@ -1,0 +1,43 @@
+// Per-site stable storage.
+//
+// Models the paper's "permanent part of the local state" (Section 3):
+// a process crash destroys volatile state, but the site's StableStore
+// survives and is visible to the next incarnation spawned at that site.
+// Used by recovery logic and by the Skeen-style last-process-to-fail
+// protocol (Section 4, reference [11]).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace evs::sim {
+
+class StableStore {
+ public:
+  /// Atomically replaces the value under `key`.
+  void put(const std::string& key, Bytes value);
+
+  std::optional<Bytes> get(const std::string& key) const;
+
+  void erase(const std::string& key);
+
+  bool contains(const std::string& key) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Total payload bytes held — used by benches to report storage cost.
+  std::size_t bytes() const;
+
+  /// Number of put() calls — a proxy for synchronous-write cost.
+  std::uint64_t writes() const { return writes_; }
+
+ private:
+  std::map<std::string, Bytes> entries_;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace evs::sim

@@ -1,0 +1,113 @@
+#include "sim/world.hpp"
+
+#include "common/log.hpp"
+
+namespace evs::sim {
+
+void Actor::send(ProcessId to, Bytes payload) {
+  if (!alive_) return;
+  world().network().send(id_, to, std::move(payload));
+}
+
+EventId Actor::set_timer(SimDuration delay, std::function<void()> fn) {
+  EVS_CHECK(fn != nullptr);
+  // Actors outlive their timers (the world never destroys actors until it
+  // is torn down), so capturing `this` is safe; alive_ gates execution.
+  return scheduler().schedule_after(delay, [this, fn = std::move(fn)]() {
+    if (alive_) fn();
+  });
+}
+
+void Actor::cancel_timer(EventId id) { scheduler().cancel(id); }
+
+Scheduler& Actor::scheduler() { return world().scheduler(); }
+
+SimTime Actor::now() const {
+  EVS_CHECK(world_ != nullptr);
+  return world_->scheduler().now();
+}
+
+StableStore& Actor::store() { return world().store(id_.site); }
+
+World::World(std::uint64_t seed, NetworkConfig net_config)
+    : seed_(seed),
+      rng_(seed),
+      network_(scheduler_, Rng(seed ^ 0xa0761d6478bd642fULL), net_config) {}
+
+SiteId World::add_site() {
+  const SiteId site{site_count_++};
+  stores_.try_emplace(site);
+  incarnations_.try_emplace(site, 0);
+  return site;
+}
+
+std::vector<SiteId> World::add_sites(std::size_t n) {
+  std::vector<SiteId> sites;
+  sites.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) sites.push_back(add_site());
+  return sites;
+}
+
+void World::adopt(SiteId site, std::unique_ptr<Actor> actor) {
+  EVS_CHECK_MSG(incarnations_.contains(site), "unknown site");
+  EVS_CHECK_MSG(!live_.contains(site),
+                "site already has a live incarnation: " + to_string(site));
+  const ProcessId id{site, ++incarnations_[site]};
+  Actor* raw = actor.get();
+  raw->world_ = this;
+  raw->id_ = id;
+  raw->alive_ = true;
+  raw->rng_ = rng_.fork();
+  live_.emplace(site, id);
+  actors_.emplace(id, std::move(actor));
+  network_.attach(id, [this, raw](ProcessId from, const Bytes& payload) {
+    if (raw->alive_) raw->on_message(from, payload);
+  });
+  // Run on_start as a scheduled event so spawn order at the same instant
+  // stays deterministic and on_start may send messages.
+  scheduler_.schedule_after(0, [raw]() {
+    if (raw->alive_) raw->on_start();
+  });
+}
+
+void World::respawn(SiteId site) {
+  EVS_CHECK_MSG(spawner_ != nullptr, "no default spawner registered");
+  spawner_(*this, site);
+}
+
+void World::crash_site(SiteId site) {
+  const auto it = live_.find(site);
+  if (it == live_.end()) return;
+  crash(it->second);
+}
+
+void World::crash(ProcessId id) {
+  const auto it = actors_.find(id);
+  if (it == actors_.end() || !it->second->alive_) return;
+  EVS_DEBUG("crash " << id << " at t=" << scheduler_.now());
+  it->second->on_crash();
+  it->second->alive_ = false;
+  network_.detach(id);
+  live_.erase(id.site);
+}
+
+bool World::site_alive(SiteId site) const { return live_.contains(site); }
+
+ProcessId World::live_process(SiteId site) const {
+  const auto it = live_.find(site);
+  EVS_CHECK_MSG(it != live_.end(), "no live incarnation at " + to_string(site));
+  return it->second;
+}
+
+StableStore& World::store(SiteId site) {
+  const auto it = stores_.find(site);
+  EVS_CHECK_MSG(it != stores_.end(), "unknown site");
+  return it->second;
+}
+
+Actor* World::find_actor(ProcessId id) {
+  const auto it = actors_.find(id);
+  return it == actors_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace evs::sim

@@ -1,0 +1,139 @@
+// World: owns the scheduler, network, sites, stable stores and actors.
+//
+// An Actor is one process incarnation. Spawning at a site mints a new
+// ProcessId (site, incarnation) — the paper's recovery model — and
+// crashing a site silences its current incarnation forever (messages to a
+// dead incarnation are dropped by the network). Actors are kept alive in
+// memory after a crash so in-flight closures remain valid, but their
+// `alive()` flag gates every callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/ids.hpp"
+#include "sim/network.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stable_store.hpp"
+
+namespace evs::sim {
+
+class World;
+
+/// Base class for every simulated process.
+class Actor {
+ public:
+  virtual ~Actor() = default;
+
+  ProcessId id() const { return id_; }
+  bool alive() const { return alive_; }
+
+  /// Called once, at spawn time (time of the spawn event).
+  virtual void on_start() {}
+
+  /// Called for every message delivered to this incarnation while alive.
+  virtual void on_message(ProcessId from, const Bytes& payload) = 0;
+
+  /// Called when the incarnation crashes, before it is detached.
+  virtual void on_crash() {}
+
+ protected:
+  void send(ProcessId to, Bytes payload);
+
+  /// Schedules a callback that is silently dropped if this incarnation has
+  /// crashed by the time it fires.
+  EventId set_timer(SimDuration delay, std::function<void()> fn);
+  void cancel_timer(EventId id);
+
+  World& world() {
+    EVS_CHECK(world_ != nullptr);
+    return *world_;
+  }
+  Scheduler& scheduler();
+  /// Current simulated time (usable from const members).
+  SimTime now() const;
+  Rng& rng() { return rng_; }
+  /// This site's permanent storage (survives crashes).
+  StableStore& store();
+
+ private:
+  friend class World;
+
+  World* world_ = nullptr;
+  ProcessId id_{};
+  bool alive_ = false;
+  Rng rng_{0};
+};
+
+class World {
+ public:
+  explicit World(std::uint64_t seed, NetworkConfig net_config = {});
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  Scheduler& scheduler() { return scheduler_; }
+  Network& network() { return network_; }
+  Rng& rng() { return rng_; }
+
+  SiteId add_site();
+  std::vector<SiteId> add_sites(std::size_t n);
+
+  /// Spawns a new incarnation at `site`. The site must have no live
+  /// incarnation. Constructor receives (args...); the framework wires in
+  /// id/world before on_start runs.
+  template <typename T, typename... Args>
+  T& spawn(SiteId site, Args&&... args) {
+    auto actor = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *actor;
+    adopt(site, std::move(actor));
+    return ref;
+  }
+
+  /// Registered factory used by FaultPlan recovery actions.
+  using Spawner = std::function<void(World&, SiteId)>;
+  void set_default_spawner(Spawner spawner) { spawner_ = std::move(spawner); }
+  /// Spawns a fresh incarnation at `site` via the default spawner.
+  void respawn(SiteId site);
+
+  /// Crashes the live incarnation at `site` (no-op if none).
+  void crash_site(SiteId site);
+  void crash(ProcessId id);
+
+  bool site_alive(SiteId site) const;
+  /// Live incarnation at `site`; checks that one exists.
+  ProcessId live_process(SiteId site) const;
+
+  StableStore& store(SiteId site);
+
+  Actor* find_actor(ProcessId id);
+
+  std::size_t sites() const { return site_count_; }
+
+  /// Convenience: runs the scheduler for `d` simulated time.
+  void run_for(SimDuration d) { scheduler_.run_until(scheduler_.now() + d); }
+  void run_until_idle() { scheduler_.run(); }
+
+ private:
+  friend class Actor;
+
+  void adopt(SiteId site, std::unique_ptr<Actor> actor);
+
+  std::uint64_t seed_;
+  Rng rng_;
+  Scheduler scheduler_;
+  Network network_;
+  std::uint32_t site_count_ = 0;
+  std::unordered_map<SiteId, std::uint32_t> incarnations_;
+  std::unordered_map<SiteId, ProcessId> live_;
+  std::unordered_map<ProcessId, std::unique_ptr<Actor>> actors_;
+  std::unordered_map<SiteId, StableStore> stores_;
+  Spawner spawner_;
+};
+
+}  // namespace evs::sim

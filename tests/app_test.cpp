@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include "app/classify.hpp"
+#include "app/mode.hpp"
+#include "common/check.hpp"
+#include "evs/structure.hpp"
+
+namespace evs::app {
+namespace {
+
+using core::EView;
+using core::EViewStructure;
+using core::Subview;
+using core::SvSet;
+
+ProcessId pid(std::uint32_t site, std::uint32_t inc = 1) {
+  return ProcessId{SiteId{site}, inc};
+}
+
+// ------------------------------------------------------------ ModeMachine
+
+TEST(ModeMachine, StartsInSettling) {
+  ModeMachine m(0);
+  EXPECT_EQ(m.mode(), Mode::Settling);
+}
+
+TEST(ModeMachine, FailureFromSettling) {
+  ModeMachine m(0);
+  const auto t = m.on_view({.can_serve_all = false}, 10);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, Transition::Failure);
+  EXPECT_EQ(m.mode(), Mode::Reduced);
+}
+
+TEST(ModeMachine, RepairFromReduced) {
+  ModeMachine m(0);
+  m.on_view({.can_serve_all = false}, 10);
+  const auto t = m.on_view({.can_serve_all = true, .needs_settling = true}, 20);
+  EXPECT_EQ(*t, Transition::Repair);
+  EXPECT_EQ(m.mode(), Mode::Settling);
+}
+
+TEST(ModeMachine, ReconcileCompletesTheCycle) {
+  ModeMachine m(0);
+  m.on_view({.can_serve_all = false}, 10);
+  m.on_view({.can_serve_all = true, .needs_settling = true}, 20);
+  EXPECT_EQ(m.reconcile(30), Transition::Reconcile);
+  EXPECT_EQ(m.mode(), Mode::Normal);
+}
+
+TEST(ModeMachine, ReconfigureFromNormal) {
+  ModeMachine m(0);
+  m.on_view({.can_serve_all = true, .needs_settling = true}, 10);
+  m.reconcile(20);
+  const auto t = m.on_view({.can_serve_all = true, .needs_settling = true}, 30);
+  EXPECT_EQ(*t, Transition::Reconfigure);
+  EXPECT_EQ(m.mode(), Mode::Settling);
+}
+
+TEST(ModeMachine, OverlappingReconstructionIsReconfigure) {
+  // Figure 1: Reconfigure transitions from S to S characterise
+  // overlapping global-state reconstruction instances.
+  ModeMachine m(0);
+  m.on_view({.can_serve_all = true, .needs_settling = true}, 10);
+  const auto t = m.on_view({.can_serve_all = true, .needs_settling = true}, 20);
+  EXPECT_EQ(*t, Transition::Reconfigure);
+  EXPECT_EQ(m.mode(), Mode::Settling);
+  EXPECT_EQ(m.count(Transition::Reconfigure), 2u);
+}
+
+TEST(ModeMachine, FailureFromNormal) {
+  ModeMachine m(0);
+  m.on_view({.can_serve_all = true, .needs_settling = true}, 10);
+  m.reconcile(20);
+  const auto t = m.on_view({.can_serve_all = false}, 30);
+  EXPECT_EQ(*t, Transition::Failure);
+  EXPECT_EQ(m.mode(), Mode::Reduced);
+}
+
+TEST(ModeMachine, NoTransitionWhenNothingChanges) {
+  ModeMachine m(0);
+  m.on_view({.can_serve_all = false}, 10);
+  EXPECT_FALSE(m.on_view({.can_serve_all = false}, 20).has_value());  // R->R
+  m.on_view({.can_serve_all = true, .needs_settling = true}, 30);
+  m.reconcile(40);
+  EXPECT_FALSE(
+      m.on_view({.can_serve_all = true, .needs_settling = false}, 50)
+          .has_value());  // N->N
+}
+
+TEST(ModeMachine, NoDirectReducedToNormal) {
+  // The paper: "To return back to N-mode, a process must first pass
+  // through S-mode." Even with nothing to settle, R goes to S.
+  ModeMachine m(0);
+  m.on_view({.can_serve_all = false}, 10);
+  const auto t =
+      m.on_view({.can_serve_all = true, .needs_settling = false}, 20);
+  EXPECT_EQ(*t, Transition::Repair);
+  EXPECT_EQ(m.mode(), Mode::Settling);
+}
+
+TEST(ModeMachine, ReconcileOutsideSettlingIsIllegal) {
+  ModeMachine m(0);
+  m.on_view({.can_serve_all = false}, 10);
+  EXPECT_THROW(m.reconcile(20), InvariantViolation);  // from R
+  m.on_view({.can_serve_all = true, .needs_settling = true}, 30);
+  m.reconcile(40);
+  EXPECT_THROW(m.reconcile(50), InvariantViolation);  // from N
+}
+
+TEST(ModeMachine, OccupancyAccounting) {
+  ModeMachine m(0);
+  m.on_view({.can_serve_all = false}, 100);          // S for [0,100)
+  m.on_view({.can_serve_all = true, .needs_settling = true}, 300);  // R for 200
+  m.reconcile(350);                                  // S for 50
+  EXPECT_EQ(m.occupancy(Mode::Settling, 400), 150u);
+  EXPECT_EQ(m.occupancy(Mode::Reduced, 400), 200u);
+  EXPECT_EQ(m.occupancy(Mode::Normal, 400), 50u);
+}
+
+TEST(ModeMachine, TransitionCounts) {
+  ModeMachine m(0);
+  m.on_view({.can_serve_all = false}, 1);
+  m.on_view({.can_serve_all = true, .needs_settling = true}, 2);
+  m.reconcile(3);
+  m.on_view({.can_serve_all = false}, 4);
+  m.on_view({.can_serve_all = true, .needs_settling = true}, 5);
+  m.reconcile(6);
+  EXPECT_EQ(m.count(Transition::Failure), 2u);
+  EXPECT_EQ(m.count(Transition::Repair), 2u);
+  EXPECT_EQ(m.count(Transition::Reconcile), 2u);
+  EXPECT_EQ(m.count(Transition::Reconfigure), 0u);
+}
+
+// --------------------------------------------------------------- classify
+
+EView make_eview(std::vector<std::vector<ProcessId>> subview_members,
+                 std::vector<std::vector<std::size_t>> svset_groups) {
+  EView ev;
+  std::vector<Subview> subviews;
+  std::vector<ProcessId> all;
+  for (std::size_t i = 0; i < subview_members.size(); ++i) {
+    auto members = subview_members[i];
+    std::sort(members.begin(), members.end());
+    all.insert(all.end(), members.begin(), members.end());
+    subviews.push_back(Subview{SubviewId{members.front(), 100 + i}, members});
+  }
+  std::vector<SvSet> svsets;
+  for (std::size_t g = 0; g < svset_groups.size(); ++g) {
+    std::vector<SubviewId> ids;
+    for (const std::size_t idx : svset_groups[g]) ids.push_back(subviews[idx].id);
+    std::sort(ids.begin(), ids.end());
+    svsets.push_back(SvSet{SvSetId{subviews[svset_groups[g][0]].id.origin,
+                                   200 + g},
+                           ids});
+  }
+  ev.structure = EViewStructure::from_parts(std::move(subviews), std::move(svsets));
+  std::sort(all.begin(), all.end());
+  ev.view.id = ViewId{10, all.front()};
+  ev.view.members = all;
+  return ev;
+}
+
+TEST(ClassifyEnriched, TransferWhenOneServingSubviewAndStragglers) {
+  // {p0,p1,p2} serving (majority of 5), {p3} stale.
+  const auto ev = make_eview({{pid(0), pid(1), pid(2)}, {pid(3)}}, {{0}, {1}});
+  const auto c = classify_enriched(ev, majority_of(5));
+  EXPECT_EQ(c.problems, kStateTransfer);
+  ASSERT_EQ(c.serving_subviews.size(), 1u);
+  EXPECT_EQ(c.r_set, std::vector<ProcessId>{pid(3)});
+}
+
+TEST(ClassifyEnriched, CreationWhenNoSubviewServes) {
+  const auto ev = make_eview({{pid(0)}, {pid(1)}, {pid(2)}}, {{0}, {1}, {2}});
+  const auto c = classify_enriched(ev, majority_of(5));
+  EXPECT_EQ(c.problems, kStateCreation);
+  EXPECT_FALSE(c.creation_in_progress);
+  EXPECT_EQ(c.r_set.size(), 3u);
+}
+
+TEST(ClassifyEnriched, CreationInProgressDetectedViaSvSet) {
+  // Section 6.2 case (ii): subviews {p0},{p1},{p2} are already grouped in
+  // one sv-set that jointly defines a majority — a creation protocol was
+  // running; a newcomer should wait, not disturb it.
+  const auto ev = make_eview({{pid(0)}, {pid(1)}, {pid(2)}, {pid(3)}},
+                             {{0, 1, 2}, {3}});
+  const auto c = classify_enriched(ev, majority_of(5));
+  EXPECT_TRUE(c.problems & kStateCreation);
+  EXPECT_TRUE(c.creation_in_progress);
+}
+
+TEST(ClassifyEnriched, MergingWhenTwoClustersServe) {
+  // Both subviews can serve (predicate: any pair) — diverged clusters.
+  const auto ev = make_eview({{pid(0), pid(1)}, {pid(2), pid(3)}}, {{0}, {1}});
+  const auto c = classify_enriched(ev, [](const std::vector<ProcessId>& m) {
+    return m.size() >= 2;
+  });
+  EXPECT_EQ(c.problems, kStateMerging);
+  EXPECT_EQ(c.serving_subviews.size(), 2u);
+  EXPECT_TRUE(c.r_set.empty());
+}
+
+TEST(ClassifyEnriched, MergingPlusTransfer) {
+  const auto ev =
+      make_eview({{pid(0), pid(1)}, {pid(2), pid(3)}, {pid(4)}}, {{0}, {1}, {2}});
+  const auto c = classify_enriched(ev, [](const std::vector<ProcessId>& m) {
+    return m.size() >= 2;
+  });
+  EXPECT_EQ(c.problems, kStateMerging | kStateTransfer);
+}
+
+TEST(ClassifyEnriched, NoProblemWhenDegenerateAndServing) {
+  const auto ev = make_eview({{pid(0), pid(1), pid(2)}}, {{0}});
+  const auto c = classify_enriched(ev, majority_of(5));
+  EXPECT_EQ(c.problems, kNoProblem);
+}
+
+TEST(ClassifyEnriched, ServingSubviewsOrderedByCapability) {
+  const auto ev =
+      make_eview({{pid(4)}, {pid(0), pid(1), pid(2)}, {pid(3), pid(5)}},
+                 {{0}, {1}, {2}});
+  const auto c = classify_enriched(ev, [](const std::vector<ProcessId>& m) {
+    return m.size() >= 2;
+  });
+  ASSERT_EQ(c.serving_subviews.size(), 2u);
+  // Largest first.
+  const auto* first = ev.structure.find_subview(c.serving_subviews[0]);
+  EXPECT_EQ(first->members.size(), 3u);
+}
+
+TEST(ClassifyFlat, AmbiguousOutOfReducedMode) {
+  gms::View view;
+  view.id = ViewId{5, pid(0)};
+  view.members = {pid(0), pid(1), pid(2)};
+  const ProblemSet p = classify_flat(Mode::Reduced, view, majority_of(5));
+  // Cannot distinguish transfer from creation from merging (Section 4).
+  EXPECT_EQ(p, kStateTransfer | kStateCreation | kStateMerging);
+}
+
+TEST(ClassifyFlat, NormalModeProcessRulesOutCreationOnly) {
+  gms::View view;
+  view.id = ViewId{5, pid(0)};
+  view.members = {pid(0), pid(1), pid(2)};
+  const ProblemSet p = classify_flat(Mode::Normal, view, majority_of(5));
+  EXPECT_FALSE(p & kStateCreation);
+  EXPECT_TRUE(p & kStateTransfer);
+  EXPECT_TRUE(p & kStateMerging);
+}
+
+TEST(ClassifyFlat, NonServingViewHasNothingToSettle) {
+  gms::View view;
+  view.id = ViewId{5, pid(0)};
+  view.members = {pid(0)};
+  EXPECT_EQ(classify_flat(Mode::Reduced, view, majority_of(5)), kNoProblem);
+}
+
+TEST(ClassifyDiscovery, ResolvesTransferExactly) {
+  gms::View view;
+  view.id = ViewId{9, pid(0)};
+  view.members = {pid(0), pid(1), pid(2), pid(3)};
+  const ViewId prior_n{8, pid(0)};
+  const ViewId prior_r{7, pid(3)};
+  const auto c = classify_from_discovery(
+      {{pid(0), prior_n, Mode::Normal, 5},
+       {pid(1), prior_n, Mode::Normal, 5},
+       {pid(2), prior_n, Mode::Normal, 5},
+       {pid(3), prior_r, Mode::Reduced, 2}},
+      view, majority_of(5));
+  EXPECT_EQ(c.problems, kStateTransfer);
+  EXPECT_EQ(c.r_set, std::vector<ProcessId>{pid(3)});
+}
+
+TEST(ClassifyDiscovery, ResolvesMergingByClusterCount) {
+  gms::View view;
+  view.id = ViewId{9, pid(0)};
+  view.members = {pid(0), pid(1), pid(2), pid(3)};
+  const ViewId cluster_a{8, pid(0)};
+  const ViewId cluster_b{8, pid(2)};
+  const auto c = classify_from_discovery(
+      {{pid(0), cluster_a, Mode::Normal, 5},
+       {pid(1), cluster_a, Mode::Normal, 5},
+       {pid(2), cluster_b, Mode::Normal, 6},
+       {pid(3), cluster_b, Mode::Normal, 6}},
+      view, always_serves());
+  EXPECT_EQ(c.problems, kStateMerging);
+  EXPECT_EQ(c.serving_subviews.size(), 2u);
+}
+
+TEST(ClassifyDiscovery, ResolvesCreation) {
+  gms::View view;
+  view.id = ViewId{9, pid(0)};
+  view.members = {pid(0), pid(1)};
+  const auto c = classify_from_discovery(
+      {{pid(0), ViewId{1, pid(0)}, Mode::Settling, 0},
+       {pid(1), ViewId{1, pid(1)}, Mode::Reduced, 0}},
+      view, majority_of(3));
+  EXPECT_EQ(c.problems, kStateCreation);
+}
+
+TEST(ClassifyDiscovery, IgnoresStaleRepliesFromNonMembers) {
+  gms::View view;
+  view.id = ViewId{9, pid(0)};
+  view.members = {pid(0), pid(1)};
+  const auto c = classify_from_discovery(
+      {{pid(0), ViewId{8, pid(0)}, Mode::Normal, 1},
+       {pid(1), ViewId{8, pid(0)}, Mode::Normal, 1},
+       {pid(9), ViewId{2, pid(9)}, Mode::Normal, 9}},  // not in view
+      view, majority_of(3));
+  EXPECT_EQ(c.problems, kNoProblem);
+  EXPECT_EQ(c.serving_subviews.size(), 1u);
+}
+
+TEST(Predicates, MajorityAndAlways) {
+  const auto maj = majority_of(5);
+  EXPECT_FALSE(maj({pid(0), pid(1)}));
+  EXPECT_TRUE(maj({pid(0), pid(1), pid(2)}));
+  EXPECT_TRUE(always_serves()({}));
+}
+
+TEST(Problems, ToStringFormatting) {
+  EXPECT_EQ(problems_to_string(kNoProblem), "none");
+  EXPECT_EQ(problems_to_string(kStateTransfer), "transfer");
+  EXPECT_EQ(problems_to_string(kStateTransfer | kStateMerging),
+            "transfer+merging");
+}
+
+}  // namespace
+}  // namespace evs::app

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "codec/codec.hpp"
+
+namespace evs {
+namespace {
+
+TEST(Codec, ScalarRoundTrip) {
+  Encoder enc;
+  enc.put_u8(0xab);
+  enc.put_u16(0xbeef);
+  enc.put_u32(0xdeadbeef);
+  enc.put_u64(0x0123456789abcdefULL);
+  enc.put_bool(true);
+  enc.put_bool(false);
+
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.get_u8(), 0xab);
+  EXPECT_EQ(dec.get_u16(), 0xbeef);
+  EXPECT_EQ(dec.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(dec.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(dec.get_bool());
+  EXPECT_FALSE(dec.get_bool());
+  EXPECT_TRUE(dec.at_end());
+}
+
+TEST(Codec, VarintRoundTripBoundaries) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (1ULL << 32) - 1,
+                                  1ULL << 32,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  Encoder enc;
+  for (const auto v : values) enc.put_varint(v);
+  Decoder dec(enc.buffer());
+  for (const auto v : values) EXPECT_EQ(dec.get_varint(), v);
+  EXPECT_TRUE(dec.at_end());
+}
+
+TEST(Codec, VarintSmallValuesAreOneByte) {
+  Encoder enc;
+  enc.put_varint(42);
+  EXPECT_EQ(enc.size(), 1u);
+}
+
+TEST(Codec, StringAndBytesRoundTrip) {
+  Encoder enc;
+  enc.put_string("hello view synchrony");
+  enc.put_string("");
+  enc.put_bytes(Bytes{1, 2, 3, 255});
+  enc.put_bytes(Bytes{});
+
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.get_string(), "hello view synchrony");
+  EXPECT_EQ(dec.get_string(), "");
+  EXPECT_EQ(dec.get_bytes(), (Bytes{1, 2, 3, 255}));
+  EXPECT_EQ(dec.get_bytes(), Bytes{});
+  EXPECT_TRUE(dec.at_end());
+}
+
+TEST(Codec, IdRoundTrip) {
+  const ProcessId p{SiteId{7}, 3};
+  const ViewId v{42, p};
+  const SubviewId sv{p, 9};
+  const SvSetId ss{p, 11};
+
+  Encoder enc;
+  enc.put_site(SiteId{1});
+  enc.put_process(p);
+  enc.put_view_id(v);
+  enc.put_subview_id(sv);
+  enc.put_svset_id(ss);
+
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.get_site(), SiteId{1});
+  EXPECT_EQ(dec.get_process(), p);
+  EXPECT_EQ(dec.get_view_id(), v);
+  EXPECT_EQ(dec.get_subview_id(), sv);
+  EXPECT_EQ(dec.get_svset_id(), ss);
+}
+
+TEST(Codec, VectorRoundTrip) {
+  const std::vector<std::uint64_t> values{1, 2, 3, 500, 100000};
+  Encoder enc;
+  enc.put_vector(values, [](Encoder& e, std::uint64_t v) { e.put_varint(v); });
+  Decoder dec(enc.buffer());
+  const auto out =
+      dec.get_vector<std::uint64_t>([](Decoder& d) { return d.get_varint(); });
+  EXPECT_EQ(out, values);
+}
+
+TEST(Codec, UnderflowThrows) {
+  Encoder enc;
+  enc.put_u16(7);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.get_u16(), 7);
+  EXPECT_THROW(dec.get_u8(), DecodeError);
+}
+
+TEST(Codec, TruncatedStringThrows) {
+  Encoder enc;
+  enc.put_varint(100);  // claims 100 bytes follow
+  enc.put_u8('x');
+  Decoder dec(enc.buffer());
+  EXPECT_THROW(dec.get_string(), DecodeError);
+}
+
+TEST(Codec, HostileVectorLengthRejectedEarly) {
+  Encoder enc;
+  enc.put_varint(std::numeric_limits<std::uint64_t>::max());
+  Decoder dec(enc.buffer());
+  EXPECT_THROW(
+      dec.get_vector<std::uint64_t>([](Decoder& d) { return d.get_varint(); }),
+      DecodeError);
+}
+
+TEST(Codec, MalformedBoolThrows) {
+  Encoder enc;
+  enc.put_u8(7);
+  Decoder dec(enc.buffer());
+  EXPECT_THROW(dec.get_bool(), DecodeError);
+}
+
+TEST(Codec, OverlongVarintThrows) {
+  Bytes buf(11, 0xff);  // continuation bit forever
+  Decoder dec(buf);
+  EXPECT_THROW(dec.get_varint(), DecodeError);
+}
+
+TEST(Codec, ExpectEndThrowsOnTrailingJunk) {
+  Encoder enc;
+  enc.put_u8(1);
+  enc.put_u8(2);
+  Decoder dec(enc.buffer());
+  dec.get_u8();
+  EXPECT_THROW(dec.expect_end(), DecodeError);
+  dec.get_u8();
+  EXPECT_NO_THROW(dec.expect_end());
+}
+
+}  // namespace
+}  // namespace evs

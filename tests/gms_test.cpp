@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "gms/policy.hpp"
+#include "gms/view.hpp"
+#include "gms/wire.hpp"
+
+namespace evs::gms {
+namespace {
+
+ProcessId pid(std::uint32_t site, std::uint32_t inc = 1) {
+  return ProcessId{SiteId{site}, inc};
+}
+
+TEST(View, ContainsAndRank) {
+  View v;
+  v.id = ViewId{3, pid(0)};
+  v.members = {pid(0), pid(2), pid(5)};
+  EXPECT_TRUE(v.contains(pid(2)));
+  EXPECT_FALSE(v.contains(pid(1)));
+  EXPECT_EQ(v.rank_of(pid(0)), 0u);
+  EXPECT_EQ(v.rank_of(pid(5)), 2u);
+  EXPECT_EQ(v.primary(), pid(0));
+}
+
+TEST(View, RankOfNonMemberThrows) {
+  View v;
+  v.members = {pid(0)};
+  EXPECT_THROW(v.rank_of(pid(9)), evs::InvariantViolation);
+}
+
+TEST(View, CodecRoundTrip) {
+  View v;
+  v.id = ViewId{17, pid(3, 2)};
+  v.members = {pid(1), pid(3, 2), pid(7)};
+  Encoder enc;
+  v.encode(enc);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(View::decode(dec), v);
+}
+
+TEST(View, DecodeRejectsUnsortedMembers) {
+  View v;
+  v.id = ViewId{1, pid(0)};
+  v.members = {pid(0), pid(1)};
+  Encoder enc;
+  enc.put_view_id(v.id);
+  // Encode members out of order by hand.
+  enc.put_varint(2);
+  enc.put_process(pid(1));
+  enc.put_process(pid(0));
+  Decoder dec(enc.buffer());
+  EXPECT_THROW(View::decode(dec), DecodeError);
+}
+
+TEST(ViewId, OrderingByEpochThenCoordinator) {
+  const ViewId a{1, pid(5)};
+  const ViewId b{2, pid(0)};
+  const ViewId c{2, pid(1)};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(Policy, BatchAdmitsEveryone) {
+  const auto result = admit(JoinPolicy::Batch, {pid(1), pid(2)},
+                            {pid(1), pid(2), pid(3), pid(4)});
+  EXPECT_EQ(result, (std::vector<ProcessId>{pid(1), pid(2), pid(3), pid(4)}));
+}
+
+TEST(Policy, OneAtATimeAdmitsSingleNewcomer) {
+  const auto result = admit(JoinPolicy::OneAtATime, {pid(1), pid(2)},
+                            {pid(1), pid(2), pid(3), pid(4)});
+  EXPECT_EQ(result, (std::vector<ProcessId>{pid(1), pid(2), pid(3)}));
+}
+
+TEST(Policy, ShrinkIsNeverRestricted) {
+  // Both policies drop unreachable members immediately.
+  for (const auto policy : {JoinPolicy::Batch, JoinPolicy::OneAtATime}) {
+    const auto result =
+        admit(policy, {pid(1), pid(2), pid(3)}, {pid(1), pid(3)});
+    EXPECT_EQ(result, (std::vector<ProcessId>{pid(1), pid(3)}));
+  }
+}
+
+TEST(Policy, ShrinkAndGrowCombined) {
+  const auto batch = admit(JoinPolicy::Batch, {pid(1), pid(2)},
+                           {pid(2), pid(5), pid(6)});
+  EXPECT_EQ(batch, (std::vector<ProcessId>{pid(2), pid(5), pid(6)}));
+  const auto one = admit(JoinPolicy::OneAtATime, {pid(1), pid(2)},
+                         {pid(2), pid(5), pid(6)});
+  EXPECT_EQ(one, (std::vector<ProcessId>{pid(2), pid(5)}));
+}
+
+TEST(Policy, NoChangeReturnsCurrent) {
+  const std::vector<ProcessId> members{pid(1), pid(2)};
+  EXPECT_EQ(admit(JoinPolicy::Batch, members, members), members);
+  EXPECT_EQ(admit(JoinPolicy::OneAtATime, members, members), members);
+}
+
+TEST(Wire, ProposeRoundTrip) {
+  Propose msg;
+  msg.round = RoundId{9, pid(1)};
+  msg.members = {pid(1), pid(2)};
+  Encoder enc;
+  msg.encode(enc);
+  Decoder dec(enc.buffer());
+  const Propose out = Propose::decode(dec);
+  EXPECT_EQ(out.round, msg.round);
+  EXPECT_EQ(out.members, msg.members);
+}
+
+TEST(Wire, AckRoundTripWithMessagesAndContext) {
+  Ack msg;
+  msg.round = RoundId{4, pid(0)};
+  msg.prior_view = ViewId{3, pid(0)};
+  msg.max_number_seen = 12;
+  msg.unstable = {FlushedMessage{pid(1), 1, to_bytes("a")},
+                  FlushedMessage{pid(2), 7, to_bytes("bb")}};
+  msg.context = to_bytes("ctx");
+  Encoder enc;
+  msg.encode(enc);
+  Decoder dec(enc.buffer());
+  const Ack out = Ack::decode(dec);
+  EXPECT_EQ(out.round, msg.round);
+  EXPECT_EQ(out.prior_view, msg.prior_view);
+  EXPECT_EQ(out.max_number_seen, 12u);
+  EXPECT_EQ(out.unstable, msg.unstable);
+  EXPECT_EQ(out.context, msg.context);
+}
+
+TEST(Wire, InstallRoundTrip) {
+  Install msg;
+  msg.round = RoundId{8, pid(0)};
+  msg.view.id = ViewId{8, pid(0)};
+  msg.view.members = {pid(0), pid(1)};
+  msg.contexts = {MemberContext{pid(0), ViewId{5, pid(0)}, to_bytes("c0")},
+                  MemberContext{pid(1), ViewId{6, pid(1)}, to_bytes("c1")}};
+  msg.unions = {{ViewId{5, pid(0)}, {FlushedMessage{pid(0), 1, to_bytes("m")}}},
+                {ViewId{6, pid(1)}, {}}};
+  Encoder enc;
+  msg.encode(enc);
+  Decoder dec(enc.buffer());
+  const Install out = Install::decode(dec);
+  EXPECT_EQ(out.round, msg.round);
+  EXPECT_EQ(out.view, msg.view);
+  EXPECT_EQ(out.contexts, msg.contexts);
+  EXPECT_EQ(out.unions, msg.unions);
+}
+
+TEST(Wire, NackRoundTrip) {
+  Nack msg;
+  msg.round = RoundId{2, pid(3)};
+  msg.max_number_seen = 99;
+  Encoder enc;
+  msg.encode(enc);
+  Decoder dec(enc.buffer());
+  const Nack out = Nack::decode(dec);
+  EXPECT_EQ(out.round, msg.round);
+  EXPECT_EQ(out.max_number_seen, 99u);
+}
+
+TEST(Wire, DataAndStabilityRoundTrip) {
+  DataMsg data;
+  data.view = ViewId{2, pid(0)};
+  data.seq = 41;
+  data.payload = to_bytes("payload");
+  Encoder enc;
+  data.encode(enc);
+  Decoder dec(enc.buffer());
+  const DataMsg out = DataMsg::decode(dec);
+  EXPECT_EQ(out.view, data.view);
+  EXPECT_EQ(out.seq, 41u);
+  EXPECT_EQ(out.payload, data.payload);
+
+  StabilityMsg stab;
+  stab.view = ViewId{2, pid(0)};
+  stab.delivered_upto = {0, 5, 17};
+  Encoder enc2;
+  stab.encode(enc2);
+  Decoder dec2(enc2.buffer());
+  const StabilityMsg out2 = StabilityMsg::decode(dec2);
+  EXPECT_EQ(out2.view, stab.view);
+  EXPECT_EQ(out2.delivered_upto, stab.delivered_upto);
+}
+
+TEST(Wire, ChannelFrameRoundTrip) {
+  Encoder body;
+  body.put_string("x");
+  const Bytes framed = frame(Channel::Data, body);
+  Decoder dec(framed);
+  EXPECT_EQ(peek_channel(dec), Channel::Data);
+  EXPECT_EQ(dec.get_string(), "x");
+}
+
+TEST(Wire, UnknownChannelThrows) {
+  Bytes bad{99};
+  Decoder dec(bad);
+  EXPECT_THROW(peek_channel(dec), DecodeError);
+}
+
+}  // namespace
+}  // namespace evs::gms

@@ -1,0 +1,322 @@
+// End-to-end integration scenarios: full stack (simulator → detector →
+// membership → vsync → EVS → application model → group objects) driven
+// through long, adversarial schedules, with global invariants checked
+// throughout.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "objects/lock_manager.hpp"
+#include "objects/mergeable_kv.hpp"
+#include "objects/parallel_db.hpp"
+#include "objects/replicated_file.hpp"
+#include "sim/fault.hpp"
+#include "support/object_cluster.hpp"
+
+namespace evs::test {
+namespace {
+
+using app::GroupObjectConfig;
+using app::Mode;
+using objects::LockManager;
+using objects::MergeableKv;
+using objects::ParallelDb;
+using objects::ReplicatedFile;
+using objects::ReplicatedFileConfig;
+
+ReplicatedFileConfig file_config(const std::vector<SiteId>& universe) {
+  ReplicatedFileConfig cfg;
+  cfg.object.endpoint.universe = universe;
+  return cfg;
+}
+
+GroupObjectConfig plain_config(const std::vector<SiteId>& universe) {
+  GroupObjectConfig cfg;
+  cfg.endpoint.universe = universe;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------
+// ReplicatedFile: quorum safety under random churn. At no point may two
+// concurrent views both accept writes (write quorums intersect), so the
+// version sequence observed by any reader is monotone and the final
+// states converge.
+class FileChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FileChurn, QuorumWritesStaySafeUnderRandomFaults) {
+  const std::uint64_t seed = GetParam();
+  ObjectCluster<ReplicatedFile, ReplicatedFileConfig> c(
+      5, seed, [](const auto& u) { return file_config(u); });
+  ASSERT_TRUE(c.await_all_normal(c.all_indices()));
+
+  sim::Rng rng(seed * 31337);
+  sim::FaultProfile profile;
+  profile.mean_interval = 900 * kMillisecond;
+  const SimTime horizon = c.world().scheduler().now() + 10 * kSecond;
+  auto plan = sim::random_fault_plan(rng, c.sites(), horizon, profile);
+  plan.arm(c.world());
+
+  int serial = 0;
+  std::map<SiteId, std::uint64_t> last_version;
+  while (c.world().scheduler().now() < horizon) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      if (!c.world().site_alive(c.site(i))) continue;
+      ReplicatedFile& f = c.obj(i);
+      // Writers may only succeed in N-mode.
+      const bool accepted = f.write("w" + std::to_string(serial++));
+      if (accepted) {
+        EXPECT_EQ(f.mode(), Mode::Normal);
+      }
+      // Versions never go backwards at any single replica.
+      auto& prev = last_version[c.site(i)];
+      EXPECT_GE(f.version(), prev);
+      prev = f.version();
+    }
+    c.world().run_for(150 * kMillisecond);
+  }
+
+  c.world().network().heal();
+  // Recover any site the plan left dead (a dead majority means nobody can
+  // reach N-mode), then require full convergence.
+  for (const SiteId site : c.sites())
+    if (!c.world().site_alive(site)) c.world().respawn(site);
+  ASSERT_TRUE(c.await_all_normal(c.all_indices()));
+  // All live replicas converge to one (version, content).
+  std::set<std::pair<std::uint64_t, std::string>> states;
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (!c.world().site_alive(c.site(i))) continue;
+    states.emplace(c.obj(i).version(), c.obj(i).content());
+  }
+  EXPECT_EQ(states.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FileChurn,
+                         ::testing::Range<std::uint64_t>(100, 108));
+
+// ---------------------------------------------------------------------
+// ParallelDb: the exactly-once coverage invariant must hold in every
+// stable view along a churny execution, and no inserted record may ever
+// disappear once the group re-merges.
+class DbChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DbChurn, CoverageInvariantHoldsInEveryStableView) {
+  const std::uint64_t seed = GetParam();
+  ObjectCluster<ParallelDb, GroupObjectConfig> c(
+      4, seed, [](const auto& u) { return plain_config(u); });
+  ASSERT_TRUE(c.await_all_normal(c.all_indices()));
+
+  int inserted = 0;
+  for (int round = 0; round < 6; ++round) {
+    // Insert a few records from whoever serves.
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (c.world().site_alive(c.site(i)) && c.obj(i).serving_normal()) {
+        c.obj(i).insert("r" + std::to_string(inserted), "v");
+        ++inserted;
+      }
+    }
+    c.world().run_for(500 * kMillisecond);
+
+    // Check coverage among the members of each stable component.
+    std::map<ViewId, std::vector<std::size_t>> components;
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (!c.world().site_alive(c.site(i))) continue;
+      if (c.obj(i).blocked() || c.obj(i).mode() != Mode::Normal) continue;
+      components[c.obj(i).view().id].push_back(i);
+    }
+    for (const auto& [view, members] : components) {
+      if (members.size() != c.obj(members[0]).view().size()) continue;
+      std::set<std::string> covered;
+      bool duplicate = false;
+      std::size_t expected = c.obj(members[0]).size();
+      for (const std::size_t i : members) {
+        for (const auto& [key, value] : c.obj(i).local_scan()) {
+          if (!covered.insert(key).second) duplicate = true;
+        }
+      }
+      EXPECT_FALSE(duplicate) << "double coverage in " << to_string(view);
+      EXPECT_EQ(covered.size(), expected) << "holes in " << to_string(view);
+    }
+
+    // Alternate: partition, heal.
+    if (round % 2 == 0) {
+      c.world().network().set_partition(
+          {{c.site(0), c.site(1)}, {c.site(2), c.site(3)}});
+    } else {
+      c.world().network().heal();
+    }
+    c.world().run_for(1 * kSecond);
+  }
+
+  c.world().network().heal();
+  ASSERT_TRUE(c.await_all_normal(c.all_indices()));
+  // Nothing inserted anywhere was lost after the final merge.
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(c.obj(i).size(), static_cast<std::size_t>(inserted));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbChurn,
+                         ::testing::Range<std::uint64_t>(200, 205));
+
+// ---------------------------------------------------------------------
+// LockManager: mutual exclusion is a *global* invariant — across all
+// live processes in all concurrent views, at most one may believe it
+// holds the lock, at every step of a churny execution.
+class LockChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LockChurn, NeverTwoHoldersAnywhere) {
+  const std::uint64_t seed = GetParam();
+  ObjectCluster<LockManager, GroupObjectConfig> c(
+      5, seed, [](const auto& u) { return plain_config(u); });
+  ASSERT_TRUE(c.await_all_normal(c.all_indices()));
+
+  sim::Rng rng(seed * 2654435761u);
+  sim::FaultProfile profile;
+  profile.mean_interval = 1200 * kMillisecond;
+  const SimTime horizon = c.world().scheduler().now() + 10 * kSecond;
+  auto plan = sim::random_fault_plan(rng, c.sites(), horizon, profile);
+  plan.arm(c.world());
+
+  while (c.world().scheduler().now() < horizon) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      if (!c.world().site_alive(c.site(i))) continue;
+      LockManager& lock = c.obj(i);
+      if (lock.i_hold_the_lock()) {
+        if (rng.bernoulli(0.3)) lock.release();
+      } else if (rng.bernoulli(0.5)) {
+        lock.acquire();
+      }
+    }
+    c.world().run_for(100 * kMillisecond);
+
+    std::size_t holders = 0;
+    for (std::size_t i = 0; i < 5; ++i) {
+      if (c.world().site_alive(c.site(i)) && c.obj(i).i_hold_the_lock())
+        ++holders;
+    }
+    ASSERT_LE(holders, 1u) << "mutual exclusion violated at t="
+                           << c.world().scheduler().now();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockChurn,
+                         ::testing::Range<std::uint64_t>(300, 306));
+
+// ---------------------------------------------------------------------
+// MergeableKv: eventual convergence. Whatever interleaving of faults and
+// writes happens, once the network heals and the group settles, every
+// replica holds exactly the same map.
+class KvChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KvChurn, ReplicasConvergeAfterArbitraryChurn) {
+  const std::uint64_t seed = GetParam();
+  ObjectCluster<MergeableKv, GroupObjectConfig> c(
+      4, seed, [](const auto& u) { return plain_config(u); });
+  ASSERT_TRUE(c.await_all_normal(c.all_indices()));
+
+  sim::Rng rng(seed * 40503);
+  sim::FaultProfile profile;
+  profile.mean_interval = 700 * kMillisecond;
+  profile.crash_weight = 0.5;  // favour partitions: they cause divergence
+  profile.partition_weight = 2.0;
+  const SimTime horizon = c.world().scheduler().now() + 8 * kSecond;
+  auto plan = sim::random_fault_plan(rng, c.sites(), horizon, profile);
+  plan.arm(c.world());
+
+  int n = 0;
+  while (c.world().scheduler().now() < horizon) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (!c.world().site_alive(c.site(i))) continue;
+      c.obj(i).put("k" + std::to_string(n % 5), "v" + std::to_string(n));
+      ++n;
+    }
+    c.world().run_for(200 * kMillisecond);
+  }
+
+  c.world().network().heal();
+  ASSERT_TRUE(c.await([&]() {
+    std::vector<std::size_t> alive;
+    for (std::size_t i = 0; i < 4; ++i)
+      if (c.world().site_alive(c.site(i))) alive.push_back(i);
+    return !alive.empty() && c.all_normal(alive);
+  }));
+  c.world().run_for(2 * kSecond);
+
+  std::optional<std::map<std::string, std::string>> reference;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (!c.world().site_alive(c.site(i))) continue;
+    std::map<std::string, std::string> snapshot;
+    for (int k = 0; k < 5; ++k) {
+      const auto key = "k" + std::to_string(k);
+      if (const auto v = c.obj(i).get(key)) snapshot[key] = *v;
+    }
+    if (!reference) {
+      reference = snapshot;
+    } else {
+      EXPECT_EQ(snapshot, *reference) << "replica " << i << " diverged";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvChurn,
+                         ::testing::Range<std::uint64_t>(400, 408));
+
+// ---------------------------------------------------------------------
+// Cross-object scenario: the full Section-3 narrative in one run — a
+// file group survives a double partition, a total failure of one side,
+// a stale rejoin, and ends consistent.
+TEST(Integration, FullLifecycleNarrative) {
+  ObjectCluster<ReplicatedFile, ReplicatedFileConfig> c(
+      5, 4242, [](const auto& u) { return file_config(u); });
+  ASSERT_TRUE(c.await_all_normal(c.all_indices()));
+  ASSERT_TRUE(c.obj(0).write("chapter 1"));
+  c.world().run_for(1 * kSecond);
+
+  // Double partition: {0,1,2} | {3} | {4}.
+  c.world().network().set_partition(
+      {{c.site(0), c.site(1), c.site(2)}, {c.site(3)}, {c.site(4)}});
+  ASSERT_TRUE(c.await_all_normal({0, 1, 2}));
+  ASSERT_TRUE(c.obj(1).write("chapter 2, quorum side"));
+  EXPECT_FALSE(c.obj(3).write("rogue"));
+  EXPECT_FALSE(c.obj(4).write("rogue"));
+  c.world().run_for(1 * kSecond);
+
+  // The quorum side totally fails; the isolated singletons are all that
+  // remain — but they can't serve (no quorum).
+  c.world().crash_site(c.site(0));
+  c.world().crash_site(c.site(1));
+  c.world().crash_site(c.site(2));
+  c.world().run_for(1 * kSecond);
+  c.world().network().heal();
+  c.world().run_for(2 * kSecond);
+  EXPECT_NE(c.obj(3).mode(), Mode::Normal);
+
+  // Recovery of the quorum side: fresh incarnations with stable state.
+  for (std::size_t i = 0; i < 3; ++i) c.world().respawn(c.site(i));
+  ASSERT_TRUE(c.await_all_normal(c.all_indices()));
+  // The creation must resurrect the latest write, and everyone, including
+  // the stale singletons, converges to it.
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(c.obj(i).content(), "chapter 2, quorum side") << "site " << i;
+}
+
+// Repeated join/leave cycles keep the structure and the state sane.
+TEST(Integration, RepeatedJoinLeaveCycles) {
+  ObjectCluster<ReplicatedFile, ReplicatedFileConfig> c(
+      4, 777, [](const auto& u) { return file_config(u); });
+  ASSERT_TRUE(c.await_all_normal(c.all_indices()));
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    ASSERT_TRUE(c.obj(0).write("cycle " + std::to_string(cycle)));
+    c.world().run_for(500 * kMillisecond);
+    c.world().crash_site(c.site(3));
+    ASSERT_TRUE(c.await_all_normal({0, 1, 2}));
+    c.world().respawn(c.site(3));
+    ASSERT_TRUE(c.await_all_normal(c.all_indices()));
+    EXPECT_EQ(c.obj(3).content(), "cycle " + std::to_string(cycle));
+    EXPECT_TRUE(c.obj(3).eview().degenerate());
+  }
+}
+
+}  // namespace
+}  // namespace evs::test

@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/fault.hpp"
+#include "sim/network.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stable_store.hpp"
+#include "sim/world.hpp"
+
+namespace evs::sim {
+namespace {
+
+TEST(Scheduler, FiresInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(30, [&]() { order.push_back(3); });
+  sched.schedule_at(10, [&]() { order.push_back(1); });
+  sched.schedule_at(20, [&]() { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 30u);
+}
+
+TEST(Scheduler, SimultaneousEventsFifoByInsertion) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sched.schedule_at(100, [&order, i]() { order.push_back(i); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, CancelPreventsFiring) {
+  Scheduler sched;
+  bool fired = false;
+  const EventId id = sched.schedule_at(10, [&]() { fired = true; });
+  sched.cancel(id);
+  sched.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, EventsCanScheduleEvents) {
+  Scheduler sched;
+  int count = 0;
+  std::function<void()> chain = [&]() {
+    if (++count < 5) sched.schedule_after(10, chain);
+  };
+  sched.schedule_after(0, chain);
+  sched.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sched.now(), 40u);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockAndStops) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(10, [&]() { ++fired; });
+  sched.schedule_at(50, [&]() { ++fired; });
+  sched.run_until(20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), 20u);
+  sched.run_until(100);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, PastTimeClampsToNow) {
+  Scheduler sched;
+  sched.schedule_at(100, []() {});
+  sched.run();
+  bool fired = false;
+  sched.schedule_at(5, [&]() { fired = true; });  // in the past
+  sched.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sched.now(), 100u);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ForkIsIndependentStream) {
+  Rng a(1);
+  Rng fork = a.fork();
+  EXPECT_NE(a.next(), fork.next());
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform(13), 13u);
+}
+
+TEST(Rng, ExponentialMeanIsRoughlyRight) {
+  Rng rng(99);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 5.0);
+}
+
+class CollectingActor : public Actor {
+ public:
+  void on_message(ProcessId from, const Bytes& payload) override {
+    received.emplace_back(from, to_string(payload));
+  }
+  std::vector<std::pair<ProcessId, std::string>> received;
+};
+
+TEST(Network, DeliversBetweenActors) {
+  World world(1);
+  const auto sites = world.add_sites(2);
+  auto& a = world.spawn<CollectingActor>(sites[0]);
+  auto& b = world.spawn<CollectingActor>(sites[1]);
+  world.run_until_idle();
+  world.network().send(a.id(), b.id(), to_bytes("hi"));
+  world.run_until_idle();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, a.id());
+  EXPECT_EQ(b.received[0].second, "hi");
+}
+
+TEST(Network, PartitionBlocksCrossTraffic) {
+  World world(2);
+  const auto sites = world.add_sites(2);
+  auto& a = world.spawn<CollectingActor>(sites[0]);
+  auto& b = world.spawn<CollectingActor>(sites[1]);
+  world.run_until_idle();
+  world.network().set_partition({{sites[0]}, {sites[1]}});
+  world.network().send(a.id(), b.id(), to_bytes("blocked"));
+  world.run_until_idle();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(world.network().stats().dropped_partition, 1u);
+
+  world.network().heal();
+  world.network().send(a.id(), b.id(), to_bytes("open"));
+  world.run_until_idle();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(Network, InFlightMessagesDroppedWhenPartitionForms) {
+  World world(3);
+  const auto sites = world.add_sites(2);
+  auto& a = world.spawn<CollectingActor>(sites[0]);
+  auto& b = world.spawn<CollectingActor>(sites[1]);
+  world.run_until_idle();
+  world.network().send(a.id(), b.id(), to_bytes("in-flight"));
+  // Partition before the delivery event fires.
+  world.network().set_partition({{sites[0]}, {sites[1]}});
+  world.run_until_idle();
+  EXPECT_TRUE(b.received.empty());
+}
+
+TEST(Network, MessageToCrashedIncarnationDropped) {
+  World world(4);
+  const auto sites = world.add_sites(2);
+  auto& a = world.spawn<CollectingActor>(sites[0]);
+  auto& b = world.spawn<CollectingActor>(sites[1]);
+  world.run_until_idle();
+  const ProcessId dead = b.id();
+  world.crash(dead);
+  world.network().send(a.id(), dead, to_bytes("too late"));
+  world.run_until_idle();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(world.network().stats().dropped_dead, 1u);
+}
+
+TEST(Network, SendToSiteReachesCurrentIncarnation) {
+  World world(5);
+  const auto sites = world.add_sites(2);
+  auto& a = world.spawn<CollectingActor>(sites[0]);
+  world.spawn<CollectingActor>(sites[1]);
+  world.run_until_idle();
+  world.crash_site(sites[1]);
+  auto& b2 = world.spawn<CollectingActor>(sites[1]);
+  world.run_until_idle();
+  world.network().send_to_site(a.id(), sites[1], to_bytes("hello v2"));
+  world.run_until_idle();
+  ASSERT_EQ(b2.received.size(), 1u);
+  EXPECT_EQ(b2.received[0].second, "hello v2");
+}
+
+TEST(Network, LossRateDropsSomeMessages) {
+  NetworkConfig cfg;
+  cfg.loss_rate = 0.5;
+  World world(6, cfg);
+  const auto sites = world.add_sites(2);
+  auto& a = world.spawn<CollectingActor>(sites[0]);
+  auto& b = world.spawn<CollectingActor>(sites[1]);
+  world.run_until_idle();
+  for (int i = 0; i < 200; ++i)
+    world.network().send(a.id(), b.id(), to_bytes("x"));
+  world.run_until_idle();
+  EXPECT_GT(b.received.size(), 50u);
+  EXPECT_LT(b.received.size(), 150u);
+}
+
+TEST(Network, FiniteBandwidthDelaysLargeMessages) {
+  NetworkConfig cfg;
+  cfg.bytes_per_us = 1.0;  // 1 byte per microsecond
+  cfg.min_delay = 0;
+  cfg.mean_jitter_us = 0.0;
+  World world(77, cfg);
+  const auto sites = world.add_sites(2);
+  auto& a = world.spawn<CollectingActor>(sites[0]);
+  auto& b = world.spawn<CollectingActor>(sites[1]);
+  world.run_until_idle();
+  const SimTime t0 = world.scheduler().now();
+  world.network().send(a.id(), b.id(), Bytes(1000, 'x'));
+  world.run_until_idle();
+  EXPECT_GE(world.scheduler().now() - t0, 1000u);
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(Network, LinkSerialisesQueuedMessages) {
+  NetworkConfig cfg;
+  cfg.bytes_per_us = 1.0;
+  cfg.min_delay = 0;
+  cfg.mean_jitter_us = 0.0;
+  World world(78, cfg);
+  const auto sites = world.add_sites(2);
+  auto& a = world.spawn<CollectingActor>(sites[0]);
+  auto& b = world.spawn<CollectingActor>(sites[1]);
+  world.run_until_idle();
+  const SimTime t0 = world.scheduler().now();
+  // Two 1000-byte messages sent back to back share one link.
+  world.network().send(a.id(), b.id(), Bytes(1000, 'x'));
+  world.network().send(a.id(), b.id(), Bytes(1000, 'y'));
+  world.run_until_idle();
+  EXPECT_GE(world.scheduler().now() - t0, 2000u);
+  EXPECT_EQ(b.received.size(), 2u);
+}
+
+TEST(World, RecoveryMintsNewIncarnation) {
+  World world(7);
+  const auto site = world.add_site();
+  auto& first = world.spawn<CollectingActor>(site);
+  const ProcessId id1 = first.id();
+  world.crash_site(site);
+  EXPECT_FALSE(world.site_alive(site));
+  auto& second = world.spawn<CollectingActor>(site);
+  EXPECT_NE(second.id(), id1);
+  EXPECT_EQ(second.id().site, site);
+  EXPECT_GT(second.id().incarnation, id1.incarnation);
+}
+
+TEST(World, DoubleSpawnAtLiveSiteRejected) {
+  World world(8);
+  const auto site = world.add_site();
+  world.spawn<CollectingActor>(site);
+  EXPECT_THROW(world.spawn<CollectingActor>(site), InvariantViolation);
+}
+
+TEST(World, StableStoreSurvivesCrash) {
+  World world(9);
+  const auto site = world.add_site();
+  world.spawn<CollectingActor>(site);
+  world.store(site).put("epoch", to_bytes("42"));
+  world.crash_site(site);
+  world.spawn<CollectingActor>(site);
+  const auto value = world.store(site).get("epoch");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(to_string(*value), "42");
+}
+
+class TimerActor : public Actor {
+ public:
+  void on_start() override {
+    set_timer(100, [this]() { fired = true; });
+  }
+  void on_message(ProcessId, const Bytes&) override {}
+  bool fired = false;
+};
+
+TEST(World, TimersSilencedByCrash) {
+  World world(10);
+  const auto site = world.add_site();
+  auto& actor = world.spawn<TimerActor>(site);
+  world.run_for(50);
+  world.crash_site(site);
+  world.run_until_idle();
+  EXPECT_FALSE(actor.fired);
+}
+
+TEST(StableStore, PutGetEraseAndCounters) {
+  StableStore store;
+  EXPECT_FALSE(store.get("k").has_value());
+  store.put("k", to_bytes("v1"));
+  store.put("k", to_bytes("v2"));
+  EXPECT_EQ(to_string(*store.get("k")), "v2");
+  EXPECT_EQ(store.writes(), 2u);
+  EXPECT_TRUE(store.contains("k"));
+  store.erase("k");
+  EXPECT_FALSE(store.contains("k"));
+}
+
+TEST(FaultPlan, ScriptedCrashAndRecovery) {
+  World world(11);
+  const auto site = world.add_site();
+  world.set_default_spawner(
+      [](World& w, SiteId s) { w.spawn<CollectingActor>(s); });
+  world.spawn<CollectingActor>(site);
+
+  FaultPlan plan;
+  plan.crash_at(1000, site).recover_at(2000, site);
+  plan.arm(world);
+
+  world.run_for(1500);
+  EXPECT_FALSE(world.site_alive(site));
+  world.run_for(1000);
+  EXPECT_TRUE(world.site_alive(site));
+}
+
+TEST(FaultPlan, RandomPlanIsDeterministicForSeed) {
+  Rng rng1(77);
+  Rng rng2(77);
+  std::vector<SiteId> sites{SiteId{0}, SiteId{1}, SiteId{2}, SiteId{3}};
+  const auto plan1 = random_fault_plan(rng1, sites, 10 * kSecond);
+  const auto plan2 = random_fault_plan(rng2, sites, 10 * kSecond);
+  EXPECT_EQ(plan1.size(), plan2.size());
+  EXPECT_GT(plan1.size(), 0u);
+}
+
+}  // namespace
+}  // namespace evs::sim

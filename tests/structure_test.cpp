@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "evs/structure.hpp"
+
+namespace evs::core {
+namespace {
+
+ProcessId pid(std::uint32_t site, std::uint32_t inc = 1) {
+  return ProcessId{SiteId{site}, inc};
+}
+
+SubviewId svid(ProcessId p, std::uint64_t c = 0) { return SubviewId{p, c}; }
+SvSetId ssid(ProcessId p, std::uint64_t c = 0) { return SvSetId{p, c}; }
+
+/// n singleton members, each its own subview + sv-set.
+EViewStructure singletons(std::uint32_t n) {
+  EViewStructure s;
+  for (std::uint32_t i = 0; i < n; ++i) s.add_singleton(pid(i));
+  return s;
+}
+
+std::vector<ProcessId> members(std::uint32_t n) {
+  std::vector<ProcessId> v;
+  for (std::uint32_t i = 0; i < n; ++i) v.push_back(pid(i));
+  return v;
+}
+
+TEST(Structure, SingletonShape) {
+  const auto s = EViewStructure::singleton(pid(3));
+  ASSERT_EQ(s.subviews().size(), 1u);
+  ASSERT_EQ(s.svsets().size(), 1u);
+  EXPECT_EQ(s.subviews()[0].members, std::vector<ProcessId>{pid(3)});
+  EXPECT_EQ(s.subview_of(pid(3)), svid(pid(3)));
+  EXPECT_EQ(s.svset_of(svid(pid(3))), ssid(pid(3)));
+  s.validate({pid(3)});
+}
+
+TEST(Structure, SvSetMergeCombinesSets) {
+  auto s = singletons(3);
+  EvOp op;
+  op.kind = EvOp::Kind::SvSetMerge;
+  op.svsets = {ssid(pid(0)), ssid(pid(1)), ssid(pid(2))};
+  op.new_svset = ssid(pid(0), 1);
+  ASSERT_TRUE(s.apply(op));
+  ASSERT_EQ(s.svsets().size(), 1u);
+  EXPECT_EQ(s.svsets()[0].id, ssid(pid(0), 1));
+  EXPECT_EQ(s.svsets()[0].subviews.size(), 3u);
+  EXPECT_EQ(s.subviews().size(), 3u);  // subviews untouched
+  s.validate(members(3));
+}
+
+TEST(Structure, SvSetMergeUnknownIdRejected) {
+  auto s = singletons(2);
+  EvOp op;
+  op.kind = EvOp::Kind::SvSetMerge;
+  op.svsets = {ssid(pid(0)), ssid(pid(9))};
+  op.new_svset = ssid(pid(0), 1);
+  const auto before = s;
+  EXPECT_FALSE(s.apply(op));
+  EXPECT_EQ(s, before);
+}
+
+TEST(Structure, SvSetMergeNeedsTwoDistinctInputs) {
+  auto s = singletons(2);
+  EvOp op;
+  op.kind = EvOp::Kind::SvSetMerge;
+  op.svsets = {ssid(pid(0))};
+  op.new_svset = ssid(pid(0), 1);
+  EXPECT_FALSE(s.apply(op));
+  op.svsets = {ssid(pid(0)), ssid(pid(0))};
+  EXPECT_FALSE(s.apply(op));
+}
+
+TEST(Structure, SubviewMergeWithinSvSet) {
+  auto s = singletons(3);
+  EvOp merge_sets;
+  merge_sets.kind = EvOp::Kind::SvSetMerge;
+  merge_sets.svsets = {ssid(pid(0)), ssid(pid(1))};
+  merge_sets.new_svset = ssid(pid(0), 1);
+  ASSERT_TRUE(s.apply(merge_sets));
+
+  EvOp merge_subviews;
+  merge_subviews.kind = EvOp::Kind::SubviewMerge;
+  merge_subviews.subviews = {svid(pid(0)), svid(pid(1))};
+  merge_subviews.new_subview = svid(pid(0), 2);
+  ASSERT_TRUE(s.apply(merge_subviews));
+
+  ASSERT_EQ(s.subviews().size(), 2u);
+  const Subview* merged = s.find_subview(svid(pid(0), 2));
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->members, (std::vector<ProcessId>{pid(0), pid(1)}));
+  // The merged subview lives in the merged sv-set.
+  EXPECT_EQ(s.svset_of(svid(pid(0), 2)), ssid(pid(0), 1));
+  s.validate(members(3));
+}
+
+TEST(Structure, SubviewMergeAcrossSvSetsHasNoEffect) {
+  // Paper, Section 6.1: "If all the subviews in sv-list do not initially
+  // belong to the same sv-set, the call has no effect."
+  auto s = singletons(2);
+  EvOp op;
+  op.kind = EvOp::Kind::SubviewMerge;
+  op.subviews = {svid(pid(0)), svid(pid(1))};
+  op.new_subview = svid(pid(0), 1);
+  const auto before = s;
+  EXPECT_FALSE(s.apply(op));
+  EXPECT_EQ(s, before);
+}
+
+TEST(Structure, RestrictToDropsDeadMembersAndEmptyShells) {
+  auto s = singletons(3);
+  EvOp merge_sets;
+  merge_sets.kind = EvOp::Kind::SvSetMerge;
+  merge_sets.svsets = {ssid(pid(0)), ssid(pid(1)), ssid(pid(2))};
+  merge_sets.new_svset = ssid(pid(0), 1);
+  ASSERT_TRUE(s.apply(merge_sets));
+  EvOp merge_subviews;
+  merge_subviews.kind = EvOp::Kind::SubviewMerge;
+  merge_subviews.subviews = {svid(pid(0)), svid(pid(1))};
+  merge_subviews.new_subview = svid(pid(0), 2);
+  ASSERT_TRUE(s.apply(merge_subviews));
+
+  // Kill p0 and p1: their merged subview empties out and disappears.
+  s.restrict_to({pid(2)});
+  ASSERT_EQ(s.subviews().size(), 1u);
+  EXPECT_EQ(s.subviews()[0].members, std::vector<ProcessId>{pid(2)});
+  ASSERT_EQ(s.svsets().size(), 1u);
+  s.validate({pid(2)});
+}
+
+TEST(Structure, ValidateCatchesMemberInTwoSubviews) {
+  auto s = EViewStructure::from_parts(
+      {Subview{svid(pid(0)), {pid(0)}}, Subview{svid(pid(1)), {pid(0)}}},
+      {SvSet{ssid(pid(0)), {svid(pid(0)), svid(pid(1))}}});
+  EXPECT_THROW(s.validate({pid(0)}), InvariantViolation);
+}
+
+TEST(Structure, ValidateCatchesUncoveredMember) {
+  auto s = EViewStructure::singleton(pid(0));
+  EXPECT_THROW(s.validate({pid(0), pid(1)}), InvariantViolation);
+}
+
+TEST(Structure, ValidateCatchesSubviewInTwoSvSets) {
+  auto s = EViewStructure::from_parts(
+      {Subview{svid(pid(0)), {pid(0)}}},
+      {SvSet{ssid(pid(0)), {svid(pid(0))}}, SvSet{ssid(pid(1)), {svid(pid(0))}}});
+  EXPECT_THROW(s.validate({pid(0)}), InvariantViolation);
+}
+
+TEST(Structure, CodecRoundTrip) {
+  auto s = singletons(4);
+  EvOp op;
+  op.kind = EvOp::Kind::SvSetMerge;
+  op.svsets = {ssid(pid(0)), ssid(pid(2))};
+  op.new_svset = ssid(pid(0), 7);
+  ASSERT_TRUE(s.apply(op));
+
+  Encoder enc;
+  s.encode(enc);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(EViewStructure::decode(dec), s);
+}
+
+TEST(Structure, EvOpCodecRoundTrip) {
+  EvOp op;
+  op.kind = EvOp::Kind::SubviewMerge;
+  op.subviews = {svid(pid(1)), svid(pid(2), 5)};
+  op.new_subview = svid(pid(0), 9);
+  Encoder enc;
+  op.encode(enc);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(EvOp::decode(dec), op);
+}
+
+TEST(Structure, ContextRoundTripAndGarbageRejection) {
+  StructureContext ctx{singletons(2), 5};
+  const Bytes bytes = ctx.encode();
+  const auto decoded = StructureContext::decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->structure, ctx.structure);
+  EXPECT_EQ(decoded->applied_ev_seq, 5u);
+
+  EXPECT_FALSE(StructureContext::decode(Bytes{}).has_value());
+  EXPECT_FALSE(StructureContext::decode(Bytes{0xff, 0xff, 0xff}).has_value());
+}
+
+TEST(Structure, DegenerateEView) {
+  EView ev;
+  ev.structure = EViewStructure::singleton(pid(0));
+  EXPECT_TRUE(ev.degenerate());
+  ev.structure.add_singleton(pid(1));
+  EXPECT_FALSE(ev.degenerate());
+}
+
+// ------------------------------------------------------ merge_structures ---
+
+MemberStructureInfo info(ProcessId p, ViewId prior, const EViewStructure& s,
+                         std::uint64_t applied = 0) {
+  return MemberStructureInfo{p, prior, StructureContext{s, applied}};
+}
+
+// The view being installed in merge_structures tests (epoch 20).
+const ViewId kNewView{20, ProcessId{SiteId{0}, 1}};
+
+TEST(MergeStructures, SurvivorsKeepTheirSubview) {
+  // Three members in one merged subview; one dies.
+  auto s = singletons(3);
+  EvOp merge_sets;
+  merge_sets.kind = EvOp::Kind::SvSetMerge;
+  merge_sets.svsets = {ssid(pid(0)), ssid(pid(1)), ssid(pid(2))};
+  merge_sets.new_svset = ssid(pid(0), 1);
+  ASSERT_TRUE(s.apply(merge_sets));
+  EvOp merge_subviews;
+  merge_subviews.kind = EvOp::Kind::SubviewMerge;
+  merge_subviews.subviews = {svid(pid(0)), svid(pid(1)), svid(pid(2))};
+  merge_subviews.new_subview = svid(pid(0), 2);
+  ASSERT_TRUE(s.apply(merge_subviews));
+
+  const ViewId prior{5, pid(0)};
+  const auto merged = merge_structures(
+      kNewView, {pid(0), pid(2)},
+      {info(pid(0), prior, s, 2), info(pid(2), prior, s, 2)}, {});
+  ASSERT_EQ(merged.subviews().size(), 1u);
+  EXPECT_EQ(merged.subviews()[0].members,
+            (std::vector<ProcessId>{pid(0), pid(2)}));
+  // Ids are re-minted per view: (min member, new epoch).
+  EXPECT_EQ(merged.subviews()[0].id, svid(pid(0), kNewView.epoch));
+}
+
+TEST(MergeStructures, TwoClustersStaySeparate) {
+  // Partition merge: cluster A {p0,p1} one subview, cluster B {p2,p3}
+  // another. The merged view keeps them in distinct subviews AND distinct
+  // sv-sets — this is what lets Section 6.2's local reasoning identify
+  // clusters for the state-merging problem.
+  auto a = EViewStructure::from_parts(
+      {Subview{svid(pid(0), 9), {pid(0), pid(1)}}},
+      {SvSet{ssid(pid(0), 9), {svid(pid(0), 9)}}});
+  auto b = EViewStructure::from_parts(
+      {Subview{svid(pid(2), 9), {pid(2), pid(3)}}},
+      {SvSet{ssid(pid(2), 9), {svid(pid(2), 9)}}});
+  const ViewId va{7, pid(0)};
+  const ViewId vb{6, pid(2)};
+  const auto merged = merge_structures(
+      kNewView, members(4),
+      {info(pid(0), va, a), info(pid(1), va, a), info(pid(2), vb, b),
+       info(pid(3), vb, b)},
+      {});
+  EXPECT_EQ(merged.subviews().size(), 2u);
+  EXPECT_EQ(merged.svsets().size(), 2u);
+  EXPECT_EQ(merged.subview_of(pid(0)), merged.subview_of(pid(1)));
+  EXPECT_EQ(merged.subview_of(pid(2)), merged.subview_of(pid(3)));
+  EXPECT_NE(merged.subview_of(pid(0)), merged.subview_of(pid(2)));
+}
+
+TEST(MergeStructures, NewcomerBecomesSingleton) {
+  const auto s = EViewStructure::singleton(pid(0));
+  const ViewId prior{3, pid(0)};
+  const auto merged = merge_structures(kNewView, {pid(0), pid(5)},
+                                       {info(pid(0), prior, s)}, {});
+  EXPECT_EQ(merged.subviews().size(), 2u);
+  EXPECT_EQ(merged.subview_of(pid(5)), svid(pid(5), kNewView.epoch));
+  EXPECT_EQ(merged.svset_of(svid(pid(5), kNewView.epoch)),
+            ssid(pid(5), kNewView.epoch));
+}
+
+TEST(MergeStructures, PendingOpsRollTheRepresentativeForward) {
+  // The representative froze at ev_seq 1, but the flush union contains the
+  // op with seq 2 (a subview merge). The merged structure must reflect it.
+  auto s = singletons(2);
+  EvOp op1;
+  op1.kind = EvOp::Kind::SvSetMerge;
+  op1.svsets = {ssid(pid(0)), ssid(pid(1))};
+  op1.new_svset = ssid(pid(0), 1);
+  ASSERT_TRUE(s.apply(op1));
+
+  EvOp op2;
+  op2.kind = EvOp::Kind::SubviewMerge;
+  op2.subviews = {svid(pid(0)), svid(pid(1))};
+  op2.new_subview = svid(pid(0), 2);
+
+  const ViewId prior{4, pid(0)};
+  std::map<ViewId, std::vector<std::pair<std::uint64_t, EvOp>>> pending;
+  pending[prior] = {{2, op2}};
+
+  const auto merged = merge_structures(
+      kNewView, members(2),
+      {info(pid(0), prior, s, 1), info(pid(1), prior, s, 1)}, pending);
+  ASSERT_EQ(merged.subviews().size(), 1u);
+  EXPECT_EQ(merged.subviews()[0].members, members(2));
+}
+
+TEST(MergeStructures, RepresentativeIsMostAdvancedMember) {
+  // p0 froze before applying the merge (applied=0, old structure), p1
+  // after (applied=1, merged structure). p1's context must win.
+  auto before = singletons(2);
+  auto after = before;
+  EvOp op;
+  op.kind = EvOp::Kind::SvSetMerge;
+  op.svsets = {ssid(pid(0)), ssid(pid(1))};
+  op.new_svset = ssid(pid(0), 1);
+  ASSERT_TRUE(after.apply(op));
+
+  const ViewId prior{4, pid(0)};
+  const auto merged = merge_structures(
+      kNewView, members(2),
+      {info(pid(0), prior, before, 0), info(pid(1), prior, after, 1)}, {});
+  // The sv-set merge applied by the most advanced member survives: one
+  // sv-set containing both subviews.
+  ASSERT_EQ(merged.svsets().size(), 1u);
+  EXPECT_EQ(merged.svsets()[0].subviews.size(), 2u);
+}
+
+TEST(MergeStructures, MemberMissingFromOwnClusterBecomesSingleton) {
+  // Defensive path: a context that does not even contain its reporter.
+  const auto s = EViewStructure::singleton(pid(0));
+  const ViewId prior{2, pid(9)};
+  const auto merged =
+      merge_structures(kNewView, {pid(1)}, {info(pid(1), prior, s)}, {});
+  EXPECT_EQ(merged.subview_of(pid(1)), svid(pid(1), kNewView.epoch));
+}
+
+TEST(MergeStructures, EmptyInfosYieldAllSingletons) {
+  const auto merged = merge_structures(kNewView, members(3), {}, {});
+  EXPECT_EQ(merged.subviews().size(), 3u);
+  EXPECT_EQ(merged.svsets().size(), 3u);
+}
+
+TEST(MergeStructures, PrePartitionSubviewIdDoesNotAliasClusters) {
+  // Regression: a subview formed *before* a partition survives (with the
+  // same old id) into both sides. When the partition heals, the two
+  // clusters must NOT collapse into one subview just because their prior
+  // ids match — grouping is keyed by (prior view, id).
+  const SubviewId shared_id{pid(0), 7};
+  auto a = EViewStructure::from_parts({Subview{shared_id, {pid(0), pid(1)}}},
+                                      {SvSet{ssid(pid(0), 7), {shared_id}}});
+  auto b = EViewStructure::from_parts({Subview{shared_id, {pid(2), pid(3)}}},
+                                      {SvSet{ssid(pid(0), 7), {shared_id}}});
+  const ViewId va{9, pid(0)};
+  const ViewId vb{9, pid(2)};
+  const auto merged = merge_structures(
+      kNewView, members(4),
+      {info(pid(0), va, a), info(pid(1), va, a), info(pid(2), vb, b),
+       info(pid(3), vb, b)},
+      {});
+  ASSERT_EQ(merged.subviews().size(), 2u);
+  EXPECT_NE(merged.subview_of(pid(0)), merged.subview_of(pid(2)));
+  EXPECT_EQ(merged.svsets().size(), 2u);
+}
+
+TEST(MergeStructures, ResultIsValidPartition) {
+  auto a = EViewStructure::from_parts(
+      {Subview{svid(pid(0), 3), {pid(0), pid(1), pid(2)}}},
+      {SvSet{ssid(pid(0), 3), {svid(pid(0), 3)}}});
+  const ViewId va{9, pid(0)};
+  // p2 is gone; p7 is new.
+  const auto merged = merge_structures(
+      kNewView, {pid(0), pid(1), pid(7)},
+      {info(pid(0), va, a), info(pid(1), va, a)}, {});
+  merged.validate({pid(0), pid(1), pid(7)});
+  EXPECT_EQ(merged.subview_of(pid(0)), merged.subview_of(pid(1)));
+  EXPECT_NE(merged.subview_of(pid(0)), merged.subview_of(pid(7)));
+}
+
+}  // namespace
+}  // namespace evs::core

@@ -1,0 +1,188 @@
+// Test support: a cluster of enriched-view-synchrony endpoints, plus a
+// recording delegate that captures the interleaving of e-view changes and
+// application deliveries (needed by the consistent-cut oracle, P6.2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/check.hpp"
+#include "evs/endpoint.hpp"
+#include "sim/world.hpp"
+
+namespace evs::test {
+
+class EvsRecorder : public core::EvsDelegate {
+ public:
+  struct EViewEvent {
+    ViewId view;
+    std::uint64_t ev_seq;
+    std::string structure;
+    std::size_t subviews;
+    std::size_t svsets;
+  };
+  struct DeliverEvent {
+    ViewId view;
+    ProcessId sender;
+    std::string payload;
+  };
+  using Event = std::variant<EViewEvent, DeliverEvent>;
+
+  explicit EvsRecorder(core::EvsEndpoint& endpoint) : endpoint_(&endpoint) {
+    endpoint.set_evs_delegate(this);
+  }
+
+  void on_eview(const core::EView& eview) override {
+    events_.push_back(EViewEvent{eview.view.id, eview.ev_seq,
+                                 eview.structure.str(),
+                                 eview.structure.subviews().size(),
+                                 eview.structure.svsets().size()});
+  }
+
+  void on_app_deliver(ProcessId sender, const Bytes& payload) override {
+    events_.push_back(
+        DeliverEvent{endpoint_->eview().view.id, sender, to_string(payload)});
+  }
+
+  void multicast(const std::string& payload) {
+    endpoint_->app_multicast(to_bytes(payload));
+  }
+
+  core::EvsEndpoint& endpoint() { return *endpoint_; }
+  ProcessId endpoint_id() const { return endpoint_->id(); }
+  const std::vector<Event>& events() const { return events_; }
+
+  std::vector<DeliverEvent> deliveries() const {
+    std::vector<DeliverEvent> out;
+    for (const Event& e : events_) {
+      if (const auto* d = std::get_if<DeliverEvent>(&e)) out.push_back(*d);
+    }
+    return out;
+  }
+
+  std::vector<EViewEvent> eviews() const {
+    std::vector<EViewEvent> out;
+    for (const Event& e : events_) {
+      if (const auto* v = std::get_if<EViewEvent>(&e)) out.push_back(*v);
+    }
+    return out;
+  }
+
+ private:
+  core::EvsEndpoint* endpoint_;
+  std::vector<Event> events_;
+};
+
+struct EvsClusterOptions {
+  std::size_t sites = 3;
+  std::uint64_t seed = 42;
+  sim::NetworkConfig net;
+  vsync::EndpointConfig endpoint;
+  bool spawn_all = true;
+};
+
+class EvsCluster {
+ public:
+  explicit EvsCluster(EvsClusterOptions options)
+      : options_(options), world_(options.seed, options.net) {
+    sites_ = world_.add_sites(options.sites);
+    options_.endpoint.universe = sites_;
+    world_.set_default_spawner(
+        [this](sim::World&, SiteId site) { spawn_at(site); });
+    if (options.spawn_all) {
+      for (const SiteId site : sites_) spawn_at(site);
+    }
+  }
+
+  core::EvsEndpoint& spawn_at(SiteId site) {
+    auto& ep = world_.spawn<core::EvsEndpoint>(site, options_.endpoint);
+    auto rec = std::make_unique<EvsRecorder>(ep);
+    live_recorder_[site] = rec.get();
+    live_endpoint_[site] = &ep;
+    recorders_.push_back(std::move(rec));
+    return ep;
+  }
+
+  sim::World& world() { return world_; }
+  const std::vector<SiteId>& sites() const { return sites_; }
+  SiteId site(std::size_t i) const { return sites_.at(i); }
+
+  core::EvsEndpoint& ep(std::size_t i) {
+    const SiteId s = site(i);
+    EVS_CHECK(world_.site_alive(s));
+    return *live_endpoint_.at(s);
+  }
+
+  EvsRecorder& rec(std::size_t i) {
+    const SiteId s = site(i);
+    EVS_CHECK(world_.site_alive(s));
+    return *live_recorder_.at(s);
+  }
+
+  const std::vector<std::unique_ptr<EvsRecorder>>& all_recorders() const {
+    return recorders_;
+  }
+
+  bool await(const std::function<bool()>& pred,
+             SimDuration timeout = 60 * kSecond,
+             SimDuration poll = 10 * kMillisecond) {
+    const SimTime deadline = world_.scheduler().now() + timeout;
+    while (world_.scheduler().now() < deadline) {
+      if (pred()) return true;
+      world_.run_for(poll);
+    }
+    return pred();
+  }
+
+  bool stable_view_among(const std::vector<std::size_t>& indices) {
+    std::vector<ProcessId> expected;
+    for (const std::size_t i : indices) {
+      if (!world_.site_alive(site(i))) return false;
+      expected.push_back(world_.live_process(site(i)));
+    }
+    std::sort(expected.begin(), expected.end());
+    const gms::View& first = ep(indices.front()).view();
+    if (first.members != expected) return false;
+    for (const std::size_t i : indices) {
+      if (ep(i).view().id != first.id) return false;
+      if (ep(i).blocked()) return false;
+    }
+    return true;
+  }
+
+  bool await_stable_view(const std::vector<std::size_t>& indices,
+                         SimDuration timeout = 60 * kSecond) {
+    return await([&]() { return stable_view_among(indices); }, timeout);
+  }
+
+  /// Every live endpoint in `indices` reports the same structure string.
+  bool structures_agree(const std::vector<std::size_t>& indices) {
+    const std::string expected = ep(indices.front()).eview().structure.str();
+    for (const std::size_t i : indices) {
+      if (ep(i).eview().structure.str() != expected) return false;
+      if (ep(i).eview().ev_seq != ep(indices.front()).eview().ev_seq)
+        return false;
+    }
+    return true;
+  }
+
+  std::vector<std::size_t> all_indices() const {
+    std::vector<std::size_t> v(sites_.size());
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = i;
+    return v;
+  }
+
+ private:
+  EvsClusterOptions options_;
+  sim::World world_;
+  std::vector<SiteId> sites_;
+  std::vector<std::unique_ptr<EvsRecorder>> recorders_;
+  std::unordered_map<SiteId, EvsRecorder*> live_recorder_;
+  std::unordered_map<SiteId, core::EvsEndpoint*> live_endpoint_;
+};
+
+}  // namespace evs::test

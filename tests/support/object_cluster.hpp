@@ -1,0 +1,101 @@
+// Test support: a cluster of concrete group objects (ReplicatedFile,
+// ParallelDb, LockManager, MergeableKv) over a simulated world.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "app/group_object.hpp"
+#include "common/check.hpp"
+#include "sim/world.hpp"
+
+namespace evs::test {
+
+template <typename Object, typename Config>
+class ObjectCluster {
+ public:
+  using ConfigFactory = std::function<Config(const std::vector<SiteId>&)>;
+
+  ObjectCluster(std::size_t n, std::uint64_t seed, ConfigFactory make_config,
+                sim::NetworkConfig net = {}, bool spawn_all = true)
+      : world_(seed, net), make_config_(std::move(make_config)) {
+    sites_ = world_.add_sites(n);
+    world_.set_default_spawner(
+        [this](sim::World&, SiteId site) { spawn_at(site); });
+    if (spawn_all) {
+      for (const SiteId site : sites_) spawn_at(site);
+    }
+  }
+
+  Object& spawn_at(SiteId site) {
+    auto& obj = world_.spawn<Object>(site, make_config_(sites_));
+    live_[site] = &obj;
+    return obj;
+  }
+
+  sim::World& world() { return world_; }
+  const std::vector<SiteId>& sites() const { return sites_; }
+  SiteId site(std::size_t i) const { return sites_.at(i); }
+
+  Object& obj(std::size_t i) {
+    const SiteId s = site(i);
+    EVS_CHECK(world_.site_alive(s));
+    return *live_.at(s);
+  }
+
+  bool await(const std::function<bool()>& pred,
+             SimDuration timeout = 120 * kSecond,
+             SimDuration poll = 10 * kMillisecond) {
+    const SimTime deadline = world_.scheduler().now() + timeout;
+    while (world_.scheduler().now() < deadline) {
+      if (pred()) return true;
+      world_.run_for(poll);
+    }
+    return pred();
+  }
+
+  /// All of `indices` share one stable view whose membership is exactly
+  /// the live processes at those indices, and all are in NORMAL mode.
+  bool all_normal(const std::vector<std::size_t>& indices) {
+    std::vector<ProcessId> expected;
+    for (const std::size_t i : indices) {
+      if (!world_.site_alive(site(i))) return false;
+      expected.push_back(world_.live_process(site(i)));
+    }
+    std::sort(expected.begin(), expected.end());
+    ViewId first{};
+    bool have_first = false;
+    for (const std::size_t i : indices) {
+      Object& o = obj(i);
+      if (o.blocked() || o.mode() != app::Mode::Normal) return false;
+      if (o.view().members != expected) return false;
+      if (!have_first) {
+        first = o.view().id;
+        have_first = true;
+      } else if (o.view().id != first) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool await_all_normal(const std::vector<std::size_t>& indices,
+                        SimDuration timeout = 120 * kSecond) {
+    return await([&]() { return all_normal(indices); }, timeout);
+  }
+
+  std::vector<std::size_t> all_indices() const {
+    std::vector<std::size_t> v(sites_.size());
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = i;
+    return v;
+  }
+
+ private:
+  sim::World world_;
+  ConfigFactory make_config_;
+  std::vector<SiteId> sites_;
+  std::unordered_map<SiteId, Object*> live_;
+};
+
+}  // namespace evs::test

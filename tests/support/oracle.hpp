@@ -1,0 +1,135 @@
+// Test support: global-property oracles for view synchrony.
+//
+// These check the paper's Section-2 specification over the recorded
+// histories of every incarnation in a run:
+//   Agreement  (P2.1): processes that survive from view v to the same next
+//                      view delivered the same set of messages in v.
+//   Uniqueness (P2.2): a message is delivered in at most one view
+//                      (across all processes).
+//   Integrity  (P2.3): at most once per process, and only if some process
+//                      multicast it.
+// Payloads must be globally unique within a test for these oracles.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/recorder.hpp"
+
+namespace evs::test {
+
+using DeliverySet = std::set<std::pair<ProcessId, std::string>>;
+
+inline ::testing::AssertionResult check_uniqueness(
+    const std::vector<const Recorder*>& recorders) {
+  std::map<std::string, std::set<ViewId>> views_of_payload;
+  for (const Recorder* rec : recorders) {
+    for (const auto& d : rec->deliveries()) {
+      views_of_payload[d.payload].insert(d.view);
+    }
+  }
+  for (const auto& [payload, views] : views_of_payload) {
+    if (views.size() > 1) {
+      return ::testing::AssertionFailure()
+             << "Uniqueness violated: '" << payload << "' delivered in "
+             << views.size() << " distinct views";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+inline ::testing::AssertionResult check_integrity(
+    const std::vector<const Recorder*>& recorders) {
+  // Gather everything ever multicast, per sender.
+  std::map<ProcessId, std::set<std::string>> sent_by;
+  for (const Recorder* rec : recorders) {
+    auto& sent = sent_by[rec->endpoint_id()];
+    sent.insert(rec->sent().begin(), rec->sent().end());
+  }
+  for (const Recorder* rec : recorders) {
+    std::set<std::pair<ProcessId, std::string>> seen;
+    for (const auto& d : rec->deliveries()) {
+      if (!seen.emplace(d.sender, d.payload).second) {
+        return ::testing::AssertionFailure()
+               << "Integrity violated: " << to_string(rec->endpoint_id())
+               << " delivered '" << d.payload << "' twice";
+      }
+      const auto it = sent_by.find(d.sender);
+      if (it == sent_by.end() || !it->second.contains(d.payload)) {
+        return ::testing::AssertionFailure()
+               << "Integrity violated: '" << d.payload
+               << "' delivered but never multicast by " << to_string(d.sender);
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+inline ::testing::AssertionResult check_agreement(
+    const std::vector<const Recorder*>& recorders) {
+  // Per recorder: the set of messages it delivered in each view, and its
+  // view transitions v -> v'.
+  struct PerProcess {
+    std::map<ViewId, DeliverySet> delivered_in;
+    std::map<ViewId, ViewId> next_view;
+  };
+  std::vector<std::pair<const Recorder*, PerProcess>> data;
+  for (const Recorder* rec : recorders) {
+    PerProcess pp;
+    for (const auto& d : rec->deliveries()) {
+      pp.delivered_in[d.view].emplace(d.sender, d.payload);
+    }
+    const auto& views = rec->views();
+    for (std::size_t i = 0; i + 1 < views.size(); ++i) {
+      pp.next_view.emplace(views[i].view.id, views[i + 1].view.id);
+    }
+    data.emplace_back(rec, std::move(pp));
+  }
+  for (std::size_t a = 0; a < data.size(); ++a) {
+    for (std::size_t b = a + 1; b < data.size(); ++b) {
+      const auto& [ra, pa] = data[a];
+      const auto& [rb, pb] = data[b];
+      for (const auto& [view, next_a] : pa.next_view) {
+        const auto it = pb.next_view.find(view);
+        if (it == pb.next_view.end() || it->second != next_a) continue;
+        // Both survived view -> next_a: delivered sets in `view` must match.
+        static const DeliverySet kEmpty;
+        const auto da = pa.delivered_in.find(view);
+        const auto db = pb.delivered_in.find(view);
+        const DeliverySet& sa = da == pa.delivered_in.end() ? kEmpty : da->second;
+        const DeliverySet& sb = db == pb.delivered_in.end() ? kEmpty : db->second;
+        if (sa != sb) {
+          std::ostringstream os;
+          os << "Agreement violated between " << to_string(ra->endpoint_id())
+             << " and " << to_string(rb->endpoint_id()) << " in view "
+             << to_string(view) << ": " << sa.size() << " vs " << sb.size()
+             << " deliveries";
+          return ::testing::AssertionFailure() << os.str();
+        }
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+inline ::testing::AssertionResult check_vs_properties(
+    const std::vector<const Recorder*>& recorders) {
+  if (auto r = check_uniqueness(recorders); !r) return r;
+  if (auto r = check_integrity(recorders); !r) return r;
+  return check_agreement(recorders);
+}
+
+inline std::vector<const Recorder*> recorder_ptrs(
+    const std::vector<std::unique_ptr<Recorder>>& owned) {
+  std::vector<const Recorder*> out;
+  out.reserve(owned.size());
+  for (const auto& r : owned) out.push_back(r.get());
+  return out;
+}
+
+}  // namespace evs::test

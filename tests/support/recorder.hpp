@@ -1,0 +1,60 @@
+// Test support: a recording vsync::Delegate.
+//
+// Tags every delivery with the view in which it happened (flush-path
+// deliveries occur before the endpoint reassigns its view, so the tag is
+// the dying view — exactly what the oracles need).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gms/view.hpp"
+#include "gms/wire.hpp"
+#include "vsync/endpoint.hpp"
+
+namespace evs::test {
+
+class Recorder : public vsync::Delegate {
+ public:
+  struct ViewRecord {
+    gms::View view;
+    std::vector<gms::MemberContext> contexts;
+  };
+  struct Delivery {
+    ViewId view;
+    ProcessId sender;
+    std::string payload;
+  };
+
+  explicit Recorder(vsync::Endpoint& endpoint) : endpoint_(&endpoint) {
+    endpoint.set_delegate(this);
+  }
+
+  void on_view(const gms::View& view, const vsync::InstallInfo& info) override {
+    views_.push_back(ViewRecord{view, info.contexts});
+  }
+
+  void on_deliver(ProcessId sender, const Bytes& payload) override {
+    deliveries_.push_back(
+        Delivery{endpoint_->view().id, sender, to_string(payload)});
+  }
+
+  void multicast(const std::string& payload) {
+    sent_.push_back(payload);
+    endpoint_->multicast(to_bytes(payload));
+  }
+
+  vsync::Endpoint& endpoint() { return *endpoint_; }
+  ProcessId endpoint_id() const { return endpoint_->id(); }
+  const std::vector<ViewRecord>& views() const { return views_; }
+  const std::vector<Delivery>& deliveries() const { return deliveries_; }
+  const std::vector<std::string>& sent() const { return sent_; }
+
+ private:
+  vsync::Endpoint* endpoint_;
+  std::vector<ViewRecord> views_;
+  std::vector<Delivery> deliveries_;
+  std::vector<std::string> sent_;
+};
+
+}  // namespace evs::test
