@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_structure_cost.dir/abl_structure_cost.cpp.o"
+  "CMakeFiles/abl_structure_cost.dir/abl_structure_cost.cpp.o.d"
+  "abl_structure_cost"
+  "abl_structure_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_structure_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

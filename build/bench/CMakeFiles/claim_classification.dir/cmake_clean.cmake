@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_classification.dir/claim_classification.cpp.o"
+  "CMakeFiles/claim_classification.dir/claim_classification.cpp.o.d"
+  "claim_classification"
+  "claim_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

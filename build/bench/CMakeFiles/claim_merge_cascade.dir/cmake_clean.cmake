@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_merge_cascade.dir/claim_merge_cascade.cpp.o"
+  "CMakeFiles/claim_merge_cascade.dir/claim_merge_cascade.cpp.o.d"
+  "claim_merge_cascade"
+  "claim_merge_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_merge_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_state_transfer.dir/claim_state_transfer.cpp.o"
+  "CMakeFiles/claim_state_transfer.dir/claim_state_transfer.cpp.o.d"
+  "claim_state_transfer"
+  "claim_state_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_state_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_mode_transitions.dir/fig1_mode_transitions.cpp.o"
+  "CMakeFiles/fig1_mode_transitions.dir/fig1_mode_transitions.cpp.o.d"
+  "fig1_mode_transitions"
+  "fig1_mode_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_mode_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

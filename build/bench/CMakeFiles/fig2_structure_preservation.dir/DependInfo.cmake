@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_structure_preservation.cpp" "bench/CMakeFiles/fig2_structure_preservation.dir/fig2_structure_preservation.cpp.o" "gcc" "bench/CMakeFiles/fig2_structure_preservation.dir/fig2_structure_preservation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/objects/CMakeFiles/evs_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/evs_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/evs/CMakeFiles/evs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/evs_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/vsync/CMakeFiles/evs_vsync.dir/DependInfo.cmake"
+  "/root/repo/build/src/gms/CMakeFiles/evs_gms.dir/DependInfo.cmake"
+  "/root/repo/build/src/detector/CMakeFiles/evs_detector.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/evs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/evs_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/evs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

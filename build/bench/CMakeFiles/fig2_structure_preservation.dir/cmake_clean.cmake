@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_structure_preservation.dir/fig2_structure_preservation.cpp.o"
+  "CMakeFiles/fig2_structure_preservation.dir/fig2_structure_preservation.cpp.o.d"
+  "fig2_structure_preservation"
+  "fig2_structure_preservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_structure_preservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_eview_changes.dir/fig3_eview_changes.cpp.o"
+  "CMakeFiles/fig3_eview_changes.dir/fig3_eview_changes.cpp.o.d"
+  "fig3_eview_changes"
+  "fig3_eview_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_eview_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

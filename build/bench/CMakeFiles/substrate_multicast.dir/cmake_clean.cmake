@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substrate_multicast.dir/substrate_multicast.cpp.o"
+  "CMakeFiles/substrate_multicast.dir/substrate_multicast.cpp.o.d"
+  "substrate_multicast"
+  "substrate_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substrate_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

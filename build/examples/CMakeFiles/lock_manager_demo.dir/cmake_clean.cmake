@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_manager_demo.dir/lock_manager_demo.cpp.o"
+  "CMakeFiles/lock_manager_demo.dir/lock_manager_demo.cpp.o.d"
+  "lock_manager_demo"
+  "lock_manager_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_manager_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

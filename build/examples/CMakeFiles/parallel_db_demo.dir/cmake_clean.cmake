@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_db_demo.dir/parallel_db_demo.cpp.o"
+  "CMakeFiles/parallel_db_demo.dir/parallel_db_demo.cpp.o.d"
+  "parallel_db_demo"
+  "parallel_db_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_db_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

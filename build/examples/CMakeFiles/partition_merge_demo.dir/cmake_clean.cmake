@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_merge_demo.dir/partition_merge_demo.cpp.o"
+  "CMakeFiles/partition_merge_demo.dir/partition_merge_demo.cpp.o.d"
+  "partition_merge_demo"
+  "partition_merge_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_merge_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_file_demo.dir/replicated_file_demo.cpp.o"
+  "CMakeFiles/replicated_file_demo.dir/replicated_file_demo.cpp.o.d"
+  "replicated_file_demo"
+  "replicated_file_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_file_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evs_app.dir/classify.cpp.o"
+  "CMakeFiles/evs_app.dir/classify.cpp.o.d"
+  "CMakeFiles/evs_app.dir/group_object.cpp.o"
+  "CMakeFiles/evs_app.dir/group_object.cpp.o.d"
+  "CMakeFiles/evs_app.dir/history.cpp.o"
+  "CMakeFiles/evs_app.dir/history.cpp.o.d"
+  "CMakeFiles/evs_app.dir/mode.cpp.o"
+  "CMakeFiles/evs_app.dir/mode.cpp.o.d"
+  "libevs_app.a"
+  "libevs_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evs_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

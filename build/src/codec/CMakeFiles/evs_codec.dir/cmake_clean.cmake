@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evs_codec.dir/codec.cpp.o"
+  "CMakeFiles/evs_codec.dir/codec.cpp.o.d"
+  "libevs_codec.a"
+  "libevs_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evs_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

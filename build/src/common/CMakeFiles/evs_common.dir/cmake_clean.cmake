@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evs_common.dir/check.cpp.o"
+  "CMakeFiles/evs_common.dir/check.cpp.o.d"
+  "CMakeFiles/evs_common.dir/ids.cpp.o"
+  "CMakeFiles/evs_common.dir/ids.cpp.o.d"
+  "CMakeFiles/evs_common.dir/log.cpp.o"
+  "CMakeFiles/evs_common.dir/log.cpp.o.d"
+  "libevs_common.a"
+  "libevs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

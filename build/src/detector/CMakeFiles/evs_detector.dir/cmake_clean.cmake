@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evs_detector.dir/heartbeat.cpp.o"
+  "CMakeFiles/evs_detector.dir/heartbeat.cpp.o.d"
+  "libevs_detector.a"
+  "libevs_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evs_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

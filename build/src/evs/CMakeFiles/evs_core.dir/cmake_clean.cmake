@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evs_core.dir/endpoint.cpp.o"
+  "CMakeFiles/evs_core.dir/endpoint.cpp.o.d"
+  "CMakeFiles/evs_core.dir/structure.cpp.o"
+  "CMakeFiles/evs_core.dir/structure.cpp.o.d"
+  "libevs_core.a"
+  "libevs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

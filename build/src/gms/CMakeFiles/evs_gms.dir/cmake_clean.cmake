@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evs_gms.dir/policy.cpp.o"
+  "CMakeFiles/evs_gms.dir/policy.cpp.o.d"
+  "CMakeFiles/evs_gms.dir/view.cpp.o"
+  "CMakeFiles/evs_gms.dir/view.cpp.o.d"
+  "CMakeFiles/evs_gms.dir/wire.cpp.o"
+  "CMakeFiles/evs_gms.dir/wire.cpp.o.d"
+  "libevs_gms.a"
+  "libevs_gms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evs_gms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evs_objects.dir/lock_manager.cpp.o"
+  "CMakeFiles/evs_objects.dir/lock_manager.cpp.o.d"
+  "CMakeFiles/evs_objects.dir/mergeable_kv.cpp.o"
+  "CMakeFiles/evs_objects.dir/mergeable_kv.cpp.o.d"
+  "CMakeFiles/evs_objects.dir/parallel_db.cpp.o"
+  "CMakeFiles/evs_objects.dir/parallel_db.cpp.o.d"
+  "CMakeFiles/evs_objects.dir/replicated_file.cpp.o"
+  "CMakeFiles/evs_objects.dir/replicated_file.cpp.o.d"
+  "libevs_objects.a"
+  "libevs_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evs_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evs_order.dir/layers.cpp.o"
+  "CMakeFiles/evs_order.dir/layers.cpp.o.d"
+  "CMakeFiles/evs_order.dir/vector_clock.cpp.o"
+  "CMakeFiles/evs_order.dir/vector_clock.cpp.o.d"
+  "libevs_order.a"
+  "libevs_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evs_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

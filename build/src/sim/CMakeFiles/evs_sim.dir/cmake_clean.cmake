@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evs_sim.dir/fault.cpp.o"
+  "CMakeFiles/evs_sim.dir/fault.cpp.o.d"
+  "CMakeFiles/evs_sim.dir/network.cpp.o"
+  "CMakeFiles/evs_sim.dir/network.cpp.o.d"
+  "CMakeFiles/evs_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/evs_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/evs_sim.dir/stable_store.cpp.o"
+  "CMakeFiles/evs_sim.dir/stable_store.cpp.o.d"
+  "CMakeFiles/evs_sim.dir/world.cpp.o"
+  "CMakeFiles/evs_sim.dir/world.cpp.o.d"
+  "libevs_sim.a"
+  "libevs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

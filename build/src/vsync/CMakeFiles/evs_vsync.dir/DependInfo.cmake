@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vsync/endpoint.cpp" "src/vsync/CMakeFiles/evs_vsync.dir/endpoint.cpp.o" "gcc" "src/vsync/CMakeFiles/evs_vsync.dir/endpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/evs_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/evs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/detector/CMakeFiles/evs_detector.dir/DependInfo.cmake"
+  "/root/repo/build/src/gms/CMakeFiles/evs_gms.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evs_vsync.dir/endpoint.cpp.o"
+  "CMakeFiles/evs_vsync.dir/endpoint.cpp.o.d"
+  "libevs_vsync.a"
+  "libevs_vsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evs_vsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libevs_vsync.a"
+)

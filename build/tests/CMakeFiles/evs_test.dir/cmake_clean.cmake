@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evs_test.dir/evs_test.cpp.o"
+  "CMakeFiles/evs_test.dir/evs_test.cpp.o.d"
+  "evs_test"
+  "evs_test.pdb"
+  "evs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
