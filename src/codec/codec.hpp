@@ -30,6 +30,12 @@ class Encoder {
  public:
   Encoder() = default;
 
+  /// Size hint: pre-allocates the buffer so a known-size message encodes
+  /// with a single allocation. Over-estimating slightly is fine; framing
+  /// adds one tag byte, so hint `expected + 1` when the encoder will be
+  /// passed to gms::frame.
+  void reserve(std::size_t expected_bytes) { buffer_.reserve(expected_bytes); }
+
   void put_u8(std::uint8_t v);
   void put_u16(std::uint16_t v);
   void put_u32(std::uint32_t v);

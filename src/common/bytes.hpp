@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -9,6 +10,33 @@
 namespace evs {
 
 using Bytes = std::vector<std::uint8_t>;
+
+/// Ref-counted immutable payload: one encoded buffer shared by every
+/// scheduled delivery of a fan-out, instead of one heap copy per
+/// recipient. Immutability is structural (shared_ptr<const Bytes>), so a
+/// handler can never mutate bytes another in-flight delivery will read.
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+  explicit SharedBytes(Bytes bytes)
+      : data_(std::make_shared<const Bytes>(std::move(bytes))) {}
+
+  const Bytes& bytes() const { return data_ ? *data_ : empty_bytes(); }
+  std::size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return size() == 0; }
+
+  /// Number of owners of the underlying buffer (0 for a default-constructed
+  /// value); exposed so tests can assert sharing rather than guess.
+  long use_count() const { return data_.use_count(); }
+
+ private:
+  static const Bytes& empty_bytes() {
+    static const Bytes empty;
+    return empty;
+  }
+
+  std::shared_ptr<const Bytes> data_;
+};
 
 /// Builds a byte buffer from a string literal / std::string (test helper).
 inline Bytes to_bytes(std::string_view s) {

@@ -41,6 +41,7 @@ void EvsEndpoint::send_app(Bytes payload) {
   ++evs_stats_.app_sent;
   const std::uint64_t seq = ++lseq_;
   Encoder enc;
+  enc.reserve(payload.size() + 24);
   if (is_sequencer()) {
     enc.put_u8(static_cast<std::uint8_t>(Tag::Stamped));
     enc.put_process(id());
@@ -186,6 +187,7 @@ void EvsEndpoint::handle_fwd(ProcessId sender, Decoder& dec) {
     const auto it = unordered_.find(key);
     ++evs_stats_.stamped;
     Encoder enc;
+    enc.reserve(it->second.size() + 24);
     enc.put_u8(static_cast<std::uint8_t>(Tag::Stamped));
     enc.put_process(sender);
     enc.put_varint(lseq);

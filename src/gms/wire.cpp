@@ -143,6 +143,12 @@ Bytes frame(Channel channel, const Encoder& body) {
   return out;
 }
 
+Bytes frame(Channel channel, Encoder&& body) {
+  Bytes out = std::move(body).take();
+  out.insert(out.begin(), static_cast<std::uint8_t>(channel));
+  return out;
+}
+
 Channel peek_channel(Decoder& dec) {
   const std::uint8_t tag = dec.get_u8();
   switch (tag) {

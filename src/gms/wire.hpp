@@ -130,8 +130,12 @@ struct StabilityMsg {
   static StabilityMsg decode(Decoder& dec);
 };
 
-/// Helpers that frame a channel payload.
+/// Helpers that frame a channel payload. The rvalue overload steals the
+/// encoder's buffer and prepends the tag in place — no second allocation,
+/// no full-body copy; prefer it on every send path. The lvalue overload
+/// copies and remains for call sites that reuse the body.
 Bytes frame(Channel channel, const Encoder& body);
+Bytes frame(Channel channel, Encoder&& body);
 Channel peek_channel(Decoder& dec);
 
 }  // namespace evs::gms

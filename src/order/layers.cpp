@@ -27,6 +27,7 @@ FifoLayer::FifoLayer(vsync::Endpoint& endpoint, OrderDelegate& up)
 void FifoLayer::multicast(Bytes payload) {
   ++stats_.sent;
   Encoder enc;
+  enc.reserve(payload.size() + 8);
   enc.put_u8(static_cast<std::uint8_t>(Tag::Plain));
   enc.put_bytes(payload);
   stats_.overhead_bytes += enc.size() - payload.size();
@@ -64,6 +65,7 @@ void CausalLayer::multicast(Bytes payload) {
 
   ++stats_.sent;
   Encoder enc;
+  enc.reserve(payload.size() + 10 * stamp.size() + 8);
   enc.put_u8(static_cast<std::uint8_t>(Tag::Causal));
   stamp.encode(enc);
   enc.put_bytes(payload);
@@ -153,6 +155,7 @@ void TotalLayer::multicast(Bytes payload) {
   ++stats_.sent;
   const std::uint64_t seq = ++lseq_;
   Encoder enc;
+  enc.reserve(payload.size() + 32);
   if (is_sequencer()) {
     // The sequencer stamps its own sends directly.
     enc.put_u8(static_cast<std::uint8_t>(Tag::Stamped));
@@ -183,6 +186,7 @@ void TotalLayer::on_deliver(ProcessId sender, const Bytes& payload) {
     if (is_sequencer() && !endpoint_.blocked()) {
       const auto it = unordered_.find(key);
       Encoder enc;
+      enc.reserve(it->second.size() + 32);
       enc.put_u8(static_cast<std::uint8_t>(Tag::Stamped));
       enc.put_process(sender);
       enc.put_varint(lseq);

@@ -61,10 +61,28 @@ void Network::heal() {
 }
 
 void Network::send(ProcessId from, ProcessId to, Bytes payload) {
+  ++stats_.payload_copies;
+  enqueue(from, to.site, to, SharedBytes(std::move(payload)));
+}
+
+void Network::send_to_site(ProcessId from, SiteId site, Bytes payload) {
+  ++stats_.payload_copies;
+  enqueue(from, site, std::nullopt, SharedBytes(std::move(payload)));
+}
+
+void Network::send_multi(ProcessId from,
+                         const std::vector<ProcessId>& recipients,
+                         SharedBytes payload) {
+  stats_.payloads_shared += recipients.size();
+  for (const ProcessId to : recipients) enqueue(from, to.site, to, payload);
+}
+
+void Network::enqueue(ProcessId from, SiteId site, std::optional<ProcessId> to,
+                      SharedBytes payload) {
   ++stats_.messages_sent;
   stats_.bytes_sent += payload.size();
 
-  if (!reachable(from.site, to.site)) {
+  if (!reachable(from.site, site)) {
     ++stats_.dropped_partition;
     return;
   }
@@ -73,12 +91,24 @@ void Network::send(ProcessId from, ProcessId to, Bytes payload) {
     return;
   }
 
-  const SimDuration delay = transit_delay(from.site, to.site, payload.size());
+  const SimDuration delay = transit_delay(from.site, site, payload.size());
   const std::uint64_t version_at_send = topology_version_;
 
-  scheduler_.schedule_after(delay, [this, from, to, version_at_send,
+  scheduler_.schedule_after(delay, [this, from, site, to, version_at_send,
                                     payload = std::move(payload)]() {
-    deliver(from, to, payload, version_at_send);
+    ProcessId dest;
+    if (to.has_value()) {
+      dest = *to;
+    } else {
+      // Site addressing: resolve the incarnation at delivery time.
+      const auto it = site_endpoint_.find(site);
+      if (it == site_endpoint_.end()) {
+        ++stats_.dropped_dead;
+        return;
+      }
+      dest = it->second;
+    }
+    deliver(from, dest, payload.bytes(), version_at_send);
   });
 }
 
@@ -99,34 +129,6 @@ SimDuration Network::transit_delay(SiteId from, SiteId to, std::size_t bytes) {
     delay += (start + tx) - scheduler_.now();
   }
   return delay;
-}
-
-void Network::send_to_site(ProcessId from, SiteId site, Bytes payload) {
-  ++stats_.messages_sent;
-  stats_.bytes_sent += payload.size();
-
-  if (!reachable(from.site, site)) {
-    ++stats_.dropped_partition;
-    return;
-  }
-  if (config_.loss_rate > 0.0 && rng_.bernoulli(config_.loss_rate)) {
-    ++stats_.dropped_loss;
-    return;
-  }
-
-  const SimDuration delay = transit_delay(from.site, site, payload.size());
-  const std::uint64_t version_at_send = topology_version_;
-
-  scheduler_.schedule_after(delay, [this, from, site, version_at_send,
-                                    payload = std::move(payload)]() {
-    // Resolve the incarnation at delivery time, not send time.
-    const auto it = site_endpoint_.find(site);
-    if (it == site_endpoint_.end()) {
-      ++stats_.dropped_dead;
-      return;
-    }
-    deliver(from, it->second, payload, version_at_send);
-  });
 }
 
 void Network::deliver(ProcessId from, ProcessId to, const Bytes& payload,

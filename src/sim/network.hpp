@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -48,6 +49,12 @@ struct NetworkStats {
   std::uint64_t dropped_dead = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_delivered = 0;
+  /// Sends that handed the network a uniquely-owned buffer (send /
+  /// send_to_site); each cost one heap buffer.
+  std::uint64_t payload_copies = 0;
+  /// Deliveries scheduled off a ref-counted buffer (send_multi); they cost
+  /// no payload allocation at all.
+  std::uint64_t payloads_shared = 0;
 };
 
 class Network {
@@ -72,6 +79,13 @@ class Network {
   /// incarnation). Used for discovery traffic such as heartbeats.
   void send_to_site(ProcessId from, SiteId site, Bytes payload);
 
+  /// Fan-out: schedules one delivery per recipient, all sharing `payload`'s
+  /// buffer instead of copying it per destination. Wire semantics are
+  /// identical to calling send() once per recipient — loss, partition,
+  /// bandwidth and stats accounting all stay per-link.
+  void send_multi(ProcessId from, const std::vector<ProcessId>& recipients,
+                  SharedBytes payload);
+
   /// Installs a partition: each group is a connected component; any site
   /// not mentioned becomes isolated in its own component.
   void set_partition(const std::vector<std::vector<SiteId>>& groups);
@@ -87,6 +101,11 @@ class Network {
  private:
   std::uint32_t component_of(SiteId site) const;
   SimDuration transit_delay(SiteId from, SiteId to, std::size_t bytes);
+  /// Shared send path: stats, partition/loss checks and delay scheduling
+  /// for one message to one destination site. When `to` is unset the live
+  /// incarnation at `site` is resolved at delivery time (site addressing).
+  void enqueue(ProcessId from, SiteId site, std::optional<ProcessId> to,
+               SharedBytes payload);
   void deliver(ProcessId from, ProcessId to, const Bytes& payload,
                std::uint64_t version_at_send);
 

@@ -9,6 +9,12 @@ void Actor::send(ProcessId to, Bytes payload) {
   world().network().send(id_, to, std::move(payload));
 }
 
+void Actor::send_multi(const std::vector<ProcessId>& recipients,
+                       SharedBytes payload) {
+  if (!alive_) return;
+  world().network().send_multi(id_, recipients, std::move(payload));
+}
+
 EventId Actor::set_timer(SimDuration delay, std::function<void()> fn) {
   EVS_CHECK(fn != nullptr);
   // Actors outlive their timers (the world never destroys actors until it

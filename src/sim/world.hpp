@@ -46,6 +46,9 @@ class Actor {
  protected:
   void send(ProcessId to, Bytes payload);
 
+  /// Encode-once fan-out: every recipient's delivery shares one buffer.
+  void send_multi(const std::vector<ProcessId>& recipients, SharedBytes payload);
+
   /// Schedules a callback that is silently dropped if this incarnation has
   /// crashed by the time it fires.
   EventId set_timer(SimDuration delay, std::function<void()> fn);

@@ -24,9 +24,8 @@ Endpoint::~Endpoint() = default;
 void Endpoint::on_start() {
   detector::DetectorHost host;
   host.send_heartbeat = [this](SiteId site) {
-    Encoder empty;
-    world().network().send_to_site(id(), site,
-                                   gms::frame(gms::Channel::Heartbeat, empty));
+    world().network().send_to_site(
+        id(), site, gms::frame(gms::Channel::Heartbeat, Encoder{}));
   };
   host.set_timer = [this](SimDuration d, std::function<void()> fn) {
     set_timer(d, std::move(fn));
@@ -76,11 +75,9 @@ void Endpoint::multicast(Bytes payload) {
   msg.payload = std::move(payload);
 
   Encoder body;
+  body.reserve(msg.payload.size() + 32);
   msg.encode(body);
-  for (const ProcessId member : view_.members) {
-    if (member == id()) continue;
-    send_framed(member, gms::Channel::Data, body);
-  }
+  fan_out(view_.members, gms::Channel::Data, std::move(body));
   // Self-delivery goes through the normal acceptance path so the message
   // is buffered for the flush and delivered FIFO like any other.
   accept_data(id(), std::move(msg));
@@ -90,10 +87,7 @@ void Endpoint::leave() {
   if (left_) return;
   left_ = true;
   Encoder body;
-  for (const ProcessId member : view_.members) {
-    if (member == id()) continue;
-    send_framed(member, gms::Channel::Leave, body);
-  }
+  fan_out(view_.members, gms::Channel::Leave, std::move(body));
   // Crash the incarnation once the announcements are on the wire.
   set_timer(0, [this]() { world().crash(id()); });
 }
@@ -193,7 +187,7 @@ void Endpoint::handle_propose(ProcessId from, const gms::Propose& msg) {
       Encoder body;
       body.put_u8(static_cast<std::uint8_t>(gms::MembershipKind::Nack));
       nack.encode(body);
-      send_framed(from, gms::Channel::Membership, body);
+      send_framed(from, gms::Channel::Membership, std::move(body));
     }
     return;
   }
@@ -221,7 +215,7 @@ void Endpoint::handle_propose(ProcessId from, const gms::Propose& msg) {
   body.put_u8(static_cast<std::uint8_t>(gms::MembershipKind::Ack));
   ack.encode(body);
   stats_.ack_bytes += body.size();
-  send_framed(from, gms::Channel::Membership, body);
+  send_framed(from, gms::Channel::Membership, std::move(body));
 }
 
 void Endpoint::handle_ack(ProcessId from, const gms::Ack& msg) {
@@ -253,10 +247,7 @@ void Endpoint::start_round(std::vector<ProcessId> members) {
   Encoder body;
   body.put_u8(static_cast<std::uint8_t>(gms::MembershipKind::Propose));
   propose.encode(body);
-  for (const ProcessId member : members) {
-    if (member == id()) continue;
-    send_framed(member, gms::Channel::Membership, body);
-  }
+  fan_out(members, gms::Channel::Membership, std::move(body));
   // Self-propose freezes us and self-acks.
   handle_propose(id(), propose);
 
@@ -303,11 +294,11 @@ void Endpoint::finish_round() {
   Encoder body;
   body.put_u8(static_cast<std::uint8_t>(gms::MembershipKind::Install));
   install.encode(body);
-  for (const ProcessId member : coord.proposed) {
-    if (member == id()) continue;
-    stats_.install_bytes += body.size();
-    send_framed(member, gms::Channel::Membership, body);
-  }
+  // install_bytes stays per-recipient: sharing the buffer must not change
+  // what the wire carries, only how often we build it.
+  for (const ProcessId member : coord.proposed)
+    if (member != id()) stats_.install_bytes += body.size();
+  fan_out(coord.proposed, gms::Channel::Membership, std::move(body));
   handle_install(install);
 }
 
@@ -455,9 +446,25 @@ void Endpoint::maybe_coordinate() {
   start_round(desired);
 }
 
-void Endpoint::send_framed(ProcessId to, gms::Channel channel,
-                           const Encoder& body) {
-  send(to, gms::frame(channel, body));
+SharedBytes Endpoint::frame_once(gms::Channel channel, Encoder&& body) {
+  ++stats_.frames_encoded;
+  SharedBytes framed(gms::frame(channel, std::move(body)));
+  stats_.frame_bytes_encoded += framed.size();
+  return framed;
+}
+
+void Endpoint::fan_out(const std::vector<ProcessId>& recipients,
+                       gms::Channel channel, Encoder&& body) {
+  std::vector<ProcessId> others;
+  others.reserve(recipients.size());
+  for (const ProcessId member : recipients)
+    if (member != id()) others.push_back(member);
+  if (others.empty()) return;
+  send_multi(others, frame_once(channel, std::move(body)));
+}
+
+void Endpoint::send_framed(ProcessId to, gms::Channel channel, Encoder&& body) {
+  send_multi({to}, frame_once(channel, std::move(body)));
 }
 
 void Endpoint::stability_tick() {
@@ -473,10 +480,7 @@ void Endpoint::stability_tick() {
     stability_reports_[id()] = msg.delivered_upto;
     Encoder body;
     msg.encode(body);
-    for (const ProcessId member : view_.members) {
-      if (member == id()) continue;
-      send_framed(member, gms::Channel::Stability, body);
-    }
+    fan_out(view_.members, gms::Channel::Stability, std::move(body));
     collect_garbage();
   }
   set_timer(config_.stability_interval, [this]() { stability_tick(); });

@@ -106,6 +106,11 @@ struct EndpointStats {
   std::uint64_t install_bytes = 0;
   std::uint64_t ack_bytes = 0;
   std::uint64_t stability_gc_messages = 0;
+  /// Wire frames built by this endpoint — with encode-once fan-out this
+  /// advances by 1 per multicast/PROPOSE/INSTALL/stability burst, not by
+  /// n−1 (asserted by tests and reported by benches).
+  std::uint64_t frames_encoded = 0;
+  std::uint64_t frame_bytes_encoded = 0;
   std::size_t buffer_peak = 0;
   SimTime last_install_time = 0;
 };
@@ -171,7 +176,15 @@ class Endpoint : public sim::Actor {
   void deliver(ProcessId sender, std::uint64_t seq, const Bytes& payload);
   bool already_delivered(ProcessId sender, std::uint64_t seq) const;
 
-  void send_framed(ProcessId to, gms::Channel channel, const Encoder& body);
+  /// Builds the wire frame exactly once, counting the encode work.
+  SharedBytes frame_once(gms::Channel channel, Encoder&& body);
+  /// Encode-once fan-out: frames `body` once and shares the buffer across
+  /// every member of `recipients` except self. When there is no remote
+  /// recipient the frame is never built.
+  void fan_out(const std::vector<ProcessId>& recipients, gms::Channel channel,
+               Encoder&& body);
+  /// Thin single-recipient wrapper over the shared path.
+  void send_framed(ProcessId to, gms::Channel channel, Encoder&& body);
 
   void stability_tick();
   gms::Ack make_ack(gms::RoundId round);

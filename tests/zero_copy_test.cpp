@@ -1,0 +1,178 @@
+// Regression tests for the encode-once / share-many send path.
+//
+// The fan-out optimization must be invisible on the wire: one application
+// multicast in a stable n-member view still produces exactly n-1 physical
+// messages, every recipient still sees byte-identical payloads, and the
+// only thing that changes is how often the frame is built (once) and how
+// the buffer is owned (shared, not copied per recipient).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/world.hpp"
+#include "support/cluster.hpp"
+#include "vsync/endpoint.hpp"
+
+namespace evs {
+namespace {
+
+TEST(SharedBytes, DefaultIsEmptyAndUnowned) {
+  SharedBytes sb;
+  EXPECT_TRUE(sb.empty());
+  EXPECT_EQ(sb.size(), 0u);
+  EXPECT_EQ(sb.use_count(), 0);
+  EXPECT_TRUE(sb.bytes().empty());
+}
+
+TEST(SharedBytes, CopiesShareOneBuffer) {
+  SharedBytes sb(to_bytes("payload"));
+  EXPECT_EQ(sb.use_count(), 1);
+  SharedBytes copy = sb;
+  EXPECT_EQ(sb.use_count(), 2);
+  // Same underlying storage, not an equal clone.
+  EXPECT_EQ(&sb.bytes(), &copy.bytes());
+  EXPECT_EQ(to_string(copy.bytes()), "payload");
+}
+
+class CollectingActor : public sim::Actor {
+ public:
+  void on_message(ProcessId from, const Bytes& payload) override {
+    received.emplace_back(from, payload);
+  }
+  std::vector<std::pair<ProcessId, Bytes>> received;
+};
+
+TEST(SendMulti, OneBufferManyDeliveriesSameWireSemantics) {
+  sim::World world(7);
+  const auto sites = world.add_sites(4);
+  std::vector<CollectingActor*> actors;
+  for (const SiteId site : sites)
+    actors.push_back(&world.spawn<CollectingActor>(site));
+  world.run_until_idle();
+
+  const Bytes payload = to_bytes("fan-out");
+  std::vector<ProcessId> recipients = {actors[1]->id(), actors[2]->id(),
+                                       actors[3]->id()};
+  world.network().send_multi(actors[0]->id(), recipients,
+                             SharedBytes(Bytes(payload)));
+  world.run_until_idle();
+
+  const sim::NetworkStats& stats = world.network().stats();
+  // Wire accounting is identical to three send() calls...
+  EXPECT_EQ(stats.messages_sent, 3u);
+  EXPECT_EQ(stats.messages_delivered, 3u);
+  EXPECT_EQ(stats.bytes_sent, 3 * payload.size());
+  EXPECT_EQ(stats.bytes_delivered, 3 * payload.size());
+  // ...but the payload buffer was allocated once and shared, never copied.
+  EXPECT_EQ(stats.payloads_shared, 3u);
+  EXPECT_EQ(stats.payload_copies, 0u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    ASSERT_EQ(actors[i]->received.size(), 1u);
+    EXPECT_EQ(actors[i]->received[0].first, actors[0]->id());
+    EXPECT_EQ(actors[i]->received[0].second, payload);
+  }
+}
+
+TEST(SendMulti, PerLinkChecksStayIndependent) {
+  sim::World world(11);
+  const auto sites = world.add_sites(3);
+  std::vector<CollectingActor*> actors;
+  for (const SiteId site : sites)
+    actors.push_back(&world.spawn<CollectingActor>(site));
+  world.run_until_idle();
+
+  // Partition the third site away: the shared buffer must still reach the
+  // reachable recipient while the unreachable one is dropped per-link.
+  world.network().set_partition({{sites[0], sites[1]}, {sites[2]}});
+  world.network().send_multi(actors[0]->id(),
+                             {actors[1]->id(), actors[2]->id()},
+                             SharedBytes(to_bytes("split")));
+  world.run_until_idle();
+
+  EXPECT_EQ(actors[1]->received.size(), 1u);
+  EXPECT_TRUE(actors[2]->received.empty());
+  EXPECT_EQ(world.network().stats().dropped_partition, 1u);
+}
+
+class PayloadRecorder : public vsync::Delegate {
+ public:
+  void on_view(const gms::View&, const vsync::InstallInfo&) override {}
+  void on_deliver(ProcessId sender, const Bytes& payload) override {
+    delivered.emplace_back(sender, payload);
+  }
+  std::vector<std::pair<ProcessId, Bytes>> delivered;
+};
+
+// The satellite regression: one application multicast in a stable n-member
+// view = exactly n-1 physical messages and exactly one frame encode.
+TEST(ZeroCopyFanOut, OneMulticastOneEncodeNMinusOneMessages) {
+  constexpr std::size_t n = 4;
+  test::ClusterOptions opt;
+  opt.sites = n;
+  // Quiesce background fan-outs so the deltas below isolate the multicast.
+  opt.endpoint.stability_interval = 0;
+  test::Cluster c(opt);
+  ASSERT_TRUE(c.await_stable_view(c.all_indices(), 120 * kSecond));
+
+  std::vector<std::unique_ptr<PayloadRecorder>> recorders;
+  for (std::size_t i = 0; i < n; ++i) {
+    recorders.push_back(std::make_unique<PayloadRecorder>());
+    c.ep(i).set_delegate(recorders.back().get());
+  }
+
+  const std::uint64_t frames_before = c.ep(0).stats().frames_encoded;
+  const std::uint64_t shared_before = c.world().network().stats().payloads_shared;
+
+  const Bytes payload = to_bytes("zero-copy-regression-payload");
+  c.ep(0).multicast(Bytes(payload));
+  ASSERT_TRUE(c.await([&]() {
+    for (auto& r : recorders)
+      if (r->delivered.empty()) return false;
+    return true;
+  }));
+
+  // (a) one frame encode at the sender, n-1 shared physical messages.
+  EXPECT_EQ(c.ep(0).stats().frames_encoded - frames_before, 1u);
+  EXPECT_EQ(c.world().network().stats().payloads_shared - shared_before, n - 1);
+
+  // (b) every member (including the sender's self-delivery) observed
+  // byte-identical payloads: the shared buffer was not mutated by any of
+  // the concurrent deliveries.
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(recorders[i]->delivered.size(), 1u) << "member " << i;
+    EXPECT_EQ(recorders[i]->delivered[0].first, c.ep(0).id());
+    EXPECT_EQ(recorders[i]->delivered[0].second, payload) << "member " << i;
+  }
+}
+
+// PROPOSE and INSTALL are the membership fan-outs (INSTALL carries the
+// full flush unions — the big frame); the coordinator must build each
+// once per round, not once per member.
+TEST(ZeroCopyFanOut, MembershipFramedOncePerRound) {
+  constexpr std::size_t n = 5;
+  test::ClusterOptions opt;
+  opt.sites = n;
+  opt.endpoint.stability_interval = 0;
+  test::Cluster c(opt);
+  ASSERT_TRUE(c.await_stable_view(c.all_indices(), 120 * kSecond));
+
+  // Site 0 hosts the minimum process id, so it coordinates every round.
+  const vsync::EndpointStats& s = c.ep(0).stats();
+  const std::uint64_t frames0 = s.frames_encoded;
+  const std::uint64_t started0 = s.rounds_started;
+  const std::uint64_t completed0 = s.rounds_completed;
+
+  c.world().crash_site(c.site(n - 1));
+  ASSERT_TRUE(c.await_stable_view({0, 1, 2, 3}, 120 * kSecond));
+
+  // With stability off and no data traffic, the coordinator framed exactly
+  // one PROPOSE per round started and one INSTALL per round completed —
+  // independent of the member count.
+  EXPECT_EQ(s.frames_encoded - frames0,
+            (s.rounds_started - started0) + (s.rounds_completed - completed0));
+  EXPECT_GT(s.rounds_completed, completed0);
+  EXPECT_GT(s.frame_bytes_encoded, 0u);
+}
+
+}  // namespace
+}  // namespace evs
