@@ -10,8 +10,16 @@
 //   - e-view changes applied (P6.1 total order verified by agreement of
 //     the final structure),
 //   - messages the sequencer stamped on behalf of the changes.
+//
+// Per-change latencies feed an obs::Histogram, so the bench reports the
+// distribution (p50/p95/max), not just the mean. Set EVS_TRACE_OUT=<dir>
+// to dump the last run's structured trace and metrics snapshot.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "obs/dump.hpp"
+#include "obs/metrics.hpp"
 #include "support/evs_cluster.hpp"
 
 namespace evs::bench {
@@ -20,7 +28,8 @@ namespace {
 void Fig3EViewChanges(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
 
-  double latency_ms_total = 0;
+  obs::MetricsRegistry metrics;
+  obs::Histogram& latency_ms = metrics.histogram("fig3.latency_ms");
   double changes_total = 0;
   std::uint64_t runs = 0;
 
@@ -47,9 +56,9 @@ void Fig3EViewChanges(benchmark::State& state) {
           }
           return true;
         });
-        latency_ms_total +=
+        latency_ms.record(
             static_cast<double>(c.world().scheduler().now() - t0) /
-            kMillisecond;
+            kMillisecond);
         ++changes;
       } else if (s.subviews().size() > 1) {
         std::vector<SubviewId> pair{s.subviews()[0].id, s.subviews()[1].id};
@@ -61,9 +70,9 @@ void Fig3EViewChanges(benchmark::State& state) {
           }
           return true;
         });
-        latency_ms_total +=
+        latency_ms.record(
             static_cast<double>(c.world().scheduler().now() - t0) /
-            kMillisecond;
+            kMillisecond);
         ++changes;
       } else {
         break;
@@ -71,11 +80,24 @@ void Fig3EViewChanges(benchmark::State& state) {
     }
     changes_total += static_cast<double>(changes);
     ++runs;
+
+    if (!obs::trace_out_dir().empty()) {
+      // Last run wins: one trace per group size is plenty.
+      for (std::size_t i = 0; i < n; ++i) {
+        c.ep(i).export_metrics(c.world().metrics(),
+                               "p" + std::to_string(i));
+      }
+      c.world().network().export_metrics(c.world().metrics());
+      c.world().dump_trace("fig3_n" + std::to_string(n));
+    }
   }
 
   state.counters["eview_changes"] = changes_total / runs;
   state.counters["sim_latency_ms_per_change"] =
-      latency_ms_total / changes_total;
+      latency_ms.mean();
+  state.counters["sim_latency_ms_p50"] = latency_ms.quantile(0.50);
+  state.counters["sim_latency_ms_p95"] = latency_ms.quantile(0.95);
+  state.counters["sim_latency_ms_max"] = latency_ms.max();
 }
 
 BENCHMARK(Fig3EViewChanges)

@@ -17,6 +17,9 @@
 // wire carries.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "obs/dump.hpp"
 #include "order/layers.hpp"
 #include "sim/world.hpp"
 
@@ -31,7 +34,7 @@ class CountingDelegate : public order::OrderDelegate {
 };
 
 template <typename Layer>
-void MulticastBench(benchmark::State& state) {
+void MulticastBench(benchmark::State& state, const char* tag) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   constexpr int kMessages = 200;
 
@@ -107,6 +110,20 @@ void MulticastBench(benchmark::State& state) {
       overhead += static_cast<double>(layer->stats().overhead_bytes);
     overhead_per_mc += overhead / kMessages;
     ++runs;
+
+    if (!obs::trace_out_dir().empty()) {
+      // Dump the last run's structured trace/metrics (recording is enabled
+      // automatically by the World when EVS_TRACE_OUT is set; it never
+      // perturbs the wire path, so the counters above are unaffected).
+      world.network().export_metrics(world.metrics());
+      for (std::size_t i = 0; i < eps.size(); ++i) {
+        eps[i]->export_metrics(world.metrics(), "p" + std::to_string(i));
+        order::export_metrics(layers[i]->stats(), world.metrics(),
+                              "p" + std::to_string(i) + ".order");
+      }
+      world.dump_trace(std::string("substrate_") + tag + "_n" +
+                       std::to_string(n));
+    }
   }
 
   state.counters["sim_ms_per_mc"] = latency_ms / runs;
@@ -119,13 +136,13 @@ void MulticastBench(benchmark::State& state) {
 }
 
 void FifoOrder(benchmark::State& state) {
-  MulticastBench<order::FifoLayer>(state);
+  MulticastBench<order::FifoLayer>(state, "fifo");
 }
 void CausalOrder(benchmark::State& state) {
-  MulticastBench<order::CausalLayer>(state);
+  MulticastBench<order::CausalLayer>(state, "causal");
 }
 void TotalOrder(benchmark::State& state) {
-  MulticastBench<order::TotalLayer>(state);
+  MulticastBench<order::TotalLayer>(state, "total");
 }
 
 BENCHMARK(FifoOrder)->Arg(8)->Arg(16)->Arg(32)

@@ -11,7 +11,10 @@
 // Build & run:  ./build/examples/lock_manager_demo
 #include <cstdio>
 
+#include <string>
+
 #include "objects/lock_manager.hpp"
+#include "obs/dump.hpp"
 #include "sim/world.hpp"
 
 using namespace evs;
@@ -74,5 +77,11 @@ int main() {
   for (auto* lock : locks)
     if (lock->alive() && lock->i_hold_the_lock()) ++holders;
   std::printf("\nsafety: %zu process(es) believe they hold the lock\n", holders);
+  world.network().export_metrics(world.metrics());
+  for (std::size_t i = 0; i < locks.size(); ++i) {
+    if (locks[i]->alive())
+      locks[i]->export_metrics(world.metrics(), "p" + std::to_string(i));
+  }
+  world.dump_trace("lock_manager_demo");
   return 0;
 }

@@ -9,9 +9,12 @@
 //
 // Build & run:  ./build/examples/parallel_db_demo
 #include <cstdio>
+
+#include <string>
 #include <set>
 
 #include "objects/parallel_db.hpp"
+#include "obs/dump.hpp"
 #include "sim/world.hpp"
 
 using namespace evs;
@@ -80,5 +83,11 @@ int main() {
                 static_cast<unsigned long long>(
                     db->mode_machine()->count(app::Transition::Reconcile)));
   }
+  world.network().export_metrics(world.metrics());
+  for (std::size_t i = 0; i < dbs.size(); ++i) {
+    if (dbs[i]->alive())
+      dbs[i]->export_metrics(world.metrics(), "p" + std::to_string(i));
+  }
+  world.dump_trace("parallel_db_demo");
   return 0;
 }

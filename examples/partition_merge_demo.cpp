@@ -11,7 +11,10 @@
 // Build & run:  ./build/examples/partition_merge_demo
 #include <cstdio>
 
+#include <string>
+
 #include "objects/mergeable_kv.hpp"
+#include "obs/dump.hpp"
 #include "sim/world.hpp"
 
 using namespace evs;
@@ -67,5 +70,11 @@ int main() {
                   .c_str());
   std::printf("final e-view structure: %s\n",
               stores[0]->eview().structure.str().c_str());
+  world.network().export_metrics(world.metrics());
+  for (std::size_t i = 0; i < stores.size(); ++i) {
+    if (stores[i]->alive())
+      stores[i]->export_metrics(world.metrics(), "p" + std::to_string(i));
+  }
+  world.dump_trace("partition_merge_demo");
   return 0;
 }

@@ -7,9 +7,15 @@
 // structure shrinking asynchronously.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// Set EVS_TRACE_OUT=<dir> to also dump the structured run trace
+// (quickstart.trace.jsonl / .chrome.json / .metrics.json); open the
+// chrome file in https://ui.perfetto.dev, or replay the jsonl through
+// ./build/tools/trace_check.
 #include <cstdio>
 
 #include "evs/endpoint.hpp"
+#include "obs/dump.hpp"
 #include "sim/world.hpp"
 
 using namespace evs;
@@ -84,5 +90,10 @@ int main() {
   world.run_for(2 * kSecond);
 
   std::printf("final view at a: %s\n", gms::to_string(a.view()).c_str());
+
+  world.network().export_metrics(world.metrics());
+  a.export_metrics(world.metrics(), "a");
+  b.export_metrics(world.metrics(), "b");
+  world.dump_trace("quickstart");
   return 0;
 }

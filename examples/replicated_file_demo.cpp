@@ -12,7 +12,10 @@
 // Build & run:  ./build/examples/replicated_file_demo
 #include <cstdio>
 
+#include <string>
+
 #include "objects/replicated_file.hpp"
+#include "obs/dump.hpp"
 #include "sim/world.hpp"
 
 using namespace evs;
@@ -76,5 +79,11 @@ int main() {
                 app::problems_to_string(rec.problems).c_str(),
                 static_cast<double>(rec.serve_ready - rec.started) / 1000.0);
   }
+  world.network().export_metrics(world.metrics());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (files[i]->alive())
+      files[i]->export_metrics(world.metrics(), "p" + std::to_string(i));
+  }
+  world.dump_trace("replicated_file_demo");
   return 0;
 }

@@ -166,7 +166,18 @@ void GroupObjectBase::evaluate_mode(const core::EView& eview, bool view_changed)
     // the shared state, so the process must always settle.
     input.needs_settling = true;
   }
-  machine_->on_view(input, scheduler().now());
+  const std::optional<Transition> taken =
+      machine_->on_view(input, scheduler().now());
+  if (taken.has_value()) {
+    if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+      // Self-loops (S->S Reconfigure) are reported too, matching the
+      // machine's own convention.
+      bus->record({now(), id(), obs::EventKind::ModeTransition, eview.view.id,
+                   {}, static_cast<std::uint64_t>(*taken),
+                   static_cast<std::uint64_t>(machine_->mode()),
+                   static_cast<std::uint64_t>(before)});
+    }
+  }
   if (machine_->mode() != before) on_mode_change(before, machine_->mode());
 }
 
@@ -176,6 +187,10 @@ void GroupObjectBase::start_settle(const core::EView& eview) {
   settling_ = true;
   adopted_ = false;
   ++object_stats_.settles_started;
+  if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+    bus->record({now(), id(), obs::EventKind::ReconcilePhase, eview.view.id, {},
+                 static_cast<std::uint64_t>(obs::ReconcilePhase::SettleStarted)});
+  }
   current_settle_.problems = kNoProblem;
   current_settle_.started = scheduler().now();
   current_settle_.serve_ready = 0;
@@ -306,6 +321,10 @@ void GroupObjectBase::handle_chunk(ProcessId sender, Decoder& dec) {
   if (view != eview().view.id) return;
   ChunkAssembly& assembly = chunks_[sender];
   assembly.expected = total;
+  if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+    bus->record({now(), id(), obs::EventKind::StateTransferChunk, view, sender,
+                 index, part.size(), total});
+  }
   assembly.parts.emplace(index, std::move(part));
   EVS_DEBUG(to_string(id()) << " chunk " << index << "/" << total << " from "
             << to_string(sender) << " have=" << assembly.parts.size()
@@ -327,6 +346,11 @@ void GroupObjectBase::maybe_finish_chunks() {
   install_state(full);
   awaiting_full_from_.reset();
   current_settle_.fully_done = scheduler().now();
+  if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+    bus->record({now(), id(), obs::EventKind::ReconcilePhase,
+                 eview().view.id, {},
+                 static_cast<std::uint64_t>(obs::ReconcilePhase::FullyDone)});
+  }
   settle_log_.push_back(current_settle_);
   try_reconcile();
 }
@@ -485,6 +509,11 @@ void GroupObjectBase::adopt_states() {
     ++object_stats_.creations;
   }
 
+  if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+    bus->record({now, id(), obs::EventKind::ReconcilePhase, eview().view.id,
+                 {}, static_cast<std::uint64_t>(obs::ReconcilePhase::StateAdopted),
+                 static_cast<std::uint64_t>(classification_.problems)});
+  }
   if (current_settle_.fully_done == 0) {
     // Still waiting for chunks: stay in "adopted but filling" state. The
     // settle counts as serveable; chunk arrivals will finish it.
@@ -494,6 +523,10 @@ void GroupObjectBase::adopt_states() {
   }
   adopted_ = true;
   ++object_stats_.settles_completed;
+  if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+    bus->record({now, id(), obs::EventKind::ReconcilePhase, eview().view.id,
+                 {}, static_cast<std::uint64_t>(obs::ReconcilePhase::FullyDone)});
+  }
   settle_log_.push_back(current_settle_);
 }
 
@@ -523,7 +556,52 @@ void GroupObjectBase::try_reconcile() {
   EVS_DEBUG(to_string(id()) << " reconciles to NORMAL");
   const Mode before = machine_->mode();
   machine_->reconcile(scheduler().now());
+  if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+    bus->record({now(), id(), obs::EventKind::ModeTransition, eview().view.id,
+                 {}, static_cast<std::uint64_t>(Transition::Reconcile),
+                 static_cast<std::uint64_t>(Mode::Normal),
+                 static_cast<std::uint64_t>(before)});
+    bus->record({now(), id(), obs::EventKind::ReconcilePhase, eview().view.id,
+                 {}, static_cast<std::uint64_t>(obs::ReconcilePhase::Reconciled)});
+  }
   on_mode_change(before, machine_->mode());
+}
+
+void GroupObjectBase::export_metrics(obs::MetricsRegistry& registry,
+                                     const std::string& prefix) const {
+  core::EvsEndpoint::export_metrics(registry, prefix);
+  registry.counter(prefix + ".settles_started").set(object_stats_.settles_started);
+  registry.counter(prefix + ".settles_completed")
+      .set(object_stats_.settles_completed);
+  registry.counter(prefix + ".transfers").set(object_stats_.transfers);
+  registry.counter(prefix + ".creations").set(object_stats_.creations);
+  registry.counter(prefix + ".merges").set(object_stats_.merges);
+  registry.counter(prefix + ".discovery_rounds")
+      .set(object_stats_.discovery_rounds);
+  registry.counter(prefix + ".discovery_messages")
+      .set(object_stats_.discovery_messages);
+  registry.counter(prefix + ".offer_messages").set(object_stats_.offer_messages);
+  registry.counter(prefix + ".snapshot_bytes").set(object_stats_.snapshot_bytes);
+  registry.counter(prefix + ".chunk_messages").set(object_stats_.chunk_messages);
+  registry.counter(prefix + ".ambiguous_classifications")
+      .set(object_stats_.ambiguous_classifications);
+  if (machine_.has_value()) {
+    const SimTime at = now();
+    registry.gauge(prefix + ".mode.normal_us")
+        .set(static_cast<double>(machine_->occupancy(Mode::Normal, at)));
+    registry.gauge(prefix + ".mode.reduced_us")
+        .set(static_cast<double>(machine_->occupancy(Mode::Reduced, at)));
+    registry.gauge(prefix + ".mode.settling_us")
+        .set(static_cast<double>(machine_->occupancy(Mode::Settling, at)));
+    registry.counter(prefix + ".transitions.failure")
+        .set(machine_->count(Transition::Failure));
+    registry.counter(prefix + ".transitions.repair")
+        .set(machine_->count(Transition::Repair));
+    registry.counter(prefix + ".transitions.reconfigure")
+        .set(machine_->count(Transition::Reconfigure));
+    registry.counter(prefix + ".transitions.reconcile")
+        .set(machine_->count(Transition::Reconcile));
+  }
 }
 
 }  // namespace evs::app

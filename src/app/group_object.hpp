@@ -117,6 +117,12 @@ class GroupObjectBase : public core::EvsEndpoint, private core::EvsDelegate {
   /// The recorded formal history (empty unless config.record_history).
   const History& history() const { return history_; }
 
+  /// Projects vsync + EVS + object stats (and mode occupancy/transition
+  /// counts) into `registry` under `prefix` (hides, and calls, the
+  /// EvsEndpoint export).
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix) const;
+
   void on_start() override;
 
  protected:

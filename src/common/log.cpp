@@ -2,12 +2,32 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <string_view>
 
 namespace evs::log {
 
 namespace {
 
-std::atomic<Level> g_level{Level::Warn};
+// Initial threshold comes from EVS_LOG_LEVEL when set (one of: trace,
+// debug, info, warn, error, off — case-sensitive), so a failing run can be
+// re-executed verbosely without a rebuild. Unset or unknown values keep
+// the quiet default.
+Level initial_level() {
+  const char* env = std::getenv("EVS_LOG_LEVEL");
+  if (env == nullptr) return Level::Warn;
+  const std::string_view v{env};
+  if (v == "trace") return Level::Trace;
+  if (v == "debug") return Level::Debug;
+  if (v == "info") return Level::Info;
+  if (v == "warn") return Level::Warn;
+  if (v == "error") return Level::Error;
+  if (v == "off") return Level::Off;
+  std::fprintf(stderr, "[WARN] unknown EVS_LOG_LEVEL '%s' ignored\n", env);
+  return Level::Warn;
+}
+
+std::atomic<Level> g_level{initial_level()};
 
 const char* level_name(Level level) {
   switch (level) {

@@ -2,7 +2,9 @@
 //
 // Protocol layers log through this so that debugging a failing randomized
 // schedule is a matter of flipping the level; the default (Warn) keeps
-// test and bench output clean.
+// test and bench output clean. The initial level can be set without a
+// rebuild via the EVS_LOG_LEVEL environment variable: one of trace, debug,
+// info, warn, error, off.
 #pragma once
 
 #include <sstream>

@@ -79,17 +79,37 @@ bool HeartbeatDetector::is_reachable(ProcessId id) const {
 void HeartbeatDetector::evaluate() {
   std::vector<ProcessId> current = reachable();
   if (current == last_reported_) return;
+  const bool tracing = host_.trace != nullptr && host_.trace->enabled();
   // Count transitions for stats (suspicion = peer dropped out).
   for (const ProcessId id : last_reported_) {
-    if (!std::binary_search(current.begin(), current.end(), id))
+    if (!std::binary_search(current.begin(), current.end(), id)) {
       ++stats_.suspicions;
+      if (tracing) {
+        host_.trace->record({host_.now(), self_,
+                             obs::EventKind::HeartbeatSuspect, {}, id});
+      }
+    }
   }
   for (const ProcessId id : current) {
-    if (!std::binary_search(last_reported_.begin(), last_reported_.end(), id))
+    if (!std::binary_search(last_reported_.begin(), last_reported_.end(), id)) {
       ++stats_.unsuspicions;
+      if (tracing) {
+        host_.trace->record({host_.now(), self_,
+                             obs::EventKind::HeartbeatUnsuspect, {}, id});
+      }
+    }
   }
   last_reported_ = current;
   if (on_change_) on_change_(current);
+}
+
+void HeartbeatDetector::export_metrics(obs::MetricsRegistry& registry,
+                                       const std::string& prefix) const {
+  registry.counter(prefix + ".heartbeats_sent").set(stats_.heartbeats_sent);
+  registry.counter(prefix + ".heartbeats_received")
+      .set(stats_.heartbeats_received);
+  registry.counter(prefix + ".suspicions").set(stats_.suspicions);
+  registry.counter(prefix + ".unsuspicions").set(stats_.unsuspicions);
 }
 
 }  // namespace evs::detector

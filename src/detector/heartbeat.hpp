@@ -21,6 +21,8 @@
 
 #include "common/ids.hpp"
 #include "common/time.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace evs::detector {
 
@@ -44,6 +46,9 @@ struct DetectorHost {
   std::function<void(SimDuration, std::function<void()>)> set_timer;
   /// Current simulated time.
   std::function<SimTime()> now;
+  /// Optional trace sink; suspicion/unsuspicion transitions are recorded
+  /// when set and enabled.
+  obs::TraceBus* trace = nullptr;
 };
 
 class HeartbeatDetector {
@@ -73,6 +78,10 @@ class HeartbeatDetector {
 
   const DetectorStats& stats() const { return stats_; }
   const DetectorConfig& config() const { return config_; }
+
+  /// Projects the stats struct into `registry` as counters under `prefix`.
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix) const;
 
  private:
   void tick();

@@ -138,6 +138,13 @@ void EvsEndpoint::sequence_merge(const MergeRequest& request) {
     return;
   }
   const std::uint64_t seq = eview_.ev_seq + 1;
+  if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+    const bool svset = request.kind == EvOp::Kind::SvSetMerge;
+    bus->record({now(), id(),
+                 svset ? obs::EventKind::SvSetMerge : obs::EventKind::SubviewMerge,
+                 view().id, id(), seq,
+                 svset ? request.svsets.size() : request.subviews.size()});
+  }
   Encoder enc;
   enc.put_u8(static_cast<std::uint8_t>(Tag::EvChange));
   enc.put_varint(seq);
@@ -224,6 +231,11 @@ void EvsEndpoint::handle_ev_change(Decoder& dec) {
   eview_.ev_seq = seq;
   ++evs_stats_.ev_changes_applied;
   eview_.structure.validate(eview_.view.members);
+  if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+    bus->record({now(), id(), obs::EventKind::EviewChange, eview_.view.id, {},
+                 seq, eview_.structure.subviews().size(),
+                 eview_.structure.svsets().size()});
+  }
   emit_eview();
 }
 
@@ -274,6 +286,13 @@ void EvsEndpoint::on_view(const gms::View& view, const vsync::InstallInfo& info)
   //    identical set at every survivor (Agreement). Still the old e-view
   //    from the application's perspective.
   evs_stats_.drained_at_view += unordered_.size();
+  if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+    if (!unordered_.empty()) {
+      // eview_.view is still the dying view here.
+      bus->record({now(), id(), obs::EventKind::OrderDrain, eview_.view.id, {},
+                   0, unordered_.size()});
+    }
+  }
   for (const auto& [key, body] : unordered_) {
     try {
       deliver_app(key.first, body);
@@ -313,6 +332,12 @@ void EvsEndpoint::on_view(const gms::View& view, const vsync::InstallInfo& info)
   eview_.view = view;
   eview_.ev_seq = 0;
   eview_.structure = merge_structures(view.id, view.members, infos, pending_ops);
+  if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+    // Baseline for the new view: ev_seq 0 with the merged structure.
+    bus->record({now(), id(), obs::EventKind::EviewChange, view.id, {}, 0,
+                 eview_.structure.subviews().size(),
+                 eview_.structure.svsets().size()});
+  }
   emit_eview();
 
   // 5. Re-issue work that was queued while frozen, in the new view.
@@ -332,6 +357,23 @@ void EvsEndpoint::on_view(const gms::View& view, const vsync::InstallInfo& info)
       request_subview_merge(request.subviews);
     }
   }
+}
+
+void EvsEndpoint::export_metrics(obs::MetricsRegistry& registry,
+                                 const std::string& prefix) const {
+  vsync::Endpoint::export_metrics(registry, prefix);
+  registry.counter(prefix + ".eviews_delivered").set(evs_stats_.eviews_delivered);
+  registry.counter(prefix + ".ev_changes_applied")
+      .set(evs_stats_.ev_changes_applied);
+  registry.counter(prefix + ".merges_requested").set(evs_stats_.merges_requested);
+  registry.counter(prefix + ".merges_rejected").set(evs_stats_.merges_rejected);
+  registry.counter(prefix + ".app_sent").set(evs_stats_.app_sent);
+  registry.counter(prefix + ".app_delivered").set(evs_stats_.app_delivered);
+  registry.counter(prefix + ".stamped").set(evs_stats_.stamped);
+  registry.counter(prefix + ".drained_at_view").set(evs_stats_.drained_at_view);
+  registry.counter(prefix + ".context_bytes").set(evs_stats_.context_bytes);
+  registry.counter(prefix + ".merge_reqs_dropped")
+      .set(evs_stats_.merge_reqs_dropped);
 }
 
 }  // namespace evs::core

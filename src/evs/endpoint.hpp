@@ -98,6 +98,11 @@ class EvsEndpoint : public vsync::Endpoint, private vsync::Delegate {
   const EView& eview() const { return eview_; }
   const EvsStats& evs_stats() const { return evs_stats_; }
 
+  /// Projects vsync + detector + EVS stats into `registry` under `prefix`
+  /// (hides, and calls, the base-class export).
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix) const;
+
  private:
   struct MergeRequest {
     EvOp::Kind kind;

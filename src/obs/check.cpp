@@ -1,0 +1,245 @@
+#include "obs/check.hpp"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace evs::obs {
+
+namespace {
+
+// (sender, payload-hash): the message identity under the unique-payload
+// convention (see header).
+using MsgId = std::pair<ProcessId, std::uint64_t>;
+
+std::string proc_str(ProcessId p) {
+  return std::to_string(p.site.value) + ":" + std::to_string(p.incarnation);
+}
+
+std::string view_str(ViewId v) {
+  return std::to_string(v.epoch) + ":" + proc_str(v.coordinator);
+}
+
+std::string msg_str(const MsgId& id) {
+  std::ostringstream os;
+  os << "message (from " << proc_str(id.first) << ", hash " << std::hex
+     << id.second << ")";
+  return os.str();
+}
+
+bool is_delivery(EventKind kind) {
+  return kind == EventKind::MessageDelivered || kind == EventKind::FlushDelivery;
+}
+
+const char* mode_name(std::uint64_t m) {
+  switch (m) {
+    case 0: return "NORMAL";
+    case 1: return "REDUCED";
+    case 2: return "SETTLING";
+  }
+  return "?";
+}
+
+const char* transition_name(std::uint64_t t) {
+  switch (t) {
+    case 0: return "Failure";
+    case 1: return "Repair";
+    case 2: return "Reconfigure";
+    case 3: return "Reconcile";
+  }
+  return "?";
+}
+
+}  // namespace
+
+// P2.2: every message is delivered in at most one view, globally.
+std::vector<Violation> RunChecker::check_uniqueness(
+    const std::vector<TraceEvent>& events) {
+  std::vector<Violation> out;
+  std::map<MsgId, std::set<ViewId>> views_of;
+  for (const TraceEvent& e : events) {
+    if (!is_delivery(e.kind)) continue;
+    views_of[{e.peer, e.value}].insert(e.view);
+  }
+  for (const auto& [id, views] : views_of) {
+    if (views.size() <= 1) continue;
+    std::ostringstream os;
+    os << msg_str(id) << " delivered in " << views.size() << " views:";
+    for (const ViewId& v : views) os << " " << view_str(v);
+    out.push_back({"Uniqueness (P2.2)", os.str()});
+  }
+  return out;
+}
+
+// P2.3: a process delivers a message at most once, and only if some
+// process actually multicast it.
+std::vector<Violation> RunChecker::check_integrity(
+    const std::vector<TraceEvent>& events) {
+  std::vector<Violation> out;
+  std::map<ProcessId, std::set<std::uint64_t>> sent_by;
+  for (const TraceEvent& e : events) {
+    if (e.kind == EventKind::MessageSent) sent_by[e.proc].insert(e.value);
+  }
+  std::map<ProcessId, std::set<MsgId>> delivered_at;
+  for (const TraceEvent& e : events) {
+    if (!is_delivery(e.kind)) continue;
+    const MsgId id{e.peer, e.value};
+    if (!delivered_at[e.proc].insert(id).second) {
+      out.push_back({"Integrity (P2.3)", "process " + proc_str(e.proc) +
+                                             " delivered " + msg_str(id) +
+                                             " more than once"});
+      continue;
+    }
+    const auto sender = sent_by.find(e.peer);
+    if (sender == sent_by.end() || sender->second.count(e.value) == 0) {
+      out.push_back({"Integrity (P2.3)",
+                     "process " + proc_str(e.proc) + " delivered " +
+                         msg_str(id) + " which its sender never multicast"});
+    }
+  }
+  return out;
+}
+
+// P2.1: two processes that both survive the same view change v -> v'
+// delivered the same message set in v. View succession comes from each
+// process's own ordered ViewInstalled events; deliveries tagged with a
+// view the process never installed are agreement-relevant only through
+// uniqueness/integrity, exactly like the original gtest oracle.
+std::vector<Violation> RunChecker::check_agreement(
+    const std::vector<TraceEvent>& events) {
+  std::vector<Violation> out;
+  std::map<ProcessId, std::vector<ViewId>> views_of;
+  std::map<ProcessId, std::map<ViewId, std::set<MsgId>>> delivered_in;
+  for (const TraceEvent& e : events) {
+    if (e.kind == EventKind::ViewInstalled) {
+      views_of[e.proc].push_back(e.view);
+    } else if (is_delivery(e.kind)) {
+      delivered_in[e.proc][e.view].insert({e.peer, e.value});
+    }
+  }
+
+  // transition (v, v') -> the processes that took it.
+  std::map<std::pair<ViewId, ViewId>, std::vector<ProcessId>> took;
+  for (const auto& [proc, views] : views_of) {
+    for (std::size_t i = 0; i + 1 < views.size(); ++i) {
+      took[{views[i], views[i + 1]}].push_back(proc);
+    }
+  }
+
+  for (const auto& [edge, procs] : took) {
+    if (procs.size() <= 1) continue;
+    const ViewId view = edge.first;
+    const std::set<MsgId>& reference = delivered_in[procs.front()][view];
+    for (std::size_t i = 1; i < procs.size(); ++i) {
+      const std::set<MsgId>& other = delivered_in[procs[i]][view];
+      if (other == reference) continue;
+      std::ostringstream os;
+      os << "processes " << proc_str(procs.front()) << " and "
+         << proc_str(procs[i]) << " both moved " << view_str(view) << " -> "
+         << view_str(edge.second) << " but delivered " << reference.size()
+         << " vs " << other.size() << " messages in " << view_str(view);
+      out.push_back({"Agreement (P2.1)", os.str()});
+    }
+  }
+  return out;
+}
+
+// Enriched-view structure: within one installed view a process's structure
+// only coarsens — e-view sequence numbers increase with every applied
+// change, and subview / sv-set counts never grow (growth happens only
+// across view boundaries, when the merged structures of a new membership
+// are adopted).
+std::vector<Violation> RunChecker::check_structure(
+    const std::vector<TraceEvent>& events) {
+  std::vector<Violation> out;
+  std::map<std::pair<ProcessId, ViewId>, TraceEvent> last;
+  for (const TraceEvent& e : events) {
+    if (e.kind != EventKind::EviewChange) continue;
+    const std::pair<ProcessId, ViewId> key{e.proc, e.view};
+    const auto prev = last.find(key);
+    if (prev != last.end()) {
+      const TraceEvent& p = prev->second;
+      if (e.seq <= p.seq) {
+        std::ostringstream os;
+        os << "process " << proc_str(e.proc) << " in view " << view_str(e.view)
+           << ": e-view seq went " << p.seq << " -> " << e.seq
+           << " (must strictly increase)";
+        out.push_back({"Structure (P6.3)", os.str()});
+      }
+      if (e.value > p.value || e.aux > p.aux) {
+        std::ostringstream os;
+        os << "process " << proc_str(e.proc) << " in view " << view_str(e.view)
+           << ": structure grew within the view (subviews " << p.value << " -> "
+           << e.value << ", sv-sets " << p.aux << " -> " << e.aux << ")";
+        out.push_back({"Structure (P6.3)", os.str()});
+      }
+    }
+    last[key] = e;
+  }
+  return out;
+}
+
+// Figure 1: only the four edges exist, and each process's transitions form
+// a chain starting from SETTLING (every process joins settling).
+std::vector<Violation> RunChecker::check_modes(
+    const std::vector<TraceEvent>& events) {
+  constexpr std::uint64_t kNormal = 0, kReduced = 1, kSettling = 2;
+  std::vector<Violation> out;
+  std::map<ProcessId, std::uint64_t> mode_of;
+  for (const TraceEvent& e : events) {
+    if (e.kind != EventKind::ModeTransition) continue;
+    const std::uint64_t via = e.seq, to = e.value, from = e.aux;
+    const auto known = mode_of.find(e.proc);
+    const std::uint64_t expected =
+        known == mode_of.end() ? kSettling : known->second;
+    if (from != expected) {
+      std::ostringstream os;
+      os << "process " << proc_str(e.proc) << " reports a transition out of "
+         << mode_name(from) << " but was in " << mode_name(expected);
+      out.push_back({"Modes (Figure 1)", os.str()});
+    }
+    const bool legal =
+        (via == 0 && (from == kNormal || from == kSettling) && to == kReduced) ||
+        (via == 1 && from == kReduced && to == kSettling) ||
+        (via == 2 && (from == kNormal || from == kSettling) && to == kSettling) ||
+        (via == 3 && from == kSettling && to == kNormal);
+    if (!legal) {
+      std::ostringstream os;
+      os << "process " << proc_str(e.proc) << " took an illegal edge "
+         << mode_name(from) << " -> " << mode_name(to) << " via "
+         << transition_name(via);
+      out.push_back({"Modes (Figure 1)", os.str()});
+    }
+    mode_of[e.proc] = to;
+  }
+  return out;
+}
+
+std::vector<Violation> RunChecker::check_vs(
+    const std::vector<TraceEvent>& events) {
+  std::vector<Violation> out = check_agreement(events);
+  std::vector<Violation> more = check_uniqueness(events);
+  out.insert(out.end(), std::make_move_iterator(more.begin()),
+             std::make_move_iterator(more.end()));
+  more = check_integrity(events);
+  out.insert(out.end(), std::make_move_iterator(more.begin()),
+             std::make_move_iterator(more.end()));
+  return out;
+}
+
+std::vector<Violation> RunChecker::check(const std::vector<TraceEvent>& events) {
+  std::vector<Violation> out = check_vs(events);
+  std::vector<Violation> more = check_structure(events);
+  out.insert(out.end(), std::make_move_iterator(more.begin()),
+             std::make_move_iterator(more.end()));
+  more = check_modes(events);
+  out.insert(out.end(), std::make_move_iterator(more.begin()),
+             std::make_move_iterator(more.end()));
+  return out;
+}
+
+}  // namespace evs::obs

@@ -1,0 +1,65 @@
+// Observability: the in-library run checker.
+//
+// Promotes the correctness oracles that used to live only in gtest
+// support headers into the library itself: any recorded trace — from a
+// test, a bench, an example run with EVS_TRACE_OUT, or a file replayed
+// through tools/trace_check — can be validated against the paper's
+// Section-2 specification plus the enriched-view structure rules, and the
+// result is a structured violation list instead of a test assertion.
+//
+// Properties checked:
+//   Agreement  (P2.1) — processes surviving from view v to the same next
+//                       view delivered the same message set in v.
+//   Uniqueness (P2.2) — a message is delivered in at most one view.
+//   Integrity  (P2.3) — at most once per process, and only if sent.
+//   Structure  (P6.3) — within a view, subview/sv-set counts change only
+//                       through applied e-view changes and only shrink
+//                       (structures grow solely under application control;
+//                       failures shrink them across view boundaries).
+//   Modes (Figure 1)  — every reported mode transition is one of the four
+//                       legal edges and transitions chain per process.
+//
+// Message identity is the (sender, payload-hash) pair — the same
+// "payloads are unique" convention the gtest oracles have always relied
+// on; runs that multicast identical bytes twice from one process will
+// alias them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace evs::obs {
+
+struct Violation {
+  std::string property;  // e.g. "Uniqueness (P2.2)"
+  std::string detail;
+
+  std::string str() const { return property + ": " + detail; }
+};
+
+class RunChecker {
+ public:
+  /// All checks; violations in property order, worst-offender lists
+  /// truncated rather than exhaustive (one violation per broken fact).
+  static std::vector<Violation> check(const std::vector<TraceEvent>& events);
+
+  /// Only the Section-2 view-synchrony properties (what the old gtest
+  /// oracles covered); used by the oracle wrappers and by vsync-level
+  /// traces that carry no EVS or mode events.
+  static std::vector<Violation> check_vs(const std::vector<TraceEvent>& events);
+
+  static std::vector<Violation> check_uniqueness(
+      const std::vector<TraceEvent>& events);
+  static std::vector<Violation> check_integrity(
+      const std::vector<TraceEvent>& events);
+  static std::vector<Violation> check_agreement(
+      const std::vector<TraceEvent>& events);
+  static std::vector<Violation> check_structure(
+      const std::vector<TraceEvent>& events);
+  static std::vector<Violation> check_modes(
+      const std::vector<TraceEvent>& events);
+};
+
+}  // namespace evs::obs

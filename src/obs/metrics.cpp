@@ -1,0 +1,95 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace evs::obs {
+
+void Histogram::record(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+}
+
+double Histogram::min() const {
+  return samples_.empty() ? 0.0
+                          : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  return samples_.empty() ? 0.0
+                          : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::quantile(double q) const {
+  EVS_CHECK(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest rank: smallest index whose cumulative share is >= q.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+namespace {
+
+// JSON numbers must not be NaN/Inf; clamp defensively.
+void put_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  os << v;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << c.value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":";
+    put_number(os, g.value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":{\"count\":" << h.count() << ",\"sum\":";
+    put_number(os, h.sum());
+    os << ",\"min\":";
+    put_number(os, h.min());
+    os << ",\"max\":";
+    put_number(os, h.max());
+    os << ",\"mean\":";
+    put_number(os, h.mean());
+    os << ",\"p50\":";
+    put_number(os, h.quantile(0.50));
+    os << ",\"p90\":";
+    put_number(os, h.quantile(0.90));
+    os << ",\"p95\":";
+    put_number(os, h.quantile(0.95));
+    os << ",\"p99\":";
+    put_number(os, h.quantile(0.99));
+    os << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace evs::obs

@@ -1,0 +1,83 @@
+// Observability: the unified metrics registry.
+//
+// One MetricsRegistry gathers every layer's counters, gauges and
+// histograms behind a single snapshot-to-JSON API. The per-module stats
+// structs (sim::NetworkStats, vsync::EndpointStats, detector, ordering
+// and group-object stats) stay as cheap always-on accumulators — they are
+// the compatibility accessors benches read directly — and each module
+// provides an export_metrics() that projects its struct into a registry
+// under a caller-chosen prefix, so one to_json() call captures the whole
+// run.
+//
+// Histograms keep raw samples (protocol runs record thousands of latency
+// points, not millions) so quantiles are exact, not sketched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace evs::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  /// Snapshot-style absorption of an externally accumulated total.
+  void set(std::uint64_t v) { value_ = v; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+class Histogram {
+ public:
+  void record(double sample);
+
+  std::uint64_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Exact quantile by nearest-rank over the recorded samples; q in [0,1].
+  double quantile(double q) const;
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Named instruments are created on first use; names are hierarchical by
+  /// convention ("net.messages_sent", "p0.vsync.views_installed", ...).
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// One JSON object with "counters"/"gauges"/"histograms" sections;
+  /// histograms report count/sum/min/max/mean plus p50/p90/p95/p99. Keys
+  /// are sorted (std::map) so snapshots diff cleanly across runs.
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace evs::obs

@@ -1,0 +1,126 @@
+// Observability: the structured trace bus.
+//
+// One TraceBus per sim::World collects typed, sim-timestamped events from
+// every protocol layer (detector suspicions, view-change rounds, flush
+// deliveries, e-view changes, mode transitions, state-transfer chunks...)
+// into a bounded ring buffer. Recording is off by default and every hook
+// is guarded by `enabled()` — a single bool load — so an uninstrumented
+// run pays near-zero cost and, crucially, the wire path is never
+// perturbed: the bus consumes no randomness and schedules no events.
+//
+// Two exporters serve two audiences:
+//   * write_jsonl(): one JSON object per line, machine-readable; the
+//     format round-trips through read_jsonl() so recorded runs can be
+//     replayed through the RunChecker (obs/check.hpp) offline.
+//   * write_chrome_trace(): Chrome trace-event JSON; open the file in
+//     chrome://tracing or https://ui.perfetto.dev to see a per-process
+//     timeline of every run (sites become processes, incarnations become
+//     threads).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace evs::obs {
+
+/// Every event the protocol layers can report. Values are stable: they
+/// appear by name in trace files.
+enum class EventKind : std::uint8_t {
+  HeartbeatSuspect = 1,   // detector: peer dropped out of the reachable set
+  HeartbeatUnsuspect,     // detector: peer re-entered the reachable set
+  ViewProposed,           // coordinator started a round (seq = round number)
+  ViewAcked,              // member froze and ACKed (peer = coordinator)
+  ViewInstalled,          // new view installed (value = member count)
+  FlushDelivery,          // delivery from an install union, in the old view
+  MessageSent,            // data multicast sent (value = payload hash)
+  MessageDelivered,       // in-view FIFO delivery (value = payload hash)
+  EviewChange,            // e-view structure state (value/aux = sv/svset counts)
+  SvSetMerge,             // sequencer accepted an SV-SetMerge (value = inputs)
+  SubviewMerge,           // sequencer accepted a SubviewMerge (value = inputs)
+  OrderDrain,             // ordering layer force-drained held messages
+  ModeTransition,         // Figure-1 edge (seq = Transition, value/aux = to/from)
+  ReconcilePhase,         // settle lifecycle (seq = ReconcilePhase value)
+  StateTransferChunk,     // split-transfer chunk received (seq = index)
+};
+
+const char* to_string(EventKind kind);
+/// Inverse of to_string; returns false on unknown names.
+bool parse_event_kind(const std::string& name, EventKind& out);
+
+/// Phases reported under EventKind::ReconcilePhase (seq field).
+enum class ReconcilePhase : std::uint8_t {
+  SettleStarted = 1,   // view needs reconstruction, offers requested
+  StateAdopted = 2,    // classification complete, state good enough to serve
+  FullyDone = 3,       // all state applied (split-transfer chunks included)
+  Reconciled = 4,      // application took the Reconcile edge back to NORMAL
+};
+
+/// One structured event. A fixed small record (no heap fields) so the ring
+/// buffer is cache-friendly and recording never allocates.
+struct TraceEvent {
+  SimTime time = 0;       // simulated microseconds
+  ProcessId proc;         // the process the event happened at
+  EventKind kind = EventKind::MessageSent;
+  ViewId view;            // view context (delivery view, installed view...)
+  ProcessId peer;         // sender / suspect / coordinator / chunk source
+  std::uint64_t seq = 0;  // msg seq, round number, ev_seq, chunk index...
+  std::uint64_t value = 0;  // payload hash, member count, new mode...
+  std::uint64_t aux = 0;    // secondary numeric (sv-set count, prior mode...)
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// FNV-1a over a payload; the message identity used by MessageSent /
+/// MessageDelivered events (the RunChecker assumes distinct payloads hash
+/// distinctly, the same assumption the test oracles make about payload
+/// uniqueness).
+std::uint64_t payload_hash(const std::vector<std::uint8_t>& payload);
+
+class TraceBus {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit TraceBus(std::size_t capacity = kDefaultCapacity);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Resets the buffer; only legal while empty or after clear().
+  void set_capacity(std::size_t capacity);
+
+  /// Appends one event; the oldest event is overwritten once the ring is
+  /// full (dropped() counts how many were lost that way).
+  void record(const TraceEvent& event);
+
+  /// Events in recording order, oldest first.
+  std::vector<TraceEvent> events() const;
+
+  std::uint64_t recorded() const { return total_; }
+  std::uint64_t dropped() const {
+    return total_ > ring_.capacity() ? total_ - ring_.capacity() : 0;
+  }
+  std::size_t size() const { return ring_.size(); }
+
+  void clear();
+
+  void write_jsonl(std::ostream& os) const;
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> ring_;  // capacity fixed up front
+  std::uint64_t total_ = 0;       // events ever recorded
+};
+
+/// Parses a trace written by write_jsonl(). Unparseable lines are skipped
+/// (count reported via `skipped` when non-null): a truncated trail from a
+/// crashed run should not hide the events before it.
+std::vector<TraceEvent> read_jsonl(std::istream& is,
+                                   std::size_t* skipped = nullptr);
+
+}  // namespace evs::obs

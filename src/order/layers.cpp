@@ -17,6 +17,15 @@ enum class Tag : std::uint8_t {
 
 }  // namespace
 
+void export_metrics(const LayerStats& stats, obs::MetricsRegistry& registry,
+                    const std::string& prefix) {
+  registry.counter(prefix + ".sent").set(stats.sent);
+  registry.counter(prefix + ".delivered").set(stats.delivered);
+  registry.counter(prefix + ".reordered").set(stats.reordered);
+  registry.counter(prefix + ".drained_at_view").set(stats.drained_at_view);
+  registry.counter(prefix + ".overhead_bytes").set(stats.overhead_bytes);
+}
+
 // ---------------------------------------------------------------- Fifo ---
 
 FifoLayer::FifoLayer(vsync::Endpoint& endpoint, OrderDelegate& up)
@@ -130,6 +139,14 @@ void CausalLayer::on_view(const gms::View& view, const vsync::InstallInfo& info)
     return a.vc.str() < b.vc.str();
   });
   stats_.drained_at_view += held_.size();
+  if (auto* bus = endpoint_.trace(); bus != nullptr && bus->enabled()) {
+    if (!held_.empty()) {
+      // The endpoint has already installed `view`; the drain is the first
+      // thing that happens in it.
+      bus->record({endpoint_.now(), endpoint_.id(), obs::EventKind::OrderDrain,
+                   view.id, {}, 0, held_.size()});
+    }
+  }
   for (const Held& h : held_) deliver(h);
   held_.clear();
   delivered_ = VectorClock(view.size());
@@ -218,6 +235,12 @@ void TotalLayer::on_view(const gms::View& view, const vsync::InstallInfo& info) 
   // Forwards that never got stamped: every survivor holds the same set
   // (Agreement), delivered here in deterministic (origin, lseq) order.
   stats_.drained_at_view += unordered_.size();
+  if (auto* bus = endpoint_.trace(); bus != nullptr && bus->enabled()) {
+    if (!unordered_.empty()) {
+      bus->record({endpoint_.now(), endpoint_.id(), obs::EventKind::OrderDrain,
+                   view.id, {}, 0, unordered_.size()});
+    }
+  }
   for (const auto& [key, body] : unordered_) deliver(key.first, body);
   unordered_.clear();
   delivered_keys_.clear();

@@ -44,6 +44,10 @@ struct LayerStats {
   std::uint64_t overhead_bytes = 0;  // ordering metadata on the wire
 };
 
+/// Projects a layer's stats into `registry` as counters under `prefix`.
+void export_metrics(const LayerStats& stats, obs::MetricsRegistry& registry,
+                    const std::string& prefix);
+
 class FifoLayer : public vsync::Delegate {
  public:
   FifoLayer(vsync::Endpoint& endpoint, OrderDelegate& up);

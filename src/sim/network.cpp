@@ -150,4 +150,17 @@ void Network::deliver(ProcessId from, ProcessId to, const Bytes& payload,
   it->second(from, payload);
 }
 
+void Network::export_metrics(obs::MetricsRegistry& registry,
+                             const std::string& prefix) const {
+  registry.counter(prefix + ".messages_sent").set(stats_.messages_sent);
+  registry.counter(prefix + ".messages_delivered").set(stats_.messages_delivered);
+  registry.counter(prefix + ".dropped_partition").set(stats_.dropped_partition);
+  registry.counter(prefix + ".dropped_loss").set(stats_.dropped_loss);
+  registry.counter(prefix + ".dropped_dead").set(stats_.dropped_dead);
+  registry.counter(prefix + ".bytes_sent").set(stats_.bytes_sent);
+  registry.counter(prefix + ".bytes_delivered").set(stats_.bytes_delivered);
+  registry.counter(prefix + ".payload_copies").set(stats_.payload_copies);
+  registry.counter(prefix + ".payloads_shared").set(stats_.payloads_shared);
+}
+
 }  // namespace evs::sim

@@ -19,6 +19,7 @@
 
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
+#include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 
@@ -97,6 +98,10 @@ class Network {
 
   const NetworkStats& stats() const { return stats_; }
   NetworkConfig& config() { return config_; }
+
+  /// Projects the stats struct into `registry` as counters under `prefix`.
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "net") const;
 
  private:
   std::uint32_t component_of(SiteId site) const;

@@ -1,6 +1,11 @@
 #include "sim/world.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
+
 #include "common/log.hpp"
+#include "obs/dump.hpp"
 
 namespace evs::sim {
 
@@ -28,6 +33,10 @@ void Actor::cancel_timer(EventId id) { scheduler().cancel(id); }
 
 Scheduler& Actor::scheduler() { return world().scheduler(); }
 
+obs::TraceBus* Actor::trace() const {
+  return world_ == nullptr ? nullptr : &world_->trace_bus();
+}
+
 SimTime Actor::now() const {
   EVS_CHECK(world_ != nullptr);
   return world_->scheduler().now();
@@ -38,7 +47,27 @@ StableStore& Actor::store() { return world().store(id_.site); }
 World::World(std::uint64_t seed, NetworkConfig net_config)
     : seed_(seed),
       rng_(seed),
-      network_(scheduler_, Rng(seed ^ 0xa0761d6478bd642fULL), net_config) {}
+      network_(scheduler_, Rng(seed ^ 0xa0761d6478bd642fULL), net_config) {
+  // Opt every run into tracing when EVS_TRACE_OUT names a dump directory,
+  // so benches and examples need no per-binary flag plumbing.
+  if (!obs::trace_out_dir().empty()) trace_bus_.set_enabled(true);
+}
+
+World::~World() {
+  if (trace_dumped_ || trace_bus_.recorded() == 0) return;
+  if (obs::trace_out_dir().empty()) return;
+  // Auto-generated stem: unique across the parallel test binaries that
+  // may share one EVS_TRACE_OUT directory.
+  static std::atomic<std::uint64_t> run_counter{0};
+  dump_trace("world-seed" + std::to_string(seed_) + "-p" +
+             std::to_string(static_cast<long long>(::getpid())) + "-" +
+             std::to_string(run_counter.fetch_add(1)));
+}
+
+bool World::dump_trace(const std::string& name) {
+  trace_dumped_ = true;
+  return obs::dump_run(trace_bus_, metrics_, name);
+}
 
 SiteId World::add_site() {
   const SiteId site{site_count_++};

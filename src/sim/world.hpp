@@ -17,6 +17,8 @@
 
 #include "common/check.hpp"
 #include "common/ids.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/network.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
@@ -33,6 +35,15 @@ class Actor {
 
   ProcessId id() const { return id_; }
   bool alive() const { return alive_; }
+
+  /// The world's trace bus, or nullptr before adoption. Hooks should test
+  /// `trace() != nullptr && trace()->enabled()` (cheap) before building an
+  /// event. Public so wrapper layers (ordering, app objects) can trace
+  /// through the actor they decorate.
+  obs::TraceBus* trace() const;
+
+  /// Current simulated time (usable from const members).
+  SimTime now() const;
 
   /// Called once, at spawn time (time of the spawn event).
   virtual void on_start() {}
@@ -59,8 +70,6 @@ class Actor {
     return *world_;
   }
   Scheduler& scheduler();
-  /// Current simulated time (usable from const members).
-  SimTime now() const;
   Rng& rng() { return rng_; }
   /// This site's permanent storage (survives crashes).
   StableStore& store();
@@ -77,12 +86,33 @@ class Actor {
 class World {
  public:
   explicit World(std::uint64_t seed, NetworkConfig net_config = {});
+  /// If EVS_TRACE_OUT is set and the bus recorded anything that was not
+  /// already dumped via dump_trace(), writes the run artifacts under an
+  /// auto-generated name — a failing test run leaves its trace behind.
+  ~World();
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
   Scheduler& scheduler() { return scheduler_; }
   Network& network() { return network_; }
   Rng& rng() { return rng_; }
+
+  /// Per-world structured event trace (obs/trace.hpp). Enabled
+  /// automatically when EVS_TRACE_OUT is set; tests enable it explicitly.
+  /// Recording never touches rng_ or the scheduler, so enabling the bus
+  /// cannot perturb a simulation.
+  obs::TraceBus& trace_bus() { return trace_bus_; }
+  const obs::TraceBus& trace_bus() const { return trace_bus_; }
+
+  /// Per-world metrics registry; layers project their stats structs into
+  /// it via their export_metrics() helpers.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Dumps this world's trace + metrics under `name` via obs::dump_run
+  /// (no-op returning false when EVS_TRACE_OUT is unset) and suppresses
+  /// the destructor's auto-dump.
+  bool dump_trace(const std::string& name);
 
   SiteId add_site();
   std::vector<SiteId> add_sites(std::size_t n);
@@ -131,6 +161,9 @@ class World {
   Rng rng_;
   Scheduler scheduler_;
   Network network_;
+  obs::TraceBus trace_bus_;
+  obs::MetricsRegistry metrics_;
+  bool trace_dumped_ = false;
   std::uint32_t site_count_ = 0;
   std::unordered_map<SiteId, std::uint32_t> incarnations_;
   std::unordered_map<SiteId, ProcessId> live_;

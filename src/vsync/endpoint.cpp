@@ -31,6 +31,7 @@ void Endpoint::on_start() {
     set_timer(d, std::move(fn));
   };
   host.now = [this]() { return scheduler().now(); };
+  host.trace = trace();
 
   detector_ = std::make_unique<detector::HeartbeatDetector>(
       id(), config_.universe, std::move(host), config_.detector,
@@ -58,6 +59,10 @@ void Endpoint::install_singleton() {
   view_.members = {id()};
   ++stats_.views_installed;
   stats_.last_install_time = scheduler().now();
+  if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+    bus->record({scheduler().now(), id(), obs::EventKind::ViewInstalled,
+                 view_.id, id(), 0, 1});
+  }
   if (delegate_ != nullptr)
     delegate_->on_view(view_, InstallInfo{kNoContexts, kNoUnions});
 }
@@ -73,6 +78,10 @@ void Endpoint::multicast(Bytes payload) {
   msg.view = view_.id;
   msg.seq = ++send_seq_;
   msg.payload = std::move(payload);
+  if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+    bus->record({scheduler().now(), id(), obs::EventKind::MessageSent, view_.id,
+                 id(), msg.seq, obs::payload_hash(msg.payload)});
+  }
 
   Encoder body;
   body.reserve(msg.payload.size() + 32);
@@ -199,6 +208,10 @@ void Endpoint::handle_propose(ProcessId from, const gms::Propose& msg) {
 
   const bool was_blocked = blocked();
   acked_round_ = msg.round;
+  if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+    bus->record({scheduler().now(), id(), obs::EventKind::ViewAcked, view_.id,
+                 from, msg.round.number, msg.members.size()});
+  }
   if (!was_blocked) {
     blocked_since_ = scheduler().now();
     if (delegate_ != nullptr) delegate_->on_block();
@@ -240,6 +253,10 @@ void Endpoint::start_round(std::vector<ProcessId> members) {
   coordinating_ = Coordinating{round, members, {}};
   ++stats_.rounds_started;
   EVS_DEBUG(to_string(id()) << " starts round " << gms::to_string(round));
+  if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+    bus->record({scheduler().now(), id(), obs::EventKind::ViewProposed,
+                 view_.id, id(), round.number, members.size()});
+  }
 
   gms::Propose propose;
   propose.round = round;
@@ -327,6 +344,11 @@ void Endpoint::handle_install(const gms::Install& msg) {
   coordinating_.reset();
   ++stats_.views_installed;
   stats_.last_install_time = scheduler().now();
+  if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+    bus->record({scheduler().now(), id(), obs::EventKind::ViewInstalled,
+                 view_.id, msg.round.coordinator, msg.round.number,
+                 view_.members.size()});
+  }
 
   if (delegate_ != nullptr)
     delegate_->on_view(view_, InstallInfo{msg.contexts, msg.unions});
@@ -393,8 +415,11 @@ void Endpoint::try_deliver(ProcessId sender) {
     const std::uint64_t seq = stream.next_expected;
     ++stream.next_expected;
     ++stats_.data_delivered;
+    if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+      bus->record({scheduler().now(), id(), obs::EventKind::MessageDelivered,
+                   view_.id, sender, seq, obs::payload_hash(payload)});
+    }
     if (delegate_ != nullptr) delegate_->on_deliver(sender, payload);
-    (void)seq;
   }
 }
 
@@ -406,6 +431,11 @@ void Endpoint::deliver(ProcessId sender, std::uint64_t seq, const Bytes& payload
   stream.pending.erase(seq);
   if (seq >= stream.next_expected) stream.next_expected = seq + 1;
   ++stats_.data_delivered;
+  if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+    // view_ is still the dying view here — flush deliveries belong to it.
+    bus->record({scheduler().now(), id(), obs::EventKind::FlushDelivery,
+                 view_.id, sender, seq, obs::payload_hash(payload)});
+  }
   if (delegate_ != nullptr) delegate_->on_deliver(sender, payload);
 }
 
@@ -519,6 +549,27 @@ void Endpoint::collect_garbage() {
       it = buffer_.erase(it);
     }
   }
+}
+
+void Endpoint::export_metrics(obs::MetricsRegistry& registry,
+                              const std::string& prefix) const {
+  registry.counter(prefix + ".views_installed").set(stats_.views_installed);
+  registry.counter(prefix + ".rounds_started").set(stats_.rounds_started);
+  registry.counter(prefix + ".rounds_completed").set(stats_.rounds_completed);
+  registry.counter(prefix + ".data_multicast").set(stats_.data_multicast);
+  registry.counter(prefix + ".data_delivered").set(stats_.data_delivered);
+  registry.counter(prefix + ".flush_deliveries").set(stats_.flush_deliveries);
+  registry.counter(prefix + ".messages_discarded").set(stats_.messages_discarded);
+  registry.counter(prefix + ".install_bytes").set(stats_.install_bytes);
+  registry.counter(prefix + ".ack_bytes").set(stats_.ack_bytes);
+  registry.counter(prefix + ".stability_gc_messages")
+      .set(stats_.stability_gc_messages);
+  registry.counter(prefix + ".frames_encoded").set(stats_.frames_encoded);
+  registry.counter(prefix + ".frame_bytes_encoded")
+      .set(stats_.frame_bytes_encoded);
+  registry.counter(prefix + ".buffer_peak").set(stats_.buffer_peak);
+  if (detector_ != nullptr)
+    detector_->export_metrics(registry, prefix + ".detector");
 }
 
 }  // namespace evs::vsync

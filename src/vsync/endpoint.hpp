@@ -137,6 +137,12 @@ class Endpoint : public sim::Actor {
   const EndpointStats& stats() const { return stats_; }
   const EndpointConfig& config() const { return config_; }
 
+  /// Projects the endpoint's and its detector's stats into `registry` as
+  /// counters under `prefix` (e.g. "p0.vsync"), for MetricsRegistry
+  /// snapshots; the stats structs remain the cheap direct accessors.
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix) const;
+
   // sim::Actor interface.
   void on_start() override;
   void on_message(ProcessId from, const Bytes& payload) override;

@@ -1,0 +1,274 @@
+// Unit tests for the observability subsystem: TraceBus ring buffer and
+// JSONL round trip, metrics registry snapshots, and the RunChecker's
+// verdicts on hand-built traces (including the ISSUE-mandated corrupted
+// trace where one message is delivered in two views).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace evs::obs {
+namespace {
+
+ProcessId proc(std::uint32_t site, std::uint32_t inc = 0) {
+  return ProcessId{SiteId{site}, inc};
+}
+
+ViewId view(std::uint64_t epoch, std::uint32_t coord_site) {
+  return ViewId{epoch, proc(coord_site)};
+}
+
+TEST(TraceBus, DisabledByDefaultAndDropsRecords) {
+  TraceBus bus;
+  EXPECT_FALSE(bus.enabled());
+  bus.record({1, proc(0), EventKind::MessageSent});
+  EXPECT_EQ(bus.recorded(), 0u);
+  EXPECT_EQ(bus.size(), 0u);
+}
+
+TEST(TraceBus, RingOverwritesOldestAndCountsDrops) {
+  TraceBus bus(4);
+  bus.set_enabled(true);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    bus.record({i, proc(0), EventKind::MessageSent, {}, proc(0), i});
+  }
+  EXPECT_EQ(bus.recorded(), 6u);
+  EXPECT_EQ(bus.dropped(), 2u);
+  EXPECT_EQ(bus.size(), 4u);
+  const std::vector<TraceEvent> events = bus.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first: events 0 and 1 were overwritten.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, i + 2) << "slot " << i;
+  }
+}
+
+TEST(TraceBus, JsonlRoundTripPreservesEveryField) {
+  TraceBus bus(8);
+  bus.set_enabled(true);
+  bus.record({12345, proc(2, 1), EventKind::ViewInstalled, view(7, 2), proc(0),
+              3, 42, 9});
+  bus.record({99999, proc(0), EventKind::ModeTransition, view(8, 0), proc(1, 4),
+              2, 2, 2});
+  bus.record({0, proc(1), EventKind::MessageDelivered, view(7, 2), proc(2, 1),
+              11, payload_hash({'h', 'i'}), 0});
+
+  std::stringstream ss;
+  bus.write_jsonl(ss);
+  std::size_t skipped = 7;
+  const std::vector<TraceEvent> back = read_jsonl(ss, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  EXPECT_EQ(back, bus.events());
+}
+
+TEST(TraceBus, ReadJsonlSkipsUnparseableLines) {
+  std::stringstream ss;
+  ss << "{\"t\":5,\"proc\":\"1:0\",\"kind\":\"MessageSent\",\"view\":\"0:0:0\","
+        "\"peer\":\"1:0\",\"seq\":1,\"value\":2,\"aux\":0}\n"
+     << "this is not json\n"
+     << "{\"t\":6,\"proc\":\"1:0\",\"kind\":\"NoSuchKind\",\"view\":\"0:0:0\","
+        "\"peer\":\"1:0\",\"seq\":1,\"value\":2,\"aux\":0}\n"
+     << "\n";  // blank lines are not an error
+  std::size_t skipped = 0;
+  const std::vector<TraceEvent> events = read_jsonl(ss, &skipped);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].time, 5u);
+  EXPECT_EQ(events[0].kind, EventKind::MessageSent);
+  EXPECT_EQ(skipped, 2u);
+}
+
+TEST(TraceBus, EventKindNamesRoundTrip) {
+  for (int i = 1; i <= 15; ++i) {
+    const auto kind = static_cast<EventKind>(i);
+    EventKind back = EventKind::MessageSent;
+    ASSERT_TRUE(parse_event_kind(to_string(kind), back)) << to_string(kind);
+    EXPECT_EQ(back, kind);
+  }
+  EventKind out;
+  EXPECT_FALSE(parse_event_kind("?", out));
+  EXPECT_FALSE(parse_event_kind("Bogus", out));
+}
+
+TEST(Metrics, HistogramExactQuantiles) {
+  Histogram h;
+  for (int i = 100; i >= 1; --i) h.record(i);  // unsorted on purpose
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+}
+
+TEST(Metrics, RegistrySnapshotsToSortedJson) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.counter("net.messages_sent").set(12);
+  reg.counter("a.views_installed").add(3);
+  reg.gauge("mode.normal_us").set(1.5);
+  reg.histogram("latency_us").record(10);
+  reg.histogram("latency_us").record(20);
+  EXPECT_FALSE(reg.empty());
+
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"net.messages_sent\":12"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"a.views_installed\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mode.normal_us\":1.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"latency_us\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+  // std::map keys: "a.views_installed" sorts before "net.messages_sent".
+  EXPECT_LT(json.find("a.views_installed"), json.find("net.messages_sent"));
+}
+
+// --- RunChecker on hand-built traces ---------------------------------------
+
+// A clean two-process run: both install v1 then v2, both deliver the same
+// message in v1, modes chain legally from SETTLING.
+std::vector<TraceEvent> clean_trace() {
+  const ProcessId a = proc(0), b = proc(1);
+  const ViewId v1 = view(1, 0), v2 = view(2, 0);
+  const std::uint64_t h = payload_hash({'m', '1'});
+  return {
+      {0, a, EventKind::ViewInstalled, v1, a, 0, 2},
+      {0, b, EventKind::ViewInstalled, v1, a, 0, 2},
+      {1, a, EventKind::ModeTransition, v1, {}, 3, 0, 2},  // Reconcile S->N
+      {1, b, EventKind::ModeTransition, v1, {}, 3, 0, 2},
+      {2, a, EventKind::MessageSent, v1, a, 1, h},
+      {3, a, EventKind::MessageDelivered, v1, a, 1, h},
+      {3, b, EventKind::MessageDelivered, v1, a, 1, h},
+      {4, a, EventKind::EviewChange, v1, {}, 1, 2, 2},
+      {5, a, EventKind::EviewChange, v1, {}, 2, 1, 1},  // coarsened
+      {6, a, EventKind::ModeTransition, v2, {}, 0, 1, 0},  // Failure N->R
+      {6, b, EventKind::ModeTransition, v2, {}, 0, 1, 0},
+      {7, a, EventKind::ViewInstalled, v2, a, 1, 1},
+      {7, b, EventKind::ViewInstalled, v2, a, 1, 1},
+  };
+}
+
+TEST(RunChecker, CleanTraceHasNoViolations) {
+  const std::vector<Violation> v = RunChecker::check(clean_trace());
+  EXPECT_TRUE(v.empty()) << (v.empty() ? "" : v.front().str());
+}
+
+// The ISSUE-mandated corruption: the same message delivered in two
+// different views must be flagged as a Uniqueness (P2.2) violation.
+TEST(RunChecker, DuplicateDeliveryAcrossViewsIsUniquenessViolation) {
+  std::vector<TraceEvent> events = clean_trace();
+  const std::uint64_t h = payload_hash({'m', '1'});
+  // Re-deliver a's v1 message at b, but inside v2.
+  events.push_back(
+      {8, proc(1), EventKind::MessageDelivered, view(2, 0), proc(0), 1, h});
+
+  const std::vector<Violation> unique = RunChecker::check_uniqueness(events);
+  ASSERT_EQ(unique.size(), 1u);
+  EXPECT_EQ(unique[0].property, "Uniqueness (P2.2)");
+  EXPECT_NE(unique[0].detail.find("2 views"), std::string::npos)
+      << unique[0].str();
+  // The full checker surfaces it too (plus the per-process duplicate,
+  // which is an Integrity matter).
+  const std::vector<Violation> all = RunChecker::check(events);
+  EXPECT_FALSE(all.empty());
+}
+
+TEST(RunChecker, FlushDeliveryCountsAsDelivery) {
+  // Same corruption but via a FlushDelivery event: still P2.2.
+  std::vector<TraceEvent> events = clean_trace();
+  const std::uint64_t h = payload_hash({'m', '1'});
+  events.push_back(
+      {8, proc(1), EventKind::FlushDelivery, view(2, 0), proc(0), 1, h});
+  EXPECT_EQ(RunChecker::check_uniqueness(events).size(), 1u);
+}
+
+TEST(RunChecker, UnsentAndRepeatedDeliveriesAreIntegrityViolations) {
+  const ProcessId a = proc(0), b = proc(1);
+  const ViewId v1 = view(1, 0);
+  const std::uint64_t h = payload_hash({'x'});
+  const std::vector<TraceEvent> events = {
+      {0, a, EventKind::MessageSent, v1, a, 1, h},
+      {1, a, EventKind::MessageDelivered, v1, a, 1, h},
+      {2, a, EventKind::MessageDelivered, v1, a, 1, h},  // delivered twice
+      {3, b, EventKind::MessageDelivered, v1, b, 1, 777},  // never sent
+  };
+  const std::vector<Violation> v = RunChecker::check_integrity(events);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_NE(v[0].detail.find("more than once"), std::string::npos);
+  EXPECT_NE(v[1].detail.find("never multicast"), std::string::npos);
+}
+
+TEST(RunChecker, DivergentDeliveriesAcrossSurvivorsIsAgreementViolation) {
+  const ProcessId a = proc(0), b = proc(1);
+  const ViewId v1 = view(1, 0), v2 = view(2, 0);
+  const std::uint64_t h = payload_hash({'y'});
+  const std::vector<TraceEvent> events = {
+      {0, a, EventKind::ViewInstalled, v1, a, 0, 2},
+      {0, b, EventKind::ViewInstalled, v1, a, 0, 2},
+      {1, a, EventKind::MessageSent, v1, a, 1, h},
+      {2, a, EventKind::MessageDelivered, v1, a, 1, h},
+      // b never delivers it, yet both survive into v2.
+      {3, a, EventKind::ViewInstalled, v2, a, 1, 2},
+      {3, b, EventKind::ViewInstalled, v2, a, 1, 2},
+  };
+  const std::vector<Violation> v = RunChecker::check_agreement(events);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].property, "Agreement (P2.1)");
+}
+
+TEST(RunChecker, StructureMustCoarsenWithinAView) {
+  const ProcessId a = proc(0);
+  const ViewId v1 = view(1, 0);
+  const std::vector<TraceEvent> events = {
+      {0, a, EventKind::EviewChange, v1, {}, 1, 2, 2},
+      {1, a, EventKind::EviewChange, v1, {}, 2, 3, 2},  // subviews grew
+      {2, a, EventKind::EviewChange, v1, {}, 2, 3, 2},  // seq did not advance
+  };
+  const std::vector<Violation> v = RunChecker::check_structure(events);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_NE(v[0].detail.find("grew"), std::string::npos);
+  EXPECT_NE(v[1].detail.find("strictly increase"), std::string::npos);
+}
+
+TEST(RunChecker, StructureMayGrowAcrossViews) {
+  const ProcessId a = proc(0);
+  const std::vector<TraceEvent> events = {
+      {0, a, EventKind::EviewChange, view(1, 0), {}, 1, 1, 1},
+      // New view: merged structures may be bigger; seq restarts.
+      {1, a, EventKind::EviewChange, view(2, 0), {}, 0, 3, 3},
+  };
+  EXPECT_TRUE(RunChecker::check_structure(events).empty());
+}
+
+TEST(RunChecker, IllegalModeEdgeIsFlagged) {
+  const ProcessId a = proc(0);
+  const std::vector<TraceEvent> events = {
+      // Repair out of NORMAL: no such edge in Figure 1 (and the chain
+      // should have started from SETTLING).
+      {0, a, EventKind::ModeTransition, view(1, 0), {}, 1, 2, 0},
+  };
+  const std::vector<Violation> v = RunChecker::check_modes(events);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_NE(v[0].detail.find("was in SETTLING"), std::string::npos);
+  EXPECT_NE(v[1].detail.find("illegal edge"), std::string::npos);
+}
+
+TEST(RunChecker, ModeChainMustBeContinuous) {
+  const ProcessId a = proc(0);
+  const std::vector<TraceEvent> events = {
+      {0, a, EventKind::ModeTransition, view(1, 0), {}, 3, 0, 2},  // S->N ok
+      // Claims to leave SETTLING again, but the process is in NORMAL.
+      {1, a, EventKind::ModeTransition, view(2, 0), {}, 2, 2, 2},
+  };
+  const std::vector<Violation> v = RunChecker::check_modes(events);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].detail.find("but was in NORMAL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evs::obs

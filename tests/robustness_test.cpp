@@ -4,6 +4,10 @@
 // system gives no cleaner option).
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "obs/check.hpp"
+#include "sim/fault.hpp"
 #include "support/cluster.hpp"
 #include "support/evs_cluster.hpp"
 #include "support/oracle.hpp"
@@ -139,6 +143,48 @@ TEST(Robustness, RandomGarbageUnderChurnKeepsEvsConsistent) {
   }
   ASSERT_TRUE(c.await_stable_view(c.all_indices()));
   ASSERT_TRUE(c.await([&]() { return c.structures_agree(c.all_indices()); }));
+}
+
+TEST(Robustness, RandomizedFaultScheduleTraceValidatesClean) {
+  // Drive a cluster through a randomized crash/recover/partition/heal
+  // schedule with the trace bus recording everything, then replay the
+  // full trace through the in-library RunChecker: the view-synchrony
+  // properties must hold with zero violations, from the trace alone.
+  Cluster c({.sites = 4, .seed = 67});
+  c.world().trace_bus().set_enabled(true);
+  ASSERT_TRUE(c.await_stable_view(c.all_indices()));
+
+  sim::Rng rng(7041996);
+  sim::FaultProfile profile;
+  profile.mean_interval = 900 * kMillisecond;
+  const SimTime horizon = c.world().scheduler().now() + 12 * kSecond;
+  const sim::FaultPlan plan =
+      sim::random_fault_plan(rng, c.sites(), horizon, profile);
+  plan.arm(c.world());
+
+  // Unique payloads from whichever sites are alive, throughout the run.
+  int sent = 0;
+  while (c.world().scheduler().now() < horizon) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (!c.world().site_alive(c.site(i))) continue;
+      if (rng.bernoulli(0.5)) c.rec(i).multicast("rf-" + std::to_string(sent++));
+    }
+    c.world().run_for(100 * kMillisecond);
+  }
+  EXPECT_GT(sent, 0);
+  c.world().network().heal();
+  c.world().run_for(5 * kSecond);
+
+  const obs::TraceBus& bus = c.world().trace_bus();
+  EXPECT_EQ(bus.dropped(), 0u);  // the whole run fits in the ring
+  EXPECT_GT(bus.size(), 0u);
+  const std::vector<obs::TraceEvent> events = bus.events();
+  const std::vector<obs::Violation> violations = obs::RunChecker::check(events);
+  for (const obs::Violation& v : violations) ADD_FAILURE() << v.str();
+  EXPECT_TRUE(violations.empty());
+
+  // The trace-based verdict must agree with the recorder-based oracles.
+  EXPECT_TRUE(check_vs_properties(recorder_ptrs(c.all_recorders())));
 }
 
 }  // namespace

@@ -9,119 +9,77 @@
 //   Integrity  (P2.3): at most once per process, and only if some process
 //                      multicast it.
 // Payloads must be globally unique within a test for these oracles.
+//
+// The actual property logic lives in the library (obs::RunChecker) so it
+// can also validate traces from benches, examples and recorded files; this
+// header converts Recorder histories into the checker's event form and
+// wraps the structured violations back into gtest AssertionResults.
 #pragma once
 
 #include <gtest/gtest.h>
 
-#include <map>
-#include <set>
-#include <sstream>
-#include <string>
+#include <memory>
 #include <vector>
 
+#include "obs/check.hpp"
+#include "obs/trace.hpp"
 #include "support/recorder.hpp"
 
 namespace evs::test {
 
-using DeliverySet = std::set<std::pair<ProcessId, std::string>>;
+/// Recorder histories as synthetic trace events: per process, its views in
+/// installation order plus every send and view-tagged delivery. Times are
+/// irrelevant to the properties and left at zero.
+inline std::vector<obs::TraceEvent> recorder_events(
+    const std::vector<const Recorder*>& recorders) {
+  std::vector<obs::TraceEvent> events;
+  for (const Recorder* rec : recorders) {
+    const ProcessId proc = rec->endpoint_id();
+    for (const auto& vr : rec->views()) {
+      events.push_back({0, proc, obs::EventKind::ViewInstalled, vr.view.id,
+                        vr.view.id.coordinator, 0, vr.view.size()});
+    }
+    for (const std::string& payload : rec->sent()) {
+      events.push_back({0, proc, obs::EventKind::MessageSent, {}, proc, 0,
+                        obs::payload_hash(to_bytes(payload))});
+    }
+    for (const auto& d : rec->deliveries()) {
+      events.push_back({0, proc, obs::EventKind::MessageDelivered, d.view,
+                        d.sender, 0, obs::payload_hash(to_bytes(d.payload))});
+    }
+  }
+  return events;
+}
+
+inline ::testing::AssertionResult as_assertion(
+    const std::vector<obs::Violation>& violations) {
+  if (violations.empty()) return ::testing::AssertionSuccess();
+  auto failure = ::testing::AssertionFailure();
+  for (const obs::Violation& v : violations) failure << v.str() << "\n";
+  return failure;
+}
 
 inline ::testing::AssertionResult check_uniqueness(
     const std::vector<const Recorder*>& recorders) {
-  std::map<std::string, std::set<ViewId>> views_of_payload;
-  for (const Recorder* rec : recorders) {
-    for (const auto& d : rec->deliveries()) {
-      views_of_payload[d.payload].insert(d.view);
-    }
-  }
-  for (const auto& [payload, views] : views_of_payload) {
-    if (views.size() > 1) {
-      return ::testing::AssertionFailure()
-             << "Uniqueness violated: '" << payload << "' delivered in "
-             << views.size() << " distinct views";
-    }
-  }
-  return ::testing::AssertionSuccess();
+  return as_assertion(
+      obs::RunChecker::check_uniqueness(recorder_events(recorders)));
 }
 
 inline ::testing::AssertionResult check_integrity(
     const std::vector<const Recorder*>& recorders) {
-  // Gather everything ever multicast, per sender.
-  std::map<ProcessId, std::set<std::string>> sent_by;
-  for (const Recorder* rec : recorders) {
-    auto& sent = sent_by[rec->endpoint_id()];
-    sent.insert(rec->sent().begin(), rec->sent().end());
-  }
-  for (const Recorder* rec : recorders) {
-    std::set<std::pair<ProcessId, std::string>> seen;
-    for (const auto& d : rec->deliveries()) {
-      if (!seen.emplace(d.sender, d.payload).second) {
-        return ::testing::AssertionFailure()
-               << "Integrity violated: " << to_string(rec->endpoint_id())
-               << " delivered '" << d.payload << "' twice";
-      }
-      const auto it = sent_by.find(d.sender);
-      if (it == sent_by.end() || !it->second.contains(d.payload)) {
-        return ::testing::AssertionFailure()
-               << "Integrity violated: '" << d.payload
-               << "' delivered but never multicast by " << to_string(d.sender);
-      }
-    }
-  }
-  return ::testing::AssertionSuccess();
+  return as_assertion(
+      obs::RunChecker::check_integrity(recorder_events(recorders)));
 }
 
 inline ::testing::AssertionResult check_agreement(
     const std::vector<const Recorder*>& recorders) {
-  // Per recorder: the set of messages it delivered in each view, and its
-  // view transitions v -> v'.
-  struct PerProcess {
-    std::map<ViewId, DeliverySet> delivered_in;
-    std::map<ViewId, ViewId> next_view;
-  };
-  std::vector<std::pair<const Recorder*, PerProcess>> data;
-  for (const Recorder* rec : recorders) {
-    PerProcess pp;
-    for (const auto& d : rec->deliveries()) {
-      pp.delivered_in[d.view].emplace(d.sender, d.payload);
-    }
-    const auto& views = rec->views();
-    for (std::size_t i = 0; i + 1 < views.size(); ++i) {
-      pp.next_view.emplace(views[i].view.id, views[i + 1].view.id);
-    }
-    data.emplace_back(rec, std::move(pp));
-  }
-  for (std::size_t a = 0; a < data.size(); ++a) {
-    for (std::size_t b = a + 1; b < data.size(); ++b) {
-      const auto& [ra, pa] = data[a];
-      const auto& [rb, pb] = data[b];
-      for (const auto& [view, next_a] : pa.next_view) {
-        const auto it = pb.next_view.find(view);
-        if (it == pb.next_view.end() || it->second != next_a) continue;
-        // Both survived view -> next_a: delivered sets in `view` must match.
-        static const DeliverySet kEmpty;
-        const auto da = pa.delivered_in.find(view);
-        const auto db = pb.delivered_in.find(view);
-        const DeliverySet& sa = da == pa.delivered_in.end() ? kEmpty : da->second;
-        const DeliverySet& sb = db == pb.delivered_in.end() ? kEmpty : db->second;
-        if (sa != sb) {
-          std::ostringstream os;
-          os << "Agreement violated between " << to_string(ra->endpoint_id())
-             << " and " << to_string(rb->endpoint_id()) << " in view "
-             << to_string(view) << ": " << sa.size() << " vs " << sb.size()
-             << " deliveries";
-          return ::testing::AssertionFailure() << os.str();
-        }
-      }
-    }
-  }
-  return ::testing::AssertionSuccess();
+  return as_assertion(
+      obs::RunChecker::check_agreement(recorder_events(recorders)));
 }
 
 inline ::testing::AssertionResult check_vs_properties(
     const std::vector<const Recorder*>& recorders) {
-  if (auto r = check_uniqueness(recorders); !r) return r;
-  if (auto r = check_integrity(recorders); !r) return r;
-  return check_agreement(recorders);
+  return as_assertion(obs::RunChecker::check_vs(recorder_events(recorders)));
 }
 
 inline std::vector<const Recorder*> recorder_ptrs(

@@ -1,0 +1,43 @@
+// trace_check: replay recorded traces through the RunChecker.
+//
+// Usage: trace_check <run.trace.jsonl>...
+//
+// Reads each JSONL trace produced by obs::TraceBus::write_jsonl (e.g. via
+// EVS_TRACE_OUT), validates it against the view-synchrony properties
+// (P2.1-P2.3), the enriched-view structure invariant and the Figure-1 mode
+// machine, and prints every violation. Exit status: 0 when every file is
+// clean, 1 on any violation or unreadable file. CI runs the quickstart
+// example under EVS_TRACE_OUT and pipes the result through this tool.
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "obs/check.hpp"
+#include "obs/trace.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <run.trace.jsonl>...\n", argv[0]);
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream is(argv[i]);
+    if (!is) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      ok = false;
+      continue;
+    }
+    std::size_t skipped = 0;
+    const std::vector<evs::obs::TraceEvent> events =
+        evs::obs::read_jsonl(is, &skipped);
+    const std::vector<evs::obs::Violation> violations =
+        evs::obs::RunChecker::check(events);
+    std::printf("%s: %zu events (%zu unparseable lines skipped), %zu violations\n",
+                argv[i], events.size(), skipped, violations.size());
+    for (const evs::obs::Violation& v : violations)
+      std::printf("  %s\n", v.str().c_str());
+    if (!violations.empty()) ok = false;
+  }
+  return ok ? 0 : 1;
+}
