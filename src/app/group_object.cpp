@@ -40,7 +40,7 @@ void GroupObjectBase::on_start() {
       recovered_epoch_ = 0;
     }
   }
-  machine_.emplace(scheduler().now());
+  machine_.emplace(now());
   core::EvsEndpoint::on_start();  // installs the first (singleton) view
 }
 
@@ -167,7 +167,7 @@ void GroupObjectBase::evaluate_mode(const core::EView& eview, bool view_changed)
     input.needs_settling = true;
   }
   const std::optional<Transition> taken =
-      machine_->on_view(input, scheduler().now());
+      machine_->on_view(input, now());
   if (taken.has_value()) {
     if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
       // Self-loops (S->S Reconfigure) are reported too, matching the
@@ -192,7 +192,7 @@ void GroupObjectBase::start_settle(const core::EView& eview) {
                  static_cast<std::uint64_t>(obs::ReconcilePhase::SettleStarted)});
   }
   current_settle_.problems = kNoProblem;
-  current_settle_.started = scheduler().now();
+  current_settle_.started = now();
   current_settle_.serve_ready = 0;
   current_settle_.fully_done = 0;
 
@@ -345,7 +345,7 @@ void GroupObjectBase::maybe_finish_chunks() {
     full.insert(full.end(), part.begin(), part.end());
   install_state(full);
   awaiting_full_from_.reset();
-  current_settle_.fully_done = scheduler().now();
+  current_settle_.fully_done = now();
   if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
     bus->record({now(), id(), obs::EventKind::ReconcilePhase,
                  eview().view.id, {},
@@ -430,7 +430,7 @@ void GroupObjectBase::adopt_states() {
     return full;
   };
 
-  const SimTime now = scheduler().now();
+  const SimTime t_now = now();
   const auto& serving = classification_.serving_subviews;
 
   if (serving.size() >= 2) {
@@ -445,8 +445,8 @@ void GroupObjectBase::adopt_states() {
     state_current_ = true;
     ++object_stats_.merges;
     if (!classification_.r_set.empty()) ++object_stats_.transfers;
-    current_settle_.serve_ready = now;
-    current_settle_.fully_done = now;
+    current_settle_.serve_ready = t_now;
+    current_settle_.fully_done = t_now;
   } else if (serving.size() == 1) {
     // State transfer: stale members adopt the serving subview's state.
     const SubviewId src = serving.front();
@@ -455,25 +455,25 @@ void GroupObjectBase::adopt_states() {
             ? eview().structure.subview_of(id()) == src
             : offers_.contains(id()) && offers_.at(id()).subview == src;
     if (i_am_source && state_current_) {
-      current_settle_.serve_ready = now;
-      current_settle_.fully_done = now;
+      current_settle_.serve_ready = t_now;
+      current_settle_.fully_done = t_now;
     } else {
       const Offer* offer = source.at(src);
       if (offer->chunk_count == 0) {
         install_state(offer->snapshot);
-        current_settle_.fully_done = now;
+        current_settle_.fully_done = t_now;
       } else {
         // Split strategy: critical part now, bulk later.
         install_small(offer->snapshot);
         if (const auto full = full_of(src)) {
           install_state(*full);
-          current_settle_.fully_done = now;
+          current_settle_.fully_done = t_now;
         } else {
           awaiting_full_from_ = source_sender.at(src);
         }
       }
       state_current_ = true;
-      current_settle_.serve_ready = now;
+      current_settle_.serve_ready = t_now;
     }
     ++object_stats_.transfers;
   } else {
@@ -499,18 +499,18 @@ void GroupObjectBase::adopt_states() {
         awaiting_full_from_ = winner_sender;  // bulk still streaming
       } else if (full) {
         install_state(*full);
-        current_settle_.fully_done = now;
+        current_settle_.fully_done = t_now;
       }
     } else {
-      current_settle_.fully_done = now;
+      current_settle_.fully_done = t_now;
     }
     state_current_ = true;
-    current_settle_.serve_ready = now;
+    current_settle_.serve_ready = t_now;
     ++object_stats_.creations;
   }
 
   if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
-    bus->record({now, id(), obs::EventKind::ReconcilePhase, eview().view.id,
+    bus->record({t_now, id(), obs::EventKind::ReconcilePhase, eview().view.id,
                  {}, static_cast<std::uint64_t>(obs::ReconcilePhase::StateAdopted),
                  static_cast<std::uint64_t>(classification_.problems)});
   }
@@ -524,7 +524,7 @@ void GroupObjectBase::adopt_states() {
   adopted_ = true;
   ++object_stats_.settles_completed;
   if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
-    bus->record({now, id(), obs::EventKind::ReconcilePhase, eview().view.id,
+    bus->record({t_now, id(), obs::EventKind::ReconcilePhase, eview().view.id,
                  {}, static_cast<std::uint64_t>(obs::ReconcilePhase::FullyDone)});
   }
   settle_log_.push_back(current_settle_);
@@ -555,7 +555,7 @@ void GroupObjectBase::try_reconcile() {
   if (!done) return;
   EVS_DEBUG(to_string(id()) << " reconciles to NORMAL");
   const Mode before = machine_->mode();
-  machine_->reconcile(scheduler().now());
+  machine_->reconcile(now());
   if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
     bus->record({now(), id(), obs::EventKind::ModeTransition, eview().view.id,
                  {}, static_cast<std::uint64_t>(Transition::Reconcile),

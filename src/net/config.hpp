@@ -1,0 +1,62 @@
+// Real-time runtime, part 2: static peer configuration.
+//
+// A node learns the universe — every site that may ever host a group
+// member, the same bootstrap set sim runs pass as
+// EndpointConfig::universe — from a small text file:
+//
+//   # evs_node config
+//   self 0            # this process's SiteId (must appear as a peer)
+//   incarnation 1     # optional; bump after a crash-recovery restart
+//   peer 0 127.0.0.1:9000
+//   peer 1 127.0.0.1:9001
+//   peer 2 10.0.0.7:9000
+//
+// The peer line for `self` doubles as the bind address. Parsing is
+// strict: unknown keywords, duplicate sites, or malformed addresses fail
+// with a line-numbered error rather than half-loading a cluster map.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace evs::net {
+
+/// IPv4 endpoint, host byte order.
+struct PeerAddr {
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+
+  auto operator<=>(const PeerAddr&) const = default;
+
+  std::string str() const;
+};
+
+/// Parses "a.b.c.d:port"; returns nullopt on any malformation.
+std::optional<PeerAddr> parse_addr(const std::string& text);
+
+struct NodeConfig {
+  SiteId self;
+  std::uint32_t incarnation = 1;
+  /// Site -> address for every member of the universe, self included.
+  std::map<SiteId, PeerAddr> peers;
+
+  /// Sorted universe (the key set of `peers`).
+  std::vector<SiteId> universe() const;
+  const PeerAddr& self_addr() const { return peers.at(self); }
+};
+
+/// Parses a config stream. On failure returns false and sets `error` to a
+/// line-numbered description; `out` is left unspecified.
+bool parse_node_config(std::istream& in, NodeConfig& out, std::string& error);
+
+/// Convenience: parse a file by path.
+bool load_node_config(const std::string& path, NodeConfig& out,
+                      std::string& error);
+
+}  // namespace evs::net

@@ -1,0 +1,42 @@
+#include "net/datagram.hpp"
+
+namespace evs::net {
+
+namespace {
+
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+}  // namespace
+
+void encode_header(const DatagramHeader& header, std::uint8_t* out) {
+  put_u32(out, kDatagramMagic);
+  put_u32(out + 4, header.from.site.value);
+  put_u32(out + 8, header.from.incarnation);
+  put_u32(out + 12, header.dest_incarnation);
+}
+
+std::optional<DatagramHeader> parse_header(const std::uint8_t* data,
+                                           std::size_t size) {
+  if (data == nullptr || size < kHeaderSize) return std::nullopt;
+  if (get_u32(data) != kDatagramMagic) return std::nullopt;
+  DatagramHeader header;
+  header.from.site = SiteId{get_u32(data + 4)};
+  header.from.incarnation = get_u32(data + 8);
+  header.dest_incarnation = get_u32(data + 12);
+  if (header.from.incarnation == 0) return std::nullopt;  // never minted
+  return header;
+}
+
+}  // namespace evs::net

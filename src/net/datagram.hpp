@@ -1,0 +1,48 @@
+// Real-time runtime, part 3: the UDP datagram envelope.
+//
+// The simulated network carries (from, payload) out of band; UDP gives us
+// only a source address, so every datagram prepends a fixed 16-byte
+// header to the unchanged gms::frame payload:
+//
+//   u32 magic "EVS1"      — rejects stray traffic on the port
+//   u32 from.site         — sender identity (validated against the
+//   u32 from.incarnation    address book: spoofed sites are dropped)
+//   u32 dest_incarnation  — 0 for site-addressed traffic (heartbeats);
+//                           otherwise the addressed incarnation, so a
+//                           message to a dead incarnation is dropped by
+//                           the receiver exactly as sim::Network drops it
+//
+// All fields little-endian, matching the codec. Parsing is total: any
+// runt or mismatched buffer yields nullopt, never UB — headers are the
+// first bytes of the system that a hostile network can reach.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "common/ids.hpp"
+
+namespace evs::net {
+
+inline constexpr std::uint32_t kDatagramMagic = 0x31535645;  // "EVS1" LE
+inline constexpr std::size_t kHeaderSize = 16;
+/// Largest payload we will send or accept in one datagram. UDP caps the
+/// datagram at 65507 bytes; leaving header room gives the payload bound.
+inline constexpr std::size_t kMaxPayload = 65507 - kHeaderSize;
+
+struct DatagramHeader {
+  ProcessId from;
+  std::uint32_t dest_incarnation = 0;  // 0 = site-addressed
+
+  bool operator==(const DatagramHeader&) const = default;
+};
+
+/// Writes exactly kHeaderSize bytes.
+void encode_header(const DatagramHeader& header, std::uint8_t* out);
+
+/// Validates magic and length; nullopt on any malformation.
+std::optional<DatagramHeader> parse_header(const std::uint8_t* data,
+                                           std::size_t size);
+
+}  // namespace evs::net

@@ -1,0 +1,172 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace evs::net {
+
+namespace {
+
+SimTime monotonic_us() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<SimTime>(ts.tv_sec) * 1'000'000 +
+         static_cast<SimTime>(ts.tv_nsec) / 1'000;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() : origin_(monotonic_us()) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  EVS_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  EVS_CHECK_MSG(wake_fd_ >= 0, "eventfd failed");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  EVS_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+SimTime EventLoop::now() const { return monotonic_us() - origin_; }
+
+runtime::TimerId EventLoop::set_timer(SimDuration delay,
+                                      std::function<void()> fn) {
+  EVS_CHECK(fn != nullptr);
+  const runtime::TimerId id = next_timer_id_++;
+  timer_queue_.push(TimerEntry{now() + delay, next_timer_seq_++, id});
+  timer_callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void EventLoop::cancel_timer(runtime::TimerId id) { timer_callbacks_.erase(id); }
+
+void EventLoop::add_fd(int fd, std::function<void()> on_readable) {
+  EVS_CHECK(on_readable != nullptr);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  EVS_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+                "epoll_ctl ADD failed");
+  fd_handlers_.emplace(fd, std::move(on_readable));
+}
+
+void EventLoop::remove_fd(int fd) {
+  if (fd_handlers_.erase(fd) == 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EventLoop::request_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  // Wake a blocked epoll_wait. write() on an eventfd is async-signal-safe;
+  // the result is ignored deliberately (the counter saturating is fine).
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  EVS_CHECK(fn != nullptr);
+  {
+    const std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::drain_wakeup() {
+  std::uint64_t value = 0;
+  while (::read(wake_fd_, &value, sizeof(value)) > 0) {
+  }
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    const std::lock_guard<std::mutex> lock(posted_mutex_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+std::size_t EventLoop::fire_due_timers() {
+  std::size_t fired = 0;
+  const SimTime t = now();
+  while (!timer_queue_.empty() && timer_queue_.top().deadline <= t) {
+    const TimerEntry entry = timer_queue_.top();
+    timer_queue_.pop();
+    const auto it = timer_callbacks_.find(entry.id);
+    if (it == timer_callbacks_.end()) continue;  // cancelled
+    auto fn = std::move(it->second);
+    timer_callbacks_.erase(it);
+    fn();
+    ++fired;
+  }
+  return fired;
+}
+
+std::size_t EventLoop::step(SimDuration max_wait) {
+  // Wait no longer than the nearest timer deadline (rounded up so we do
+  // not spin), the caller's budget, or a 500 ms heartbeat that re-checks
+  // the stop flag even when nothing is scheduled.
+  SimDuration wait = std::min<SimDuration>(max_wait, 500 * kMillisecond);
+  if (!timer_queue_.empty()) {
+    const SimTime t = now();
+    const SimTime deadline = timer_queue_.top().deadline;
+    wait = deadline <= t ? 0 : std::min<SimDuration>(wait, deadline - t);
+  }
+  const int timeout_ms =
+      static_cast<int>((wait + kMillisecond - 1) / kMillisecond);
+
+  epoll_event events[64];
+  const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  std::size_t fired = 0;
+  if (n > 0) {
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        drain_wakeup();
+        continue;
+      }
+      const auto it = fd_handlers_.find(fd);
+      if (it == fd_handlers_.end()) continue;  // removed by an earlier handler
+      it->second();
+      ++fired;
+    }
+  }
+  drain_posted();
+  fired += fire_due_timers();
+  return fired;
+}
+
+std::size_t EventLoop::run() {
+  std::size_t fired = 0;
+  while (!stopped()) fired += step(500 * kMillisecond);
+  // One final drain so work posted just before the stop is not lost.
+  drain_posted();
+  return fired;
+}
+
+std::size_t EventLoop::run_for(SimDuration d) {
+  const SimTime deadline = now() + d;
+  std::size_t fired = 0;
+  while (!stopped()) {
+    const SimTime t = now();
+    if (t >= deadline) break;
+    fired += step(deadline - t);
+  }
+  return fired;
+}
+
+}  // namespace evs::net

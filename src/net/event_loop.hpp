@@ -1,0 +1,106 @@
+// Real-time runtime, part 1: epoll event loop + monotonic-clock timers.
+//
+// The net runtime's counterpart of sim::Scheduler: a single-threaded
+// reactor that is both the runtime::Clock (microseconds of CLOCK_MONOTONIC
+// since loop construction — same "µs since origin" convention as simulated
+// time) and the runtime::TimerService (one-shot timers ordered by
+// (deadline, insertion-sequence), exactly the scheduler's tie-break, fired
+// from the loop thread between epoll waits).
+//
+// Everything runs on the one thread that called run(): fd callbacks, timer
+// callbacks, posted closures. The only cross-thread entry points are
+// post() (mutex-protected queue + eventfd wake) and request_stop()
+// (async-signal-safe: an atomic flag plus an eventfd write), which is how
+// signal handlers and benchmark driver threads talk to the loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "runtime/runtime.hpp"
+
+namespace evs::net {
+
+class EventLoop final : public runtime::Clock, public runtime::TimerService {
+ public:
+  EventLoop();
+  ~EventLoop() override;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // runtime::Clock: monotonic microseconds since this loop was created.
+  SimTime now() const override;
+
+  // runtime::TimerService.
+  runtime::TimerId set_timer(SimDuration delay,
+                             std::function<void()> fn) override;
+  void cancel_timer(runtime::TimerId id) override;
+
+  /// Registers a level-triggered read interest; `on_readable` must drain
+  /// the fd (read until EAGAIN) or it will be called again immediately.
+  void add_fd(int fd, std::function<void()> on_readable);
+  void remove_fd(int fd);
+
+  /// Runs until stop()/request_stop(). Returns the number of timer +
+  /// readable callbacks fired.
+  std::size_t run();
+
+  /// Runs for at most `d` microseconds of wall time, then returns (used by
+  /// in-process tests and benches that interleave loop work with asserts).
+  std::size_t run_for(SimDuration d);
+
+  /// Stops run() from a callback on the loop thread.
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Async-signal-safe stop: may be called from a signal handler or any
+  /// other thread; wakes the loop if it is blocked in epoll_wait.
+  void request_stop();
+
+  /// Enqueues `fn` to run on the loop thread; safe from any thread.
+  void post(std::function<void()> fn);
+
+  std::size_t pending_timers() const { return timer_callbacks_.size(); }
+  bool stopped() const { return stop_.load(std::memory_order_relaxed); }
+
+ private:
+  struct TimerEntry {
+    SimTime deadline;
+    std::uint64_t seq;
+    runtime::TimerId id;
+    bool operator>(const TimerEntry& other) const {
+      if (deadline != other.deadline) return deadline > other.deadline;
+      return seq > other.seq;
+    }
+  };
+
+  /// One pass: waits for fds/timers (capped at `max_wait` µs) and fires
+  /// whatever is due. Returns callbacks fired.
+  std::size_t step(SimDuration max_wait);
+  std::size_t fire_due_timers();
+  void drain_wakeup();
+  void drain_posted();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  SimTime origin_ = 0;  // CLOCK_MONOTONIC µs at construction
+
+  std::uint64_t next_timer_seq_ = 0;
+  runtime::TimerId next_timer_id_ = 1;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<>>
+      timer_queue_;
+  std::unordered_map<runtime::TimerId, std::function<void()>> timer_callbacks_;
+
+  std::unordered_map<int, std::function<void()>> fd_handlers_;
+
+  std::atomic<bool> stop_{false};
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace evs::net

@@ -1,0 +1,57 @@
+#include "net/runtime.hpp"
+
+#include <unistd.h>
+
+#include "common/check.hpp"
+#include "obs/dump.hpp"
+
+namespace evs::net {
+
+NetRuntime::NetRuntime(NodeConfig config)
+    : config_(config), transport_(loop_, std::move(config)) {
+  // Same opt-in as sim::World: EVS_TRACE_OUT turns recording on without
+  // per-binary plumbing.
+  if (!obs::trace_out_dir().empty()) trace_bus_.set_enabled(true);
+}
+
+NetRuntime::~NetRuntime() {
+  if (trace_dumped_ || trace_bus_.recorded() == 0) return;
+  if (obs::trace_out_dir().empty()) return;
+  dump_trace("evsnode-site" + std::to_string(config_.self.value) + "-p" +
+             std::to_string(static_cast<long long>(::getpid())));
+}
+
+vsync::EndpointConfig NetRuntime::endpoint_config() const {
+  vsync::EndpointConfig config;
+  config.universe = config_.universe();
+  return config;
+}
+
+void NetRuntime::host(runtime::Node& node) {
+  EVS_CHECK_MSG(node_ == nullptr, "NetRuntime already hosts a node");
+  node_ = &node;
+  runtime::Env env;
+  env.transport = &transport_;
+  env.clock = &loop_;
+  env.timers = &loop_;
+  env.store = &store_;
+  env.trace = &trace_bus_;
+  env.halt = [this]() {
+    // Voluntary leave / teardown: mirror sim::World::crash then stop.
+    node_->on_crash();
+    node_->detach();
+    loop_.stop();
+  };
+  transport_.set_deliver([&node](ProcessId from, const Bytes& payload) {
+    if (node.alive()) node.on_message(from, payload);
+  });
+  node.bind(std::move(env), self());
+  node.on_start();
+}
+
+bool NetRuntime::dump_trace(const std::string& name) {
+  trace_dumped_ = true;
+  return obs::dump_run(trace_bus_, metrics_, name);
+}
+
+}  // namespace evs::net

@@ -1,0 +1,78 @@
+// Real-time runtime, part 5: the bundle that hosts one protocol node.
+//
+// NetRuntime is the net-side counterpart of sim::World for a single
+// process: it owns the event loop (Clock + TimerService), the UDP
+// transport, the site's stable store and the observability sinks, wires
+// them into a runtime::Env, and hosts exactly one runtime::Node — the
+// same vsync/evs endpoint classes the simulator spawns, byte-for-byte the
+// same protocol code.
+//
+//   net::NodeConfig cfg = ...;             // static peer book
+//   net::NetRuntime rt(cfg);
+//   core::EvsEndpoint ep(rt.endpoint_config());
+//   rt.host(ep);                           // bind + on_start
+//   rt.run();                              // until stop / halt / signal
+//
+// EVS_TRACE_OUT works identically to sim runs: the trace bus records the
+// same typed events (stamped with loop-monotonic µs) and dump_trace()
+// writes the same three artifacts tools/trace_check consumes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/config.hpp"
+#include "net/event_loop.hpp"
+#include "net/udp_transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/runtime.hpp"
+#include "vsync/endpoint.hpp"
+
+namespace evs::net {
+
+class NetRuntime {
+ public:
+  explicit NetRuntime(NodeConfig config);
+  ~NetRuntime();
+  NetRuntime(const NetRuntime&) = delete;
+  NetRuntime& operator=(const NetRuntime&) = delete;
+
+  EventLoop& loop() { return loop_; }
+  UdpTransport& transport() { return transport_; }
+  runtime::MemoryStore& store() { return store_; }
+  obs::TraceBus& trace_bus() { return trace_bus_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  ProcessId self() const { return transport_.self(); }
+
+  /// A vsync::EndpointConfig whose universe is this runtime's peer book;
+  /// detector/protocol timings keep their defaults (already real-time
+  /// millisecond scales).
+  vsync::EndpointConfig endpoint_config() const;
+
+  /// Binds `node` to this runtime's services and starts it. The node must
+  /// outlive run(). A node that halt()s (voluntary leave) gets its
+  /// on_crash() hook and stops the loop — the process-level analogue of
+  /// sim::World::crash.
+  void host(runtime::Node& node);
+
+  /// Runs the event loop until stop()/halt/request_stop.
+  void run() { loop_.run(); }
+
+  /// Dumps trace + metrics under `name` via obs::dump_run (no-op without
+  /// EVS_TRACE_OUT) and suppresses the destructor's auto-dump.
+  bool dump_trace(const std::string& name);
+
+ private:
+  NodeConfig config_;
+  EventLoop loop_;
+  UdpTransport transport_;
+  runtime::MemoryStore store_;
+  obs::TraceBus trace_bus_;
+  obs::MetricsRegistry metrics_;
+  runtime::Node* node_ = nullptr;
+  bool trace_dumped_ = false;
+};
+
+}  // namespace evs::net

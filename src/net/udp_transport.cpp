@@ -1,0 +1,225 @@
+#include "net/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "net/datagram.hpp"
+
+namespace evs::net {
+
+namespace {
+
+sockaddr_in to_sockaddr(const PeerAddr& addr) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(addr.ip);
+  sa.sin_port = htons(addr.port);
+  return sa;
+}
+
+std::uint64_t addr_key(std::uint32_t ip_host_order, std::uint16_t port) {
+  return (std::uint64_t{ip_host_order} << 16) | port;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(EventLoop& loop, NodeConfig config)
+    : loop_(loop), config_(std::move(config)) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  EVS_CHECK_MSG(fd_ >= 0, "socket() failed");
+
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in bind_addr = to_sockaddr(config_.self_addr());
+  EVS_CHECK_MSG(
+      ::bind(fd_, reinterpret_cast<sockaddr*>(&bind_addr), sizeof(bind_addr)) ==
+          0,
+      "bind(" + config_.self_addr().str() + ") failed: " + std::strerror(errno));
+
+  sockaddr_in actual{};
+  socklen_t len = sizeof(actual);
+  EVS_CHECK(::getsockname(fd_, reinterpret_cast<sockaddr*>(&actual), &len) == 0);
+  bound_port_ = ntohs(actual.sin_port);
+
+  // Self included: a datagram we send to ourselves loops back through the
+  // socket and must pass source validation like any other peer's.
+  for (const auto& [site, addr] : config_.peers)
+    addr_to_site_.emplace(addr_key(addr.ip, addr.port), site);
+
+  loop_.add_fd(fd_, [this]() { on_readable(); });
+}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) {
+    loop_.remove_fd(fd_);
+    ::close(fd_);
+  }
+}
+
+void UdpTransport::set_drop_site(SiteId site, bool on) {
+  if (on) {
+    drop_sites_.insert(site);
+  } else {
+    drop_sites_.erase(site);
+  }
+}
+
+void UdpTransport::transmit(SiteId dest_site, std::uint32_t dest_incarnation,
+                            const std::uint8_t* payload, std::size_t size) {
+  if (drop_all_ || drop_sites_.contains(dest_site)) {
+    ++stats_.dropped_rule;
+    return;
+  }
+  const auto it = config_.peers.find(dest_site);
+  if (it == config_.peers.end()) {
+    ++stats_.dropped_unknown_peer;
+    return;
+  }
+  if (size > kMaxPayload) {
+    ++stats_.dropped_oversize;
+    EVS_WARN("udp: payload of " << size << " bytes exceeds the datagram bound"
+                                << " — dropped (dest " << to_string(dest_site)
+                                << ")");
+    return;
+  }
+
+  std::uint8_t header[kHeaderSize];
+  encode_header(DatagramHeader{self(), dest_incarnation}, header);
+
+  iovec iov[2];
+  iov[0].iov_base = header;
+  iov[0].iov_len = kHeaderSize;
+  iov[1].iov_base = const_cast<std::uint8_t*>(payload);
+  iov[1].iov_len = size;
+
+  sockaddr_in dest = to_sockaddr(it->second);
+  msghdr msg{};
+  msg.msg_name = &dest;
+  msg.msg_namelen = sizeof(dest);
+  msg.msg_iov = iov;
+  msg.msg_iovlen = 2;
+
+  if (::sendmsg(fd_, &msg, 0) < 0) {
+    // A full socket buffer or transient network error is just loss — the
+    // substrate assumes lossy links, so we count it and move on.
+    ++stats_.send_errors;
+    return;
+  }
+  ++stats_.datagrams_sent;
+  stats_.bytes_sent += kHeaderSize + size;
+}
+
+void UdpTransport::send(ProcessId to, Bytes payload) {
+  ++stats_.payload_copies;
+  transmit(to.site, to.incarnation, payload.data(), payload.size());
+}
+
+void UdpTransport::send_to_site(SiteId site, Bytes payload) {
+  ++stats_.payload_copies;
+  transmit(site, /*dest_incarnation=*/0, payload.data(), payload.size());
+}
+
+void UdpTransport::send_multi(const std::vector<ProcessId>& recipients,
+                              SharedBytes payload) {
+  // Encode-once fan-out: every transmit scatter/gathers out of the one
+  // shared buffer; only the 16-byte header is rebuilt per recipient.
+  const Bytes& bytes = payload.bytes();
+  for (const ProcessId to : recipients) {
+    ++stats_.payloads_shared;
+    transmit(to.site, to.incarnation, bytes.data(), bytes.size());
+  }
+}
+
+void UdpTransport::on_readable() {
+  // Headroom past kMaxPayload lets recvmsg flag (rather than silently
+  // clip) a datagram larger than anything we would ever send.
+  std::uint8_t buffer[kHeaderSize + kMaxPayload + 1];
+  for (;;) {
+    sockaddr_in src{};
+    iovec iov{buffer, sizeof(buffer)};
+    msghdr msg{};
+    msg.msg_name = &src;
+    msg.msg_namelen = sizeof(src);
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+
+    const ssize_t n = ::recvmsg(fd_, &msg, 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      ++stats_.send_errors;  // unexpected socket error; keep serving
+      return;
+    }
+    stats_.bytes_received += static_cast<std::uint64_t>(n);
+
+    if ((msg.msg_flags & MSG_TRUNC) != 0) {
+      ++stats_.dropped_truncated;
+      continue;
+    }
+    // Source validation first: traffic from an address outside the peer
+    // book is dropped before we even look at its bytes.
+    const auto site_it = addr_to_site_.find(
+        addr_key(ntohl(src.sin_addr.s_addr), ntohs(src.sin_port)));
+    if (site_it == addr_to_site_.end()) {
+      ++stats_.dropped_unknown_peer;
+      continue;
+    }
+    const auto header = parse_header(buffer, static_cast<std::size_t>(n));
+    if (!header) {
+      ++stats_.dropped_malformed;
+      continue;
+    }
+    // The claimed site must be the one the book maps the source address
+    // to — a spoofed site id is malformed traffic.
+    if (site_it->second != header->from.site) {
+      ++stats_.dropped_malformed;
+      continue;
+    }
+    if (drop_all_ || drop_sites_.contains(header->from.site)) {
+      ++stats_.dropped_rule;
+      continue;
+    }
+    // Incarnation addressing: datagrams for a previous incarnation of
+    // this site die here, matching sim::Network's dropped_dead.
+    if (header->dest_incarnation != 0 &&
+        header->dest_incarnation != config_.incarnation) {
+      ++stats_.dropped_stale_incarnation;
+      continue;
+    }
+    ++stats_.datagrams_received;
+    if (deliver_) {
+      const Bytes payload(buffer + kHeaderSize, buffer + n);
+      deliver_(header->from, payload);
+    }
+  }
+}
+
+void UdpTransport::export_metrics(obs::MetricsRegistry& registry,
+                                  const std::string& prefix) const {
+  registry.counter(prefix + ".datagrams_sent").set(stats_.datagrams_sent);
+  registry.counter(prefix + ".datagrams_received")
+      .set(stats_.datagrams_received);
+  registry.counter(prefix + ".bytes_sent").set(stats_.bytes_sent);
+  registry.counter(prefix + ".bytes_received").set(stats_.bytes_received);
+  registry.counter(prefix + ".payload_copies").set(stats_.payload_copies);
+  registry.counter(prefix + ".payloads_shared").set(stats_.payloads_shared);
+  registry.counter(prefix + ".dropped_malformed").set(stats_.dropped_malformed);
+  registry.counter(prefix + ".dropped_truncated").set(stats_.dropped_truncated);
+  registry.counter(prefix + ".dropped_unknown_peer")
+      .set(stats_.dropped_unknown_peer);
+  registry.counter(prefix + ".dropped_stale_incarnation")
+      .set(stats_.dropped_stale_incarnation);
+  registry.counter(prefix + ".dropped_rule").set(stats_.dropped_rule);
+  registry.counter(prefix + ".dropped_oversize").set(stats_.dropped_oversize);
+  registry.counter(prefix + ".send_errors").set(stats_.send_errors);
+}
+
+}  // namespace evs::net

@@ -1,0 +1,107 @@
+// Real-time runtime, part 4: the UDP messenger.
+//
+// One non-blocking UDP socket per node, driven by the EventLoop, speaking
+// the unchanged gms::frame wire format wrapped in the 16-byte datagram
+// header (net/datagram.hpp). Addressing uses the static peer book from
+// NodeConfig — sites never move during a run, matching the paper's model
+// of sites as stable locations.
+//
+// The send path preserves the encode-once fan-out contract: send_multi
+// shares one SharedBytes frame across all recipients and transmits each
+// copy with sendmsg(iovec{header, payload}) — one encode, n sendtos, zero
+// payload copies (the per-recipient header lives on the stack because the
+// addressed incarnation differs per recipient).
+//
+// The receive path is bounded and drop-oriented: the substrate already
+// assumes lossy links, so every malformed, truncated, spoofed,
+// unknown-peer or stale-incarnation datagram is counted and dropped — no
+// new protocol machinery, exactly the sim::Network drop semantics.
+// Drop-rules (set_drop_all / set_drop_site) emulate partitions for tests
+// and demos, the real-socket analogue of sim::Network::set_partition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/config.hpp"
+#include "net/event_loop.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/runtime.hpp"
+
+namespace evs::net {
+
+struct UdpStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_received = 0;  // accepted and delivered
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  /// Sends that owned their buffer (send / send_to_site): one heap buffer.
+  std::uint64_t payload_copies = 0;
+  /// Sends off a ref-counted fan-out buffer (send_multi): no copy at all.
+  std::uint64_t payloads_shared = 0;
+  std::uint64_t dropped_malformed = 0;    // runt, bad magic, spoofed site
+  std::uint64_t dropped_truncated = 0;    // datagram exceeded our buffer
+  std::uint64_t dropped_unknown_peer = 0;  // source address not in the book
+  std::uint64_t dropped_stale_incarnation = 0;
+  std::uint64_t dropped_rule = 0;   // partition drop-rules
+  std::uint64_t dropped_oversize = 0;  // payload > kMaxPayload on send
+  std::uint64_t send_errors = 0;    // sendmsg failures (EAGAIN, ENETUNREACH..)
+};
+
+class UdpTransport final : public runtime::Transport {
+ public:
+  /// Binds the socket to config.self's peer address and registers it with
+  /// the loop. Throws InvariantViolation (EVS_CHECK) on bind failure.
+  UdpTransport(EventLoop& loop, NodeConfig config);
+  ~UdpTransport() override;
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// The identity this transport gives its node.
+  ProcessId self() const { return ProcessId{config_.self, config_.incarnation}; }
+  const NodeConfig& config() const { return config_; }
+  int fd() const { return fd_; }
+  /// The port actually bound (differs from config when it said port 0).
+  std::uint16_t bound_port() const { return bound_port_; }
+
+  /// Registers the deliver-callback (the hosted node's on_message).
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  // runtime::Transport.
+  void send(ProcessId to, Bytes payload) override;
+  void send_to_site(SiteId site, Bytes payload) override;
+  void send_multi(const std::vector<ProcessId>& recipients,
+                  SharedBytes payload) override;
+
+  /// Partition emulation: drop all traffic in both directions (incoming
+  /// datagrams are discarded on receive, outgoing before sendmsg).
+  void set_drop_all(bool on) { drop_all_ = on; }
+  void set_drop_site(SiteId site, bool on);
+
+  const UdpStats& stats() const { return stats_; }
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "udp") const;
+
+ private:
+  void on_readable();
+  /// Sends one datagram: header (stack) + payload via scatter/gather.
+  void transmit(SiteId dest_site, std::uint32_t dest_incarnation,
+                const std::uint8_t* payload, std::size_t size);
+
+  EventLoop& loop_;
+  NodeConfig config_;
+  int fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  DeliverFn deliver_;
+  UdpStats stats_;
+  bool drop_all_ = false;
+  std::unordered_set<SiteId> drop_sites_;
+  /// (ip << 16 | port) -> site, for source validation on receive.
+  std::unordered_map<std::uint64_t, SiteId> addr_to_site_;
+};
+
+}  // namespace evs::net

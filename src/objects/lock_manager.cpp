@@ -15,7 +15,7 @@ bool LockManager::acquire() {
   if (!serving_normal()) return false;
   Encoder enc;
   enc.put_u8(static_cast<std::uint8_t>(Op::Acquire));
-  enc.put_u64(scheduler().now());  // lease decisions use message stamps
+  enc.put_u64(now());  // lease decisions use message stamps
   object_multicast(std::move(enc).take());
   return true;
 }
@@ -24,7 +24,7 @@ bool LockManager::release() {
   if (!serving_normal()) return false;
   Encoder enc;
   enc.put_u8(static_cast<std::uint8_t>(Op::Release));
-  enc.put_u64(scheduler().now());
+  enc.put_u64(now());
   object_multicast(std::move(enc).take());
   return true;
 }

@@ -1,0 +1,82 @@
+#include "runtime/runtime.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace evs::runtime {
+
+void MemoryStore::put(const std::string& key, Bytes value) {
+  ++writes_;
+  entries_[key] = std::move(value);
+}
+
+std::optional<Bytes> MemoryStore::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MemoryStore::erase(const std::string& key) { entries_.erase(key); }
+
+bool MemoryStore::contains(const std::string& key) const {
+  return entries_.contains(key);
+}
+
+std::size_t MemoryStore::bytes() const {
+  std::size_t total = 0;
+  for (const auto& [key, value] : entries_) total += value.size();
+  return total;
+}
+
+void Node::bind(Env env, ProcessId id) {
+  EVS_CHECK(env.transport != nullptr);
+  EVS_CHECK(env.clock != nullptr);
+  EVS_CHECK(env.timers != nullptr);
+  env_ = std::move(env);
+  id_ = id;
+  alive_ = true;
+}
+
+SimTime Node::now() const {
+  EVS_CHECK(env_.clock != nullptr);
+  return env_.clock->now();
+}
+
+void Node::send(ProcessId to, Bytes payload) {
+  if (!alive_) return;
+  env_.transport->send(to, std::move(payload));
+}
+
+void Node::send_to_site(SiteId site, Bytes payload) {
+  if (!alive_) return;
+  env_.transport->send_to_site(site, std::move(payload));
+}
+
+void Node::send_multi(const std::vector<ProcessId>& recipients,
+                      SharedBytes payload) {
+  if (!alive_) return;
+  env_.transport->send_multi(recipients, std::move(payload));
+}
+
+TimerId Node::set_timer(SimDuration delay, std::function<void()> fn) {
+  EVS_CHECK(fn != nullptr);
+  // Nodes outlive their timers (both runtimes keep the node in memory
+  // until teardown), so capturing `this` is safe; alive_ gates execution.
+  return env_.timers->set_timer(delay, [this, fn = std::move(fn)]() {
+    if (alive_) fn();
+  });
+}
+
+void Node::cancel_timer(TimerId id) { env_.timers->cancel_timer(id); }
+
+StableStore& Node::store() {
+  EVS_CHECK(env_.store != nullptr);
+  return *env_.store;
+}
+
+void Node::halt() {
+  if (env_.halt) env_.halt();
+}
+
+}  // namespace evs::runtime

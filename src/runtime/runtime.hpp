@@ -1,0 +1,191 @@
+// Runtime abstraction: the seam between the protocol stack and the world.
+//
+// Every layer above the substrate (heartbeat detector, view-synchronous
+// endpoint, enriched-view endpoint, application objects) is written against
+// the four small interfaces in this header — Transport, Clock,
+// TimerService, StableStore — plus the Node base class that bundles them.
+// Two runtimes implement the interfaces:
+//
+//   * sim::World/sim::Network/sim::Scheduler — the deterministic
+//     discrete-event simulator (sim/world.hpp hosts a Node via
+//     sim::NodeHost, so `world.spawn<core::EvsEndpoint>(...)` keeps
+//     working verbatim);
+//   * net::EventLoop/net::UdpTransport — a real single-threaded epoll
+//     runtime speaking UDP (src/net/), hosted by tools/evs_node.
+//
+// The contract both runtimes honour:
+//   - single-threaded: every callback (deliver, timer, on_start) runs on
+//     the runtime's one event thread, never concurrently;
+//   - asynchronous, lossy transport: send* may silently drop (partition,
+//     loss, unknown peer) — the protocol already assumes this;
+//   - time is a monotonic count of microseconds from an arbitrary origin
+//     (simulation start / process start), read only through Clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "obs/trace.hpp"
+
+namespace evs::runtime {
+
+/// The only source of time for protocol code. Monotonic microseconds; the
+/// origin is runtime-defined (simulation start or process start), so only
+/// differences are meaningful — exactly how SimTime was already used.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual SimTime now() const = 0;
+};
+
+using TimerId = std::uint64_t;
+
+/// One-shot timers. Callbacks run on the runtime's event thread.
+class TimerService {
+ public:
+  virtual ~TimerService() = default;
+  virtual TimerId set_timer(SimDuration delay, std::function<void()> fn) = 0;
+  /// No-op if the timer already fired or was cancelled.
+  virtual void cancel_timer(TimerId id) = 0;
+};
+
+/// Unreliable point-to-point message passing with encode-once fan-out.
+/// Delivery is runtime-wired: the host registers the node's on_message as
+/// the deliver-callback when it binds the node (see Node::bind).
+class Transport {
+ public:
+  /// Deliver-callback signature; `payload` is borrowed for the call.
+  using DeliverFn = std::function<void(ProcessId from, const Bytes& payload)>;
+
+  virtual ~Transport() = default;
+
+  /// Sends to one addressed incarnation; stale incarnations never receive.
+  virtual void send(ProcessId to, Bytes payload) = 0;
+
+  /// Sends to whatever incarnation lives at `site` on arrival (host:port
+  /// addressing — used for discovery traffic such as heartbeats).
+  virtual void send_to_site(SiteId site, Bytes payload) = 0;
+
+  /// Fan-out sharing one encoded buffer across all recipients: one encode,
+  /// n sends, zero payload copies. Semantically identical to calling
+  /// send() once per recipient.
+  virtual void send_multi(const std::vector<ProcessId>& recipients,
+                          SharedBytes payload) = 0;
+};
+
+/// Per-site permanent storage (the paper's "permanent part of the local
+/// state", Section 3): survives the crash of an incarnation.
+class StableStore {
+ public:
+  virtual ~StableStore() = default;
+  /// Atomically replaces the value under `key`.
+  virtual void put(const std::string& key, Bytes value) = 0;
+  virtual std::optional<Bytes> get(const std::string& key) const = 0;
+  virtual void erase(const std::string& key) = 0;
+  virtual bool contains(const std::string& key) const = 0;
+};
+
+/// In-memory StableStore with cost counters; the simulator's per-site
+/// store and the default store of the net runtime (durable file-backed
+/// storage can slot in behind the same interface later).
+class MemoryStore : public StableStore {
+ public:
+  void put(const std::string& key, Bytes value) override;
+  std::optional<Bytes> get(const std::string& key) const override;
+  void erase(const std::string& key) override;
+  bool contains(const std::string& key) const override;
+
+  std::size_t size() const { return entries_.size(); }
+  /// Total payload bytes held — used by benches to report storage cost.
+  std::size_t bytes() const;
+  /// Number of put() calls — a proxy for synchronous-write cost.
+  std::uint64_t writes() const { return writes_; }
+
+ private:
+  std::map<std::string, Bytes> entries_;
+  std::uint64_t writes_ = 0;
+};
+
+/// Everything a Node needs from its runtime, as non-owning pointers; the
+/// host guarantees they outlive the node's callbacks.
+struct Env {
+  Transport* transport = nullptr;
+  Clock* clock = nullptr;
+  TimerService* timers = nullptr;
+  StableStore* store = nullptr;
+  /// Optional structured-event sink (may be null; hooks must check).
+  obs::TraceBus* trace = nullptr;
+  /// Tears down this incarnation: the simulator crashes the actor, the
+  /// net runtime stops its event loop. Used by voluntary leave().
+  std::function<void()> halt;
+};
+
+/// Base class for every protocol endpoint. Mirrors the surface sim::Actor
+/// used to provide so the stack ports without behavioural change; all
+/// facilities resolve through the injected Env.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  ProcessId id() const { return id_; }
+  bool alive() const { return alive_; }
+
+  /// The runtime's trace bus, or nullptr. Hooks should test
+  /// `trace() != nullptr && trace()->enabled()` before building an event.
+  obs::TraceBus* trace() const { return env_.trace; }
+
+  /// Current time from the injected Clock (usable from const members).
+  SimTime now() const;
+
+  /// Called once after bind(), at the host's start event.
+  virtual void on_start() {}
+
+  /// Called for every message delivered to this incarnation while alive.
+  virtual void on_message(ProcessId from, const Bytes& payload) = 0;
+
+  /// Called when the incarnation is torn down, before detach().
+  virtual void on_crash() {}
+
+  // ----- host-side wiring (sim::NodeHost / net::NetRuntime) -----------
+
+  /// Injects the runtime services and this incarnation's identity. Must
+  /// happen before on_start(); the host also routes the transport's
+  /// deliver-callback to on_message().
+  void bind(Env env, ProcessId id);
+
+  /// Marks the incarnation dead: timers stop firing, sends become no-ops.
+  void detach() { alive_ = false; }
+
+ protected:
+  void send(ProcessId to, Bytes payload);
+  void send_to_site(SiteId site, Bytes payload);
+  /// Encode-once fan-out: every recipient's delivery shares one buffer.
+  void send_multi(const std::vector<ProcessId>& recipients, SharedBytes payload);
+
+  /// Schedules a callback that is silently dropped if this incarnation is
+  /// no longer alive when it fires.
+  TimerId set_timer(SimDuration delay, std::function<void()> fn);
+  void cancel_timer(TimerId id);
+
+  /// This site's permanent storage (survives crashes).
+  StableStore& store();
+
+  /// Announces that this incarnation is done (crash/stop via the host).
+  void halt();
+
+  const Env& env() const { return env_; }
+
+ private:
+  Env env_;
+  ProcessId id_{};
+  bool alive_ = false;
+};
+
+}  // namespace evs::runtime

@@ -5,39 +5,16 @@
 // survives and is visible to the next incarnation spawned at that site.
 // Used by recovery logic and by the Skeen-style last-process-to-fail
 // protocol (Section 4, reference [11]).
+//
+// The implementation is the runtime-neutral runtime::MemoryStore — the
+// same concrete store the net runtime uses — aliased here so existing
+// sim call sites keep their spelling.
 #pragma once
 
-#include <cstdint>
-#include <map>
-#include <optional>
-#include <string>
-
-#include "common/bytes.hpp"
+#include "runtime/runtime.hpp"
 
 namespace evs::sim {
 
-class StableStore {
- public:
-  /// Atomically replaces the value under `key`.
-  void put(const std::string& key, Bytes value);
-
-  std::optional<Bytes> get(const std::string& key) const;
-
-  void erase(const std::string& key);
-
-  bool contains(const std::string& key) const;
-
-  std::size_t size() const { return entries_.size(); }
-
-  /// Total payload bytes held — used by benches to report storage cost.
-  std::size_t bytes() const;
-
-  /// Number of put() calls — a proxy for synchronous-write cost.
-  std::uint64_t writes() const { return writes_; }
-
- private:
-  std::map<std::string, Bytes> entries_;
-  std::uint64_t writes_ = 0;
-};
+using StableStore = runtime::MemoryStore;
 
 }  // namespace evs::sim

@@ -44,6 +44,23 @@ SimTime Actor::now() const {
 
 StableStore& Actor::store() { return world().store(id_.site); }
 
+void NodeHost::on_start() {
+  runtime::Env env;
+  env.transport = this;
+  env.clock = this;
+  env.timers = this;
+  env.store = &store();
+  env.trace = trace();
+  env.halt = [this]() { world().crash(id()); };
+  node_->bind(std::move(env), id());
+  node_->on_start();
+}
+
+void NodeHost::send_to_site(SiteId site, Bytes payload) {
+  if (!alive()) return;
+  world().network().send_to_site(id(), site, std::move(payload));
+}
+
 World::World(std::uint64_t seed, NetworkConfig net_config)
     : seed_(seed),
       rng_(seed),

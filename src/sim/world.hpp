@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "common/ids.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/runtime.hpp"
 #include "sim/network.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
@@ -83,6 +85,54 @@ class Actor {
   Rng rng_{0};
 };
 
+/// Adapter that hosts a runtime-neutral protocol endpoint (runtime::Node)
+/// inside the simulator: the simulated scheduler is its Clock and
+/// TimerService, the simulated network its Transport. This class is what
+/// makes sim::World "one implementation of the runtime interfaces" — the
+/// net runtime (src/net/) is the other.
+class NodeHost final : public Actor,
+                       private runtime::Clock,
+                       private runtime::TimerService,
+                       private runtime::Transport {
+ public:
+  explicit NodeHost(std::unique_ptr<runtime::Node> node)
+      : node_(std::move(node)) {
+    EVS_CHECK(node_ != nullptr);
+  }
+
+  runtime::Node& node() { return *node_; }
+
+  void on_start() override;
+  void on_message(ProcessId from, const Bytes& payload) override {
+    node_->on_message(from, payload);
+  }
+  void on_crash() override {
+    node_->on_crash();
+    node_->detach();
+  }
+
+ private:
+  // runtime::Clock
+  SimTime now() const override { return Actor::now(); }
+  // runtime::TimerService (EventId and TimerId are both u64 handles).
+  runtime::TimerId set_timer(SimDuration delay,
+                             std::function<void()> fn) override {
+    return Actor::set_timer(delay, std::move(fn));
+  }
+  void cancel_timer(runtime::TimerId id) override { Actor::cancel_timer(id); }
+  // runtime::Transport
+  void send(ProcessId to, Bytes payload) override {
+    Actor::send(to, std::move(payload));
+  }
+  void send_to_site(SiteId site, Bytes payload) override;
+  void send_multi(const std::vector<ProcessId>& recipients,
+                  SharedBytes payload) override {
+    Actor::send_multi(recipients, std::move(payload));
+  }
+
+  std::unique_ptr<runtime::Node> node_;
+};
+
 class World {
  public:
   explicit World(std::uint64_t seed, NetworkConfig net_config = {});
@@ -119,13 +169,25 @@ class World {
 
   /// Spawns a new incarnation at `site`. The site must have no live
   /// incarnation. Constructor receives (args...); the framework wires in
-  /// id/world before on_start runs.
+  /// id/world before on_start runs. T may be a raw sim::Actor or a
+  /// runtime::Node (vsync/evs endpoints, application objects) — a Node is
+  /// transparently wrapped in a NodeHost bound to this world's runtime
+  /// services, so the protocol stack itself never sees the simulator.
   template <typename T, typename... Args>
   T& spawn(SiteId site, Args&&... args) {
-    auto actor = std::make_unique<T>(std::forward<Args>(args)...);
-    T& ref = *actor;
-    adopt(site, std::move(actor));
-    return ref;
+    if constexpr (std::is_base_of_v<Actor, T>) {
+      auto actor = std::make_unique<T>(std::forward<Args>(args)...);
+      T& ref = *actor;
+      adopt(site, std::move(actor));
+      return ref;
+    } else {
+      static_assert(std::is_base_of_v<runtime::Node, T>,
+                    "spawn<T>: T must derive from sim::Actor or runtime::Node");
+      auto node = std::make_unique<T>(std::forward<Args>(args)...);
+      T& ref = *node;
+      adopt(site, std::make_unique<NodeHost>(std::move(node)));
+      return ref;
+    }
   }
 
   /// Registered factory used by FaultPlan recovery actions.

@@ -24,13 +24,12 @@ Endpoint::~Endpoint() = default;
 void Endpoint::on_start() {
   detector::DetectorHost host;
   host.send_heartbeat = [this](SiteId site) {
-    world().network().send_to_site(
-        id(), site, gms::frame(gms::Channel::Heartbeat, Encoder{}));
+    send_to_site(site, gms::frame(gms::Channel::Heartbeat, Encoder{}));
   };
   host.set_timer = [this](SimDuration d, std::function<void()> fn) {
     set_timer(d, std::move(fn));
   };
-  host.now = [this]() { return scheduler().now(); };
+  host.now = [this]() { return now(); };
   host.trace = trace();
 
   detector_ = std::make_unique<detector::HeartbeatDetector>(
@@ -58,9 +57,9 @@ void Endpoint::install_singleton() {
   view_.id = ViewId{max_number_seen_, id()};
   view_.members = {id()};
   ++stats_.views_installed;
-  stats_.last_install_time = scheduler().now();
+  stats_.last_install_time = now();
   if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
-    bus->record({scheduler().now(), id(), obs::EventKind::ViewInstalled,
+    bus->record({now(), id(), obs::EventKind::ViewInstalled,
                  view_.id, id(), 0, 1});
   }
   if (delegate_ != nullptr)
@@ -79,7 +78,7 @@ void Endpoint::multicast(Bytes payload) {
   msg.seq = ++send_seq_;
   msg.payload = std::move(payload);
   if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
-    bus->record({scheduler().now(), id(), obs::EventKind::MessageSent, view_.id,
+    bus->record({now(), id(), obs::EventKind::MessageSent, view_.id,
                  id(), msg.seq, obs::payload_hash(msg.payload)});
   }
 
@@ -97,8 +96,8 @@ void Endpoint::leave() {
   left_ = true;
   Encoder body;
   fan_out(view_.members, gms::Channel::Leave, std::move(body));
-  // Crash the incarnation once the announcements are on the wire.
-  set_timer(0, [this]() { world().crash(id()); });
+  // Tear the incarnation down once the announcements are on the wire.
+  set_timer(0, [this]() { halt(); });
 }
 
 void Endpoint::on_message(ProcessId from, const Bytes& payload) {
@@ -166,6 +165,9 @@ void Endpoint::handle_membership(ProcessId from, Decoder& dec) {
       }
       break;
     }
+    default:
+      throw DecodeError("unknown membership kind " +
+                        std::to_string(static_cast<int>(kind)));
   }
 }
 
@@ -209,11 +211,11 @@ void Endpoint::handle_propose(ProcessId from, const gms::Propose& msg) {
   const bool was_blocked = blocked();
   acked_round_ = msg.round;
   if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
-    bus->record({scheduler().now(), id(), obs::EventKind::ViewAcked, view_.id,
+    bus->record({now(), id(), obs::EventKind::ViewAcked, view_.id,
                  from, msg.round.number, msg.members.size()});
   }
   if (!was_blocked) {
-    blocked_since_ = scheduler().now();
+    blocked_since_ = now();
     if (delegate_ != nullptr) delegate_->on_block();
   }
   // A strictly higher competing round kills any round we were running.
@@ -254,7 +256,7 @@ void Endpoint::start_round(std::vector<ProcessId> members) {
   ++stats_.rounds_started;
   EVS_DEBUG(to_string(id()) << " starts round " << gms::to_string(round));
   if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
-    bus->record({scheduler().now(), id(), obs::EventKind::ViewProposed,
+    bus->record({now(), id(), obs::EventKind::ViewProposed,
                  view_.id, id(), round.number, members.size()});
   }
 
@@ -343,9 +345,9 @@ void Endpoint::handle_install(const gms::Install& msg) {
   acked_round_.reset();
   coordinating_.reset();
   ++stats_.views_installed;
-  stats_.last_install_time = scheduler().now();
+  stats_.last_install_time = now();
   if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
-    bus->record({scheduler().now(), id(), obs::EventKind::ViewInstalled,
+    bus->record({now(), id(), obs::EventKind::ViewInstalled,
                  view_.id, msg.round.coordinator, msg.round.number,
                  view_.members.size()});
   }
@@ -416,7 +418,7 @@ void Endpoint::try_deliver(ProcessId sender) {
     ++stream.next_expected;
     ++stats_.data_delivered;
     if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
-      bus->record({scheduler().now(), id(), obs::EventKind::MessageDelivered,
+      bus->record({now(), id(), obs::EventKind::MessageDelivered,
                    view_.id, sender, seq, obs::payload_hash(payload)});
     }
     if (delegate_ != nullptr) delegate_->on_deliver(sender, payload);
@@ -433,7 +435,7 @@ void Endpoint::deliver(ProcessId sender, std::uint64_t seq, const Bytes& payload
   ++stats_.data_delivered;
   if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
     // view_ is still the dying view here — flush deliveries belong to it.
-    bus->record({scheduler().now(), id(), obs::EventKind::FlushDelivery,
+    bus->record({now(), id(), obs::EventKind::FlushDelivery,
                  view_.id, sender, seq, obs::payload_hash(payload)});
   }
   if (delegate_ != nullptr) delegate_->on_deliver(sender, payload);
@@ -469,7 +471,7 @@ void Endpoint::maybe_coordinate() {
   const bool needs_change = desired != view_.members;
   const bool stale_block =
       blocked() &&
-      scheduler().now() - blocked_since_ > config_.stale_block_timeout;
+      now() - blocked_since_ > config_.stale_block_timeout;
   if (blocked() && !stale_block) return;  // let the running round finish
   if (!needs_change && !stale_block) return;
   if (desired.front() != id()) return;  // not our job

@@ -49,7 +49,7 @@
 #include "gms/policy.hpp"
 #include "gms/view.hpp"
 #include "gms/wire.hpp"
-#include "sim/world.hpp"
+#include "runtime/runtime.hpp"
 
 namespace evs::vsync {
 
@@ -115,7 +115,7 @@ struct EndpointStats {
   SimTime last_install_time = 0;
 };
 
-class Endpoint : public sim::Actor {
+class Endpoint : public runtime::Node {
  public:
   explicit Endpoint(EndpointConfig config);
   ~Endpoint() override;
@@ -143,7 +143,7 @@ class Endpoint : public sim::Actor {
   void export_metrics(obs::MetricsRegistry& registry,
                       const std::string& prefix) const;
 
-  // sim::Actor interface.
+  // runtime::Node interface.
   void on_start() override;
   void on_message(ProcessId from, const Bytes& payload) override;
 

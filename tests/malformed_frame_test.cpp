@@ -1,0 +1,250 @@
+// Malformed-frame corpus: every decode path must turn hostile bytes into
+// a clean DecodeError — never UB, never a crash, never corrupted protocol
+// state. The CI ASan/UBSan job runs this same corpus, so an out-of-bounds
+// read in any decoder fails loudly there.
+//
+// Three attack shapes, all deterministic (seeded):
+//   - truncation: every strict prefix of a valid frame,
+//   - bit flips: 1..8 random flipped bits in a valid frame,
+//   - garbage: uniformly random buffers.
+// Each shape runs through the raw gms decode switch, the net datagram
+// header parser, and a live vsync endpoint (which must count the frame as
+// discarded and keep its view intact).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "gms/wire.hpp"
+#include "net/datagram.hpp"
+#include "support/cluster.hpp"
+
+namespace evs::test {
+namespace {
+
+ProcessId pid(std::uint32_t site, std::uint32_t inc = 1) {
+  return ProcessId{SiteId{site}, inc};
+}
+
+gms::View sample_view() {
+  gms::View view;
+  view.id = ViewId{7, pid(1)};
+  view.members = {pid(1), pid(2), pid(3)};
+  return view;
+}
+
+std::vector<gms::FlushedMessage> sample_unstable() {
+  return {
+      {pid(2), 11, Bytes{0xde, 0xad}},
+      {pid(3), 12, Bytes{}},
+  };
+}
+
+Bytes membership_frame(gms::MembershipKind kind, const auto& msg) {
+  Encoder body;
+  body.put_u8(static_cast<std::uint8_t>(kind));
+  msg.encode(body);
+  return gms::frame(gms::Channel::Membership, std::move(body));
+}
+
+/// One valid frame per channel / membership kind — the corpus seeds.
+std::vector<Bytes> corpus() {
+  std::vector<Bytes> frames;
+  frames.push_back(gms::frame(gms::Channel::Heartbeat, Encoder{}));
+  frames.push_back(gms::frame(gms::Channel::Leave, Encoder{}));
+
+  gms::Propose propose;
+  propose.round = gms::RoundId{9, pid(1)};
+  propose.members = {pid(1), pid(2), pid(3)};
+  frames.push_back(membership_frame(gms::MembershipKind::Propose, propose));
+
+  gms::Ack ack;
+  ack.round = gms::RoundId{9, pid(1)};
+  ack.prior_view = ViewId{6, pid(2)};
+  ack.max_number_seen = 8;
+  ack.unstable = sample_unstable();
+  ack.context = Bytes{1, 2, 3, 4};
+  frames.push_back(membership_frame(gms::MembershipKind::Ack, ack));
+
+  gms::Install install;
+  install.round = gms::RoundId{9, pid(1)};
+  install.view = sample_view();
+  install.contexts = {{pid(2), ViewId{6, pid(2)}, Bytes{5, 6}}};
+  install.unions = {{ViewId{6, pid(2)}, sample_unstable()}};
+  frames.push_back(membership_frame(gms::MembershipKind::Install, install));
+
+  gms::Nack nack;
+  nack.round = gms::RoundId{9, pid(1)};
+  nack.max_number_seen = 31;
+  frames.push_back(membership_frame(gms::MembershipKind::Nack, nack));
+
+  gms::DataMsg data;
+  data.view = ViewId{7, pid(1)};
+  data.seq = 42;
+  data.payload = Bytes{'h', 'i'};
+  Encoder data_body;
+  data.encode(data_body);
+  frames.push_back(gms::frame(gms::Channel::Data, std::move(data_body)));
+
+  gms::StabilityMsg stab;
+  stab.view = ViewId{7, pid(1)};
+  stab.delivered_upto = {4, 0, 9};
+  Encoder stab_body;
+  stab.encode(stab_body);
+  frames.push_back(gms::frame(gms::Channel::Stability, std::move(stab_body)));
+
+  return frames;
+}
+
+/// Full decode through the same dispatch the endpoint uses. Returns true
+/// when the bytes parsed as a complete frame; throws only DecodeError.
+bool decode_frame(const Bytes& bytes) {
+  Decoder dec(bytes);
+  switch (gms::peek_channel(dec)) {
+    case gms::Channel::Heartbeat:
+    case gms::Channel::Leave:
+      break;
+    case gms::Channel::Membership:
+      switch (static_cast<gms::MembershipKind>(dec.get_u8())) {
+        case gms::MembershipKind::Propose:
+          gms::Propose::decode(dec);
+          break;
+        case gms::MembershipKind::Ack:
+          gms::Ack::decode(dec);
+          break;
+        case gms::MembershipKind::Install:
+          gms::Install::decode(dec);
+          break;
+        case gms::MembershipKind::Nack:
+          gms::Nack::decode(dec);
+          break;
+        default:
+          throw DecodeError("unknown membership kind");
+      }
+      break;
+    case gms::Channel::Data:
+      gms::DataMsg::decode(dec);
+      break;
+    case gms::Channel::Stability:
+      gms::StabilityMsg::decode(dec);
+      break;
+  }
+  return true;
+}
+
+/// The property under test: hostile bytes either parse or raise
+/// DecodeError. Anything else (other exception, sanitizer abort) fails.
+void expect_clean_decode(const Bytes& bytes) {
+  try {
+    decode_frame(bytes);
+  } catch (const DecodeError&) {
+    // Expected for malformed input.
+  }
+}
+
+TEST(MalformedFrame, CorpusSeedsAreValid) {
+  for (const Bytes& frame : corpus()) EXPECT_TRUE(decode_frame(frame));
+}
+
+TEST(MalformedFrame, EveryTruncationDecodesCleanly) {
+  for (const Bytes& frame : corpus()) {
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      const Bytes prefix(frame.begin(), frame.begin() + len);
+      expect_clean_decode(prefix);
+    }
+  }
+}
+
+TEST(MalformedFrame, BitFlipsDecodeCleanly) {
+  std::mt19937_64 rng(0xE55ULL ^ 0xC0FFEE);
+  for (const Bytes& frame : corpus()) {
+    if (frame.size() < 2) continue;
+    for (int round = 0; round < 400; ++round) {
+      Bytes mutated = frame;
+      std::uniform_int_distribution<int> flips(1, 8);
+      const int n = flips(rng);
+      for (int i = 0; i < n; ++i) {
+        std::uniform_int_distribution<std::size_t> pos(0, mutated.size() - 1);
+        std::uniform_int_distribution<int> bit(0, 7);
+        mutated[pos(rng)] ^= static_cast<std::uint8_t>(1 << bit(rng));
+      }
+      expect_clean_decode(mutated);
+    }
+  }
+}
+
+TEST(MalformedFrame, RandomGarbageDecodesCleanly) {
+  std::mt19937_64 rng(20260807);
+  for (int round = 0; round < 4000; ++round) {
+    std::uniform_int_distribution<std::size_t> len_dist(0, 96);
+    Bytes garbage(len_dist(rng));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng());
+    expect_clean_decode(garbage);
+  }
+}
+
+TEST(MalformedFrame, DatagramHeaderRejectsGarbage) {
+  std::mt19937_64 rng(1996);
+  // Every truncation of a valid header parses to nullopt, never UB.
+  std::uint8_t header[net::kHeaderSize];
+  net::encode_header(net::DatagramHeader{pid(3), 2}, header);
+  ASSERT_TRUE(net::parse_header(header, sizeof(header)).has_value());
+  for (std::size_t len = 0; len < sizeof(header); ++len)
+    EXPECT_FALSE(net::parse_header(header, len).has_value());
+  // Random buffers must not parse unless they fake the magic exactly.
+  for (int round = 0; round < 2000; ++round) {
+    std::uint8_t buf[net::kHeaderSize];
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+    const auto parsed = net::parse_header(buf, sizeof(buf));
+    if (parsed) {
+      EXPECT_EQ(buf[0], static_cast<std::uint8_t>(net::kDatagramMagic & 0xff));
+    }
+  }
+}
+
+// A live endpoint fed undecodable bytes must count them as discarded and
+// keep functioning — state isolation, not just memory safety.
+TEST(MalformedFrame, EndpointDiscardsAndStaysLive) {
+  Cluster c({.sites = 2});
+  ASSERT_TRUE(c.await_stable_view({0, 1}));
+  const ProcessId peer = c.world().live_process(c.site(1));
+
+  std::mt19937_64 rng(7);
+  std::uint64_t injected = 0;
+  auto inject = [&](const Bytes& bytes) {
+    // Only inject bytes that are provably undecodable so the discard
+    // counter must move and no protocol transition can fire.
+    try {
+      decode_frame(bytes);
+      return;
+    } catch (const DecodeError&) {
+    }
+    c.ep(0).on_message(peer, bytes);
+    ++injected;
+  };
+
+  for (const Bytes& frame : corpus()) {
+    for (std::size_t len = 1; len < frame.size(); ++len)
+      inject(Bytes(frame.begin(), frame.begin() + len));
+    for (int round = 0; round < 50; ++round) {
+      Bytes mutated = frame;
+      if (mutated.empty()) continue;
+      std::uniform_int_distribution<std::size_t> pos(0, mutated.size() - 1);
+      mutated[pos(rng)] ^= 0xff;
+      inject(mutated);
+    }
+  }
+  ASSERT_GT(injected, 0u);
+  EXPECT_EQ(c.ep(0).stats().messages_discarded, injected);
+
+  // The group must still be able to change views after the bombardment.
+  const ViewId before = c.ep(0).view().id;
+  c.world().crash_site(c.site(1));
+  ASSERT_TRUE(c.await_stable_view({0}));
+  EXPECT_NE(c.ep(0).view().id, before);
+}
+
+}  // namespace
+}  // namespace evs::test

@@ -1,0 +1,294 @@
+// End-to-end loopback test: three real evs_node processes on 127.0.0.1.
+//
+//   usage: net_loopback_test <path-to-evs_node> <path-to-trace_check>
+//
+// The scenario the ISSUE prescribes, driven over the nodes' stdout:
+//   1. spawn three evs_node processes from generated configs,
+//   2. wait until every node installs the common 3-view,
+//   3. wait until every node delivers all 300 multicasts (100 per node),
+//   4. SIGKILL one member; the survivors must install the 2-view,
+//   5. SIGTERM the survivors and check their clean exit,
+//   6. replay the union of the trace dumps through trace_check --merge:
+//      zero P2.1-P2.3 violations.
+//
+// The victim's trace survives its SIGKILL because the nodes run with
+// --trace-flush-ms; we only kill after the workload is quiescent, so the
+// last flush already covers every multicast the survivors delivered.
+//
+// Plain main() runner (no gtest): exit 0 on success, 1 on failure with a
+// narrated transcript on stderr. Registered RUN_SERIAL in ctest since it
+// binds fixed-for-the-run loopback ports and forks real processes.
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr int kNodes = 3;
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "FAIL: %s\n", message.c_str());
+  std::exit(1);
+}
+
+std::uint16_t free_port() {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) die("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    die("bind() failed");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    die("getsockname() failed");
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+struct Child {
+  pid_t pid = -1;
+  int out_fd = -1;
+  std::string out;  // everything the node printed so far
+  bool exited = false;
+  int exit_status = -1;
+};
+
+Child spawn_node(const std::string& binary, const std::string& config_path,
+                 const std::string& trace_dir) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) die("pipe() failed");
+  const pid_t pid = ::fork();
+  if (pid < 0) die("fork() failed");
+  if (pid == 0) {
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    ::setenv("EVS_TRACE_OUT", trace_dir.c_str(), 1);
+    ::execl(binary.c_str(), binary.c_str(), "--config", config_path.c_str(),
+            "--multicast", "100", "--send-interval-ms", "5",
+            "--trace-flush-ms", "100", "--merge-all",
+            static_cast<char*>(nullptr));
+    std::perror("execl");
+    _exit(127);
+  }
+  ::close(pipe_fds[1]);
+  ::fcntl(pipe_fds[0], F_SETFL, O_NONBLOCK);
+  Child child;
+  child.pid = pid;
+  child.out_fd = pipe_fds[0];
+  return child;
+}
+
+/// Reads whatever the children have printed; true if any data arrived.
+bool drain(std::vector<Child>& children, int timeout_ms) {
+  std::vector<pollfd> fds;
+  for (Child& c : children)
+    if (c.out_fd >= 0) fds.push_back({c.out_fd, POLLIN, 0});
+  if (fds.empty()) return false;
+  if (::poll(fds.data(), fds.size(), timeout_ms) <= 0) return false;
+  bool got = false;
+  for (Child& c : children) {
+    if (c.out_fd < 0) continue;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(c.out_fd, buf, sizeof(buf));
+      if (n > 0) {
+        c.out.append(buf, static_cast<std::size_t>(n));
+        got = true;
+      } else if (n == 0) {
+        ::close(c.out_fd);
+        c.out_fd = -1;
+        break;
+      } else {
+        break;  // EAGAIN
+      }
+    }
+  }
+  return got;
+}
+
+/// Pumps child output until `pred()` holds or ~timeout_ms passes.
+bool await(std::vector<Child>& children, int timeout_ms,
+           const std::function<bool()>& pred) {
+  for (int waited = 0; waited < timeout_ms;) {
+    if (pred()) return true;
+    drain(children, 50);
+    waited += 50;
+  }
+  return pred();
+}
+
+bool contains_after(const std::string& text, std::size_t offset,
+                    const std::string& needle) {
+  return text.find(needle, offset) != std::string::npos;
+}
+
+void reap(Child& child) {
+  int status = 0;
+  if (::waitpid(child.pid, &status, 0) == child.pid) {
+    child.exited = true;
+    child.exit_status = status;
+  }
+  while (child.out_fd >= 0) {
+    char buf[4096];
+    const ssize_t n = ::read(child.out_fd, buf, sizeof(buf));
+    if (n > 0) {
+      child.out.append(buf, static_cast<std::size_t>(n));
+    } else {
+      ::close(child.out_fd);
+      child.out_fd = -1;
+    }
+  }
+}
+
+void dump_outputs(const std::vector<Child>& children) {
+  for (int i = 0; i < static_cast<int>(children.size()); ++i)
+    std::fprintf(stderr, "--- node%d output ---\n%s\n", i,
+                 children[i].out.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <evs_node> <trace_check>\n", argv[0]);
+    return 2;
+  }
+  const std::string evs_node = argv[1];
+  const std::string trace_check = argv[2];
+
+  char dir_template[] = "/tmp/evs_loopback_XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) die("mkdtemp() failed");
+  const std::string dir = dir_template;
+
+  std::uint16_t ports[kNodes];
+  for (auto& p : ports) p = free_port();
+
+  std::vector<std::string> config_paths;
+  for (int i = 0; i < kNodes; ++i) {
+    const std::string path = dir + "/node" + std::to_string(i) + ".conf";
+    std::ofstream os(path);
+    os << "self " << i << "\n";
+    for (int j = 0; j < kNodes; ++j)
+      os << "peer " << j << " 127.0.0.1:" << ports[j] << "\n";
+    config_paths.push_back(path);
+  }
+
+  std::vector<Child> children;
+  for (int i = 0; i < kNodes; ++i)
+    children.push_back(spawn_node(evs_node, config_paths[i], dir));
+
+  // 1. Every node installs the common full view {0,1,2}.
+  const std::string full_view = "size=3 members=0,1,2";
+  if (!await(children, 30000, [&]() {
+        for (const Child& c : children)
+          if (!contains_after(c.out, 0, full_view)) return false;
+        return true;
+      })) {
+    dump_outputs(children);
+    die("nodes never converged to the common 3-view");
+  }
+  std::fprintf(stderr, "ok: common 3-view at every node\n");
+
+  // 2. All 300 multicasts (100 per node) delivered everywhere, in the
+  //    full view — total order means n=300 appears exactly once per node.
+  if (!await(children, 60000, [&]() {
+        for (const Child& c : children)
+          if (!contains_after(c.out, 0, "deliver n=300 ")) return false;
+        return true;
+      })) {
+    dump_outputs(children);
+    die("nodes never delivered all 300 multicasts");
+  }
+  std::fprintf(stderr, "ok: 300 deliveries at every node\n");
+
+  // Let each node's periodic trace flush cover the now-quiescent run, so
+  // the victim's dump includes every multicast it sent.
+  ::usleep(500 * 1000);
+
+  // 3. SIGKILL node 2; survivors must install the 2-view {0,1}.
+  const std::size_t kill_offset[2] = {children[0].out.size(),
+                                      children[1].out.size()};
+  ::kill(children[2].pid, SIGKILL);
+  reap(children[2]);
+  const std::string survivor_view = "size=2 members=0,1";
+  if (!await(children, 60000, [&]() {
+        return contains_after(children[0].out, kill_offset[0],
+                              survivor_view) &&
+               contains_after(children[1].out, kill_offset[1], survivor_view);
+      })) {
+    dump_outputs(children);
+    die("survivors never installed the 2-view after the kill");
+  }
+  std::fprintf(stderr, "ok: survivors installed the 2-view\n");
+
+  // 4. Graceful shutdown of the survivors.
+  ::kill(children[0].pid, SIGTERM);
+  ::kill(children[1].pid, SIGTERM);
+  reap(children[0]);
+  reap(children[1]);
+  for (int i = 0; i < 2; ++i) {
+    if (!WIFEXITED(children[i].exit_status) ||
+        WEXITSTATUS(children[i].exit_status) != 0) {
+      dump_outputs(children);
+      die("survivor node" + std::to_string(i) + " exited uncleanly");
+    }
+    if (!contains_after(children[i].out, 0, "summary ")) {
+      dump_outputs(children);
+      die("survivor node" + std::to_string(i) + " printed no summary");
+    }
+  }
+  std::fprintf(stderr, "ok: survivors exited cleanly\n");
+
+  // 5. The union of the three traces passes the view-synchrony checker.
+  std::vector<std::string> traces;
+  for (int i = 0; i < kNodes; ++i) {
+    const std::string path =
+        dir + "/evs_node-site" + std::to_string(i) + ".trace.jsonl";
+    if (::access(path.c_str(), R_OK) != 0) die("missing trace: " + path);
+    traces.push_back(path);
+  }
+  const pid_t checker = ::fork();
+  if (checker < 0) die("fork() failed");
+  if (checker == 0) {
+    ::execl(trace_check.c_str(), trace_check.c_str(), "--merge",
+            traces[0].c_str(), traces[1].c_str(), traces[2].c_str(),
+            static_cast<char*>(nullptr));
+    std::perror("execl");
+    _exit(127);
+  }
+  int status = 0;
+  ::waitpid(checker, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    dump_outputs(children);
+    die("trace_check found violations in the merged traces");
+  }
+  std::fprintf(stderr, "ok: merged traces pass trace_check\n");
+
+  // Success: clean up the scratch directory.
+  for (const std::string& path : traces) {
+    const std::string stem = path.substr(0, path.size() - sizeof(".trace.jsonl") + 1);
+    ::unlink((stem + ".trace.jsonl").c_str());
+    ::unlink((stem + ".chrome.json").c_str());
+    ::unlink((stem + ".metrics.json").c_str());
+  }
+  for (const std::string& path : config_paths) ::unlink(path.c_str());
+  ::rmdir(dir.c_str());
+  std::printf("PASS\n");
+  return 0;
+}

@@ -1,0 +1,249 @@
+// evs_node: one enriched-view-synchrony group member on real UDP sockets.
+//
+// The same core::EvsEndpoint the simulator spawns, hosted by the
+// net::NetRuntime (epoll loop + UDP messenger) instead of sim::World.
+// Start one process per site of a static peer config and they converge to
+// a common view, totally order their multicasts, ride out kills and
+// SIGSTOP partitions, and re-merge — the quickstart workload, outside the
+// simulator.
+//
+//   ./evs_node --config node0.conf --multicast 100 --merge-all
+//
+// Config file format: see src/net/config.hpp. Every status line on stdout
+// is machine-parseable (the loopback ctest greps them):
+//   up site=<n> port=<p> universe=<k>
+//   view epoch=<e> coordinator=<site> size=<n> members=<s0,s1,...>
+//   deliver n=<total> from=<site>
+//   sent n=<total>
+//   summary sent=<n> delivered=<n> views=<n> epoch=<e> size=<n>
+//
+// EVS_TRACE_OUT=<dir> dumps the same three run artifacts a sim run dumps;
+// replay the .trace.jsonl through ./tools/trace_check.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "evs/endpoint.hpp"
+#include "net/config.hpp"
+#include "net/runtime.hpp"
+
+using namespace evs;
+
+namespace {
+
+net::EventLoop* g_loop = nullptr;
+
+void on_signal(int) {
+  if (g_loop != nullptr) g_loop->request_stop();
+}
+
+struct Options {
+  std::string config_path;
+  std::string trace_name;
+  std::uint64_t duration_ms = 0;   // 0 = run until a signal arrives
+  std::uint64_t multicast = 0;     // messages to send once the view is full
+  std::uint64_t payload_bytes = 32;
+  std::uint64_t send_interval_ms = 20;
+  /// >0: rewrite the trace artifacts every N ms, so a SIGKILLed node still
+  /// leaves a (slightly stale) trace behind for post-mortem checking.
+  std::uint64_t trace_flush_ms = 0;
+  bool merge_all = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --config FILE [--duration-ms N] [--multicast N]\n"
+               "          [--payload-bytes N] [--send-interval-ms N]\n"
+               "          [--merge-all] [--trace-name NAME]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+std::string members_csv(const std::vector<ProcessId>& members) {
+  std::string out;
+  for (const ProcessId& m : members) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(m.site.value);
+  }
+  return out;
+}
+
+/// Prints status lines and drives the multicast workload.
+class NodeDriver : public core::EvsDelegate {
+ public:
+  NodeDriver(net::NetRuntime& rt, core::EvsEndpoint& ep, Options options)
+      : rt_(rt), ep_(ep), options_(std::move(options)) {
+    ep.set_evs_delegate(this);
+  }
+
+  void on_eview(const core::EView& eview) override {
+    if (eview.ev_seq != 0) return;  // view changes only, not sv-set merges
+    ++views_installed_;
+    std::printf("view epoch=%llu coordinator=%u size=%zu members=%s\n",
+                static_cast<unsigned long long>(eview.view.id.epoch),
+                eview.view.id.coordinator.site.value, eview.view.size(),
+                members_csv(eview.view.members).c_str());
+    if (eview.view.size() == rt_.transport().config().peers.size())
+      on_full_view();
+  }
+
+  void on_app_deliver(ProcessId sender, const Bytes&) override {
+    ++delivered_;
+    std::printf("deliver n=%llu from=%u\n",
+                static_cast<unsigned long long>(delivered_),
+                sender.site.value);
+  }
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t views_installed() const { return views_installed_; }
+
+ private:
+  void on_full_view() {
+    if (options_.merge_all && !merge_requested_) {
+      merge_requested_ = true;
+      ep_.request_merge_all();
+    }
+    if (options_.multicast > 0 && !sending_) {
+      sending_ = true;
+      schedule_send();
+    }
+  }
+
+  void schedule_send() {
+    if (sent_ >= options_.multicast) return;
+    rt_.loop().set_timer(options_.send_interval_ms * kMillisecond, [this]() {
+      Bytes payload = to_bytes("m" + std::to_string(ep_.id().site.value) +
+                               "-" + std::to_string(sent_));
+      payload.resize(options_.payload_bytes, 0);
+      ep_.app_multicast(std::move(payload));
+      ++sent_;
+      std::printf("sent n=%llu\n", static_cast<unsigned long long>(sent_));
+      schedule_send();
+    });
+  }
+
+  net::NetRuntime& rt_;
+  core::EvsEndpoint& ep_;
+  Options options_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t views_installed_ = 0;
+  bool sending_ = false;
+  bool merge_requested_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    bool ok = true;
+    if (arg == "--config") {
+      const char* v = value();
+      ok = v != nullptr;
+      if (ok) options.config_path = v;
+    } else if (arg == "--trace-name") {
+      const char* v = value();
+      ok = v != nullptr;
+      if (ok) options.trace_name = v;
+    } else if (arg == "--duration-ms") {
+      const char* v = value();
+      ok = v != nullptr && parse_u64(v, options.duration_ms);
+    } else if (arg == "--multicast") {
+      const char* v = value();
+      ok = v != nullptr && parse_u64(v, options.multicast);
+    } else if (arg == "--payload-bytes") {
+      const char* v = value();
+      ok = v != nullptr && parse_u64(v, options.payload_bytes);
+    } else if (arg == "--send-interval-ms") {
+      const char* v = value();
+      ok = v != nullptr && parse_u64(v, options.send_interval_ms);
+    } else if (arg == "--trace-flush-ms") {
+      const char* v = value();
+      ok = v != nullptr && parse_u64(v, options.trace_flush_ms);
+    } else if (arg == "--merge-all") {
+      options.merge_all = true;
+    } else {
+      ok = false;
+    }
+    if (!ok) return usage(argv[0]);
+  }
+  if (options.config_path.empty()) return usage(argv[0]);
+
+  net::NodeConfig config;
+  std::string error;
+  if (!net::load_node_config(options.config_path, config, error)) {
+    std::fprintf(stderr, "%s: %s\n", options.config_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  // Status lines must reach a parent's pipe promptly.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+
+  net::NetRuntime rt(config);
+  core::EvsEndpoint endpoint(rt.endpoint_config());
+  NodeDriver driver(rt, endpoint, options);
+  rt.host(endpoint);
+
+  g_loop = &rt.loop();
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  std::printf("up site=%u port=%u universe=%zu\n", config.self.value,
+              rt.transport().bound_port(), config.peers.size());
+
+  const std::string trace_name =
+      options.trace_name.empty()
+          ? "evs_node-site" + std::to_string(config.self.value)
+          : options.trace_name;
+  // Self-rearming flush timer; the function object lives in this frame
+  // (a shared_ptr capturing itself would be a reference cycle).
+  std::function<void()> trace_flush;
+  if (options.trace_flush_ms > 0) {
+    const SimDuration interval = options.trace_flush_ms * kMillisecond;
+    trace_flush = [&rt, &trace_name, &trace_flush, interval]() {
+      rt.dump_trace(trace_name);
+      rt.loop().set_timer(interval, trace_flush);
+    };
+    rt.loop().set_timer(interval, trace_flush);
+  }
+
+  if (options.duration_ms > 0) {
+    rt.loop().set_timer(options.duration_ms * kMillisecond,
+                        [&rt]() { rt.loop().stop(); });
+  }
+  rt.run();
+
+  endpoint.export_metrics(rt.metrics(), "node");
+  rt.transport().export_metrics(rt.metrics());
+  rt.metrics().counter("store.writes").set(rt.store().writes());
+  rt.metrics().counter("store.bytes").set(rt.store().bytes());
+  rt.dump_trace(trace_name);
+
+  const gms::View& view = endpoint.view();
+  std::printf("summary sent=%llu delivered=%llu views=%llu epoch=%llu "
+              "size=%zu\n",
+              static_cast<unsigned long long>(driver.sent()),
+              static_cast<unsigned long long>(driver.delivered()),
+              static_cast<unsigned long long>(driver.views_installed()),
+              static_cast<unsigned long long>(view.id.epoch), view.size());
+  return 0;
+}

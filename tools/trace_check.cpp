@@ -1,6 +1,6 @@
 // trace_check: replay recorded traces through the RunChecker.
 //
-// Usage: trace_check <run.trace.jsonl>...
+// Usage: trace_check [--merge] <run.trace.jsonl>...
 //
 // Reads each JSONL trace produced by obs::TraceBus::write_jsonl (e.g. via
 // EVS_TRACE_OUT), validates it against the view-synchrony properties
@@ -8,20 +8,51 @@
 // machine, and prints every violation. Exit status: 0 when every file is
 // clean, 1 on any violation or unreadable file. CI runs the quickstart
 // example under EVS_TRACE_OUT and pipes the result through this tool.
+//
+// --merge treats all files as one run and checks their union. A sim run
+// records every process in one World bus, so one file is the whole run;
+// a real-socket run (tools/evs_node) dumps one trace per process, and the
+// cross-process properties — P2.1 agreement, P2.3 integrity — only hold
+// on the union of the group's traces.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <vector>
 
 #include "obs/check.hpp"
 #include "obs/trace.hpp"
 
+namespace {
+
+bool check_and_report(const char* label,
+                      const std::vector<evs::obs::TraceEvent>& events,
+                      std::size_t skipped) {
+  const std::vector<evs::obs::Violation> violations =
+      evs::obs::RunChecker::check(events);
+  std::printf("%s: %zu events (%zu unparseable lines skipped), %zu violations\n",
+              label, events.size(), skipped, violations.size());
+  for (const evs::obs::Violation& v : violations)
+    std::printf("  %s\n", v.str().c_str());
+  return violations.empty();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <run.trace.jsonl>...\n", argv[0]);
+  bool merge = false;
+  int first_file = 1;
+  if (argc > 1 && std::strcmp(argv[1], "--merge") == 0) {
+    merge = true;
+    first_file = 2;
+  }
+  if (first_file >= argc) {
+    std::fprintf(stderr, "usage: %s [--merge] <run.trace.jsonl>...\n", argv[0]);
     return 2;
   }
   bool ok = true;
-  for (int i = 1; i < argc; ++i) {
+  std::vector<evs::obs::TraceEvent> merged;
+  std::size_t merged_skipped = 0;
+  for (int i = first_file; i < argc; ++i) {
     std::ifstream is(argv[i]);
     if (!is) {
       std::fprintf(stderr, "%s: cannot open\n", argv[i]);
@@ -29,15 +60,15 @@ int main(int argc, char** argv) {
       continue;
     }
     std::size_t skipped = 0;
-    const std::vector<evs::obs::TraceEvent> events =
+    std::vector<evs::obs::TraceEvent> events =
         evs::obs::read_jsonl(is, &skipped);
-    const std::vector<evs::obs::Violation> violations =
-        evs::obs::RunChecker::check(events);
-    std::printf("%s: %zu events (%zu unparseable lines skipped), %zu violations\n",
-                argv[i], events.size(), skipped, violations.size());
-    for (const evs::obs::Violation& v : violations)
-      std::printf("  %s\n", v.str().c_str());
-    if (!violations.empty()) ok = false;
+    if (merge) {
+      merged.insert(merged.end(), events.begin(), events.end());
+      merged_skipped += skipped;
+    } else if (!check_and_report(argv[i], events, skipped)) {
+      ok = false;
+    }
   }
+  if (merge && !check_and_report("<merged>", merged, merged_skipped)) ok = false;
   return ok ? 0 : 1;
 }
