@@ -1,6 +1,7 @@
 #include "evs/endpoint.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
 #include "common/check.hpp"
@@ -374,6 +375,39 @@ void EvsEndpoint::export_metrics(obs::MetricsRegistry& registry,
   registry.counter(prefix + ".context_bytes").set(evs_stats_.context_bytes);
   registry.counter(prefix + ".merge_reqs_dropped")
       .set(evs_stats_.merge_reqs_dropped);
+}
+
+std::string EvsEndpoint::admin_status_json() const {
+  std::ostringstream os;
+  os << "{" << admin_status_fields()
+     << ",\"mode\":\"" << (eview_.degenerate() ? "normal" : "split") << "\""
+     << ",\"ev_seq\":" << eview_.ev_seq << ",\"subviews\":[";
+  const auto& structure = eview_.structure;
+  for (std::size_t i = 0; i < structure.subviews().size(); ++i) {
+    const auto& sv = structure.subviews()[i];
+    if (i != 0) os << ',';
+    os << "{\"id\":\"" << to_string(sv.id) << "\",\"members\":[";
+    for (std::size_t j = 0; j < sv.members.size(); ++j) {
+      if (j != 0) os << ',';
+      os << '"' << to_string(sv.members[j]) << '"';
+    }
+    os << "]}";
+  }
+  os << "],\"svsets\":[";
+  for (std::size_t i = 0; i < structure.svsets().size(); ++i) {
+    const auto& set = structure.svsets()[i];
+    if (i != 0) os << ',';
+    os << "{\"id\":\"" << to_string(set.id) << "\",\"subviews\":[";
+    for (std::size_t j = 0; j < set.subviews.size(); ++j) {
+      if (j != 0) os << ',';
+      os << '"' << to_string(set.subviews[j]) << '"';
+    }
+    os << "]}";
+  }
+  os << "],\"app_sent\":" << evs_stats_.app_sent
+     << ",\"app_delivered\":" << evs_stats_.app_delivered
+     << ",\"eviews_delivered\":" << evs_stats_.eviews_delivered << "}";
+  return os.str();
 }
 
 }  // namespace evs::core

@@ -103,6 +103,11 @@ class EvsEndpoint : public vsync::Endpoint, private vsync::Delegate {
   void export_metrics(obs::MetricsRegistry& registry,
                       const std::string& prefix) const;
 
+  /// Extends the vsync status with the enriched-view mode ("normal" once
+  /// the structure is degenerate, "split" otherwise), ev_seq, the full
+  /// subview / sv-set structure and the EVS counters.
+  std::string admin_status_json() const override;
+
  private:
   struct MergeRequest {
     EvOp::Kind kind;

@@ -1,0 +1,278 @@
+#include "net/admin.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace evs::net {
+
+namespace {
+
+const char* reason_phrase(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 503: return "Service Unavailable";
+    default: return "?";
+  }
+}
+
+/// Parses "since=<u64>" (the only query /trace accepts). Empty query is
+/// since=0; anything else is malformed.
+bool parse_since(const std::string& query, std::uint64_t& out) {
+  out = 0;
+  if (query.empty()) return true;
+  constexpr std::string_view kKey = "since=";
+  if (query.size() <= kKey.size() || query.compare(0, kKey.size(), kKey) != 0)
+    return false;
+  std::uint64_t value = 0;
+  for (std::size_t i = kKey.size(); i < query.size(); ++i) {
+    const char c = query[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+AdminServer::AdminServer(EventLoop& loop, std::uint32_t ip, std::uint16_t port)
+    : loop_(loop) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  EVS_CHECK_MSG(listen_fd_ >= 0, "admin: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(ip);
+  addr.sin_port = htons(port);
+  EVS_CHECK_MSG(
+      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+      "admin: cannot bind admin port");
+  EVS_CHECK_MSG(::listen(listen_fd_, 16) == 0, "admin: listen() failed");
+  socklen_t len = sizeof(addr);
+  EVS_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                          &len) == 0);
+  bound_port_ = ntohs(addr.sin_port);
+  loop_.add_fd(listen_fd_, [this]() { on_accept(); });
+}
+
+AdminServer::~AdminServer() {
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+  for (const int fd : fds) close_connection(fd);
+  if (listen_fd_ >= 0) {
+    loop_.remove_fd(listen_fd_);
+    ::close(listen_fd_);
+  }
+}
+
+void AdminServer::on_accept() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: wait for the next wake
+    if (connections_.size() >= kMaxConnections) {
+      // Shed load instead of queueing: the scraper will retry.
+      ++stats_.dropped_overload;
+      ::close(fd);
+      continue;
+    }
+    ++stats_.connections_accepted;
+    connections_.emplace(fd, Connection{});
+    loop_.add_fd(fd, [this, fd]() { on_readable(fd); });
+  }
+}
+
+void AdminServer::on_readable(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n == 0) {  // peer closed; nothing more to serve it
+      close_connection(fd);
+      return;
+    }
+    if (n < 0) break;  // EAGAIN (or transient): wait for the next wake
+    if (conn.responded) continue;  // draining a late-talking client
+    conn.in.append(buf, static_cast<std::size_t>(n));
+    if (conn.in.size() > kMaxRequestBytes) {
+      ++stats_.dropped_oversize;
+      start_response(fd, conn, 400, "text/plain", "request too large\n", {});
+      return;
+    }
+    // A full request is the request line plus headers up to a blank line.
+    if (conn.in.find("\r\n\r\n") != std::string::npos ||
+        conn.in.find("\n\n") != std::string::npos) {
+      handle_request(fd, conn);
+      return;
+    }
+  }
+}
+
+void AdminServer::handle_request(int fd, Connection& conn) {
+  const std::size_t eol = conn.in.find_first_of("\r\n");
+  const std::string line = conn.in.substr(0, eol);
+  // Strict request line: GET <target> HTTP/1.x — exactly three tokens.
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos
+                              ? std::string::npos
+                              : line.find(' ', sp1 + 1);
+  const bool shaped = sp1 != std::string::npos && sp2 != std::string::npos &&
+                      sp2 > sp1 + 1 && sp2 + 1 < line.size() &&
+                      line.find(' ', sp2 + 1) == std::string::npos;
+  if (!shaped || line.substr(0, sp1) != "GET" ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    ++stats_.dropped_malformed;
+    start_response(fd, conn, 400, "text/plain", "bad request\n", {});
+    return;
+  }
+  const std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string extra_headers;
+  std::string content_type = "text/plain";
+  bool ok = true;
+  std::string body = route(target, extra_headers, content_type, ok);
+  if (!ok) {
+    ++stats_.dropped_malformed;
+    start_response(fd, conn, 400, "text/plain", std::move(body), {});
+    return;
+  }
+  if (body.empty() && content_type.empty()) {  // route said 404
+    ++stats_.not_found;
+    start_response(fd, conn, 404, "text/plain", "not found\n", {});
+    return;
+  }
+  if (content_type == "unavailable") {
+    start_response(fd, conn, 503, "text/plain", std::move(body), {});
+    return;
+  }
+  ++stats_.requests_ok;
+  start_response(fd, conn, 200, content_type, std::move(body), extra_headers);
+}
+
+std::string AdminServer::route(const std::string& target,
+                               std::string& extra_headers,
+                               std::string& content_type, bool& ok) {
+  const std::size_t qmark = target.find('?');
+  const std::string path = target.substr(0, qmark);
+  const std::string query =
+      qmark == std::string::npos ? std::string{} : target.substr(qmark + 1);
+
+  if (path == "/status") {
+    if (!status_) {
+      content_type = "unavailable";
+      return "no status provider\n";
+    }
+    content_type = "application/json";
+    return status_();
+  }
+  if (path == "/metrics" || path == "/metrics.prom") {
+    if (registry_ == nullptr) {
+      content_type = "unavailable";
+      return "no metrics registry\n";
+    }
+    if (refresh_) refresh_();
+    if (path == "/metrics") {
+      content_type = "application/json";
+      return registry_->to_json() + "\n";
+    }
+    content_type = "text/plain; version=0.0.4";
+    return registry_->to_prometheus();
+  }
+  if (path == "/trace") {
+    if (trace_ == nullptr) {
+      content_type = "unavailable";
+      return "no trace bus\n";
+    }
+    std::uint64_t since = 0;
+    if (!parse_since(query, since)) {
+      ok = false;
+      return "bad since parameter\n";
+    }
+    std::uint64_t next = since;
+    std::ostringstream os;
+    for (const auto& [index, event] :
+         trace_->events_since(since, kMaxTraceEvents, &next)) {
+      obs::write_jsonl_event(os, event, &index);
+    }
+    extra_headers =
+        "X-Evs-Next-Since: " + std::to_string(next) + "\r\n";
+    content_type = "application/x-ndjson";
+    return os.str();
+  }
+  content_type.clear();  // 404
+  return {};
+}
+
+void AdminServer::start_response(int fd, Connection& conn, int code,
+                                 const std::string& content_type,
+                                 std::string body,
+                                 const std::string& extra_headers) {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << code << " " << reason_phrase(code) << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n"
+     << extra_headers << "\r\n";
+  conn.out = os.str() + body;
+  conn.in.clear();
+  conn.in.shrink_to_fit();
+  conn.responded = true;
+  flush(fd, conn);
+}
+
+void AdminServer::flush(int fd, Connection& conn) {
+  while (conn.sent < conn.out.size()) {
+    const ssize_t n = ::send(fd, conn.out.data() + conn.sent,
+                             conn.out.size() - conn.sent, MSG_NOSIGNAL);
+    if (n >= 0) {
+      conn.sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Finish under write interest; a slow scraper never blocks the loop.
+      loop_.set_writable(fd, [this, fd]() { on_writable(fd); });
+      return;
+    }
+    break;  // broken pipe etc.: give up on this connection
+  }
+  close_connection(fd);
+}
+
+void AdminServer::on_writable(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  loop_.set_writable(fd, {});
+  flush(fd, it->second);
+}
+
+void AdminServer::close_connection(int fd) {
+  loop_.remove_fd(fd);
+  ::close(fd);
+  connections_.erase(fd);
+}
+
+void AdminServer::export_metrics(obs::MetricsRegistry& registry,
+                                 const std::string& prefix) const {
+  registry.counter(prefix + ".connections_accepted")
+      .set(stats_.connections_accepted);
+  registry.counter(prefix + ".requests_ok").set(stats_.requests_ok);
+  registry.counter(prefix + ".dropped_malformed").set(stats_.dropped_malformed);
+  registry.counter(prefix + ".dropped_oversize").set(stats_.dropped_oversize);
+  registry.counter(prefix + ".dropped_overload").set(stats_.dropped_overload);
+  registry.counter(prefix + ".not_found").set(stats_.not_found);
+}
+
+}  // namespace evs::net

@@ -1,0 +1,124 @@
+// Live observability, part 1: the per-node admin plane.
+//
+// A tiny HTTP/1.0 text server on one TCP listen socket, driven entirely
+// by the node's existing epoll EventLoop — no threads, no allocation on
+// the wire path, nothing shared with the UDP transport. Three endpoints:
+//
+//   GET /status        — one JSON object: runtime identity (site,
+//                        incarnation, ports, uptime) plus whatever the
+//                        hosted node reports through
+//                        runtime::Node::admin_status_json() (view id,
+//                        mode, subview/sv-set structure, member list).
+//   GET /metrics       — MetricsRegistry snapshot as JSON. The registry
+//                        is refreshed through a caller-supplied hook
+//                        right before serialising, so scrapes always see
+//                        live counters, not the last export.
+//   GET /metrics.prom  — the same snapshot as Prometheus text exposition
+//                        (MetricsRegistry::to_prometheus()).
+//   GET /trace?since=N — incremental JSONL tail of the TraceBus: events
+//                        with recording index >= N (capped per response),
+//                        each line carrying an "i" index field; the
+//                        X-Evs-Next-Since response header is the N to
+//                        pass on the next poll.
+//
+// The receive path is hardened the same way udp_transport's is: requests
+// are read into a bounded buffer, anything malformed (non-GET, bad
+// request line, oversized headers) is counted and the connection dropped
+// with a terse error, and a cap on simultaneous connections sheds load
+// instead of queueing it. Responses that overrun the socket buffer finish
+// under EPOLLOUT write interest — a slow scraper never blocks the loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/event_loop.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace evs::net {
+
+struct AdminStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests_ok = 0;
+  std::uint64_t dropped_malformed = 0;  // bad request line / non-GET
+  std::uint64_t dropped_oversize = 0;   // request exceeded the buffer cap
+  std::uint64_t dropped_overload = 0;   // connection cap reached
+  std::uint64_t not_found = 0;          // unknown path (404 served)
+};
+
+class AdminServer {
+ public:
+  /// Longest request (line + headers) accepted before 400 + drop.
+  static constexpr std::size_t kMaxRequestBytes = 4096;
+  /// Simultaneous connections served; extra accepts are shed immediately.
+  static constexpr std::size_t kMaxConnections = 32;
+  /// Trace events per /trace response; pollers page with ?since=.
+  static constexpr std::size_t kMaxTraceEvents = 4096;
+
+  /// Binds ip:port (host byte order; port 0 picks an ephemeral port, see
+  /// bound_port()) and registers with the loop. Throws InvariantViolation
+  /// on bind/listen failure.
+  AdminServer(EventLoop& loop, std::uint32_t ip, std::uint16_t port);
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  std::uint16_t bound_port() const { return bound_port_; }
+
+  /// Supplies the /status body (a complete JSON object).
+  void set_status(std::function<std::string()> fn) { status_ = std::move(fn); }
+
+  /// Wires /metrics[.prom] to `registry`; `refresh` (may be empty) runs
+  /// before every serialisation so exports are current at scrape time.
+  void set_metrics(const obs::MetricsRegistry* registry,
+                   std::function<void()> refresh) {
+    registry_ = registry;
+    refresh_ = std::move(refresh);
+  }
+
+  /// Wires /trace to `bus` (served 503 until set).
+  void set_trace(const obs::TraceBus* bus) { trace_ = bus; }
+
+  const AdminStats& stats() const { return stats_; }
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "admin") const;
+
+ private:
+  struct Connection {
+    std::string in;       // bounded request buffer
+    std::string out;      // response remainder awaiting the socket
+    std::size_t sent = 0;
+    bool responded = false;
+  };
+
+  void on_accept();
+  void on_readable(int fd);
+  void on_writable(int fd);
+  /// Parses conn.in and fills conn.out; counts drops.
+  void handle_request(int fd, Connection& conn);
+  std::string route(const std::string& path, std::string& extra_headers,
+                    std::string& content_type, bool& ok);
+  void start_response(int fd, Connection& conn, int code,
+                      const std::string& content_type, std::string body,
+                      const std::string& extra_headers);
+  /// Writes what the socket accepts; closes when done or broken.
+  void flush(int fd, Connection& conn);
+  void close_connection(int fd);
+
+  EventLoop& loop_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::map<int, Connection> connections_;
+
+  std::function<std::string()> status_;
+  const obs::MetricsRegistry* registry_ = nullptr;
+  std::function<void()> refresh_;
+  const obs::TraceBus* trace_ = nullptr;
+
+  AdminStats stats_;
+};
+
+}  // namespace evs::net

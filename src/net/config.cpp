@@ -92,6 +92,15 @@ bool parse_node_config(std::istream& in, NodeConfig& out, std::string& error) {
       if (!addr) return fail("bad address '" + addr_text + "'");
       if (!out.peers.emplace(SiteId{site}, *addr).second)
         return fail("duplicate peer " + std::to_string(site));
+    } else if (keyword == "admin") {
+      std::uint32_t site = 0;
+      std::string addr_text;
+      if (!(fields >> site >> addr_text))
+        return fail("expected: admin <site-id> <ip:port>");
+      const auto addr = parse_addr(addr_text);
+      if (!addr) return fail("bad address '" + addr_text + "'");
+      if (!out.admin.emplace(SiteId{site}, *addr).second)
+        return fail("duplicate admin " + std::to_string(site));
     } else {
       return fail("unknown keyword '" + keyword + "'");
     }
@@ -109,6 +118,12 @@ bool parse_node_config(std::istream& in, NodeConfig& out, std::string& error) {
   if (out.peers.size() < 2) {
     error = "config needs at least two peers to form a group";
     return false;
+  }
+  for (const auto& [site, addr] : out.admin) {
+    if (!out.peers.contains(site)) {
+      error = "admin line for unknown site " + to_string(site);
+      return false;
+    }
   }
   error.clear();
   return true;

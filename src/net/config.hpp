@@ -10,10 +10,16 @@
 //   peer 0 127.0.0.1:9000
 //   peer 1 127.0.0.1:9001
 //   peer 2 10.0.0.7:9000
+//   admin 0 127.0.0.1:9100   # optional per-node admin (HTTP) endpoint
+//   admin 1 127.0.0.1:9101
 //
-// The peer line for `self` doubles as the bind address. Parsing is
-// strict: unknown keywords, duplicate sites, or malformed addresses fail
-// with a line-numbered error rather than half-loading a cluster map.
+// The peer line for `self` doubles as the bind address; an admin line for
+// `self` makes the node serve the live-observability HTTP plane there
+// (see net/admin.hpp), and admin lines for other sites are how fleet
+// tools (tools/evs_top) find every node's endpoint from one file.
+// Parsing is strict: unknown keywords, duplicate sites, admin lines for
+// unknown sites, or malformed addresses fail with a line-numbered error
+// rather than half-loading a cluster map.
 #pragma once
 
 #include <cstdint>
@@ -45,10 +51,17 @@ struct NodeConfig {
   std::uint32_t incarnation = 1;
   /// Site -> address for every member of the universe, self included.
   std::map<SiteId, PeerAddr> peers;
+  /// Site -> admin-plane (HTTP) address; optional, any subset of `peers`.
+  std::map<SiteId, PeerAddr> admin;
 
   /// Sorted universe (the key set of `peers`).
   std::vector<SiteId> universe() const;
   const PeerAddr& self_addr() const { return peers.at(self); }
+  /// This node's admin endpoint, if configured.
+  std::optional<PeerAddr> self_admin_addr() const {
+    const auto it = admin.find(self);
+    return it == admin.end() ? std::nullopt : std::optional<PeerAddr>(it->second);
+  }
 };
 
 /// Parses a config stream. On failure returns false and sets `error` to a

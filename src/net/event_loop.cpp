@@ -59,7 +59,18 @@ void EventLoop::add_fd(int fd, std::function<void()> on_readable) {
   ev.data.fd = fd;
   EVS_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
                 "epoll_ctl ADD failed");
-  fd_handlers_.emplace(fd, std::move(on_readable));
+  fd_handlers_.emplace(fd, FdHandlers{std::move(on_readable), {}});
+}
+
+void EventLoop::set_writable(int fd, std::function<void()> on_writable) {
+  const auto it = fd_handlers_.find(fd);
+  EVS_CHECK_MSG(it != fd_handlers_.end(), "set_writable on unknown fd");
+  it->second.on_writable = std::move(on_writable);
+  epoll_event ev{};
+  ev.events = it->second.on_writable ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+  ev.data.fd = fd;
+  EVS_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0,
+                "epoll_ctl MOD failed");
 }
 
 void EventLoop::remove_fd(int fd) {
@@ -139,10 +150,22 @@ std::size_t EventLoop::step(SimDuration max_wait) {
         drain_wakeup();
         continue;
       }
-      const auto it = fd_handlers_.find(fd);
+      auto it = fd_handlers_.find(fd);
       if (it == fd_handlers_.end()) continue;  // removed by an earlier handler
-      it->second();
-      ++fired;
+      if ((events[i].events & EPOLLOUT) != 0 && it->second.on_writable) {
+        // Copy: the handler may clear write interest or remove the fd.
+        const auto on_writable = it->second.on_writable;
+        on_writable();
+        ++fired;
+        it = fd_handlers_.find(fd);
+        if (it == fd_handlers_.end()) continue;
+      }
+      if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+        // Copy: the handler may remove_fd(fd) from inside the call.
+        const auto on_readable = it->second.on_readable;
+        on_readable();
+        ++fired;
+      }
     }
   }
   drain_posted();

@@ -47,6 +47,11 @@ class EventLoop final : public runtime::Clock, public runtime::TimerService {
   void add_fd(int fd, std::function<void()> on_readable);
   void remove_fd(int fd);
 
+  /// Adds (non-empty fn) or clears (empty fn) level-triggered write
+  /// interest on an fd previously registered with add_fd; used by the
+  /// admin plane to finish responses that did not fit the socket buffer.
+  void set_writable(int fd, std::function<void()> on_writable);
+
   /// Runs until stop()/request_stop(). Returns the number of timer +
   /// readable callbacks fired.
   std::size_t run();
@@ -96,7 +101,11 @@ class EventLoop final : public runtime::Clock, public runtime::TimerService {
       timer_queue_;
   std::unordered_map<runtime::TimerId, std::function<void()>> timer_callbacks_;
 
-  std::unordered_map<int, std::function<void()>> fd_handlers_;
+  struct FdHandlers {
+    std::function<void()> on_readable;
+    std::function<void()> on_writable;  // empty: no write interest
+  };
+  std::unordered_map<int, FdHandlers> fd_handlers_;
 
   std::atomic<bool> stop_{false};
   std::mutex posted_mutex_;

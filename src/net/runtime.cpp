@@ -2,6 +2,8 @@
 
 #include <unistd.h>
 
+#include <sstream>
+
 #include "common/check.hpp"
 #include "obs/dump.hpp"
 
@@ -12,6 +14,28 @@ NetRuntime::NetRuntime(NodeConfig config)
   // Same opt-in as sim::World: EVS_TRACE_OUT turns recording on without
   // per-binary plumbing.
   if (!obs::trace_out_dir().empty()) trace_bus_.set_enabled(true);
+  if (const auto addr = config_.self_admin_addr()) {
+    admin_ = std::make_unique<AdminServer>(loop_, addr->ip, addr->port);
+    admin_->set_trace(&trace_bus_);
+    admin_->set_metrics(&metrics_, [this]() { refresh_metrics(); });
+    admin_->set_status([this]() {
+      std::ostringstream os;
+      os << "{\"site\":" << config_.self.value
+         << ",\"incarnation\":" << config_.incarnation
+         << ",\"process\":\"" << to_string(self()) << "\""
+         << ",\"port\":" << transport_.bound_port()
+         << ",\"admin_port\":" << admin_->bound_port()
+         << ",\"uptime_us\":" << loop_.now() << ",\"node\":"
+         << (node_ != nullptr ? node_->admin_status_json() : "null") << "}";
+      return os.str();
+    });
+  }
+}
+
+void NetRuntime::refresh_metrics() {
+  transport_.export_metrics(metrics_, "transport");
+  if (admin_ != nullptr) admin_->export_metrics(metrics_, "admin");
+  if (metrics_exporter_) metrics_exporter_(metrics_);
 }
 
 NetRuntime::~NetRuntime() {
@@ -51,6 +75,7 @@ void NetRuntime::host(runtime::Node& node) {
 
 bool NetRuntime::dump_trace(const std::string& name) {
   trace_dumped_ = true;
+  refresh_metrics();  // the dump sees final counters, like a last scrape
   return obs::dump_run(trace_bus_, metrics_, name);
 }
 

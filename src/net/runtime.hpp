@@ -18,9 +18,11 @@
 // writes the same three artifacts tools/trace_check consumes.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
+#include "net/admin.hpp"
 #include "net/config.hpp"
 #include "net/event_loop.hpp"
 #include "net/udp_transport.hpp"
@@ -45,6 +47,23 @@ class NetRuntime {
   obs::MetricsRegistry& metrics() { return metrics_; }
 
   ProcessId self() const { return transport_.self(); }
+
+  /// The admin plane, created iff the config has an `admin` line for
+  /// self; nullptr otherwise. Already wired to /status (runtime identity
+  /// + hosted node's admin_status_json()), /metrics (refreshed at scrape
+  /// time) and /trace.
+  AdminServer* admin() { return admin_.get(); }
+
+  /// Extra per-node metrics exported on every /metrics scrape, after the
+  /// runtime's own (transport + admin) exports. evs_node installs the
+  /// endpoint's export_metrics here.
+  void set_metrics_exporter(std::function<void(obs::MetricsRegistry&)> fn) {
+    metrics_exporter_ = std::move(fn);
+  }
+
+  /// Runs every registered exporter into metrics() — the same refresh the
+  /// admin plane performs before serving /metrics.
+  void refresh_metrics();
 
   /// A vsync::EndpointConfig whose universe is this runtime's peer book;
   /// detector/protocol timings keep their defaults (already real-time
@@ -71,6 +90,8 @@ class NetRuntime {
   runtime::MemoryStore store_;
   obs::TraceBus trace_bus_;
   obs::MetricsRegistry metrics_;
+  std::unique_ptr<AdminServer> admin_;
+  std::function<void(obs::MetricsRegistry&)> metrics_exporter_;
   runtime::Node* node_ = nullptr;
   bool trace_dumped_ = false;
 };

@@ -34,8 +34,15 @@ bool dump_run(const TraceBus& bus, const MetricsRegistry& metrics,
     std::ofstream os(stem + ".metrics.json");
     os << metrics.to_json() << "\n";
   }
+  {
+    // Same snapshot in Prometheus text exposition, so scrape configs and
+    // dump files share one format (checked by the CI smoke).
+    std::ofstream os(stem + ".metrics.prom");
+    os << metrics.to_prometheus();
+  }
   EVS_INFO("dump_run: wrote " << stem
-                              << ".{trace.jsonl,chrome.json,metrics.json} ("
+                              << ".{trace.jsonl,chrome.json,metrics.json,"
+                                 "metrics.prom} ("
                               << bus.recorded() << " events, " << bus.dropped()
                               << " dropped)");
   return true;

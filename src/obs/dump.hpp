@@ -1,11 +1,12 @@
 // Observability: one-call run dumping, steered by EVS_TRACE_OUT.
 //
 // Set EVS_TRACE_OUT=<directory> before running any bench or example and
-// dump_run() writes three artifacts there:
+// dump_run() writes four artifacts there:
 //   <name>.trace.jsonl   — the raw event stream (read_jsonl round-trips it,
 //                          tools/trace_check replays it through RunChecker)
 //   <name>.chrome.json   — Chrome trace-event form; open in ui.perfetto.dev
 //   <name>.metrics.json  — the MetricsRegistry snapshot
+//   <name>.metrics.prom  — the same snapshot as Prometheus text exposition
 // When EVS_TRACE_OUT is unset, dump_run() is a no-op returning false, so
 // callers can dump unconditionally.
 #pragma once

@@ -8,23 +8,44 @@
 
 namespace evs::obs {
 
+namespace {
+
+// splitmix64: tiny, deterministic, good enough to pick reservoir victims.
+std::uint64_t next_random(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::size_t sample_cap)
+    : sample_cap_(sample_cap), rng_state_(0x853c49e6748fea9bULL) {
+  EVS_CHECK(sample_cap_ > 0);
+}
+
 void Histogram::record(double sample) {
-  samples_.push_back(sample);
+  if (count_ == 0 || sample < min_) min_ = sample;
+  if (count_ == 0 || sample > max_) max_ = sample;
+  ++count_;
   sum_ += sample;
+  if (samples_.size() < sample_cap_) {
+    samples_.push_back(sample);
+    return;
+  }
+  // Algorithm R: keep each of the count_ samples with probability cap/count.
+  const std::uint64_t slot = next_random(rng_state_) % count_;
+  if (slot < sample_cap_) samples_[static_cast<std::size_t>(slot)] = sample;
 }
 
-double Histogram::min() const {
-  return samples_.empty() ? 0.0
-                          : *std::min_element(samples_.begin(), samples_.end());
-}
+double Histogram::min() const { return count_ == 0 ? 0.0 : min_; }
 
-double Histogram::max() const {
-  return samples_.empty() ? 0.0
-                          : *std::max_element(samples_.begin(), samples_.end());
-}
+double Histogram::max() const { return count_ == 0 ? 0.0 : max_; }
 
 double Histogram::mean() const {
-  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
 double Histogram::quantile(double q) const {
@@ -89,6 +110,53 @@ std::string MetricsRegistry::to_json() const {
     os << "}";
   }
   os << "}}";
+  return os.str();
+}
+
+namespace {
+
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+void put_prom_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  os << v;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " counter\n" << n << " " << c.value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << " ";
+    put_prom_number(os, g.value());
+    os << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " summary\n";
+    for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+      os << n << "{quantile=\"" << q << "\"} ";
+      put_prom_number(os, h.quantile(q));
+      os << "\n";
+    }
+    os << n << "_sum ";
+    put_prom_number(os, h.sum());
+    os << "\n" << n << "_count " << h.count() << "\n";
+  }
   return os.str();
 }
 

@@ -9,8 +9,12 @@
 // under a caller-chosen prefix, so one to_json() call captures the whole
 // run.
 //
-// Histograms keep raw samples (protocol runs record thousands of latency
-// points, not millions) so quantiles are exact, not sketched.
+// Histograms keep raw samples up to a fixed reservoir cap so quantiles
+// are exact for protocol-sized runs (thousands of latency points); a
+// long-lived real-socket node that records past the cap degrades to
+// uniform reservoir sampling (Vitter's Algorithm R with a deterministic
+// generator) instead of growing without bound. count/sum/min/max stay
+// exact at any volume.
 #pragma once
 
 #include <cstdint>
@@ -42,19 +46,37 @@ class Gauge {
 
 class Histogram {
  public:
+  /// Raw samples kept for quantile estimation. Protocol runs stay well
+  /// below this, so their quantiles are exact; past the cap the stored
+  /// set becomes a uniform sample of everything recorded.
+  static constexpr std::size_t kDefaultSampleCap = 8192;
+
+  explicit Histogram(std::size_t sample_cap = kDefaultSampleCap);
+
   void record(double sample);
 
-  std::uint64_t count() const { return samples_.size(); }
+  std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double min() const;
   double max() const;
   double mean() const;
-  /// Exact quantile by nearest-rank over the recorded samples; q in [0,1].
+  /// Quantile by nearest-rank over the stored samples; q in [0,1].
+  /// Exact while count() <= sample_cap(), estimated from the reservoir
+  /// beyond it.
   double quantile(double q) const;
 
+  std::size_t sample_cap() const { return sample_cap_; }
+  /// Samples currently held (== count() until the cap, then == the cap).
+  std::size_t stored_samples() const { return samples_.size(); }
+
  private:
+  std::size_t sample_cap_;
   std::vector<double> samples_;
+  std::uint64_t count_ = 0;
   double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::uint64_t rng_state_;  // deterministic reservoir replacement
 };
 
 class MetricsRegistry {
@@ -73,6 +95,11 @@ class MetricsRegistry {
   /// histograms report count/sum/min/max/mean plus p50/p90/p95/p99. Keys
   /// are sorted (std::map) so snapshots diff cleanly across runs.
   std::string to_json() const;
+
+  /// Prometheus text exposition (format 0.0.4): counters and gauges as
+  /// single samples, histograms as summaries (quantile series + _sum +
+  /// _count). Instrument names are sanitised to [a-zA-Z0-9_] ("." -> "_").
+  std::string to_prometheus() const;
 
  private:
   std::map<std::string, Counter> counters_;

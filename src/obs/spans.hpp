@@ -1,0 +1,126 @@
+// Observability: cross-process span correlation.
+//
+// A sim run records every process on one clock, but a real-socket fleet
+// (tools/evs_node) dumps one trace per process, each stamped with that
+// process's own loop-monotonic clock. This module turns the *union* of
+// those traces (the same union trace_check --merge builds) into artifacts
+// that reason across processes:
+//
+//   * a clock model — per-process offsets onto a reference clock,
+//     estimated from minimum one-way delays of matched message pairs
+//     (the classic NTP-style symmetric-path assumption: for processes a,b
+//     with d_ab = min(recv_b - send_a) and d_ba = min(recv_a - send_b),
+//     the skew is (d_ab - d_ba)/2). Processes without reverse traffic get
+//     a one-sided (upper-bound) estimate, flagged in the model;
+//   * message spans — each MessageSent matched to its per-recipient
+//     MessageDelivered / FlushDelivery events via the (sender, seq, view)
+//     identity the protocol already guarantees unique, with per-channel
+//     (sender -> recipient) latency histograms on the corrected clock;
+//   * view-change phase breakdowns — per round, the PROPOSE -> last ACK ->
+//     first INSTALL -> e-view install durations, attributing view-change
+//     latency to protocol phases;
+//   * exporters: a JSON report, and Chrome trace *flow* events so
+//     Perfetto draws arrows from each send to its deliveries across
+//     process tracks.
+//
+// Everything here is offline analysis: it consumes recorded TraceEvents
+// and never touches the wire path.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace evs::obs {
+
+/// Maps each traced process's local clock onto the reference process's
+/// clock: corrected(t, p) = t + offset_us[p].
+struct ClockModel {
+  ProcessId reference;
+  std::map<ProcessId, double> offset_us;
+  /// Processes whose offset came from one traffic direction only — an
+  /// upper bound (assumes zero network delay on the observed direction).
+  std::vector<ProcessId> one_sided;
+
+  bool knows(ProcessId p) const { return offset_us.contains(p); }
+  double correct(SimTime t, ProcessId p) const;
+};
+
+struct DeliverySpan {
+  ProcessId recipient;
+  SimTime recv_raw = 0;       // recipient's clock
+  double recv_corrected = 0;  // reference clock
+  double latency_us = 0;      // corrected recv - corrected send
+  bool flush = false;         // delivered from an install union
+};
+
+struct MessageSpan {
+  ProcessId sender;
+  std::uint64_t seq = 0;
+  ViewId view;
+  std::uint64_t payload_hash = 0;
+  SimTime send_raw = 0;
+  double send_corrected = 0;
+  std::vector<DeliverySpan> deliveries;
+};
+
+/// Latency distribution of one directed channel (sender -> recipient),
+/// corrected-clock microseconds. Self-delivery channels are included:
+/// their latency is pure local queueing.
+struct ChannelLatency {
+  ProcessId from;
+  ProcessId to;
+  Histogram latency_us;
+};
+
+/// One view-change round, attributed to protocol phases. Durations are -1
+/// when the trace lacks the events to compute them (e.g. the PROPOSE fell
+/// out of a ring buffer).
+struct PhaseBreakdown {
+  ViewId new_view;
+  std::uint64_t round = 0;
+  ProcessId coordinator;
+  std::size_t installs = 0;  // members observed installing this round
+  std::size_t acks = 0;
+  double propose_to_last_ack_us = -1;
+  double last_ack_to_first_install_us = -1;
+  double install_spread_us = -1;  // last install - first install
+  /// Max over members of (first e-view install for the new view - its
+  /// ViewInstalled); -1 when no member traced an e-view baseline.
+  double install_to_eview_us = -1;
+
+  std::string str() const;
+};
+
+struct SpanAnalysis {
+  ClockModel clocks;
+  std::vector<MessageSpan> spans;
+  std::vector<ChannelLatency> channels;
+  std::vector<PhaseBreakdown> view_changes;
+  std::uint64_t matched_deliveries = 0;
+  std::uint64_t unmatched_sends = 0;       // no delivery observed anywhere
+  std::uint64_t unmatched_deliveries = 0;  // delivery without a traced send
+};
+
+/// Runs the whole correlation over a merged event union (any order; events
+/// are grouped by their recording process internally).
+SpanAnalysis correlate_spans(const std::vector<TraceEvent>& events);
+
+/// One JSON object: clock model, per-channel latency stats, view-change
+/// phase breakdowns, and span/match counts (individual spans are summarised
+/// per channel, not dumped one by one).
+void write_spans_json(std::ostream& os, const SpanAnalysis& analysis);
+
+/// Chrome trace-event JSON of the spans as flow events: a slice + flow-out
+/// at each send, a slice + flow-in at each delivery, on corrected
+/// timestamps — Perfetto draws the cross-process arrows.
+void write_chrome_flows(std::ostream& os, const SpanAnalysis& analysis);
+
+}  // namespace evs::obs

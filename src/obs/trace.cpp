@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <array>
 #include <istream>
 #include <ostream>
@@ -156,19 +157,43 @@ std::vector<TraceEvent> TraceBus::events() const {
   return out;
 }
 
+std::vector<std::pair<std::uint64_t, TraceEvent>> TraceBus::events_since(
+    std::uint64_t since, std::size_t max_events,
+    std::uint64_t* next_since) const {
+  // Index of the oldest event still in the ring.
+  const std::uint64_t oldest = total_ > ring_.size() ? total_ - ring_.size() : 0;
+  std::uint64_t index = std::max(since, oldest);
+  std::vector<std::pair<std::uint64_t, TraceEvent>> out;
+  while (index < total_ && out.size() < max_events) {
+    const std::size_t slot =
+        total_ <= ring_.capacity()
+            ? static_cast<std::size_t>(index)
+            : static_cast<std::size_t>(index % ring_.capacity());
+    out.emplace_back(index, ring_[slot]);
+    ++index;
+  }
+  if (next_since != nullptr) *next_since = out.empty() ? since : index;
+  return out;
+}
+
 void TraceBus::clear() {
   ring_.clear();
   total_ = 0;
 }
 
+void write_jsonl_event(std::ostream& os, const TraceEvent& e,
+                       const std::uint64_t* index) {
+  os << "{";
+  if (index != nullptr) os << "\"i\":" << *index << ",";
+  os << "\"t\":" << e.time << ",\"proc\":\"" << proc_str(e.proc)
+     << "\",\"kind\":\"" << to_string(e.kind) << "\",\"view\":\""
+     << view_str(e.view) << "\",\"peer\":\"" << proc_str(e.peer)
+     << "\",\"seq\":" << e.seq << ",\"value\":" << e.value
+     << ",\"aux\":" << e.aux << "}\n";
+}
+
 void TraceBus::write_jsonl(std::ostream& os) const {
-  for (const TraceEvent& e : events()) {
-    os << "{\"t\":" << e.time << ",\"proc\":\"" << proc_str(e.proc)
-       << "\",\"kind\":\"" << to_string(e.kind) << "\",\"view\":\""
-       << view_str(e.view) << "\",\"peer\":\"" << proc_str(e.peer)
-       << "\",\"seq\":" << e.seq << ",\"value\":" << e.value
-       << ",\"aux\":" << e.aux << "}\n";
-  }
+  for (const TraceEvent& e : events()) write_jsonl_event(os, e);
 }
 
 void TraceBus::write_chrome_trace(std::ostream& os) const {

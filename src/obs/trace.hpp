@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -100,6 +101,17 @@ class TraceBus {
   /// Events in recording order, oldest first.
   std::vector<TraceEvent> events() const;
 
+  /// Incremental tail: events whose recording index (0-based, counted over
+  /// everything ever recorded) is >= `since` and still in the ring, capped
+  /// at `max_events`, paired with their index. `next_since` (if non-null)
+  /// receives the index to pass on the next call — one past the last
+  /// event returned, or `since` itself when nothing new arrived. Events
+  /// older than the ring are simply gone; the caller observes the gap as
+  /// a jump in the returned indices.
+  std::vector<std::pair<std::uint64_t, TraceEvent>> events_since(
+      std::uint64_t since, std::size_t max_events,
+      std::uint64_t* next_since = nullptr) const;
+
   std::uint64_t recorded() const { return total_; }
   std::uint64_t dropped() const {
     return total_ > ring_.capacity() ? total_ - ring_.capacity() : 0;
@@ -116,6 +128,12 @@ class TraceBus {
   std::vector<TraceEvent> ring_;  // capacity fixed up front
   std::uint64_t total_ = 0;       // events ever recorded
 };
+
+/// Writes `event` as one write_jsonl-format line; a non-null `index`
+/// prepends an "i":<recording index> field (read_jsonl ignores it), which
+/// is how the admin plane's /trace endpoint lets pollers resume.
+void write_jsonl_event(std::ostream& os, const TraceEvent& event,
+                       const std::uint64_t* index = nullptr);
 
 /// Parses a trace written by write_jsonl(). Unparseable lines are skipped
 /// (count reported via `skipped` when non-null): a truncated trail from a

@@ -147,6 +147,12 @@ class Node {
   /// Called once after bind(), at the host's start event.
   virtual void on_start() {}
 
+  /// One JSON object describing this node's protocol state, served by the
+  /// net runtime's admin plane as part of GET /status (net/admin.hpp).
+  /// Endpoint classes override this to report view id, mode, structure
+  /// and counters; the base reports nothing.
+  virtual std::string admin_status_json() const { return "{}"; }
+
   /// Called for every message delivered to this incarnation while alive.
   virtual void on_message(ProcessId from, const Bytes& payload) = 0;
 

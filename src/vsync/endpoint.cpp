@@ -574,4 +574,25 @@ void Endpoint::export_metrics(obs::MetricsRegistry& registry,
     detector_->export_metrics(registry, prefix + ".detector");
 }
 
+std::string Endpoint::admin_status_fields() const {
+  std::ostringstream os;
+  os << "\"process\":\"" << to_string(id()) << "\""
+     << ",\"view\":\"" << to_string(view_.id) << "\""
+     << ",\"view_epoch\":" << view_.id.epoch << ",\"members\":[";
+  for (std::size_t i = 0; i < view_.members.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"' << to_string(view_.members[i]) << '"';
+  }
+  os << "],\"blocked\":" << (blocked() ? "true" : "false")
+     << ",\"buffered\":" << buffer_.size()
+     << ",\"views_installed\":" << stats_.views_installed
+     << ",\"data_multicast\":" << stats_.data_multicast
+     << ",\"data_delivered\":" << stats_.data_delivered;
+  return os.str();
+}
+
+std::string Endpoint::admin_status_json() const {
+  return "{" + admin_status_fields() + "}";
+}
+
 }  // namespace evs::vsync

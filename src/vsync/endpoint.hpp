@@ -146,6 +146,13 @@ class Endpoint : public runtime::Node {
   // runtime::Node interface.
   void on_start() override;
   void on_message(ProcessId from, const Bytes& payload) override;
+  /// Admin-plane /status body: view id, membership and core counters.
+  std::string admin_status_json() const override;
+
+ protected:
+  /// The key/value fields of admin_status_json() without the surrounding
+  /// braces, so derived endpoints (EvsEndpoint) can splice in their own.
+  std::string admin_status_fields() const;
 
  private:
   struct PerSender {

@@ -1,0 +1,258 @@
+// Unit tests for the admin plane (net/admin.hpp): route handling and
+// refresh-at-scrape behaviour, /trace?since= paging semantics, and the
+// udp_transport-style hardening of the receive path — malformed request
+// lines, oversized requests, partial requests whose client vanishes, and
+// the connection cap — all driven through real loopback sockets against
+// the server's own epoll loop, single-threaded.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/admin.hpp"
+#include "net/event_loop.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace evs::net {
+namespace {
+
+constexpr std::uint32_t kLoopbackIp = (127u << 24) | 1u;
+
+/// A blocking client socket connected to the server's loopback port.
+int connect_client(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ::fcntl(fd, F_SETFL, O_NONBLOCK);
+  return fd;
+}
+
+/// Sends `request` raw, then pumps the loop until the server closes the
+/// connection, returning everything it sent back.
+std::string roundtrip(EventLoop& loop, std::uint16_t port,
+                      const std::string& request) {
+  const int fd = connect_client(port);
+  std::size_t sent = 0;
+  std::string response;
+  char buf[4096];
+  for (int i = 0; i < 400; ++i) {
+    loop.run_for(kMillisecond);
+    while (sent < request.size()) {
+      const ssize_t n = ::send(fd, request.data() + sent,
+                               request.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      response.append(buf, static_cast<std::size_t>(n));
+    } else if (n == 0 && sent == request.size()) {
+      break;  // server closed: response complete
+    }
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(AdminServer, StatusIsLiveAtEveryScrape) {
+  EventLoop loop;
+  AdminServer server(loop, kLoopbackIp, 0);
+  ASSERT_NE(server.bound_port(), 0);
+  int calls = 0;
+  server.set_status([&calls]() {
+    ++calls;
+    return "{\"scrape\":" + std::to_string(calls) + "}";
+  });
+
+  std::string r = roundtrip(loop, server.bound_port(),
+                            "GET /status HTTP/1.0\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 200 OK"), std::string::npos) << r;
+  EXPECT_NE(r.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(r.find("{\"scrape\":1}"), std::string::npos) << r;
+  r = roundtrip(loop, server.bound_port(), "GET /status HTTP/1.0\r\n\r\n");
+  EXPECT_NE(r.find("{\"scrape\":2}"), std::string::npos) << r;
+  EXPECT_EQ(server.stats().requests_ok, 2u);
+  EXPECT_EQ(server.stats().connections_accepted, 2u);
+}
+
+TEST(AdminServer, Serves503UntilProvidersAreWired) {
+  EventLoop loop;
+  AdminServer server(loop, kLoopbackIp, 0);
+  for (const char* path : {"/status", "/metrics", "/metrics.prom", "/trace"}) {
+    const std::string r = roundtrip(
+        loop, server.bound_port(),
+        std::string("GET ") + path + " HTTP/1.0\r\n\r\n");
+    EXPECT_NE(r.find("HTTP/1.0 503"), std::string::npos) << path << ": " << r;
+  }
+  EXPECT_EQ(server.stats().requests_ok, 0u);
+}
+
+TEST(AdminServer, MetricsRefreshHookRunsBeforeEveryScrape) {
+  EventLoop loop;
+  AdminServer server(loop, kLoopbackIp, 0);
+  obs::MetricsRegistry registry;
+  std::uint64_t live_value = 41;
+  server.set_metrics(&registry, [&]() {
+    registry.counter("transport.dropped_malformed").set(++live_value);
+  });
+
+  std::string r = roundtrip(loop, server.bound_port(),
+                            "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(r.find("\"transport.dropped_malformed\":42"), std::string::npos)
+      << r;
+  r = roundtrip(loop, server.bound_port(),
+                "GET /metrics.prom HTTP/1.0\r\n\r\n");
+  EXPECT_NE(r.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos)
+      << r;
+  EXPECT_NE(r.find("# TYPE transport_dropped_malformed counter"),
+            std::string::npos)
+      << r;
+  EXPECT_NE(r.find("transport_dropped_malformed 43"), std::string::npos) << r;
+}
+
+TEST(AdminServer, UnknownPathIs404AndCounted) {
+  EventLoop loop;
+  AdminServer server(loop, kLoopbackIp, 0);
+  const std::string r =
+      roundtrip(loop, server.bound_port(), "GET /nope HTTP/1.0\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 404 Not Found"), std::string::npos) << r;
+  EXPECT_EQ(server.stats().not_found, 1u);
+}
+
+TEST(AdminServer, MalformedRequestsAreDroppedAndCounted) {
+  EventLoop loop;
+  AdminServer server(loop, kLoopbackIp, 0);
+  server.set_status([]() { return std::string("{}"); });
+  const std::vector<std::string> bad = {
+      "POST /status HTTP/1.0\r\n\r\n",       // non-GET
+      "GET /status\r\n\r\n",                 // two tokens
+      "GET /status SMTP/1.0\r\n\r\n",        // not HTTP
+      "GET /status HTTP/1.0 extra\r\n\r\n",  // four tokens
+      "complete garbage\r\n\r\n",
+      "GET /trace?since=12x HTTP/1.0\r\n\r\n",  // bad query (trace wired)
+  };
+  obs::TraceBus bus;
+  server.set_trace(&bus);
+  for (const std::string& request : bad) {
+    const std::string r = roundtrip(loop, server.bound_port(), request);
+    EXPECT_NE(r.find("HTTP/1.0 400 Bad Request"), std::string::npos)
+        << request << " -> " << r;
+  }
+  EXPECT_EQ(server.stats().dropped_malformed, bad.size());
+  EXPECT_EQ(server.stats().requests_ok, 0u);
+
+  // The server still serves well-formed requests afterwards.
+  const std::string r =
+      roundtrip(loop, server.bound_port(), "GET /status HTTP/1.0\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 200 OK"), std::string::npos) << r;
+}
+
+TEST(AdminServer, OversizedRequestIsDroppedAndCounted) {
+  EventLoop loop;
+  AdminServer server(loop, kLoopbackIp, 0);
+  // Headers exceeding the buffer cap with no terminating blank line.
+  std::string request = "GET /status HTTP/1.0\r\nX-Filler: ";
+  request.append(AdminServer::kMaxRequestBytes, 'x');
+  const std::string r = roundtrip(loop, server.bound_port(), request);
+  EXPECT_NE(r.find("HTTP/1.0 400"), std::string::npos) << r.substr(0, 100);
+  EXPECT_NE(r.find("request too large"), std::string::npos);
+  EXPECT_EQ(server.stats().dropped_oversize, 1u);
+}
+
+TEST(AdminServer, PartialRequestWhoseClientVanishesIsCleanedUp) {
+  EventLoop loop;
+  AdminServer server(loop, kLoopbackIp, 0);
+  server.set_status([]() { return std::string("{}"); });
+  const int fd = connect_client(server.bound_port());
+  const std::string partial = "GET /sta";  // no terminator
+  ASSERT_EQ(::send(fd, partial.data(), partial.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(partial.size()));
+  for (int i = 0; i < 20; ++i) loop.run_for(kMillisecond);
+  EXPECT_EQ(server.stats().connections_accepted, 1u);
+  ::close(fd);  // client gives up mid-request
+  for (int i = 0; i < 20; ++i) loop.run_for(kMillisecond);
+  // No response was owed; the connection slot is free again.
+  const std::string r =
+      roundtrip(loop, server.bound_port(), "GET /status HTTP/1.0\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 200 OK"), std::string::npos) << r;
+  EXPECT_EQ(server.stats().requests_ok, 1u);
+}
+
+TEST(AdminServer, TraceSincePagingSemantics) {
+  EventLoop loop;
+  AdminServer server(loop, kLoopbackIp, 0);
+  obs::TraceBus bus;
+  bus.set_enabled(true);
+  server.set_trace(&bus);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    bus.record({static_cast<SimTime>(i),
+                ProcessId{SiteId{0}, 1},
+                obs::EventKind::MessageSent,
+                {},
+                ProcessId{SiteId{0}, 1},
+                i});
+
+  std::string r = roundtrip(loop, server.bound_port(),
+                            "GET /trace HTTP/1.0\r\n\r\n");
+  EXPECT_NE(r.find("X-Evs-Next-Since: 5"), std::string::npos) << r;
+  EXPECT_NE(r.find("{\"i\":0,"), std::string::npos);
+  EXPECT_NE(r.find("{\"i\":4,"), std::string::npos);
+
+  r = roundtrip(loop, server.bound_port(),
+                "GET /trace?since=3 HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(r.find("{\"i\":0,"), std::string::npos) << r;
+  EXPECT_NE(r.find("{\"i\":3,"), std::string::npos);
+  EXPECT_NE(r.find("{\"i\":4,"), std::string::npos);
+  EXPECT_NE(r.find("X-Evs-Next-Since: 5"), std::string::npos);
+
+  // Caught up: empty page, next-since echoes the request.
+  r = roundtrip(loop, server.bound_port(),
+                "GET /trace?since=5 HTTP/1.0\r\n\r\n");
+  EXPECT_NE(r.find("X-Evs-Next-Since: 5"), std::string::npos) << r;
+  EXPECT_NE(r.find("Content-Length: 0"), std::string::npos);
+}
+
+TEST(AdminServer, ConnectionCapShedsExtraClients) {
+  EventLoop loop;
+  AdminServer server(loop, kLoopbackIp, 0);
+  std::vector<int> clients;
+  for (std::size_t i = 0; i < AdminServer::kMaxConnections + 3; ++i) {
+    clients.push_back(connect_client(server.bound_port()));
+    // Step between connects so the accept queue never outgrows the listen
+    // backlog (which would stall blocking connects, not shed them).
+    loop.run_for(kMillisecond);
+    loop.run_for(kMillisecond);
+  }
+  EXPECT_EQ(server.stats().connections_accepted, AdminServer::kMaxConnections);
+  EXPECT_EQ(server.stats().dropped_overload, 3u);
+  for (const int fd : clients) ::close(fd);
+}
+
+TEST(AdminServer, ExportMetricsPublishesItsOwnCounters) {
+  EventLoop loop;
+  AdminServer server(loop, kLoopbackIp, 0);
+  roundtrip(loop, server.bound_port(), "GET /nope HTTP/1.0\r\n\r\n");
+  obs::MetricsRegistry registry;
+  server.export_metrics(registry);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"admin.connections_accepted\":1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"admin.not_found\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"admin.dropped_malformed\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evs::net

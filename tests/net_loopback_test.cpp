@@ -1,15 +1,21 @@
 // End-to-end loopback test: three real evs_node processes on 127.0.0.1.
 //
 //   usage: net_loopback_test <path-to-evs_node> <path-to-trace_check>
+//                            <path-to-evs_top>
 //
 // The scenario the ISSUE prescribes, driven over the nodes' stdout:
-//   1. spawn three evs_node processes from generated configs,
+//   1. spawn three evs_node processes from generated configs (each with
+//      a per-node admin endpoint),
 //   2. wait until every node installs the common 3-view,
 //   3. wait until every node delivers all 300 multicasts (100 per node),
+//   3b. scrape GET /status and /metrics from all three live admin
+//       endpoints — identical view ids, live transport counters, parsing
+//       Prometheus exposition — and run evs_top --once --expect-converged,
 //   4. SIGKILL one member; the survivors must install the 2-view,
 //   5. SIGTERM the survivors and check their clean exit,
 //   6. replay the union of the trace dumps through trace_check --merge:
-//      zero P2.1-P2.3 violations.
+//      zero P2.1-P2.3 violations, plus the cross-process span correlation
+//      (written into $EVS_LOOPBACK_ARTIFACTS when set, for CI upload).
 //
 // The victim's trace survives its SIGKILL because the nodes run with
 // --trace-flush-ms; we only kill after the workload is quiescent, so the
@@ -32,6 +38,7 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -138,6 +145,64 @@ bool contains_after(const std::string& text, std::size_t offset,
   return text.find(needle, offset) != std::string::npos;
 }
 
+/// Blocking loopback HTTP/1.0 GET with a receive timeout; returns the
+/// whole response (headers + body) or "" on any failure.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  timeval tv{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return {};
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0)
+    response.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return response;
+}
+
+/// Extracts the value of `"key":"..."` from a JSON body; "" if absent.
+std::string json_field(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = body.find(needle);
+  if (at == std::string::npos) return {};
+  const std::size_t start = at + needle.size();
+  const std::size_t end = body.find('"', start);
+  return end == std::string::npos ? std::string{}
+                                  : body.substr(start, end - start);
+}
+
+int run_and_wait(const std::vector<std::string>& args) {
+  const pid_t pid = ::fork();
+  if (pid < 0) die("fork() failed");
+  if (pid == 0) {
+    std::vector<char*> argv;
+    for (const std::string& a : args)
+      argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::perror("execv");
+    _exit(127);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
 void reap(Child& child) {
   int status = 0;
   if (::waitpid(child.pid, &status, 0) == child.pid) {
@@ -165,19 +230,23 @@ void dump_outputs(const std::vector<Child>& children) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: %s <evs_node> <trace_check>\n", argv[0]);
+  if (argc != 4) {
+    std::fprintf(stderr, "usage: %s <evs_node> <trace_check> <evs_top>\n",
+                 argv[0]);
     return 2;
   }
   const std::string evs_node = argv[1];
   const std::string trace_check = argv[2];
+  const std::string evs_top = argv[3];
 
   char dir_template[] = "/tmp/evs_loopback_XXXXXX";
   if (::mkdtemp(dir_template) == nullptr) die("mkdtemp() failed");
   const std::string dir = dir_template;
 
   std::uint16_t ports[kNodes];
+  std::uint16_t admin_ports[kNodes];
   for (auto& p : ports) p = free_port();
+  for (auto& p : admin_ports) p = free_port();
 
   std::vector<std::string> config_paths;
   for (int i = 0; i < kNodes; ++i) {
@@ -186,6 +255,8 @@ int main(int argc, char** argv) {
     os << "self " << i << "\n";
     for (int j = 0; j < kNodes; ++j)
       os << "peer " << j << " 127.0.0.1:" << ports[j] << "\n";
+    for (int j = 0; j < kNodes; ++j)
+      os << "admin " << j << " 127.0.0.1:" << admin_ports[j] << "\n";
     config_paths.push_back(path);
   }
 
@@ -216,6 +287,48 @@ int main(int argc, char** argv) {
     die("nodes never delivered all 300 multicasts");
   }
   std::fprintf(stderr, "ok: 300 deliveries at every node\n");
+
+  // 3b. The live admin plane: every node's /status must report the same
+  //     installed view, /metrics must expose live transport counters, and
+  //     the Prometheus exposition must be well-formed.
+  std::string common_view;
+  for (int i = 0; i < kNodes; ++i) {
+    const std::string status = http_get(admin_ports[i], "/status");
+    if (status.find("HTTP/1.0 200") != 0)
+      die("admin /status of node" + std::to_string(i) + " not served");
+    const std::string view = json_field(status, "view");
+    if (view.empty())
+      die("admin /status of node" + std::to_string(i) + " has no view id");
+    if (common_view.empty()) common_view = view;
+    if (view != common_view)
+      die("node" + std::to_string(i) + " /status view " + view +
+          " != node0's " + common_view);
+    if (json_field(status, "mode").empty())
+      die("node" + std::to_string(i) + " /status has no mode");
+
+    const std::string metrics = http_get(admin_ports[i], "/metrics");
+    if (metrics.find("HTTP/1.0 200") != 0)
+      die("admin /metrics of node" + std::to_string(i) + " not served");
+    if (!contains_after(metrics, 0, "\"transport.datagrams_sent\":"))
+      die("node" + std::to_string(i) + " /metrics lacks transport counters");
+    if (!contains_after(metrics, 0, "\"transport.dropped_malformed\":"))
+      die("node" + std::to_string(i) + " /metrics lacks drop counters");
+    if (!contains_after(metrics, 0, "\"node.app_delivered\":"))
+      die("node" + std::to_string(i) + " /metrics lacks endpoint counters");
+
+    const std::string prom = http_get(admin_ports[i], "/metrics.prom");
+    if (prom.find("HTTP/1.0 200") != 0 ||
+        !contains_after(prom, 0, "# TYPE transport_datagrams_sent counter"))
+      die("node" + std::to_string(i) + " /metrics.prom malformed");
+  }
+  std::fprintf(stderr, "ok: admin /status agrees on view %s at every node\n",
+               common_view.c_str());
+
+  // ... and the fleet tool agrees the fleet is converged.
+  if (run_and_wait({evs_top, "--config", config_paths[0], "--once",
+                    "--expect-converged", "--timeout-ms", "5000"}) != 0)
+    die("evs_top --once --expect-converged failed on a converged fleet");
+  std::fprintf(stderr, "ok: evs_top sees a converged fleet\n");
 
   // Let each node's periodic trace flush cover the now-quiescent run, so
   // the victim's dump includes every multicast it sent.
@@ -255,7 +368,9 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "ok: survivors exited cleanly\n");
 
-  // 5. The union of the three traces passes the view-synchrony checker.
+  // 5. The union of the three traces passes the view-synchrony checker,
+  //    and the cross-process span correlation runs over the same union.
+  //    EVS_LOOPBACK_ARTIFACTS=<dir> keeps the span JSON for CI upload.
   std::vector<std::string> traces;
   for (int i = 0; i < kNodes; ++i) {
     const std::string path =
@@ -263,22 +378,22 @@ int main(int argc, char** argv) {
     if (::access(path.c_str(), R_OK) != 0) die("missing trace: " + path);
     traces.push_back(path);
   }
-  const pid_t checker = ::fork();
-  if (checker < 0) die("fork() failed");
-  if (checker == 0) {
-    ::execl(trace_check.c_str(), trace_check.c_str(), "--merge",
-            traces[0].c_str(), traces[1].c_str(), traces[2].c_str(),
-            static_cast<char*>(nullptr));
-    std::perror("execl");
-    _exit(127);
-  }
-  int status = 0;
-  ::waitpid(checker, &status, 0);
-  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+  const char* artifacts_env = std::getenv("EVS_LOOPBACK_ARTIFACTS");
+  const std::string artifacts = artifacts_env != nullptr ? artifacts_env : dir;
+  const std::string spans_json = artifacts + "/loopback-spans.json";
+  const std::string spans_chrome = artifacts + "/loopback-flows.json";
+  if (run_and_wait({trace_check, "--merge", "--spans-json", spans_json,
+                    "--spans-chrome", spans_chrome, traces[0], traces[1],
+                    traces[2]}) != 0) {
     dump_outputs(children);
     die("trace_check found violations in the merged traces");
   }
-  std::fprintf(stderr, "ok: merged traces pass trace_check\n");
+  std::ifstream spans_in(spans_json);
+  std::string spans_body((std::istreambuf_iterator<char>(spans_in)),
+                         std::istreambuf_iterator<char>());
+  if (!contains_after(spans_body, 0, "\"view_changes\":[{"))
+    die("span correlation produced no view-change phase breakdown");
+  std::fprintf(stderr, "ok: merged traces pass trace_check + span analysis\n");
 
   // Success: clean up the scratch directory.
   for (const std::string& path : traces) {
@@ -286,6 +401,11 @@ int main(int argc, char** argv) {
     ::unlink((stem + ".trace.jsonl").c_str());
     ::unlink((stem + ".chrome.json").c_str());
     ::unlink((stem + ".metrics.json").c_str());
+    ::unlink((stem + ".metrics.prom").c_str());
+  }
+  if (artifacts == dir) {
+    ::unlink(spans_json.c_str());
+    ::unlink(spans_chrome.c_str());
   }
   for (const std::string& path : config_paths) ::unlink(path.c_str());
   ::rmdir(dir.c_str());

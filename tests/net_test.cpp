@@ -105,6 +105,55 @@ TEST(NetConfig, ParsesFullFile) {
   EXPECT_EQ(config.self_addr().port, 9001);
 }
 
+TEST(NetConfig, ParsesAdminLines) {
+  std::istringstream in(
+      "self 1\n"
+      "peer 0 127.0.0.1:9000\n"
+      "peer 1 127.0.0.1:9001\n"
+      "peer 2 127.0.0.1:9002\n"
+      "admin 1 127.0.0.1:9101\n"
+      "admin 2 127.0.0.1:9102\n");
+  NodeConfig config;
+  std::string error;
+  ASSERT_TRUE(net::parse_node_config(in, config, error)) << error;
+  ASSERT_EQ(config.admin.size(), 2u);
+  EXPECT_EQ(config.admin.at(SiteId{2}).port, 9102);
+  ASSERT_TRUE(config.self_admin_addr().has_value());
+  EXPECT_EQ(config.self_admin_addr()->port, 9101);
+}
+
+TEST(NetConfig, AdminLinesAreOptional) {
+  std::istringstream in(
+      "self 0\n"
+      "peer 0 127.0.0.1:9000\n"
+      "peer 1 127.0.0.1:9001\n");
+  NodeConfig config;
+  std::string error;
+  ASSERT_TRUE(net::parse_node_config(in, config, error)) << error;
+  EXPECT_TRUE(config.admin.empty());
+  EXPECT_FALSE(config.self_admin_addr().has_value());
+}
+
+TEST(NetConfig, RejectsBadAdminLines) {
+  const char* base =
+      "self 0\n"
+      "peer 0 127.0.0.1:9000\n"
+      "peer 1 127.0.0.1:9001\n";
+  const char* bad[] = {
+      "admin 0 127.0.0.1:9100\nadmin 0 127.0.0.1:9101\n",  // duplicate site
+      "admin 7 127.0.0.1:9100\n",                          // unknown site
+      "admin 0 127.0.0.1\n",                               // bad address
+      "admin 0\n",                                         // missing address
+  };
+  for (const char* lines : bad) {
+    std::istringstream in(std::string(base) + lines);
+    NodeConfig config;
+    std::string error;
+    EXPECT_FALSE(net::parse_node_config(in, config, error)) << lines;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
 TEST(NetConfig, RejectsMalformedFiles) {
   const char* bad[] = {
       "peer 0 127.0.0.1:9000\npeer 1 127.0.0.1:9001\n",  // no self

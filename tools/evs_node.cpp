@@ -12,6 +12,7 @@
 // Config file format: see src/net/config.hpp. Every status line on stdout
 // is machine-parseable (the loopback ctest greps them):
 //   up site=<n> port=<p> universe=<k>
+//   admin site=<n> port=<p>          (iff the config has `admin <self> ...`)
 //   view epoch=<e> coordinator=<site> size=<n> members=<s0,s1,...>
 //   deliver n=<total> from=<site>
 //   sent n=<total>
@@ -200,6 +201,11 @@ int main(int argc, char** argv) {
   core::EvsEndpoint endpoint(rt.endpoint_config());
   NodeDriver driver(rt, endpoint, options);
   rt.host(endpoint);
+  rt.set_metrics_exporter([&endpoint, &rt](obs::MetricsRegistry& registry) {
+    endpoint.export_metrics(registry, "node");
+    registry.counter("store.writes").set(rt.store().writes());
+    registry.counter("store.bytes").set(rt.store().bytes());
+  });
 
   g_loop = &rt.loop();
   struct sigaction sa {};
@@ -209,6 +215,9 @@ int main(int argc, char** argv) {
 
   std::printf("up site=%u port=%u universe=%zu\n", config.self.value,
               rt.transport().bound_port(), config.peers.size());
+  if (rt.admin() != nullptr)
+    std::printf("admin site=%u port=%u\n", config.self.value,
+                rt.admin()->bound_port());
 
   const std::string trace_name =
       options.trace_name.empty()
@@ -232,11 +241,7 @@ int main(int argc, char** argv) {
   }
   rt.run();
 
-  endpoint.export_metrics(rt.metrics(), "node");
-  rt.transport().export_metrics(rt.metrics());
-  rt.metrics().counter("store.writes").set(rt.store().writes());
-  rt.metrics().counter("store.bytes").set(rt.store().bytes());
-  rt.dump_trace(trace_name);
+  rt.dump_trace(trace_name);  // refreshes every metrics exporter first
 
   const gms::View& view = endpoint.view();
   std::printf("summary sent=%llu delivered=%llu views=%llu epoch=%llu "

@@ -1,0 +1,400 @@
+// evs_top: fleet-wide live status, one row per node.
+//
+// Polls the admin endpoint (net/admin.hpp) of every `admin` line in a
+// node config — any node's config names the whole fleet — and renders a
+// refreshing table:
+//
+//   site  addr             view     mode   ev  mbrs sv/set blk   deliv  msg/s  drops lag
+//   0     127.0.0.1:9100   2@p0.1   normal 1   3    1/1    -     120    50.0   0     0
+//
+// Columns: the node's installed view id, its enriched-view mode (normal =
+// degenerate structure, split = subview structure present), e-view seq,
+// member count, subview/sv-set counts, blocked flag, app messages
+// delivered, delivery rate since the previous poll, the sum of transport
+// drop counters (from /metrics), and peer lag (max fleet view epoch minus
+// this node's epoch). Unreachable nodes stay in the table as "down".
+//
+//   ./evs_top --config node0.conf                 # refresh every second
+//   ./evs_top --config node0.conf --once          # one table, no refresh
+//   ./evs_top --config node0.conf --once --expect-converged
+//
+// --expect-converged (for scripts and CI) exits nonzero unless every
+// configured admin endpoint responded and all nodes report the identical
+// view id and mode — the one-shot "is the fleet healthy" probe.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/config.hpp"
+
+using namespace evs;
+
+namespace {
+
+struct Options {
+  std::string config_path;
+  std::uint64_t interval_ms = 1000;
+  std::uint64_t timeout_ms = 500;
+  std::uint64_t count = 0;  // 0 = forever (or 1 with --once)
+  bool once = false;
+  bool expect_converged = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --config FILE [--interval-ms N] [--timeout-ms N]\n"
+               "          [--count N] [--once] [--expect-converged]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+std::uint64_t wall_ms() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1'000'000;
+}
+
+/// Minimal HTTP/1.0 GET with a wall-clock deadline covering connect, send
+/// and the whole read. Returns the response body on a 200, nullopt on any
+/// failure (connection refused, timeout, non-200).
+std::optional<std::string> http_get(const net::PeerAddr& addr,
+                                    const std::string& path,
+                                    std::uint64_t timeout_ms) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(addr.ip);
+  sa.sin_port = htons(addr.port);
+  const std::uint64_t deadline = wall_ms() + timeout_ms;
+  auto remaining = [&]() -> int {
+    const std::uint64_t t = wall_ms();
+    return t >= deadline ? 0 : static_cast<int>(deadline - t);
+  };
+  auto fail = [&]() {
+    ::close(fd);
+    return std::nullopt;
+  };
+
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    if (errno != EINPROGRESS) return fail();
+    pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, remaining()) != 1) return fail();
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0)
+      return fail();
+  }
+
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, remaining()) != 1) return fail();
+      continue;
+    }
+    return fail();
+  }
+
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      response.append(buf, static_cast<std::size_t>(n));
+      if (response.size() > (1u << 22)) return fail();  // runaway response
+      continue;
+    }
+    if (n == 0) break;  // EOF: HTTP/1.0 close delimits the body
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd pfd{fd, POLLIN, 0};
+      if (::poll(&pfd, 1, remaining()) != 1) return fail();
+      continue;
+    }
+    return fail();
+  }
+  ::close(fd);
+
+  if (response.compare(0, 9, "HTTP/1.0 ") != 0 &&
+      response.compare(0, 9, "HTTP/1.1 ") != 0)
+    return std::nullopt;
+  if (response.compare(9, 4, "200 ") != 0) return std::nullopt;
+  std::size_t body = response.find("\r\n\r\n");
+  if (body == std::string::npos) return std::nullopt;
+  return response.substr(body + 4);
+}
+
+// ----- flat JSON field extraction ------------------------------------
+// The admin plane's JSON is machine-generated with known key names; a
+// full parser would be dead weight. These helpers find `"key":` and read
+// the scalar after it.
+
+std::optional<std::uint64_t> json_u64(const std::string& body,
+                                      const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = body.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t i = at + needle.size();
+  if (i >= body.size() || body[i] < '0' || body[i] > '9') return std::nullopt;
+  std::uint64_t value = 0;
+  while (i < body.size() && body[i] >= '0' && body[i] <= '9')
+    value = value * 10 + static_cast<std::uint64_t>(body[i++] - '0');
+  return value;
+}
+
+std::optional<std::string> json_str(const std::string& body,
+                                    const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = body.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t start = at + needle.size();
+  const std::size_t end = body.find('"', start);
+  if (end == std::string::npos) return std::nullopt;
+  return body.substr(start, end - start);
+}
+
+std::optional<bool> json_bool(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = body.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  return body.compare(at + needle.size(), 4, "true") == 0;
+}
+
+/// Counts `{"id":` occurrences in body[from, to) — the number of subview
+/// or sv-set objects in that array section.
+std::size_t count_objects(const std::string& body, std::size_t from,
+                          std::size_t to) {
+  std::size_t n = 0;
+  std::size_t at = from;
+  while ((at = body.find("{\"id\":", at)) != std::string::npos && at < to) {
+    ++n;
+    at += 6;
+  }
+  return n;
+}
+
+struct NodeSample {
+  bool up = false;
+  std::string view;
+  std::uint64_t epoch = 0;
+  std::string mode;
+  std::uint64_t ev_seq = 0;
+  std::size_t members = 0;
+  std::size_t subviews = 0;
+  std::size_t svsets = 0;
+  bool blocked = false;
+  std::uint64_t app_delivered = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t drops = 0;
+};
+
+/// Sums every `transport.dropped_*` counter in a /metrics JSON body.
+std::uint64_t sum_drop_counters(const std::string& metrics) {
+  std::uint64_t total = 0;
+  std::size_t at = 0;
+  while ((at = metrics.find("\"transport.dropped_", at)) != std::string::npos) {
+    const std::size_t colon = metrics.find(':', at);
+    if (colon == std::string::npos) break;
+    std::size_t i = colon + 1;
+    std::uint64_t value = 0;
+    while (i < metrics.size() && metrics[i] >= '0' && metrics[i] <= '9')
+      value = value * 10 + static_cast<std::uint64_t>(metrics[i++] - '0');
+    total += value;
+    at = colon;
+  }
+  return total;
+}
+
+NodeSample poll_node(const net::PeerAddr& addr, std::uint64_t timeout_ms) {
+  NodeSample s;
+  const auto status = http_get(addr, "/status", timeout_ms);
+  if (!status) return s;
+  s.up = true;
+  s.view = json_str(*status, "view").value_or("?");
+  s.epoch = json_u64(*status, "view_epoch").value_or(0);
+  s.mode = json_str(*status, "mode").value_or("?");
+  s.ev_seq = json_u64(*status, "ev_seq").value_or(0);
+  s.blocked = json_bool(*status, "blocked").value_or(false);
+  s.app_delivered = json_u64(*status, "app_delivered").value_or(0);
+  s.data_delivered = json_u64(*status, "data_delivered").value_or(0);
+  // Member count: entries of the "members" array.
+  if (const std::size_t at = status->find("\"members\":[");
+      at != std::string::npos) {
+    const std::size_t end = status->find(']', at);
+    if (end != std::string::npos && end > at + 11)
+      s.members = 1 + static_cast<std::size_t>(
+                          std::count(status->begin() + at, status->begin() + end,
+                                     ','));
+  }
+  const std::size_t sv_at = status->find("\"subviews\":[");
+  const std::size_t set_at = status->find("\"svsets\":[");
+  if (sv_at != std::string::npos && set_at != std::string::npos) {
+    s.subviews = count_objects(*status, sv_at, set_at);
+    s.svsets = count_objects(*status, set_at, status->size());
+  }
+  if (const auto metrics = http_get(addr, "/metrics", timeout_ms))
+    s.drops = sum_drop_counters(*metrics);
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    bool ok = true;
+    if (arg == "--config") {
+      const char* v = value();
+      ok = v != nullptr;
+      if (ok) options.config_path = v;
+    } else if (arg == "--interval-ms") {
+      const char* v = value();
+      ok = v != nullptr && parse_u64(v, options.interval_ms);
+    } else if (arg == "--timeout-ms") {
+      const char* v = value();
+      ok = v != nullptr && parse_u64(v, options.timeout_ms);
+    } else if (arg == "--count") {
+      const char* v = value();
+      ok = v != nullptr && parse_u64(v, options.count);
+    } else if (arg == "--once") {
+      options.once = true;
+    } else if (arg == "--expect-converged") {
+      options.expect_converged = true;
+    } else {
+      ok = false;
+    }
+    if (!ok) return usage(argv[0]);
+  }
+  if (options.config_path.empty()) return usage(argv[0]);
+
+  net::NodeConfig config;
+  std::string error;
+  if (!net::load_node_config(options.config_path, config, error)) {
+    std::fprintf(stderr, "%s: %s\n", options.config_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  if (config.admin.empty()) {
+    std::fprintf(stderr, "%s: no admin lines — nothing to poll\n",
+                 options.config_path.c_str());
+    return 2;
+  }
+
+  const std::uint64_t rounds = options.once ? 1 : options.count;
+  const bool tty = ::isatty(STDOUT_FILENO) == 1;
+  std::map<SiteId, NodeSample> previous;
+  std::uint64_t previous_at_ms = 0;
+  bool converged = true;
+
+  for (std::uint64_t round = 0; rounds == 0 || round < rounds; ++round) {
+    if (round > 0) {
+      timespec ts{
+          static_cast<time_t>(options.interval_ms / 1000),
+          static_cast<long>((options.interval_ms % 1000) * 1'000'000)};
+      ::nanosleep(&ts, nullptr);
+    }
+    std::map<SiteId, NodeSample> samples;
+    const std::uint64_t now_ms = wall_ms();
+    for (const auto& [site, addr] : config.admin)
+      samples.emplace(site, poll_node(addr, options.timeout_ms));
+
+    std::uint64_t max_epoch = 0;
+    for (const auto& [site, s] : samples)
+      if (s.up && s.epoch > max_epoch) max_epoch = s.epoch;
+
+    if (tty && !options.once) std::printf("\x1b[2J\x1b[H");
+    std::printf("%-5s %-21s %-10s %-7s %-4s %-5s %-6s %-4s %8s %8s %6s %4s\n",
+                "site", "addr", "view", "mode", "ev", "mbrs", "sv/set", "blk",
+                "deliv", "msg/s", "drops", "lag");
+    for (const auto& [site, addr] : config.admin) {
+      const NodeSample& s = samples.at(site);
+      if (!s.up) {
+        std::printf("%-5u %-21s down\n", site.value, addr.str().c_str());
+        continue;
+      }
+      double rate = 0;
+      const auto prev = previous.find(site);
+      if (prev != previous.end() && prev->second.up &&
+          now_ms > previous_at_ms &&
+          s.data_delivered >= prev->second.data_delivered) {
+        rate = 1000.0 *
+               static_cast<double>(s.data_delivered -
+                                   prev->second.data_delivered) /
+               static_cast<double>(now_ms - previous_at_ms);
+      }
+      char svset[16];
+      std::snprintf(svset, sizeof(svset), "%zu/%zu", s.subviews, s.svsets);
+      std::printf(
+          "%-5u %-21s %-10s %-7s %-4llu %-5zu %-6s %-4s %8llu %8.1f %6llu "
+          "%4llu\n",
+          site.value, addr.str().c_str(), s.view.c_str(), s.mode.c_str(),
+          static_cast<unsigned long long>(s.ev_seq), s.members, svset,
+          s.blocked ? "yes" : "-",
+          static_cast<unsigned long long>(s.app_delivered), rate,
+          static_cast<unsigned long long>(s.drops),
+          static_cast<unsigned long long>(max_epoch - s.epoch));
+    }
+
+    // Convergence: every endpoint up, one view id, one mode, fleet-wide.
+    converged = true;
+    std::string view, mode;
+    for (const auto& [site, s] : samples) {
+      if (!s.up) {
+        converged = false;
+        if (options.expect_converged)
+          std::fprintf(stderr, "diverged: site %u down\n", site.value);
+        continue;
+      }
+      if (view.empty()) {
+        view = s.view;
+        mode = s.mode;
+      } else if (s.view != view || s.mode != mode) {
+        converged = false;
+        if (options.expect_converged)
+          std::fprintf(stderr,
+                       "diverged: site %u reports view=%s mode=%s, expected "
+                       "view=%s mode=%s\n",
+                       site.value, s.view.c_str(), s.mode.c_str(), view.c_str(),
+                       mode.c_str());
+      }
+    }
+
+    previous = std::move(samples);
+    previous_at_ms = now_ms;
+    std::fflush(stdout);
+  }
+
+  if (options.expect_converged && !converged) return 1;
+  return 0;
+}

@@ -1,6 +1,7 @@
 // trace_check: replay recorded traces through the RunChecker.
 //
-// Usage: trace_check [--merge] <run.trace.jsonl>...
+// Usage: trace_check [--merge] [--spans-json FILE] [--spans-chrome FILE]
+//                    <run.trace.jsonl>...
 //
 // Reads each JSONL trace produced by obs::TraceBus::write_jsonl (e.g. via
 // EVS_TRACE_OUT), validates it against the view-synchrony properties
@@ -14,12 +15,21 @@
 // a real-socket run (tools/evs_node) dumps one trace per process, and the
 // cross-process properties — P2.1 agreement, P2.3 integrity — only hold
 // on the union of the group's traces.
+//
+// --spans-json / --spans-chrome run the cross-process span correlation
+// (obs/spans.hpp) over the union of all input files: clock-offset
+// estimation, per-channel latency histograms and view-change phase
+// breakdowns as JSON, or Chrome-trace flow events for Perfetto. Either
+// flag also prints the per-round phase summary to stdout.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "obs/check.hpp"
+#include "obs/spans.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -36,39 +46,94 @@ bool check_and_report(const char* label,
   return violations.empty();
 }
 
+bool write_file(const std::string& path,
+                const std::function<void(std::ostream&)>& writer) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "%s: cannot write\n", path.c_str());
+    return false;
+  }
+  writer(os);
+  return os.good();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool merge = false;
-  int first_file = 1;
-  if (argc > 1 && std::strcmp(argv[1], "--merge") == 0) {
-    merge = true;
-    first_file = 2;
+  std::string spans_json_path;
+  std::string spans_chrome_path;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--merge") {
+      merge = true;
+    } else if (arg == "--spans-json" && i + 1 < argc) {
+      spans_json_path = argv[++i];
+    } else if (arg == "--spans-chrome" && i + 1 < argc) {
+      spans_chrome_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s [--merge] [--spans-json FILE] "
+                   "[--spans-chrome FILE] <run.trace.jsonl>...\n",
+                   argv[0]);
+      return 2;
+    } else {
+      files.push_back(argv[i]);
+    }
   }
-  if (first_file >= argc) {
-    std::fprintf(stderr, "usage: %s [--merge] <run.trace.jsonl>...\n", argv[0]);
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--merge] [--spans-json FILE] "
+                 "[--spans-chrome FILE] <run.trace.jsonl>...\n",
+                 argv[0]);
     return 2;
   }
+  const bool want_spans = !spans_json_path.empty() || !spans_chrome_path.empty();
+
   bool ok = true;
   std::vector<evs::obs::TraceEvent> merged;
   std::size_t merged_skipped = 0;
-  for (int i = first_file; i < argc; ++i) {
-    std::ifstream is(argv[i]);
+  for (const char* path : files) {
+    std::ifstream is(path);
     if (!is) {
-      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      std::fprintf(stderr, "%s: cannot open\n", path);
       ok = false;
       continue;
     }
     std::size_t skipped = 0;
     std::vector<evs::obs::TraceEvent> events =
         evs::obs::read_jsonl(is, &skipped);
-    if (merge) {
+    if (merge || want_spans) {
       merged.insert(merged.end(), events.begin(), events.end());
       merged_skipped += skipped;
-    } else if (!check_and_report(argv[i], events, skipped)) {
-      ok = false;
     }
+    if (!merge && !check_and_report(path, events, skipped)) ok = false;
   }
   if (merge && !check_and_report("<merged>", merged, merged_skipped)) ok = false;
+
+  if (want_spans) {
+    const evs::obs::SpanAnalysis analysis = evs::obs::correlate_spans(merged);
+    std::printf(
+        "spans: %zu sends, %llu matched deliveries, %llu unmatched sends, "
+        "%llu orphan deliveries, %zu channels, %zu view changes\n",
+        analysis.spans.size(),
+        static_cast<unsigned long long>(analysis.matched_deliveries),
+        static_cast<unsigned long long>(analysis.unmatched_sends),
+        static_cast<unsigned long long>(analysis.unmatched_deliveries),
+        analysis.channels.size(), analysis.view_changes.size());
+    for (const evs::obs::PhaseBreakdown& round : analysis.view_changes)
+      std::printf("  %s\n", round.str().c_str());
+    if (!spans_json_path.empty() &&
+        !write_file(spans_json_path, [&](std::ostream& os) {
+          evs::obs::write_spans_json(os, analysis);
+        }))
+      ok = false;
+    if (!spans_chrome_path.empty() &&
+        !write_file(spans_chrome_path, [&](std::ostream& os) {
+          evs::obs::write_chrome_flows(os, analysis);
+        }))
+      ok = false;
+  }
   return ok ? 0 : 1;
 }
