@@ -377,6 +377,49 @@ void EvsEndpoint::export_metrics(obs::MetricsRegistry& registry,
       .set(evs_stats_.merge_reqs_dropped);
 }
 
+bool EvsEndpoint::admin_command(const std::string& name, const std::string& arg,
+                                std::string& error) {
+  if (left()) {
+    error = "endpoint has left the group";
+    return false;
+  }
+  if (name == "join") {
+    reconfigure();
+    return true;
+  }
+  if (name == "leave") {
+    leave();
+    return true;
+  }
+  if (name == "merge-all") {
+    // A no-op on a degenerate structure is still an accepted command: the
+    // fleet is already in the state the operator asked for.
+    request_merge_all();
+    return true;
+  }
+  if (name == "merge") {
+    auto ids = parse_svset_ids(arg);
+    if (!ids) {
+      error = "bad sv-set id list '" + arg + "'";
+      return false;
+    }
+    if (ids->size() < 2) {
+      error = "need at least two sv-set ids to merge";
+      return false;
+    }
+    for (const SvSetId& id : *ids) {
+      if (eview_.structure.find_svset(id) == nullptr) {
+        error = "unknown sv-set " + to_string(id);
+        return false;
+      }
+    }
+    request_sv_set_merge(*std::move(ids));
+    return true;
+  }
+  error = "unknown command '" + name + "'";
+  return false;
+}
+
 std::string EvsEndpoint::admin_status_json() const {
   std::ostringstream os;
   os << "{" << admin_status_fields()

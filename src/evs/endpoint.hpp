@@ -108,6 +108,13 @@ class EvsEndpoint : public vsync::Endpoint, private vsync::Delegate {
   /// subview / sv-set structure and the EVS counters.
   std::string admin_status_json() const override;
 
+  /// Admin-plane control surface (runtime::Node): "join" nudges an
+  /// immediate reconfiguration, "leave" announces departure and halts,
+  /// "merge-all" collapses the structure, "merge" requests an SV-SetMerge
+  /// of the sv-set ids listed in `arg` (the textual ids /status reports).
+  bool admin_command(const std::string& name, const std::string& arg,
+                     std::string& error) override;
+
  private:
   struct MergeRequest {
     EvOp::Kind kind;

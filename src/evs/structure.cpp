@@ -387,4 +387,61 @@ EViewStructure merge_structures(
   return result;
 }
 
+namespace {
+
+/// Consumes digits at `at`, rejecting empty runs and u64 overflow.
+bool take_u64(const std::string& text, std::size_t& at, std::uint64_t& out) {
+  const std::size_t start = at;
+  out = 0;
+  while (at < text.size() && text[at] >= '0' && text[at] <= '9') {
+    const auto digit = static_cast<std::uint64_t>(text[at] - '0');
+    if (out > (UINT64_MAX - digit) / 10) return false;
+    out = out * 10 + digit;
+    ++at;
+  }
+  return at > start;
+}
+
+bool take_literal(const std::string& text, std::size_t& at,
+                  const std::string& literal) {
+  if (text.compare(at, literal.size(), literal) != 0) return false;
+  at += literal.size();
+  return true;
+}
+
+/// Parses one "ss(p<site>.<inc>,<counter>)" starting at `at`.
+std::optional<SvSetId> take_svset_id(const std::string& text, std::size_t& at) {
+  std::uint64_t site = 0, incarnation = 0, counter = 0;
+  if (!take_literal(text, at, "ss(p") || !take_u64(text, at, site) ||
+      !take_literal(text, at, ".") || !take_u64(text, at, incarnation) ||
+      !take_literal(text, at, ",") || !take_u64(text, at, counter) ||
+      !take_literal(text, at, ")"))
+    return std::nullopt;
+  if (site > UINT32_MAX || incarnation > UINT32_MAX) return std::nullopt;
+  return SvSetId{ProcessId{SiteId{static_cast<std::uint32_t>(site)},
+                           static_cast<std::uint32_t>(incarnation)},
+                 counter};
+}
+
+}  // namespace
+
+std::optional<SvSetId> parse_svset_id(const std::string& text) {
+  std::size_t at = 0;
+  const auto id = take_svset_id(text, at);
+  if (!id || at != text.size()) return std::nullopt;
+  return id;
+}
+
+std::optional<std::vector<SvSetId>> parse_svset_ids(const std::string& text) {
+  std::vector<SvSetId> ids;
+  std::size_t at = 0;
+  for (;;) {
+    const auto id = take_svset_id(text, at);
+    if (!id) return std::nullopt;
+    ids.push_back(*id);
+    if (at == text.size()) return ids;
+    if (!take_literal(text, at, ",")) return std::nullopt;
+  }
+}
+
 }  // namespace evs::core

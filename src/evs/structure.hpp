@@ -158,4 +158,14 @@ EViewStructure merge_structures(
     const std::map<ViewId, std::vector<std::pair<std::uint64_t, EvOp>>>&
         pending_ops);
 
+/// Parses the textual sv-set id form produced by to_string(SvSetId) —
+/// "ss(p<site>.<incarnation>,<counter>)" — the ids the admin plane's
+/// /status endpoint reports and its /merge command accepts back.
+std::optional<SvSetId> parse_svset_id(const std::string& text);
+
+/// Parses a comma-separated list of sv-set ids (the comma inside each
+/// "ss(...)" is unambiguous because ids are matched whole). Returns
+/// nullopt when any element is malformed or the list is empty.
+std::optional<std::vector<SvSetId>> parse_svset_ids(const std::string& text);
+
 }  // namespace evs::core

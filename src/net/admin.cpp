@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <optional>
 #include <sstream>
 #include <string_view>
 #include <vector>
@@ -19,31 +20,106 @@ const char* reason_phrase(int code) {
   switch (code) {
     case 200: return "OK";
     case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
     case 404: return "Not Found";
+    case 413: return "Payload Too Large";
     case 503: return "Service Unavailable";
     default: return "?";
   }
 }
 
+/// Parses a decimal u64; rejects empty, non-digit, and values that do not
+/// fit (a silent wrap would turn since=2^64 into since=0 and replay the
+/// whole trace).
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // would overflow
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
 /// Parses "since=<u64>" (the only query /trace accepts). Empty query is
-/// since=0; anything else is malformed.
+/// since=0; anything else — including values over 2^64-1 — is malformed.
 bool parse_since(const std::string& query, std::uint64_t& out) {
   out = 0;
   if (query.empty()) return true;
   constexpr std::string_view kKey = "since=";
   if (query.size() <= kKey.size() || query.compare(0, kKey.size(), kKey) != 0)
     return false;
-  std::uint64_t value = 0;
-  for (std::size_t i = kKey.size(); i < query.size(); ++i) {
-    const char c = query[i];
-    if (c < '0' || c > '9') return false;
-    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  return parse_u64(std::string_view(query).substr(kKey.size()), out);
+}
+
+char ascii_lower(char c) {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+/// Case-insensitive header lookup in a raw header block ("Name: value"
+/// lines); returns the value with surrounding blanks stripped.
+std::optional<std::string> find_header(const std::string& headers,
+                                       std::string_view name) {
+  std::size_t pos = 0;
+  while (pos < headers.size()) {
+    std::size_t eol = headers.find('\n', pos);
+    if (eol == std::string::npos) eol = headers.size();
+    const std::string_view line =
+        std::string_view(headers).substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon != name.size()) continue;
+    bool match = true;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      if (ascii_lower(line[i]) != ascii_lower(name[i])) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    std::size_t begin = colon + 1;
+    std::size_t end = line.size();
+    while (begin < end && (line[begin] == ' ' || line[begin] == '\t')) ++begin;
+    while (end > begin &&
+           (line[end - 1] == ' ' || line[end - 1] == '\t' ||
+            line[end - 1] == '\r'))
+      --end;
+    return std::string(line.substr(begin, end - begin));
   }
-  out = value;
-  return true;
+  return std::nullopt;
+}
+
+/// Pulls `key`'s value out of an application/x-www-form-urlencoded body
+/// ("a=1&b=2"); empty string when absent. No percent-decoding: tokens and
+/// our parameter names never need it.
+std::string body_param(const std::string& body, std::string_view key) {
+  std::size_t pos = 0;
+  while (pos <= body.size()) {
+    std::size_t amp = body.find('&', pos);
+    if (amp == std::string::npos) amp = body.size();
+    const std::string_view pair =
+        std::string_view(body).substr(pos, amp - pos);
+    pos = amp + 1;
+    if (pair.size() > key.size() && pair[key.size()] == '=' &&
+        pair.compare(0, key.size(), key) == 0)
+      return std::string(pair.substr(key.size() + 1));
+  }
+  return {};
 }
 
 }  // namespace
+
+std::uint64_t admin_command_code(const std::string& name) {
+  if (name == "join") return 1;
+  if (name == "leave") return 2;
+  if (name == "merge-all") return 3;
+  if (name == "merge") return 4;
+  return 0;
+}
 
 AdminServer::AdminServer(EventLoop& loop, std::uint32_t ip, std::uint16_t port)
     : loop_(loop) {
@@ -108,24 +184,39 @@ void AdminServer::on_readable(int fd) {
     if (n < 0) break;  // EAGAIN (or transient): wait for the next wake
     if (conn.responded) continue;  // draining a late-talking client
     conn.in.append(buf, static_cast<std::size_t>(n));
-    if (conn.in.size() > kMaxRequestBytes) {
-      ++stats_.dropped_oversize;
-      start_response(fd, conn, 400, "text/plain", "request too large\n", {});
-      return;
+    // A complete header section is the request line plus headers up to a
+    // blank line; a POST body (bounded separately) follows it.
+    std::size_t terminator = conn.in.find("\r\n\r\n");
+    std::size_t terminator_len = 4;
+    const std::size_t bare = conn.in.find("\n\n");
+    if (bare != std::string::npos &&
+        (terminator == std::string::npos || bare < terminator)) {
+      terminator = bare;
+      terminator_len = 2;
     }
-    // A full request is the request line plus headers up to a blank line.
-    if (conn.in.find("\r\n\r\n") != std::string::npos ||
-        conn.in.find("\n\n") != std::string::npos) {
-      handle_request(fd, conn);
-      return;
+    if (terminator == std::string::npos) {
+      if (conn.in.size() > kMaxRequestBytes) {
+        ++stats_.dropped_oversize;
+        start_response(fd, conn, 400, "text/plain", "request too large\n", {});
+        return;
+      }
+      continue;
     }
+    handle_request(fd, conn, terminator + terminator_len);
+    // A fully-flushed response closes and erases the connection, so conn
+    // may be gone here — re-look it up before touching it again.
+    const auto again = connections_.find(fd);
+    if (again == connections_.end() || again->second.responded) return;
+    // POST body still in flight: keep reading (the declared length has
+    // already been checked against kMaxBodyBytes, so growth is bounded).
   }
 }
 
-void AdminServer::handle_request(int fd, Connection& conn) {
+void AdminServer::handle_request(int fd, Connection& conn,
+                                 std::size_t body_at) {
   const std::size_t eol = conn.in.find_first_of("\r\n");
   const std::string line = conn.in.substr(0, eol);
-  // Strict request line: GET <target> HTTP/1.x — exactly three tokens.
+  // Strict request line: <METHOD> <target> HTTP/1.x — exactly three tokens.
   const std::size_t sp1 = line.find(' ');
   const std::size_t sp2 = sp1 == std::string::npos
                               ? std::string::npos
@@ -133,17 +224,45 @@ void AdminServer::handle_request(int fd, Connection& conn) {
   const bool shaped = sp1 != std::string::npos && sp2 != std::string::npos &&
                       sp2 > sp1 + 1 && sp2 + 1 < line.size() &&
                       line.find(' ', sp2 + 1) == std::string::npos;
-  if (!shaped || line.substr(0, sp1) != "GET" ||
+  const std::string method = shaped ? line.substr(0, sp1) : std::string{};
+  if (!shaped || (method != "GET" && method != "POST") ||
       line.compare(sp2 + 1, 5, "HTTP/") != 0) {
     ++stats_.dropped_malformed;
     start_response(fd, conn, 400, "text/plain", "bad request\n", {});
     return;
   }
   const std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t qmark = target.find('?');
+  const std::string path = target.substr(0, qmark);
+  const std::string query =
+      qmark == std::string::npos ? std::string{} : target.substr(qmark + 1);
+  const std::string headers = conn.in.substr(eol, body_at - eol);
+
+  if (method == "POST") {
+    std::uint64_t length = 0;
+    if (const auto cl = find_header(headers, "content-length")) {
+      if (!parse_u64(*cl, length)) {
+        ++stats_.dropped_malformed;
+        start_response(fd, conn, 400, "text/plain", "bad content-length\n",
+                       {});
+        return;
+      }
+    }
+    if (length > kMaxBodyBytes) {
+      ++stats_.dropped_oversize;
+      start_response(fd, conn, 413, "text/plain", "body too large\n", {});
+      return;
+    }
+    if (conn.in.size() < body_at + length) return;  // body still in flight
+    const std::string body = conn.in.substr(body_at, length);
+    handle_command(fd, conn, path, query, headers, body);
+    return;
+  }
+
   std::string extra_headers;
   std::string content_type = "text/plain";
   bool ok = true;
-  std::string body = route(target, extra_headers, content_type, ok);
+  std::string body = route(path, query, extra_headers, content_type, ok);
   if (!ok) {
     ++stats_.dropped_malformed;
     start_response(fd, conn, 400, "text/plain", std::move(body), {});
@@ -162,14 +281,10 @@ void AdminServer::handle_request(int fd, Connection& conn) {
   start_response(fd, conn, 200, content_type, std::move(body), extra_headers);
 }
 
-std::string AdminServer::route(const std::string& target,
+std::string AdminServer::route(const std::string& path,
+                               const std::string& query,
                                std::string& extra_headers,
                                std::string& content_type, bool& ok) {
-  const std::size_t qmark = target.find('?');
-  const std::string path = target.substr(0, qmark);
-  const std::string query =
-      qmark == std::string::npos ? std::string{} : target.substr(qmark + 1);
-
   if (path == "/status") {
     if (!status_) {
       content_type = "unavailable";
@@ -214,6 +329,74 @@ std::string AdminServer::route(const std::string& target,
   }
   content_type.clear();  // 404
   return {};
+}
+
+void AdminServer::handle_command(int fd, Connection& conn,
+                                 const std::string& path,
+                                 const std::string& query,
+                                 const std::string& headers,
+                                 const std::string& body) {
+  std::string name;
+  std::string arg;
+  if (path == "/join" || path == "/leave" || path == "/merge-all") {
+    if (!query.empty()) {
+      ++stats_.dropped_malformed;
+      start_response(fd, conn, 400, "text/plain", "unexpected query\n", {});
+      return;
+    }
+    name = path.substr(1);
+  } else if (path == "/merge") {
+    constexpr std::string_view kKey = "svset=";
+    if (query.size() <= kKey.size() ||
+        query.compare(0, kKey.size(), kKey) != 0) {
+      ++stats_.dropped_malformed;
+      start_response(fd, conn, 400, "text/plain",
+                     "merge requires ?svset=<id>,<id>,...\n", {});
+      return;
+    }
+    name = "merge";
+    arg = query.substr(kKey.size());
+  } else {
+    ++stats_.not_found;
+    start_response(fd, conn, 404, "text/plain", "not found\n", {});
+    return;
+  }
+
+  // Authenticate before touching the node: header token first, then the
+  // form body. An unconfigured token keeps the whole write side off.
+  std::string presented;
+  if (const auto header_token = find_header(headers, "x-admin-token"))
+    presented = *header_token;
+  if (presented.empty()) presented = body_param(body, "token");
+  if (token_.empty()) {
+    ++stats_.dropped_unauthorized;
+    start_response(fd, conn, 403, "text/plain",
+                   "admin write side disabled (no admin_token configured)\n",
+                   {});
+    return;
+  }
+  if (presented != token_) {
+    ++stats_.dropped_unauthorized;
+    start_response(fd, conn, 401, "text/plain", "unauthorized\n", {});
+    return;
+  }
+
+  if (!command_) {
+    start_response(fd, conn, 503, "text/plain", "no command handler\n", {});
+    return;
+  }
+  const AdminCommandResult result = command_(name, arg);
+  if (!result.ok) {
+    ++stats_.commands_rejected;
+    std::string message =
+        result.message.empty() ? "rejected" : result.message;
+    start_response(fd, conn, 400, "text/plain", std::move(message) + "\n", {});
+    return;
+  }
+  ++stats_.commands_ok;
+  ++stats_.requests_ok;
+  start_response(fd, conn, 200, "application/json",
+                 "{\"ok\": true, \"command\": \"" + name + "\"}\n", {});
 }
 
 void AdminServer::start_response(int fd, Connection& conn, int code,
@@ -272,7 +455,12 @@ void AdminServer::export_metrics(obs::MetricsRegistry& registry,
   registry.counter(prefix + ".dropped_malformed").set(stats_.dropped_malformed);
   registry.counter(prefix + ".dropped_oversize").set(stats_.dropped_oversize);
   registry.counter(prefix + ".dropped_overload").set(stats_.dropped_overload);
+  registry.counter(prefix + ".dropped_unauthorized")
+      .set(stats_.dropped_unauthorized);
   registry.counter(prefix + ".not_found").set(stats_.not_found);
+  registry.counter(prefix + ".commands_ok").set(stats_.commands_ok);
+  registry.counter(prefix + ".commands_rejected")
+      .set(stats_.commands_rejected);
 }
 
 }  // namespace evs::net

@@ -1,8 +1,10 @@
-// Live observability, part 1: the per-node admin plane.
+// The per-node admin plane: live observability plus the control surface.
 //
 // A tiny HTTP/1.0 text server on one TCP listen socket, driven entirely
 // by the node's existing epoll EventLoop — no threads, no allocation on
-// the wire path, nothing shared with the UDP transport. Three endpoints:
+// the wire path, nothing shared with the UDP transport.
+//
+// Read side (GET):
 //
 //   GET /status        — one JSON object: runtime identity (site,
 //                        incarnation, ports, uptime) plus whatever the
@@ -21,12 +23,31 @@
 //                        X-Evs-Next-Since response header is the N to
 //                        pass on the next poll.
 //
+// Write side (POST) — the paper's application-control calls, exposed so
+// an operator, orchestrator or tools/evs_ctl can drive Figure-1 mode
+// transitions (Reconfigure / Reconcile) from outside the process:
+//
+//   POST /join             — nudge an immediate reconfiguration round
+//   POST /leave            — announce departure and halt the node
+//   POST /merge-all        — collapse the whole e-view structure
+//   POST /merge?svset=<id>,<id>,... — SV-SetMerge of the listed sv-sets
+//
+// Commands are routed through a host-supplied callback (NetRuntime wires
+// it to runtime::Node::admin_command) and require a shared-secret token
+// (config line `admin_token <secret>`), carried either in an
+// X-Admin-Token request header or a `token=<secret>` form body. Without
+// a configured token the write side is disabled entirely (403). Requests
+// failing authentication are 401; both are counted in
+// admin.dropped_unauthorized. Accepted and rejected commands are counted
+// in admin.commands_*.
+//
 // The receive path is hardened the same way udp_transport's is: requests
-// are read into a bounded buffer, anything malformed (non-GET, bad
-// request line, oversized headers) is counted and the connection dropped
-// with a terse error, and a cap on simultaneous connections sheds load
-// instead of queueing it. Responses that overrun the socket buffer finish
-// under EPOLLOUT write interest — a slow scraper never blocks the loop.
+// are read into a bounded buffer, anything malformed (bad request line,
+// unknown method, unparseable Content-Length) is counted and the
+// connection dropped with a terse error, bodies over the cap are 413'd,
+// and a cap on simultaneous connections sheds load instead of queueing
+// it. Responses that overrun the socket buffer finish under EPOLLOUT
+// write interest — a slow scraper never blocks the loop.
 #pragma once
 
 #include <cstdint>
@@ -43,16 +64,32 @@ namespace evs::net {
 struct AdminStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t requests_ok = 0;
-  std::uint64_t dropped_malformed = 0;  // bad request line / non-GET
-  std::uint64_t dropped_oversize = 0;   // request exceeded the buffer cap
-  std::uint64_t dropped_overload = 0;   // connection cap reached
-  std::uint64_t not_found = 0;          // unknown path (404 served)
+  std::uint64_t dropped_malformed = 0;     // bad request line / method / query
+  std::uint64_t dropped_oversize = 0;      // request or body exceeded its cap
+  std::uint64_t dropped_overload = 0;      // connection cap reached
+  std::uint64_t dropped_unauthorized = 0;  // POST without a valid token
+  std::uint64_t not_found = 0;             // unknown path (404 served)
+  std::uint64_t commands_ok = 0;           // POST commands accepted
+  std::uint64_t commands_rejected = 0;     // authenticated but refused (400)
 };
+
+/// Outcome of one admin-plane control command, as reported by the host's
+/// command callback.
+struct AdminCommandResult {
+  bool ok = false;
+  std::string message;  // human-readable rejection reason when !ok
+};
+
+/// Stable numeric code for an admin command name, recorded in the `seq`
+/// field of EventKind::AdminCommand trace events (0 = unknown).
+std::uint64_t admin_command_code(const std::string& name);
 
 class AdminServer {
  public:
   /// Longest request (line + headers) accepted before 400 + drop.
   static constexpr std::size_t kMaxRequestBytes = 4096;
+  /// Longest POST body accepted before 413 + drop.
+  static constexpr std::size_t kMaxBodyBytes = 1024;
   /// Simultaneous connections served; extra accepts are shed immediately.
   static constexpr std::size_t kMaxConnections = 32;
   /// Trace events per /trace response; pollers page with ?since=.
@@ -82,6 +119,19 @@ class AdminServer {
   /// Wires /trace to `bus` (served 503 until set).
   void set_trace(const obs::TraceBus* bus) { trace_ = bus; }
 
+  /// Arms the write side: POST commands are only accepted when the
+  /// request carries `token`. An empty token keeps the plane read-only.
+  void set_token(std::string token) { token_ = std::move(token); }
+
+  /// Routes authenticated POST commands; receives the command name
+  /// ("join", "leave", "merge-all", "merge") and its argument text (the
+  /// svset= query value for /merge, empty otherwise). Served 503 until
+  /// set.
+  using CommandFn =
+      std::function<AdminCommandResult(const std::string& name,
+                                       const std::string& arg)>;
+  void set_command(CommandFn fn) { command_ = std::move(fn); }
+
   const AdminStats& stats() const { return stats_; }
   void export_metrics(obs::MetricsRegistry& registry,
                       const std::string& prefix = "admin") const;
@@ -97,10 +147,17 @@ class AdminServer {
   void on_accept();
   void on_readable(int fd);
   void on_writable(int fd);
-  /// Parses conn.in and fills conn.out; counts drops.
-  void handle_request(int fd, Connection& conn);
-  std::string route(const std::string& path, std::string& extra_headers,
-                    std::string& content_type, bool& ok);
+  /// Parses conn.in; fills conn.out once the request (line + headers +
+  /// any POST body) is complete, or leaves conn.responded false when more
+  /// body bytes are still owed. Counts drops.
+  void handle_request(int fd, Connection& conn, std::size_t body_at);
+  std::string route(const std::string& path, const std::string& query,
+                    std::string& extra_headers, std::string& content_type,
+                    bool& ok);
+  /// Authenticates and dispatches one POST command; sends the response.
+  void handle_command(int fd, Connection& conn, const std::string& path,
+                      const std::string& query, const std::string& headers,
+                      const std::string& body);
   void start_response(int fd, Connection& conn, int code,
                       const std::string& content_type, std::string body,
                       const std::string& extra_headers);
@@ -117,6 +174,8 @@ class AdminServer {
   const obs::MetricsRegistry* registry_ = nullptr;
   std::function<void()> refresh_;
   const obs::TraceBus* trace_ = nullptr;
+  std::string token_;
+  CommandFn command_;
 
   AdminStats stats_;
 };

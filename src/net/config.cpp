@@ -101,6 +101,11 @@ bool parse_node_config(std::istream& in, NodeConfig& out, std::string& error) {
       if (!addr) return fail("bad address '" + addr_text + "'");
       if (!out.admin.emplace(SiteId{site}, *addr).second)
         return fail("duplicate admin " + std::to_string(site));
+    } else if (keyword == "admin_token") {
+      std::string token;
+      if (!(fields >> token)) return fail("expected: admin_token <secret>");
+      if (!out.admin_token.empty()) return fail("duplicate admin_token");
+      out.admin_token = token;
     } else {
       return fail("unknown keyword '" + keyword + "'");
     }

@@ -12,14 +12,19 @@
 //   peer 2 10.0.0.7:9000
 //   admin 0 127.0.0.1:9100   # optional per-node admin (HTTP) endpoint
 //   admin 1 127.0.0.1:9101
+//   admin_token hunter2      # shared secret enabling the admin write side
 //
 // The peer line for `self` doubles as the bind address; an admin line for
 // `self` makes the node serve the live-observability HTTP plane there
 // (see net/admin.hpp), and admin lines for other sites are how fleet
-// tools (tools/evs_top) find every node's endpoint from one file.
-// Parsing is strict: unknown keywords, duplicate sites, admin lines for
-// unknown sites, or malformed addresses fail with a line-numbered error
-// rather than half-loading a cluster map.
+// tools (tools/evs_top, tools/evs_ctl) find every node's endpoint from
+// one file. An `admin_token` line (one word, no spaces) arms the admin
+// plane's POST side: control commands (/join, /leave, /merge-all,
+// /merge) are only accepted when they carry the same token, and a config
+// without the line leaves the plane read-only. Parsing is strict:
+// unknown keywords, duplicate sites, admin lines for unknown sites, or
+// malformed addresses fail with a line-numbered error rather than
+// half-loading a cluster map.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +58,8 @@ struct NodeConfig {
   std::map<SiteId, PeerAddr> peers;
   /// Site -> admin-plane (HTTP) address; optional, any subset of `peers`.
   std::map<SiteId, PeerAddr> admin;
+  /// Shared secret for admin-plane POST commands; empty = write side off.
+  std::string admin_token;
 
   /// Sorted universe (the key set of `peers`).
   std::vector<SiteId> universe() const;

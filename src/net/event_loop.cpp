@@ -5,6 +5,7 @@
 #include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <utility>
 
@@ -45,12 +46,36 @@ runtime::TimerId EventLoop::set_timer(SimDuration delay,
                                       std::function<void()> fn) {
   EVS_CHECK(fn != nullptr);
   const runtime::TimerId id = next_timer_id_++;
-  timer_queue_.push(TimerEntry{now() + delay, next_timer_seq_++, id});
+  timer_heap_.push_back(TimerEntry{now() + delay, next_timer_seq_++, id});
+  std::push_heap(timer_heap_.begin(), timer_heap_.end(), std::greater<>{});
   timer_callbacks_.emplace(id, std::move(fn));
   return id;
 }
 
-void EventLoop::cancel_timer(runtime::TimerId id) { timer_callbacks_.erase(id); }
+void EventLoop::cancel_timer(runtime::TimerId id) {
+  if (timer_callbacks_.erase(id) == 0) return;  // already fired or cancelled
+  // The heap entry stays behind (removing from the middle of a heap is
+  // O(n)); it is skipped lazily. Compact once cancelled entries dominate,
+  // so set/cancel churn (the detector's heartbeat pattern) cannot grow
+  // the heap without bound.
+  ++cancelled_in_heap_;
+  if (cancelled_in_heap_ >= 64 && cancelled_in_heap_ > timer_heap_.size() / 2) {
+    std::erase_if(timer_heap_, [this](const TimerEntry& entry) {
+      return !timer_callbacks_.contains(entry.id);
+    });
+    std::make_heap(timer_heap_.begin(), timer_heap_.end(), std::greater<>{});
+    cancelled_in_heap_ = 0;
+  }
+}
+
+void EventLoop::pop_cancelled_top() {
+  while (!timer_heap_.empty() &&
+         !timer_callbacks_.contains(timer_heap_.front().id)) {
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), std::greater<>{});
+    timer_heap_.pop_back();
+    --cancelled_in_heap_;
+  }
+}
 
 void EventLoop::add_fd(int fd, std::function<void()> on_readable) {
   EVS_CHECK(on_readable != nullptr);
@@ -59,7 +84,7 @@ void EventLoop::add_fd(int fd, std::function<void()> on_readable) {
   ev.data.fd = fd;
   EVS_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
                 "epoll_ctl ADD failed");
-  fd_handlers_.emplace(fd, FdHandlers{std::move(on_readable), {}});
+  fd_handlers_.emplace(fd, FdHandlers{std::move(on_readable), {}, next_fd_gen_++});
 }
 
 void EventLoop::set_writable(int fd, std::function<void()> on_writable) {
@@ -114,11 +139,15 @@ void EventLoop::drain_posted() {
 std::size_t EventLoop::fire_due_timers() {
   std::size_t fired = 0;
   const SimTime t = now();
-  while (!timer_queue_.empty() && timer_queue_.top().deadline <= t) {
-    const TimerEntry entry = timer_queue_.top();
-    timer_queue_.pop();
+  while (!timer_heap_.empty() && timer_heap_.front().deadline <= t) {
+    const TimerEntry entry = timer_heap_.front();
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), std::greater<>{});
+    timer_heap_.pop_back();
     const auto it = timer_callbacks_.find(entry.id);
-    if (it == timer_callbacks_.end()) continue;  // cancelled
+    if (it == timer_callbacks_.end()) {  // cancelled
+      --cancelled_in_heap_;
+      continue;
+    }
     auto fn = std::move(it->second);
     timer_callbacks_.erase(it);
     fn();
@@ -128,13 +157,17 @@ std::size_t EventLoop::fire_due_timers() {
 }
 
 std::size_t EventLoop::step(SimDuration max_wait) {
-  // Wait no longer than the nearest timer deadline (rounded up so we do
-  // not spin), the caller's budget, or a 500 ms heartbeat that re-checks
-  // the stop flag even when nothing is scheduled.
+  // Wait no longer than the nearest *live* timer deadline (rounded up so
+  // we do not spin), the caller's budget, or a 500 ms heartbeat that
+  // re-checks the stop flag even when nothing is scheduled. Cancelled
+  // entries are purged off the top first, so a cancel-heavy workload
+  // (heartbeat set/cancel churn) can neither wake the loop early nor
+  // grow the heap without bound.
+  pop_cancelled_top();
   SimDuration wait = std::min<SimDuration>(max_wait, 500 * kMillisecond);
-  if (!timer_queue_.empty()) {
+  if (!timer_heap_.empty()) {
     const SimTime t = now();
-    const SimTime deadline = timer_queue_.top().deadline;
+    const SimTime deadline = timer_heap_.front().deadline;
     wait = deadline <= t ? 0 : std::min<SimDuration>(wait, deadline - t);
   }
   const int timeout_ms =
@@ -144,6 +177,16 @@ std::size_t EventLoop::step(SimDuration max_wait) {
   const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
   std::size_t fired = 0;
   if (n > 0) {
+    // Snapshot each ready fd's registration generation before running any
+    // handler. A handler may close an fd whose event is still queued in
+    // this batch, and a later handler may accept a new connection that
+    // reuses the fd number; the generation mismatch then tells us the
+    // queued event belongs to the dead registration, not the new one.
+    std::uint64_t gens[64];
+    for (int i = 0; i < n; ++i) {
+      const auto it = fd_handlers_.find(events[i].data.fd);
+      gens[i] = it == fd_handlers_.end() ? 0 : it->second.gen;
+    }
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == wake_fd_) {
@@ -152,13 +195,14 @@ std::size_t EventLoop::step(SimDuration max_wait) {
       }
       auto it = fd_handlers_.find(fd);
       if (it == fd_handlers_.end()) continue;  // removed by an earlier handler
+      if (it->second.gen != gens[i]) continue;  // fd number reused mid-batch
       if ((events[i].events & EPOLLOUT) != 0 && it->second.on_writable) {
         // Copy: the handler may clear write interest or remove the fd.
         const auto on_writable = it->second.on_writable;
         on_writable();
         ++fired;
         it = fd_handlers_.find(fd);
-        if (it == fd_handlers_.end()) continue;
+        if (it == fd_handlers_.end() || it->second.gen != gens[i]) continue;
       }
       if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
         // Copy: the handler may remove_fd(fd) from inside the call.
@@ -189,6 +233,9 @@ std::size_t EventLoop::run_for(SimDuration d) {
     if (t >= deadline) break;
     fired += step(deadline - t);
   }
+  // Same final drain as run(): a cross-thread post() landing just before
+  // the deadline must not be silently dropped.
+  drain_posted();
   return fired;
 }
 

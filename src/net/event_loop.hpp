@@ -18,7 +18,6 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -71,6 +70,10 @@ class EventLoop final : public runtime::Clock, public runtime::TimerService {
   void post(std::function<void()> fn);
 
   std::size_t pending_timers() const { return timer_callbacks_.size(); }
+  /// Heap entries still queued, live + cancelled-but-unpurged; the lazy
+  /// cancellation purge keeps this within a constant factor of
+  /// pending_timers() even under set/cancel churn (asserted by tests).
+  std::size_t queued_timers() const { return timer_heap_.size(); }
   bool stopped() const { return stop_.load(std::memory_order_relaxed); }
 
  private:
@@ -88,6 +91,9 @@ class EventLoop final : public runtime::Clock, public runtime::TimerService {
   /// whatever is due. Returns callbacks fired.
   std::size_t step(SimDuration max_wait);
   std::size_t fire_due_timers();
+  /// Drops cancelled entries sitting on top of the timer heap, so wait
+  /// deadlines are never computed from timers that will not fire.
+  void pop_cancelled_top();
   void drain_wakeup();
   void drain_posted();
 
@@ -97,15 +103,24 @@ class EventLoop final : public runtime::Clock, public runtime::TimerService {
 
   std::uint64_t next_timer_seq_ = 0;
   runtime::TimerId next_timer_id_ = 1;
-  std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<>>
-      timer_queue_;
+  // Min-heap (std::push_heap/pop_heap with greater) rather than a
+  // std::priority_queue: cancellation purges need access to the
+  // underlying storage to compact cancelled entries in place.
+  std::vector<TimerEntry> timer_heap_;
+  std::size_t cancelled_in_heap_ = 0;
   std::unordered_map<runtime::TimerId, std::function<void()>> timer_callbacks_;
 
   struct FdHandlers {
     std::function<void()> on_readable;
     std::function<void()> on_writable;  // empty: no write interest
+    /// Registration generation: stamped by add_fd, compared against a
+    /// snapshot taken right after epoll_wait so a stale event for a
+    /// closed fd can never dispatch to a new connection that reused the
+    /// fd number within the same batch.
+    std::uint64_t gen = 0;
   };
   std::unordered_map<int, FdHandlers> fd_handlers_;
+  std::uint64_t next_fd_gen_ = 1;
 
   std::atomic<bool> stop_{false};
   std::mutex posted_mutex_;

@@ -29,6 +29,26 @@ NetRuntime::NetRuntime(NodeConfig config)
          << (node_ != nullptr ? node_->admin_status_json() : "null") << "}";
       return os.str();
     });
+    admin_->set_token(config_.admin_token);
+    admin_->set_command([this](const std::string& name,
+                               const std::string& arg) {
+      AdminCommandResult result;
+      if (node_ == nullptr || !node_->alive()) {
+        result.message = "no live node hosted";
+      } else {
+        result.ok = node_->admin_command(name, arg, result.message);
+      }
+      if (trace_bus_.enabled()) {
+        obs::TraceEvent event;
+        event.time = loop_.now();
+        event.proc = self();
+        event.kind = obs::EventKind::AdminCommand;
+        event.seq = admin_command_code(name);
+        event.value = result.ok ? 1 : 0;
+        trace_bus_.record(event);
+      }
+      return result;
+    });
   }
 }
 

@@ -51,7 +51,10 @@ class NetRuntime {
   /// The admin plane, created iff the config has an `admin` line for
   /// self; nullptr otherwise. Already wired to /status (runtime identity
   /// + hosted node's admin_status_json()), /metrics (refreshed at scrape
-  /// time) and /trace.
+  /// time), /trace, and — when the config carries an `admin_token` — the
+  /// POST control side (/join, /leave, /merge-all, /merge), routed to the
+  /// hosted node's admin_command() and recorded as
+  /// EventKind::AdminCommand trace events.
   AdminServer* admin() { return admin_.get(); }
 
   /// Extra per-node metrics exported on every /metrics scrape, after the

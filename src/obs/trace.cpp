@@ -12,7 +12,7 @@ namespace evs::obs {
 
 namespace {
 
-constexpr std::array<const char*, 16> kKindNames = {
+constexpr std::array<const char*, 17> kKindNames = {
     "?",
     "HeartbeatSuspect",
     "HeartbeatUnsuspect",
@@ -29,6 +29,7 @@ constexpr std::array<const char*, 16> kKindNames = {
     "ModeTransition",
     "ReconcilePhase",
     "StateTransferChunk",
+    "AdminCommand",
 };
 
 // Compact textual ids that survive the JSONL round trip.

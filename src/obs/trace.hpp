@@ -47,6 +47,8 @@ enum class EventKind : std::uint8_t {
   ModeTransition,         // Figure-1 edge (seq = Transition, value/aux = to/from)
   ReconcilePhase,         // settle lifecycle (seq = ReconcilePhase value)
   StateTransferChunk,     // split-transfer chunk received (seq = index)
+  AdminCommand,           // admin-plane control command (seq = AdminCommandCode,
+                          // value = 1 accepted / 0 rejected)
 };
 
 const char* to_string(EventKind kind);

@@ -38,6 +38,12 @@ void Node::bind(Env env, ProcessId id) {
   alive_ = true;
 }
 
+bool Node::admin_command(const std::string& name, const std::string&,
+                         std::string& error) {
+  error = "node does not support command '" + name + "'";
+  return false;
+}
+
 SimTime Node::now() const {
   EVS_CHECK(env_.clock != nullptr);
   return env_.clock->now();

@@ -153,6 +153,17 @@ class Node {
   /// and counters; the base reports nothing.
   virtual std::string admin_status_json() const { return "{}"; }
 
+  /// Handles an admin-plane control command ("join", "leave", "merge-all",
+  /// "merge"; `arg` carries the command's argument text, e.g. the sv-set
+  /// id list of a "merge"). Runs on the runtime's event thread like any
+  /// other callback. Returns true when the command was accepted; on
+  /// rejection returns false and sets `error`. The base class supports no
+  /// commands — endpoint classes override this to expose their
+  /// application-control surface (the paper's SVSetMerge / SubviewMerge /
+  /// leave calls) to the host.
+  virtual bool admin_command(const std::string& name, const std::string& arg,
+                             std::string& error);
+
   /// Called for every message delivered to this incarnation while alive.
   virtual void on_message(ProcessId from, const Bytes& payload) = 0;
 

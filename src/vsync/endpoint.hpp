@@ -130,6 +130,15 @@ class Endpoint : public runtime::Node {
   /// Announces departure and crashes this incarnation.
   void leave();
 
+  /// Application-driven reconfiguration nudge: runs the same reachability
+  /// check the periodic timer runs, immediately. Used by the admin plane's
+  /// /join command to pull reachable peers into a view on demand instead
+  /// of waiting out the next check tick.
+  void reconfigure() { maybe_coordinate(); }
+
+  /// True once leave() announced this incarnation's departure.
+  bool left() const { return left_; }
+
   const gms::View& view() const { return view_; }
   bool blocked() const { return acked_round_.has_value(); }
   /// Messages currently buffered for a potential flush.

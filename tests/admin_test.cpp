@@ -1,9 +1,10 @@
 // Unit tests for the admin plane (net/admin.hpp): route handling and
-// refresh-at-scrape behaviour, /trace?since= paging semantics, and the
-// udp_transport-style hardening of the receive path — malformed request
-// lines, oversized requests, partial requests whose client vanishes, and
-// the connection cap — all driven through real loopback sockets against
-// the server's own epoll loop, single-threaded.
+// refresh-at-scrape behaviour, /trace?since= paging semantics, the POST
+// control side (token auth, bounded bodies, command routing and its
+// counters), and the udp_transport-style hardening of the receive path —
+// malformed request lines, oversized requests, partial requests whose
+// client vanishes, and the connection cap — all driven through real
+// loopback sockets against the server's own epoll loop, single-threaded.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -137,7 +138,7 @@ TEST(AdminServer, MalformedRequestsAreDroppedAndCounted) {
   AdminServer server(loop, kLoopbackIp, 0);
   server.set_status([]() { return std::string("{}"); });
   const std::vector<std::string> bad = {
-      "POST /status HTTP/1.0\r\n\r\n",       // non-GET
+      "PUT /status HTTP/1.0\r\n\r\n",        // unsupported method
       "GET /status\r\n\r\n",                 // two tokens
       "GET /status SMTP/1.0\r\n\r\n",        // not HTTP
       "GET /status HTTP/1.0 extra\r\n\r\n",  // four tokens
@@ -225,6 +226,197 @@ TEST(AdminServer, TraceSincePagingSemantics) {
   EXPECT_NE(r.find("Content-Length: 0"), std::string::npos);
 }
 
+TEST(AdminServer, TraceSinceOverflowIsRejectedNotWrapped) {
+  // since=2^64 used to wrap to 0 and replay the entire trace; overflow
+  // must be a 400 like any other malformed query.
+  EventLoop loop;
+  AdminServer server(loop, kLoopbackIp, 0);
+  obs::TraceBus bus;
+  bus.set_enabled(true);
+  server.set_trace(&bus);
+  bus.record({0, ProcessId{SiteId{0}, 1}, obs::EventKind::MessageSent});
+
+  std::string r =
+      roundtrip(loop, server.bound_port(),
+                "GET /trace?since=18446744073709551616 HTTP/1.0\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 400"), std::string::npos) << r;
+  EXPECT_EQ(r.find("{\"i\":0,"), std::string::npos) << "trace replayed: " << r;
+  r = roundtrip(loop, server.bound_port(),
+                "GET /trace?since=99999999999999999999999 HTTP/1.0\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 400"), std::string::npos) << r;
+  EXPECT_EQ(server.stats().dropped_malformed, 2u);
+
+  // The largest representable value still parses.
+  r = roundtrip(loop, server.bound_port(),
+                "GET /trace?since=18446744073709551615 HTTP/1.0\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 200"), std::string::npos) << r;
+}
+
+TEST(AdminServer, PostWithoutConfiguredTokenIs403) {
+  EventLoop loop;
+  AdminServer server(loop, kLoopbackIp, 0);
+  server.set_command([](const std::string&, const std::string&) {
+    return AdminCommandResult{true, {}};
+  });
+  const std::string r =
+      roundtrip(loop, server.bound_port(),
+                "POST /merge-all HTTP/1.0\r\nX-Admin-Token: guess\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 403"), std::string::npos) << r;
+  EXPECT_EQ(server.stats().dropped_unauthorized, 1u);
+  EXPECT_EQ(server.stats().commands_ok, 0u);
+}
+
+TEST(AdminServer, PostWithWrongOrMissingTokenIs401) {
+  EventLoop loop;
+  AdminServer server(loop, kLoopbackIp, 0);
+  server.set_token("hunter2");
+  server.set_command([](const std::string&, const std::string&) {
+    return AdminCommandResult{true, {}};
+  });
+  std::string r = roundtrip(loop, server.bound_port(),
+                            "POST /join HTTP/1.0\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 401"), std::string::npos) << r;
+  r = roundtrip(loop, server.bound_port(),
+                "POST /join HTTP/1.0\r\nX-Admin-Token: wrong\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 401"), std::string::npos) << r;
+  EXPECT_EQ(server.stats().dropped_unauthorized, 2u);
+  EXPECT_EQ(server.stats().commands_ok, 0u);
+}
+
+TEST(AdminServer, PostCommandsRouteToTheHandler) {
+  EventLoop loop;
+  AdminServer server(loop, kLoopbackIp, 0);
+  server.set_token("hunter2");
+  std::vector<std::pair<std::string, std::string>> seen;
+  server.set_command([&](const std::string& name, const std::string& arg) {
+    seen.emplace_back(name, arg);
+    return AdminCommandResult{true, {}};
+  });
+
+  std::string r =
+      roundtrip(loop, server.bound_port(),
+                "POST /merge-all HTTP/1.0\r\nX-Admin-Token: hunter2\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 200"), std::string::npos) << r;
+  EXPECT_NE(r.find("\"command\": \"merge-all\""), std::string::npos) << r;
+
+  // The token may ride in the form body instead of a header.
+  const std::string body = "token=hunter2";
+  r = roundtrip(loop, server.bound_port(),
+                "POST /merge?svset=ss(p0.1,1),ss(p1.1,0) HTTP/1.0\r\n"
+                "Content-Length: " +
+                    std::to_string(body.size()) + "\r\n\r\n" + body);
+  EXPECT_NE(r.find("HTTP/1.0 200"), std::string::npos) << r;
+
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, std::string>{"merge-all", ""}));
+  EXPECT_EQ(seen[1], (std::pair<std::string, std::string>{
+                         "merge", "ss(p0.1,1),ss(p1.1,0)"}));
+  EXPECT_EQ(server.stats().commands_ok, 2u);
+}
+
+TEST(AdminServer, RejectedCommandsAre400AndCounted) {
+  EventLoop loop;
+  AdminServer server(loop, kLoopbackIp, 0);
+  server.set_token("hunter2");
+  server.set_command([](const std::string&, const std::string&) {
+    return AdminCommandResult{false, "node has left the group"};
+  });
+  const std::string r =
+      roundtrip(loop, server.bound_port(),
+                "POST /leave HTTP/1.0\r\nX-Admin-Token: hunter2\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 400"), std::string::npos) << r;
+  EXPECT_NE(r.find("node has left the group"), std::string::npos) << r;
+  EXPECT_EQ(server.stats().commands_rejected, 1u);
+  EXPECT_EQ(server.stats().commands_ok, 0u);
+}
+
+TEST(AdminServer, PostBodyIsBoundedAndContentLengthValidated) {
+  EventLoop loop;
+  AdminServer server(loop, kLoopbackIp, 0);
+  server.set_token("hunter2");
+  server.set_command([](const std::string&, const std::string&) {
+    return AdminCommandResult{true, {}};
+  });
+
+  // Declared body over the cap: refused up front, before any body bytes.
+  std::string r = roundtrip(
+      loop, server.bound_port(),
+      "POST /join HTTP/1.0\r\nContent-Length: " +
+          std::to_string(AdminServer::kMaxBodyBytes + 1) + "\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 413"), std::string::npos) << r;
+  EXPECT_EQ(server.stats().dropped_oversize, 1u);
+
+  // Unparseable and overflowing Content-Length values are malformed.
+  r = roundtrip(loop, server.bound_port(),
+                "POST /join HTTP/1.0\r\nContent-Length: twelve\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 400"), std::string::npos) << r;
+  r = roundtrip(
+      loop, server.bound_port(),
+      "POST /join HTTP/1.0\r\nContent-Length: 18446744073709551616\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 400"), std::string::npos) << r;
+  EXPECT_EQ(server.stats().dropped_malformed, 2u);
+  EXPECT_EQ(server.stats().commands_ok, 0u);
+}
+
+TEST(AdminServer, PostBodyMayArriveAfterTheHeaders) {
+  // The command must wait for the declared body (the token rides in it)
+  // instead of authenticating against a half-received request.
+  EventLoop loop;
+  AdminServer server(loop, kLoopbackIp, 0);
+  server.set_token("hunter2");
+  int commands = 0;
+  server.set_command([&](const std::string&, const std::string&) {
+    ++commands;
+    return AdminCommandResult{true, {}};
+  });
+
+  const int fd = connect_client(server.bound_port());
+  const std::string head =
+      "POST /merge-all HTTP/1.0\r\nContent-Length: 13\r\n\r\n";
+  ASSERT_EQ(::send(fd, head.data(), head.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(head.size()));
+  for (int i = 0; i < 20; ++i) loop.run_for(kMillisecond);
+  EXPECT_EQ(commands, 0) << "dispatched before the body arrived";
+
+  const std::string body = "token=hunter2";
+  ASSERT_EQ(::send(fd, body.data(), body.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(body.size()));
+  std::string response;
+  char buf[1024];
+  for (int i = 0; i < 400 && response.find("200") == std::string::npos; ++i) {
+    loop.run_for(kMillisecond);
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.0 200"), std::string::npos) << response;
+  EXPECT_EQ(commands, 1);
+}
+
+TEST(AdminServer, CommandQueriesAreStrict) {
+  EventLoop loop;
+  AdminServer server(loop, kLoopbackIp, 0);
+  server.set_token("hunter2");
+  server.set_command([](const std::string&, const std::string&) {
+    return AdminCommandResult{true, {}};
+  });
+  // /merge needs ?svset=, the parameterless commands refuse any query,
+  // and unknown POST paths are 404.
+  std::string r =
+      roundtrip(loop, server.bound_port(),
+                "POST /merge HTTP/1.0\r\nX-Admin-Token: hunter2\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 400"), std::string::npos) << r;
+  r = roundtrip(loop, server.bound_port(),
+                "POST /join?now=1 HTTP/1.0\r\nX-Admin-Token: hunter2\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 400"), std::string::npos) << r;
+  EXPECT_EQ(server.stats().dropped_malformed, 2u);
+  r = roundtrip(loop, server.bound_port(),
+                "POST /status HTTP/1.0\r\nX-Admin-Token: hunter2\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 404"), std::string::npos) << r;
+  EXPECT_EQ(server.stats().not_found, 1u);
+  EXPECT_EQ(server.stats().commands_ok, 0u);
+}
+
 TEST(AdminServer, ConnectionCapShedsExtraClients) {
   EventLoop loop;
   AdminServer server(loop, kLoopbackIp, 0);
@@ -252,6 +444,17 @@ TEST(AdminServer, ExportMetricsPublishesItsOwnCounters) {
       << json;
   EXPECT_NE(json.find("\"admin.not_found\":1"), std::string::npos);
   EXPECT_NE(json.find("\"admin.dropped_malformed\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"admin.dropped_unauthorized\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"admin.commands_ok\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"admin.commands_rejected\":0"), std::string::npos);
+}
+
+TEST(AdminCommandCode, IsStablePerCommand) {
+  EXPECT_EQ(admin_command_code("join"), 1u);
+  EXPECT_EQ(admin_command_code("leave"), 2u);
+  EXPECT_EQ(admin_command_code("merge-all"), 3u);
+  EXPECT_EQ(admin_command_code("merge"), 4u);
+  EXPECT_EQ(admin_command_code("reboot"), 0u);
 }
 
 }  // namespace

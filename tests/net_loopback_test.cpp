@@ -1,16 +1,23 @@
 // End-to-end loopback test: three real evs_node processes on 127.0.0.1.
 //
 //   usage: net_loopback_test <path-to-evs_node> <path-to-trace_check>
-//                            <path-to-evs_top>
+//                            <path-to-evs_top> <path-to-evs_ctl>
 //
 // The scenario the ISSUE prescribes, driven over the nodes' stdout:
 //   1. spawn three evs_node processes from generated configs (each with
-//      a per-node admin endpoint),
+//      a per-node admin endpoint and a shared admin_token),
 //   2. wait until every node installs the common 3-view,
 //   3. wait until every node delivers all 300 multicasts (100 per node),
 //   3b. scrape GET /status and /metrics from all three live admin
 //       endpoints — identical view ids, live transport counters, parsing
 //       Prometheus exposition — and run evs_top --once --expect-converged,
+//   3c. partition-and-heal over the control plane: SIGSTOP one node until
+//       the survivors install the 2-view, SIGCONT it and wait for the
+//       3-view to come back in *split* mode (the structure does not grow
+//       by itself — the paper's asymmetry), check a wrong-token POST is
+//       refused, then drive evs_ctl --all merge-all (retrying: a node
+//       blocked mid-view-change drops merge requests by design) until
+//       every node reports the merged e-view in normal mode,
 //   4. SIGKILL one member; the survivors must install the 2-view,
 //   5. SIGTERM the survivors and check their clean exit,
 //   6. replay the union of the trace dumps through trace_check --merge:
@@ -230,14 +237,16 @@ void dump_outputs(const std::vector<Child>& children) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 4) {
-    std::fprintf(stderr, "usage: %s <evs_node> <trace_check> <evs_top>\n",
+  if (argc != 5) {
+    std::fprintf(stderr,
+                 "usage: %s <evs_node> <trace_check> <evs_top> <evs_ctl>\n",
                  argv[0]);
     return 2;
   }
   const std::string evs_node = argv[1];
   const std::string trace_check = argv[2];
   const std::string evs_top = argv[3];
+  const std::string evs_ctl = argv[4];
 
   char dir_template[] = "/tmp/evs_loopback_XXXXXX";
   if (::mkdtemp(dir_template) == nullptr) die("mkdtemp() failed");
@@ -257,6 +266,7 @@ int main(int argc, char** argv) {
       os << "peer " << j << " 127.0.0.1:" << ports[j] << "\n";
     for (int j = 0; j < kNodes; ++j)
       os << "admin " << j << " 127.0.0.1:" << admin_ports[j] << "\n";
+    os << "admin_token looptoken\n";
     config_paths.push_back(path);
   }
 
@@ -329,6 +339,113 @@ int main(int argc, char** argv) {
                     "--expect-converged", "--timeout-ms", "5000"}) != 0)
     die("evs_top --once --expect-converged failed on a converged fleet");
   std::fprintf(stderr, "ok: evs_top sees a converged fleet\n");
+
+  // 3c. Partition-and-heal, driven through the admin control plane.
+  //
+  // True iff every node serves /status with one common view id and the
+  // given mode ("normal" = degenerate structure, "split" = the e-view
+  // still carries partition-era subviews awaiting an application merge).
+  const auto fleet_in_mode = [&](const char* want_mode) {
+    std::string view0;
+    for (int i = 0; i < kNodes; ++i) {
+      const std::string status = http_get(admin_ports[i], "/status");
+      const std::string view = json_field(status, "view");
+      if (view.empty() || json_field(status, "mode") != want_mode)
+        return false;
+      if (i == 0)
+        view0 = view;
+      else if (view != view0)
+        return false;
+    }
+    return true;
+  };
+
+  // SIGSTOP node 2: the survivors' detector drops it and they install the
+  // 2-view. The stopped process keeps its sockets; nothing is torn down.
+  const std::size_t stop_offset[2] = {children[0].out.size(),
+                                      children[1].out.size()};
+  ::kill(children[2].pid, SIGSTOP);
+  const std::string survivor_pair = "size=2 members=0,1";
+  if (!await(children, 60000, [&]() {
+        return contains_after(children[0].out, stop_offset[0],
+                              survivor_pair) &&
+               contains_after(children[1].out, stop_offset[1], survivor_pair);
+      })) {
+    dump_outputs(children);
+    die("survivors never installed the 2-view during the SIGSTOP partition");
+  }
+  std::fprintf(stderr, "ok: SIGSTOP partition: survivors in the 2-view\n");
+
+  // SIGCONT: the view comes back to {0,1,2}, but the e-view structure must
+  // NOT heal by itself — growth is application-controlled, so the fleet
+  // reconverges in split mode, partition-era subviews intact.
+  const std::size_t cont_offset[kNodes] = {children[0].out.size(),
+                                           children[1].out.size(),
+                                           children[2].out.size()};
+  ::kill(children[2].pid, SIGCONT);
+  if (!await(children, 60000, [&]() {
+        for (int i = 0; i < kNodes; ++i)
+          if (!contains_after(children[i].out, cont_offset[i], full_view))
+            return false;
+        return true;
+      })) {
+    dump_outputs(children);
+    die("fleet never reconverged to the 3-view after SIGCONT");
+  }
+  bool split = false;
+  for (int waited = 0; waited < 30000 && !split; waited += 250) {
+    drain(children, 0);
+    split = fleet_in_mode("split");
+    if (!split) ::usleep(250 * 1000);
+  }
+  if (!split) {
+    dump_outputs(children);
+    die("healed fleet is not in split mode — structure merged on its own?");
+  }
+  std::fprintf(stderr, "ok: healed view is back, e-view still split\n");
+
+  // The write side is token-guarded: a wrong token must be refused (401)
+  // and counted, and must not merge anything.
+  if (run_and_wait({evs_ctl, "--config", config_paths[0], "--site", "0",
+                    "--token", "wrong", "--timeout-ms", "2000",
+                    "merge-all"}) == 0)
+    die("evs_ctl with a wrong token was accepted");
+  {
+    const std::string metrics = http_get(admin_ports[0], "/metrics");
+    if (!contains_after(metrics, 0, "\"admin.dropped_unauthorized\":1"))
+      die("unauthorized POST was not counted in admin.dropped_unauthorized");
+  }
+  std::fprintf(stderr, "ok: wrong-token merge-all refused and counted\n");
+
+  // Now the real heal: POST /merge-all to every node (only the current
+  // primary acts on it; the others forward). A node that is blocked
+  // mid-view-change drops merge requests by design, so retry until every
+  // node reports the merged, degenerate e-view.
+  bool merged = false;
+  for (int attempt = 0; attempt < 40 && !merged; ++attempt) {
+    run_and_wait({evs_ctl, "--config", config_paths[0], "--all",
+                  "--timeout-ms", "2000", "merge-all"});
+    for (int i = 0; i < 4 && !merged; ++i) {
+      drain(children, 100);
+      merged = fleet_in_mode("normal");
+      if (!merged) ::usleep(150 * 1000);
+    }
+  }
+  if (!merged) {
+    dump_outputs(children);
+    die("fleet never merged back to normal mode after evs_ctl merge-all");
+  }
+  if (run_and_wait({evs_top, "--config", config_paths[0], "--once",
+                    "--expect-converged", "--timeout-ms", "5000"}) != 0)
+    die("evs_top does not see the healed fleet as converged");
+  {
+    // The accepted commands are visible on the admin plane's own counters.
+    const std::string metrics = http_get(admin_ports[0], "/metrics");
+    if (!contains_after(metrics, 0, "\"admin.commands_ok\":"))
+      die("admin.commands_ok missing from /metrics after merge-all");
+  }
+  std::fprintf(stderr,
+               "ok: evs_ctl merge-all healed the e-view at every node\n");
 
   // Let each node's periodic trace flush cover the now-quiescent run, so
   // the victim's dump includes every multicast it sent.

@@ -4,6 +4,7 @@
 // drop-counting receive validation).
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -212,6 +213,102 @@ TEST(EventLoop, PostRunsOnLoopThread) {
   loop.post([&]() { ++ran; });
   loop.run_for(10 * kMillisecond);
   EXPECT_EQ(ran, 1);
+}
+
+TEST(EventLoop, RunForDrainsPostedWorkEvenAtAnExpiredDeadline) {
+  // A post() landing just before run_for's deadline must not be dropped:
+  // run_for(0) exits its loop before any step(), so only the final drain
+  // can run the closure. Regression test — run_for used to return without
+  // that drain and the closure was silently lost.
+  EventLoop loop;
+  int ran = 0;
+  loop.post([&]() { ++ran; });
+  loop.run_for(0);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventLoop, CancelledTimersDoNotGrowTheHeapWithoutBound) {
+  // The detector's heartbeat pattern: arm a timeout, cancel it, rearm —
+  // thousands of times between fires. Cancellation is lazy (the heap
+  // entry is skipped, not extracted), so without periodic compaction the
+  // heap would hold every entry ever cancelled.
+  EventLoop loop;
+  const runtime::TimerId keep =
+      loop.set_timer(3'600'000'000, []() { FAIL() << "must not fire"; });
+  for (int i = 0; i < 5000; ++i) {
+    const runtime::TimerId id = loop.set_timer(1'000'000'000, []() {});
+    loop.cancel_timer(id);
+  }
+  EXPECT_EQ(loop.pending_timers(), 1u);
+  EXPECT_LE(loop.queued_timers(), 256u) << "cancelled entries never purged";
+  loop.cancel_timer(keep);
+}
+
+TEST(EventLoop, CancelledTopEntryIsPurgedBeforeComputingWaits) {
+  // A cancelled near-term timer used to sit at the heap top and clamp
+  // every epoll wait to its dead deadline (early wakes until it came
+  // due). The purge drops dead top entries at the start of each step, so
+  // they can never be the wait bound.
+  EventLoop loop;
+  loop.cancel_timer(loop.set_timer(3'600'000'000, []() {}));
+  EXPECT_EQ(loop.queued_timers(), 1u);  // lazily left in the heap...
+  loop.run_for(kMillisecond);
+  EXPECT_EQ(loop.queued_timers(), 0u);  // ...purged by the first step
+  EXPECT_EQ(loop.pending_timers(), 0u);
+}
+
+TEST(EventLoop, StaleEventDoesNotDispatchToReusedFdNumber) {
+  // Within one epoll batch: handler A closes fd B (whose event is queued
+  // later in the same batch) and a new registration reuses B's number.
+  // The queued event belongs to the dead registration; dispatching it to
+  // the new handler would hand one connection's readiness to another.
+  // The per-fd generation check must skip it.
+  EventLoop loop;
+  int first[2], second[2], fresh[2];
+  ASSERT_EQ(::pipe2(first, O_NONBLOCK | O_CLOEXEC), 0);
+  ASSERT_EQ(::pipe2(second, O_NONBLOCK | O_CLOEXEC), 0);
+  ASSERT_EQ(::pipe2(fresh, O_NONBLOCK | O_CLOEXEC), 0);
+
+  bool swapped = false;
+  int new_handler_calls = 0;
+  auto on_ready = [&](int self_fd, int other_fd) {
+    char c;
+    while (::read(self_fd, &c, 1) > 0) {
+    }
+    if (swapped) return;
+    swapped = true;
+    // Close the other registration and reuse its fd *number* for a pipe
+    // with nothing to read (dup2 closes other_fd and re-targets it).
+    loop.remove_fd(other_fd);
+    ASSERT_EQ(::dup2(fresh[0], other_fd), other_fd);
+    loop.add_fd(other_fd, [&, other_fd]() {
+      ++new_handler_calls;
+      char drop;
+      while (::read(other_fd, &drop, 1) > 0) {
+      }
+    });
+  };
+  loop.add_fd(first[0], [&]() { on_ready(first[0], second[0]); });
+  loop.add_fd(second[0], [&]() { on_ready(second[0], first[0]); });
+
+  // Make both ends readable before the loop runs, so both events arrive
+  // in one epoll batch and one handler runs while the other's event is
+  // still queued.
+  ASSERT_EQ(::write(first[1], "x", 1), 1);
+  ASSERT_EQ(::write(second[1], "x", 1), 1);
+  loop.run_for(10 * kMillisecond);
+  ASSERT_TRUE(swapped);
+  EXPECT_EQ(new_handler_calls, 0) << "stale event dispatched to reused fd";
+
+  // The new registration is live: actual readiness still reaches it.
+  ASSERT_EQ(::write(fresh[1], "y", 1), 1);
+  loop.run_for(10 * kMillisecond);
+  EXPECT_EQ(new_handler_calls, 1);
+
+  for (const int fd : {first[0], first[1], second[0], second[1], fresh[0],
+                       fresh[1]}) {
+    ::close(fd);
+  }
 }
 
 class UdpPair : public ::testing::Test {

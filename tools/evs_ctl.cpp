@@ -1,0 +1,177 @@
+// evs_ctl: drive a fleet's admin control plane from the command line.
+//
+// The write-side counterpart of evs_top: where evs_top scrapes the GET
+// endpoints, evs_ctl issues the POST commands that map to the paper's
+// application-control calls — the operator deciding when partitioned
+// sv-sets are merged back (SV-SetMerge is application policy, not
+// protocol behaviour).
+//
+//   ./evs_ctl --config node0.conf --site 1 join       # nudge a round
+//   ./evs_ctl --config node0.conf --site 2 leave      # graceful departure
+//   ./evs_ctl --config node0.conf --all merge-all     # heal every node
+//   ./evs_ctl --config node0.conf --site 0 merge 'ss(p0.1,4),ss(p1.1,2)'
+//
+// The shared-secret token comes from the config's `admin_token` line (or
+// --token to override). --all posts the command to every admin endpoint
+// concurrently; merge commands are typically only honoured by the current
+// view primary (others forward application merge requests there), so
+// fleet-wide merge-all is the robust way to heal a partition without
+// knowing who the primary is. A node that is blocked mid-view-change
+// drops merge requests by design — scripts should retry until the merged
+// view installs (see tests/net_loopback_test.cpp).
+//
+// Exit status: 0 if every targeted node answered 2xx, 1 if any refused
+// or was unreachable, 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "http_client.hpp"
+#include "net/config.hpp"
+
+using namespace evs;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --config FILE (--site N | --all) [--token SECRET]\n"
+      "          [--timeout-ms N] <command>\n"
+      "commands:\n"
+      "  join                    nudge an immediate reconfiguration round\n"
+      "  leave                   announce departure and halt the node\n"
+      "  merge-all               merge the node's whole e-view structure\n"
+      "  merge <id>[,<id>...]    SV-SetMerge of the listed sv-set ids,\n"
+      "                          e.g. merge 'ss(p0.1,4),ss(p1.1,2)'\n",
+      argv0);
+  return 2;
+}
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  std::string token;
+  std::uint64_t site = 0;
+  bool have_site = false;
+  bool all = false;
+  std::uint64_t timeout_ms = 2000;
+  std::vector<std::string> command;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    bool ok = true;
+    if (arg == "--config") {
+      const char* v = value();
+      ok = v != nullptr;
+      if (ok) config_path = v;
+    } else if (arg == "--site") {
+      const char* v = value();
+      ok = v != nullptr && parse_u64(v, site) && site <= UINT32_MAX;
+      have_site = ok;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--token") {
+      const char* v = value();
+      ok = v != nullptr;
+      if (ok) token = v;
+    } else if (arg == "--timeout-ms") {
+      const char* v = value();
+      ok = v != nullptr && parse_u64(v, timeout_ms);
+    } else if (!arg.empty() && arg[0] == '-') {
+      ok = false;
+    } else {
+      command.push_back(arg);
+    }
+    if (!ok) return usage(argv[0]);
+  }
+  if (config_path.empty() || command.empty() || (have_site == all))
+    return usage(argv[0]);
+
+  std::string path;
+  if (command[0] == "join" || command[0] == "leave" ||
+      command[0] == "merge-all") {
+    if (command.size() != 1) return usage(argv[0]);
+    path = "/" + command[0];
+  } else if (command[0] == "merge") {
+    if (command.size() != 2 || command[1].empty()) return usage(argv[0]);
+    path = "/merge?svset=" + command[1];
+  } else {
+    return usage(argv[0]);
+  }
+
+  net::NodeConfig config;
+  std::string error;
+  if (!net::load_node_config(config_path, config, error)) {
+    std::fprintf(stderr, "%s: %s\n", config_path.c_str(), error.c_str());
+    return 2;
+  }
+  if (token.empty()) token = config.admin_token;
+  if (token.empty()) {
+    std::fprintf(stderr,
+                 "%s: no admin_token in config and no --token given — the "
+                 "write side is disabled\n",
+                 config_path.c_str());
+    return 2;
+  }
+
+  std::vector<SiteId> targets;
+  if (all) {
+    for (const auto& [s, addr] : config.admin) targets.push_back(s);
+  } else {
+    if (!config.admin.contains(SiteId{static_cast<std::uint32_t>(site)})) {
+      std::fprintf(stderr, "%s: no admin line for site %llu\n",
+                   config_path.c_str(),
+                   static_cast<unsigned long long>(site));
+      return 2;
+    }
+    targets.push_back(SiteId{static_cast<std::uint32_t>(site)});
+  }
+  if (targets.empty()) {
+    std::fprintf(stderr, "%s: no admin lines — nothing to drive\n",
+                 config_path.c_str());
+    return 2;
+  }
+
+  std::vector<tools::HttpRequest> requests;
+  requests.reserve(targets.size());
+  for (const SiteId s : targets) {
+    tools::HttpRequest request;
+    request.addr = config.admin.at(s);
+    request.method = "POST";
+    request.path = path;
+    request.headers = "X-Admin-Token: " + token + "\r\n";
+    requests.push_back(std::move(request));
+  }
+  const auto responses = tools::http_fetch_all(requests, timeout_ms);
+
+  bool all_ok = true;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const tools::HttpResponse& r = responses[i];
+    std::string detail = r.body;
+    while (!detail.empty() &&
+           (detail.back() == '\n' || detail.back() == '\r'))
+      detail.pop_back();
+    if (!r.ok) {
+      std::printf("site %u: unreachable\n", targets[i].value);
+      all_ok = false;
+    } else {
+      std::printf("site %u: %d %s\n", targets[i].value, r.status,
+                  detail.c_str());
+      if (!r.success()) all_ok = false;
+    }
+  }
+  return all_ok ? 0 : 1;
+}

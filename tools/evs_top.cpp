@@ -13,6 +13,9 @@
 // delivered, delivery rate since the previous poll, the sum of transport
 // drop counters (from /metrics), and peer lag (max fleet view epoch minus
 // this node's epoch). Unreachable nodes stay in the table as "down".
+// Every poll round issues all per-node GETs as one concurrent batch under
+// a single deadline (tools/http_client.hpp), so --timeout-ms bounds the
+// whole scrape, not each node in turn.
 //
 //   ./evs_top --config node0.conf                 # refresh every second
 //   ./evs_top --config node0.conf --once          # one table, no refresh
@@ -21,22 +24,18 @@
 // --expect-converged (for scripts and CI) exits nonzero unless every
 // configured admin endpoint responded and all nodes report the identical
 // view id and mode — the one-shot "is the fleet healthy" probe.
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
-#include <cerrno>
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <ctime>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "http_client.hpp"
 #include "net/config.hpp"
 
 using namespace evs;
@@ -71,84 +70,6 @@ std::uint64_t wall_ms() {
   ::clock_gettime(CLOCK_MONOTONIC, &ts);
   return static_cast<std::uint64_t>(ts.tv_sec) * 1000 +
          static_cast<std::uint64_t>(ts.tv_nsec) / 1'000'000;
-}
-
-/// Minimal HTTP/1.0 GET with a wall-clock deadline covering connect, send
-/// and the whole read. Returns the response body on a 200, nullopt on any
-/// failure (connection refused, timeout, non-200).
-std::optional<std::string> http_get(const net::PeerAddr& addr,
-                                    const std::string& path,
-                                    std::uint64_t timeout_ms) {
-  const int fd =
-      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (fd < 0) return std::nullopt;
-  sockaddr_in sa{};
-  sa.sin_family = AF_INET;
-  sa.sin_addr.s_addr = htonl(addr.ip);
-  sa.sin_port = htons(addr.port);
-  const std::uint64_t deadline = wall_ms() + timeout_ms;
-  auto remaining = [&]() -> int {
-    const std::uint64_t t = wall_ms();
-    return t >= deadline ? 0 : static_cast<int>(deadline - t);
-  };
-  auto fail = [&]() {
-    ::close(fd);
-    return std::nullopt;
-  };
-
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
-    if (errno != EINPROGRESS) return fail();
-    pollfd pfd{fd, POLLOUT, 0};
-    if (::poll(&pfd, 1, remaining()) != 1) return fail();
-    int err = 0;
-    socklen_t len = sizeof(err);
-    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0)
-      return fail();
-  }
-
-  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
-  std::size_t sent = 0;
-  while (sent < request.size()) {
-    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      pollfd pfd{fd, POLLOUT, 0};
-      if (::poll(&pfd, 1, remaining()) != 1) return fail();
-      continue;
-    }
-    return fail();
-  }
-
-  std::string response;
-  char buf[4096];
-  for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n > 0) {
-      response.append(buf, static_cast<std::size_t>(n));
-      if (response.size() > (1u << 22)) return fail();  // runaway response
-      continue;
-    }
-    if (n == 0) break;  // EOF: HTTP/1.0 close delimits the body
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      pollfd pfd{fd, POLLIN, 0};
-      if (::poll(&pfd, 1, remaining()) != 1) return fail();
-      continue;
-    }
-    return fail();
-  }
-  ::close(fd);
-
-  if (response.compare(0, 9, "HTTP/1.0 ") != 0 &&
-      response.compare(0, 9, "HTTP/1.1 ") != 0)
-    return std::nullopt;
-  if (response.compare(9, 4, "200 ") != 0) return std::nullopt;
-  std::size_t body = response.find("\r\n\r\n");
-  if (body == std::string::npos) return std::nullopt;
-  return response.substr(body + 4);
 }
 
 // ----- flat JSON field extraction ------------------------------------
@@ -232,36 +153,63 @@ std::uint64_t sum_drop_counters(const std::string& metrics) {
   return total;
 }
 
-NodeSample poll_node(const net::PeerAddr& addr, std::uint64_t timeout_ms) {
+NodeSample parse_sample(const tools::HttpResponse& status_response,
+                        const tools::HttpResponse& metrics_response) {
   NodeSample s;
-  const auto status = http_get(addr, "/status", timeout_ms);
-  if (!status) return s;
+  if (!status_response.ok || status_response.status != 200) return s;
+  const std::string& status = status_response.body;
   s.up = true;
-  s.view = json_str(*status, "view").value_or("?");
-  s.epoch = json_u64(*status, "view_epoch").value_or(0);
-  s.mode = json_str(*status, "mode").value_or("?");
-  s.ev_seq = json_u64(*status, "ev_seq").value_or(0);
-  s.blocked = json_bool(*status, "blocked").value_or(false);
-  s.app_delivered = json_u64(*status, "app_delivered").value_or(0);
-  s.data_delivered = json_u64(*status, "data_delivered").value_or(0);
+  s.view = json_str(status, "view").value_or("?");
+  s.epoch = json_u64(status, "view_epoch").value_or(0);
+  s.mode = json_str(status, "mode").value_or("?");
+  s.ev_seq = json_u64(status, "ev_seq").value_or(0);
+  s.blocked = json_bool(status, "blocked").value_or(false);
+  s.app_delivered = json_u64(status, "app_delivered").value_or(0);
+  s.data_delivered = json_u64(status, "data_delivered").value_or(0);
   // Member count: entries of the "members" array.
-  if (const std::size_t at = status->find("\"members\":[");
+  if (const std::size_t at = status.find("\"members\":[");
       at != std::string::npos) {
-    const std::size_t end = status->find(']', at);
+    const std::size_t end = status.find(']', at);
     if (end != std::string::npos && end > at + 11)
       s.members = 1 + static_cast<std::size_t>(
-                          std::count(status->begin() + at, status->begin() + end,
+                          std::count(status.begin() + at, status.begin() + end,
                                      ','));
   }
-  const std::size_t sv_at = status->find("\"subviews\":[");
-  const std::size_t set_at = status->find("\"svsets\":[");
+  const std::size_t sv_at = status.find("\"subviews\":[");
+  const std::size_t set_at = status.find("\"svsets\":[");
   if (sv_at != std::string::npos && set_at != std::string::npos) {
-    s.subviews = count_objects(*status, sv_at, set_at);
-    s.svsets = count_objects(*status, set_at, status->size());
+    s.subviews = count_objects(status, sv_at, set_at);
+    s.svsets = count_objects(status, set_at, status.size());
   }
-  if (const auto metrics = http_get(addr, "/metrics", timeout_ms))
-    s.drops = sum_drop_counters(*metrics);
+  if (metrics_response.ok && metrics_response.status == 200)
+    s.drops = sum_drop_counters(metrics_response.body);
   return s;
+}
+
+/// Scrapes the whole fleet in one concurrent batch — every node's /status
+/// and /metrics under a single shared deadline, so a poll round costs one
+/// slowest-node round trip and a stopped node cannot serialise the scan.
+std::map<SiteId, NodeSample> poll_fleet(const net::NodeConfig& config,
+                                        std::uint64_t timeout_ms) {
+  std::vector<SiteId> sites;
+  std::vector<tools::HttpRequest> requests;
+  for (const auto& [site, addr] : config.admin) {
+    sites.push_back(site);
+    tools::HttpRequest status_request;
+    status_request.addr = addr;
+    status_request.path = "/status";
+    requests.push_back(std::move(status_request));
+    tools::HttpRequest metrics_request;
+    metrics_request.addr = addr;
+    metrics_request.path = "/metrics";
+    requests.push_back(std::move(metrics_request));
+  }
+  const auto responses = tools::http_fetch_all(requests, timeout_ms);
+  std::map<SiteId, NodeSample> samples;
+  for (std::size_t i = 0; i < sites.size(); ++i)
+    samples.emplace(sites[i],
+                    parse_sample(responses[2 * i], responses[2 * i + 1]));
+  return samples;
 }
 
 }  // namespace
@@ -324,10 +272,9 @@ int main(int argc, char** argv) {
           static_cast<long>((options.interval_ms % 1000) * 1'000'000)};
       ::nanosleep(&ts, nullptr);
     }
-    std::map<SiteId, NodeSample> samples;
     const std::uint64_t now_ms = wall_ms();
-    for (const auto& [site, addr] : config.admin)
-      samples.emplace(site, poll_node(addr, options.timeout_ms));
+    std::map<SiteId, NodeSample> samples =
+        poll_fleet(config, options.timeout_ms);
 
     std::uint64_t max_epoch = 0;
     for (const auto& [site, s] : samples)

@@ -1,0 +1,215 @@
+#include "http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+
+namespace evs::tools {
+
+namespace {
+
+std::uint64_t wall_ms() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1'000'000;
+}
+
+/// Per-request exchange state, advanced by the shared poll loop.
+struct Exchange {
+  enum class State { Connecting, Sending, Receiving, Done, Failed };
+
+  int fd = -1;
+  State state = State::Failed;
+  std::string out;       // full request text
+  std::size_t sent = 0;
+  std::string in;        // raw response (headers + body)
+
+  bool active() const {
+    return state == State::Connecting || state == State::Sending ||
+           state == State::Receiving;
+  }
+};
+
+void fail_exchange(Exchange& ex) {
+  if (ex.fd >= 0) ::close(ex.fd);
+  ex.fd = -1;
+  ex.state = Exchange::State::Failed;
+}
+
+void finish_exchange(Exchange& ex) {
+  if (ex.fd >= 0) ::close(ex.fd);
+  ex.fd = -1;
+  ex.state = Exchange::State::Done;
+}
+
+void start_exchange(const HttpRequest& request, Exchange& ex) {
+  ex.out = request.method + " " + request.path + " HTTP/1.0\r\n" +
+           request.headers;
+  if (request.method != "GET")
+    ex.out += "Content-Length: " + std::to_string(request.body.size()) +
+              "\r\n";
+  ex.out += "\r\n" + request.body;
+
+  ex.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (ex.fd < 0) return;  // stays Failed
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(request.addr.ip);
+  sa.sin_port = htons(request.addr.port);
+  if (::connect(ex.fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0) {
+    ex.state = Exchange::State::Sending;
+  } else if (errno == EINPROGRESS) {
+    ex.state = Exchange::State::Connecting;
+  } else {
+    fail_exchange(ex);
+  }
+}
+
+/// One readiness notification for `ex`; advances as far as it can without
+/// blocking.
+void advance_exchange(Exchange& ex) {
+  if (ex.state == Exchange::State::Connecting) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(ex.fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      fail_exchange(ex);
+      return;
+    }
+    ex.state = Exchange::State::Sending;
+  }
+  if (ex.state == Exchange::State::Sending) {
+    while (ex.sent < ex.out.size()) {
+      const ssize_t n = ::send(ex.fd, ex.out.data() + ex.sent,
+                               ex.out.size() - ex.sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        ex.sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      fail_exchange(ex);
+      return;
+    }
+    ex.state = Exchange::State::Receiving;
+  }
+  if (ex.state == Exchange::State::Receiving) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(ex.fd, buf, sizeof(buf));
+      if (n > 0) {
+        ex.in.append(buf, static_cast<std::size_t>(n));
+        if (ex.in.size() > (1u << 22)) {  // runaway response
+          fail_exchange(ex);
+          return;
+        }
+        continue;
+      }
+      if (n == 0) {  // EOF: HTTP/1.0 close delimits the body
+        finish_exchange(ex);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      fail_exchange(ex);
+      return;
+    }
+  }
+}
+
+HttpResponse parse_response(const Exchange& ex) {
+  HttpResponse response;
+  if (ex.state != Exchange::State::Done) return response;
+  const std::string& raw = ex.in;
+  if (raw.compare(0, 9, "HTTP/1.0 ") != 0 &&
+      raw.compare(0, 9, "HTTP/1.1 ") != 0)
+    return response;
+  int status = 0;
+  std::size_t i = 9;
+  while (i < raw.size() && raw[i] >= '0' && raw[i] <= '9')
+    status = status * 10 + (raw[i++] - '0');
+  if (status < 100 || status > 599) return response;
+  std::size_t body = raw.find("\r\n\r\n");
+  std::size_t skip = 4;
+  if (body == std::string::npos) {
+    body = raw.find("\n\n");
+    skip = 2;
+  }
+  if (body == std::string::npos) return response;
+  response.ok = true;
+  response.status = status;
+  response.body = raw.substr(body + skip);
+  return response;
+}
+
+}  // namespace
+
+std::vector<HttpResponse> http_fetch_all(
+    const std::vector<HttpRequest>& requests, std::uint64_t timeout_ms) {
+  std::vector<Exchange> exchanges(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    start_exchange(requests[i], exchanges[i]);
+
+  const std::uint64_t deadline = wall_ms() + timeout_ms;
+  std::vector<pollfd> pfds;
+  std::vector<std::size_t> owners;  // pfds[k] belongs to exchanges[owners[k]]
+  for (;;) {
+    pfds.clear();
+    owners.clear();
+    for (std::size_t i = 0; i < exchanges.size(); ++i) {
+      Exchange& ex = exchanges[i];
+      if (!ex.active()) continue;
+      const short events =
+          ex.state == Exchange::State::Receiving ? POLLIN : POLLOUT;
+      pfds.push_back(pollfd{ex.fd, events, 0});
+      owners.push_back(i);
+    }
+    if (pfds.empty()) break;  // everything settled
+
+    const std::uint64_t t = wall_ms();
+    if (t >= deadline) break;
+    const int n = ::poll(pfds.data(), pfds.size(),
+                         static_cast<int>(deadline - t));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // timeout (or poll failure): abandon the stragglers
+    for (std::size_t k = 0; k < pfds.size(); ++k) {
+      if (pfds[k].revents == 0) continue;
+      advance_exchange(exchanges[owners[k]]);
+    }
+  }
+
+  std::vector<HttpResponse> responses(requests.size());
+  for (std::size_t i = 0; i < exchanges.size(); ++i) {
+    responses[i] = parse_response(exchanges[i]);
+    if (exchanges[i].active()) fail_exchange(exchanges[i]);  // deadline hit
+  }
+  return responses;
+}
+
+std::optional<std::string> http_get(const net::PeerAddr& addr,
+                                    const std::string& path,
+                                    std::uint64_t timeout_ms) {
+  HttpRequest request;
+  request.addr = addr;
+  request.path = path;
+  const auto responses = http_fetch_all({request}, timeout_ms);
+  if (!responses[0].ok || responses[0].status != 200) return std::nullopt;
+  return responses[0].body;
+}
+
+HttpResponse http_post(const net::PeerAddr& addr, const std::string& path,
+                       const std::string& token, std::uint64_t timeout_ms) {
+  HttpRequest request;
+  request.addr = addr;
+  request.method = "POST";
+  request.path = path;
+  if (!token.empty()) request.headers = "X-Admin-Token: " + token + "\r\n";
+  return http_fetch_all({request}, timeout_ms)[0];
+}
+
+}  // namespace evs::tools

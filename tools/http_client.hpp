@@ -1,0 +1,59 @@
+// Shared HTTP/1.0 client for the fleet tools (evs_top, evs_ctl).
+//
+// Talks to the per-node admin plane (net/admin.hpp): short-lived
+// connection-per-request exchanges where the server closes the socket to
+// delimit the body. The one interesting feature is batching:
+// http_fetch_all() drives every request concurrently — one non-blocking
+// socket each, a single poll() loop, one shared wall-clock deadline — so
+// scraping an N-node fleet costs one slowest-node round trip instead of
+// the sum of N of them, and one stopped node (SIGSTOP'd in the partition
+// tests) cannot stretch a scrape beyond the deadline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/config.hpp"
+
+namespace evs::tools {
+
+struct HttpRequest {
+  net::PeerAddr addr;
+  std::string method = "GET";
+  std::string path = "/";
+  /// Extra raw header lines, each terminated "\r\n" (e.g. the admin
+  /// plane's "X-Admin-Token: <secret>\r\n").
+  std::string headers;
+  /// Request body; a Content-Length header is added whenever the method
+  /// is not GET.
+  std::string body;
+};
+
+struct HttpResponse {
+  /// True when the exchange completed and the status line parsed; false
+  /// on connect failure, timeout, or garbage (status/body are then 0/"").
+  bool ok = false;
+  int status = 0;
+  std::string body;
+
+  bool success() const { return ok && status >= 200 && status < 300; }
+};
+
+/// Runs all requests concurrently under one shared deadline; the result
+/// vector is index-aligned with `requests`.
+std::vector<HttpResponse> http_fetch_all(
+    const std::vector<HttpRequest>& requests, std::uint64_t timeout_ms);
+
+/// One GET; returns the body on a 200, nullopt on any failure.
+std::optional<std::string> http_get(const net::PeerAddr& addr,
+                                    const std::string& path,
+                                    std::uint64_t timeout_ms);
+
+/// One POST carrying the admin token; returns the full response (check
+/// success()/status/body).
+HttpResponse http_post(const net::PeerAddr& addr, const std::string& path,
+                       const std::string& token, std::uint64_t timeout_ms);
+
+}  // namespace evs::tools
