@@ -8,7 +8,12 @@
 //     the payload; every member's delivery is a sample),
 //   - aggregate deliveries per second across the group,
 //   - datagrams per application multicast (the n-1 fan-out plus protocol
-//     chatter), and the encode-once sharing counters.
+//     chatter), and the encode-once sharing counters,
+//   - syscalls per multicast (sendmsg/sendmmsg + recvmsg/recvmmsg calls,
+//     counted at the call sites, so the batching win is measured rather
+//     than guessed) and frames per datagram (the coalescing ratio),
+//   - the semantic invariants: delivered_frames and delivered_bytes must
+//     be identical however the wire path batches or packs datagrams.
 // Unlike the sim benches the numbers here include real kernel send/recv
 // cost and scheduler noise — EXPERIMENTS.md compares the two regimes.
 #include <benchmark/benchmark.h>
@@ -122,7 +127,15 @@ class BenchNode : public vsync::Delegate {
       latencies_.push_back(now >= stamp ? now - stamp : 0);
     }
     delivered_.fetch_add(1, std::memory_order_relaxed);
+    delivered_bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
   }
+
+ public:
+  std::uint64_t delivered_bytes() const {
+    return delivered_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
 
   net::EventLoop loop_;
   net::UdpTransport transport_;
@@ -133,6 +146,7 @@ class BenchNode : public vsync::Delegate {
   std::size_t group_size_ = 0;
   std::atomic<bool> full_view_{false};
   std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> delivered_bytes_{0};
   std::vector<std::uint64_t> latencies_;
 };
 
@@ -177,6 +191,11 @@ void NetUdpMulticast(benchmark::State& state) {
   double datagrams_per_mc = 0;
   double shared_per_mc = 0;
   double copies_per_mc = 0;
+  double sendmsg_calls_per_mc = 0;
+  double recvmsg_calls_per_mc = 0;
+  double frames_per_datagram = 0;
+  double delivered_frames = 0;
+  double delivered_bytes = 0;
   std::uint64_t runs = 0;
 
   for (auto _ : state) {
@@ -210,8 +229,14 @@ void NetUdpMulticast(benchmark::State& state) {
       return;
     }
 
-    std::uint64_t datagrams_before = 0;
-    for (auto& node : nodes) datagrams_before += node->udp_stats().datagrams_sent;
+    std::uint64_t datagrams_before = 0, sendmsg_before = 0, recvmsg_before = 0,
+                  frames_before = 0;
+    for (auto& node : nodes) {
+      datagrams_before += node->udp_stats().datagrams_sent;
+      sendmsg_before += node->udp_stats().sendmsg_calls;
+      recvmsg_before += node->udp_stats().recvmsg_calls;
+      frames_before += node->udp_stats().frames_sent;
+    }
 
     const std::uint64_t t0 = global_us();
     nodes[0]->send_async(kMessages, /*per_tick=*/5);
@@ -231,21 +256,36 @@ void NetUdpMulticast(benchmark::State& state) {
 
     for (auto& node : nodes) node->stop();
 
-    std::uint64_t datagrams = 0, shared = 0, copies = 0, delivered = 0;
+    std::uint64_t datagrams = 0, shared = 0, copies = 0, delivered = 0,
+                  sendmsg = 0, recvmsg = 0, frames = 0, bytes = 0;
     for (auto& node : nodes) {
       datagrams += node->udp_stats().datagrams_sent;
       shared += node->udp_stats().payloads_shared;
       copies += node->udp_stats().payload_copies;
+      sendmsg += node->udp_stats().sendmsg_calls;
+      recvmsg += node->udp_stats().recvmsg_calls;
+      frames += node->udp_stats().frames_sent;
       delivered += node->delivered();
+      bytes += node->delivered_bytes();
       all_latencies.insert(all_latencies.end(), node->latencies().begin(),
                            node->latencies().end());
     }
     deliveries_per_sec +=
         static_cast<double>(delivered) * 1e6 / static_cast<double>(t1 - t0);
-    datagrams_per_mc +=
-        static_cast<double>(datagrams - datagrams_before) / kMessages;
+    const std::uint64_t datagram_delta = datagrams - datagrams_before;
+    datagrams_per_mc += static_cast<double>(datagram_delta) / kMessages;
     shared_per_mc += static_cast<double>(shared) / kMessages;
     copies_per_mc += static_cast<double>(copies) / kMessages;
+    sendmsg_calls_per_mc +=
+        static_cast<double>(sendmsg - sendmsg_before) / kMessages;
+    recvmsg_calls_per_mc +=
+        static_cast<double>(recvmsg - recvmsg_before) / kMessages;
+    if (datagram_delta > 0)
+      frames_per_datagram +=
+          static_cast<double>(frames - frames_before) /
+          static_cast<double>(datagram_delta);
+    delivered_frames += static_cast<double>(delivered);
+    delivered_bytes += static_cast<double>(bytes);
     ++runs;
   }
 
@@ -255,11 +295,23 @@ void NetUdpMulticast(benchmark::State& state) {
   state.counters["datagrams_per_mc"] = datagrams_per_mc / runs;
   state.counters["payloads_shared_per_mc"] = shared_per_mc / runs;
   state.counters["payload_copies_per_mc"] = copies_per_mc / runs;
+  // Syscall economy of the send phase: every sendmsg/sendmmsg and
+  // recvmsg/recvmmsg call across the whole fleet, amortised per multicast.
+  state.counters["sendmsg_calls_per_mc"] = sendmsg_calls_per_mc / runs;
+  state.counters["recvmsg_calls_per_mc"] = recvmsg_calls_per_mc / runs;
+  state.counters["syscalls_per_mc"] =
+      (sendmsg_calls_per_mc + recvmsg_calls_per_mc) / runs;
+  state.counters["frames_per_datagram"] = frames_per_datagram / runs;
+  // Semantic invariants: exactly kMessages deliveries at each of n members,
+  // kPayloadBytes each, whatever the wire path batches or coalesces.
+  state.counters["delivered_frames"] = delivered_frames / runs;
+  state.counters["delivered_bytes"] = delivered_bytes / runs;
 }
 
 BENCHMARK(NetUdpMulticast)
     ->Arg(4)
     ->Arg(8)
+    ->Arg(32)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3)
     ->UseRealTime();

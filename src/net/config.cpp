@@ -106,6 +106,11 @@ bool parse_node_config(std::istream& in, NodeConfig& out, std::string& error) {
       if (!(fields >> token)) return fail("expected: admin_token <secret>");
       if (!out.admin_token.empty()) return fail("duplicate admin_token");
       out.admin_token = token;
+    } else if (keyword == "coalesce") {
+      std::string value;
+      if (!(fields >> value) || (value != "on" && value != "off"))
+        return fail("expected: coalesce on|off");
+      out.coalesce = value == "on";
     } else {
       return fail("unknown keyword '" + keyword + "'");
     }

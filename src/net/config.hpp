@@ -13,6 +13,8 @@
 //   admin 0 127.0.0.1:9100   # optional per-node admin (HTTP) endpoint
 //   admin 1 127.0.0.1:9101
 //   admin_token hunter2      # shared secret enabling the admin write side
+//   coalesce off             # optional; default on (pack small frames
+//                            # into one datagram per peer per flush)
 //
 // The peer line for `self` doubles as the bind address; an admin line for
 // `self` makes the node serve the live-observability HTTP plane there
@@ -60,6 +62,9 @@ struct NodeConfig {
   std::map<SiteId, PeerAddr> admin;
   /// Shared secret for admin-plane POST commands; empty = write side off.
   std::string admin_token;
+  /// Small-message coalescing on the wire path (UdpTransport); on by
+  /// default, `coalesce off` pins every frame to its own datagram.
+  bool coalesce = true;
 
   /// Sorted universe (the key set of `peers`).
   std::vector<SiteId> universe() const;

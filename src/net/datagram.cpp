@@ -21,7 +21,7 @@ std::uint32_t get_u32(const std::uint8_t* in) {
 }  // namespace
 
 void encode_header(const DatagramHeader& header, std::uint8_t* out) {
-  put_u32(out, kDatagramMagic);
+  put_u32(out, header.coalesced ? kDatagramMagicBatch : kDatagramMagic);
   put_u32(out + 4, header.from.site.value);
   put_u32(out + 8, header.from.incarnation);
   put_u32(out + 12, header.dest_incarnation);
@@ -30,13 +30,35 @@ void encode_header(const DatagramHeader& header, std::uint8_t* out) {
 std::optional<DatagramHeader> parse_header(const std::uint8_t* data,
                                            std::size_t size) {
   if (data == nullptr || size < kHeaderSize) return std::nullopt;
-  if (get_u32(data) != kDatagramMagic) return std::nullopt;
+  const std::uint32_t magic = get_u32(data);
+  if (magic != kDatagramMagic && magic != kDatagramMagicBatch) {
+    return std::nullopt;
+  }
   DatagramHeader header;
   header.from.site = SiteId{get_u32(data + 4)};
   header.from.incarnation = get_u32(data + 8);
   header.dest_incarnation = get_u32(data + 12);
+  header.coalesced = magic == kDatagramMagicBatch;
   if (header.from.incarnation == 0) return std::nullopt;  // never minted
   return header;
+}
+
+bool split_subframes(const std::uint8_t* payload, std::size_t size,
+                     std::vector<std::pair<std::size_t, std::size_t>>& out) {
+  out.clear();
+  if (payload == nullptr || size == 0) return false;
+  std::size_t off = 0;
+  while (off < size) {
+    if (size - off < kSubFramePrefix) return (out.clear(), false);
+    const std::size_t len = get_u32(payload + off);
+    off += kSubFramePrefix;
+    // Zero-length frames do not exist in the codec; a zero here is a
+    // malformed (or adversarial) length, not padding.
+    if (len == 0 || len > size - off) return (out.clear(), false);
+    out.emplace_back(off, len);
+    off += len;
+  }
+  return true;  // off == size exactly, and at least one frame was seen
 }
 
 }  // namespace evs::net

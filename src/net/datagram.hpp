@@ -12,21 +12,41 @@
 //                           message to a dead incarnation is dropped by
 //                           the receiver exactly as sim::Network drops it
 //
+// A second magic, "EVSB", marks a *coalesced* datagram: same header,
+// but the payload is a sequence of length-prefixed sub-frames
+//
+//   [u32 len][len bytes of frame] [u32 len][frame] ...
+//
+// which the receiver splits back into individual protocol frames (same
+// frames, same order — coalescing changes datagram counts, never wire
+// semantics). Single-frame datagrams keep the plain "EVS1" form, so a
+// coalescing sender stays wire-compatible with a pre-coalescing peer
+// until it actually packs two frames together.
+//
 // All fields little-endian, matching the codec. Parsing is total: any
 // runt or mismatched buffer yields nullopt, never UB — headers are the
-// first bytes of the system that a hostile network can reach.
+// first bytes of the system that a hostile network can reach. Sub-frame
+// splitting is equally total: the whole payload is validated before any
+// frame is surfaced, so one malformed length poisons (rejects) the whole
+// datagram rather than delivering a prefix of it.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "common/ids.hpp"
 
 namespace evs::net {
 
 inline constexpr std::uint32_t kDatagramMagic = 0x31535645;  // "EVS1" LE
+/// Coalesced-datagram magic: payload is length-prefixed sub-frames.
+inline constexpr std::uint32_t kDatagramMagicBatch = 0x42535645;  // "EVSB" LE
 inline constexpr std::size_t kHeaderSize = 16;
+/// Length prefix of each sub-frame in a coalesced payload.
+inline constexpr std::size_t kSubFramePrefix = 4;
 /// Largest payload we will send or accept in one datagram. UDP caps the
 /// datagram at 65507 bytes; leaving header room gives the payload bound.
 inline constexpr std::size_t kMaxPayload = 65507 - kHeaderSize;
@@ -34,6 +54,7 @@ inline constexpr std::size_t kMaxPayload = 65507 - kHeaderSize;
 struct DatagramHeader {
   ProcessId from;
   std::uint32_t dest_incarnation = 0;  // 0 = site-addressed
+  bool coalesced = false;  // "EVSB": payload holds length-prefixed frames
 
   bool operator==(const DatagramHeader&) const = default;
 };
@@ -44,5 +65,12 @@ void encode_header(const DatagramHeader& header, std::uint8_t* out);
 /// Validates magic and length; nullopt on any malformation.
 std::optional<DatagramHeader> parse_header(const std::uint8_t* data,
                                            std::size_t size);
+
+/// Splits a coalesced payload into (offset, length) sub-frame spans.
+/// All-or-nothing: returns false (and clears `out`) unless the payload is
+/// a non-empty sequence of [u32 LE len][len bytes] records, each len >= 1,
+/// ending exactly at `size`.
+bool split_subframes(const std::uint8_t* payload, std::size_t size,
+                     std::vector<std::pair<std::size_t, std::size_t>>& out);
 
 }  // namespace evs::net

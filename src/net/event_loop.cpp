@@ -46,35 +46,35 @@ runtime::TimerId EventLoop::set_timer(SimDuration delay,
                                       std::function<void()> fn) {
   EVS_CHECK(fn != nullptr);
   const runtime::TimerId id = next_timer_id_++;
-  timer_heap_.push_back(TimerEntry{now() + delay, next_timer_seq_++, id});
-  std::push_heap(timer_heap_.begin(), timer_heap_.end(), std::greater<>{});
+  wheel_.insert(now() + delay, next_timer_seq_++, id);
   timer_callbacks_.emplace(id, std::move(fn));
   return id;
 }
 
 void EventLoop::cancel_timer(runtime::TimerId id) {
   if (timer_callbacks_.erase(id) == 0) return;  // already fired or cancelled
-  // The heap entry stays behind (removing from the middle of a heap is
-  // O(n)); it is skipped lazily. Compact once cancelled entries dominate,
-  // so set/cancel churn (the detector's heartbeat pattern) cannot grow
-  // the heap without bound.
-  ++cancelled_in_heap_;
-  if (cancelled_in_heap_ >= 64 && cancelled_in_heap_ > timer_heap_.size() / 2) {
-    std::erase_if(timer_heap_, [this](const TimerEntry& entry) {
-      return !timer_callbacks_.contains(entry.id);
-    });
-    std::make_heap(timer_heap_.begin(), timer_heap_.end(), std::greater<>{});
-    cancelled_in_heap_ = 0;
-  }
+  // O(1) direct erase via the wheel's id index — no lazy-cancellation
+  // residue, so set/cancel churn (the detector's heartbeat pattern) never
+  // leaves dead entries behind. erase can miss only if the entry was
+  // already collected into the current firing batch; fire_due_timers
+  // re-checks timer_callbacks_ before invoking, so the cancel still wins.
+  wheel_.erase(id);
 }
 
-void EventLoop::pop_cancelled_top() {
-  while (!timer_heap_.empty() &&
-         !timer_callbacks_.contains(timer_heap_.front().id)) {
-    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), std::greater<>{});
-    timer_heap_.pop_back();
-    --cancelled_in_heap_;
-  }
+EventLoop::FlushHookId EventLoop::add_flush_hook(std::function<void()> fn) {
+  EVS_CHECK(fn != nullptr);
+  const FlushHookId id = next_flush_hook_id_++;
+  flush_hooks_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void EventLoop::remove_flush_hook(FlushHookId id) {
+  std::erase_if(flush_hooks_,
+                [id](const auto& hook) { return hook.first == id; });
+}
+
+void EventLoop::run_flush_hooks() {
+  for (auto& [id, fn] : flush_hooks_) fn();
 }
 
 void EventLoop::add_fd(int fd, std::function<void()> on_readable) {
@@ -139,36 +139,41 @@ void EventLoop::drain_posted() {
 std::size_t EventLoop::fire_due_timers() {
   std::size_t fired = 0;
   const SimTime t = now();
-  while (!timer_heap_.empty() && timer_heap_.front().deadline <= t) {
-    const TimerEntry entry = timer_heap_.front();
-    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), std::greater<>{});
-    timer_heap_.pop_back();
-    const auto it = timer_callbacks_.find(entry.id);
-    if (it == timer_callbacks_.end()) {  // cancelled
-      --cancelled_in_heap_;
-      continue;
+  // Collect-and-fire until a pass finds nothing: a callback that sets a
+  // zero-delay timer still gets it fired in this batch (the heap had the
+  // same behavior via its re-checked while condition).
+  for (;;) {
+    due_.clear();
+    wheel_.collect_due(t, due_);
+    if (due_.empty()) break;
+    for (const TimerWheel::Entry& entry : due_) {
+      const auto it = timer_callbacks_.find(entry.id);
+      // Collected but cancelled by an earlier callback in this batch.
+      if (it == timer_callbacks_.end()) continue;
+      auto fn = std::move(it->second);
+      timer_callbacks_.erase(it);
+      fn();
+      ++fired;
     }
-    auto fn = std::move(it->second);
-    timer_callbacks_.erase(it);
-    fn();
-    ++fired;
   }
   return fired;
 }
 
 std::size_t EventLoop::step(SimDuration max_wait) {
-  // Wait no longer than the nearest *live* timer deadline (rounded up so
-  // we do not spin), the caller's budget, or a 500 ms heartbeat that
-  // re-checks the stop flag even when nothing is scheduled. Cancelled
-  // entries are purged off the top first, so a cancel-heavy workload
-  // (heartbeat set/cancel churn) can neither wake the loop early nor
-  // grow the heap without bound.
-  pop_cancelled_top();
+  // Flush first: everything the previous step's callbacks queued (and,
+  // on the first step, anything queued before run()) goes to the wire
+  // before the loop blocks.
+  run_flush_hooks();
+  // Wait no longer than the nearest pending timer (the wheel's hint is a
+  // lower bound, so a coarse-bucketed far-future timer can wake us a bit
+  // early but never late), the caller's budget, or a 500 ms heartbeat
+  // that re-checks the stop flag even when nothing is scheduled.
   SimDuration wait = std::min<SimDuration>(max_wait, 500 * kMillisecond);
-  if (!timer_heap_.empty()) {
+  {
     const SimTime t = now();
-    const SimTime deadline = timer_heap_.front().deadline;
-    wait = deadline <= t ? 0 : std::min<SimDuration>(wait, deadline - t);
+    if (const auto hint = wheel_.next_deadline_hint(t)) {
+      wait = *hint <= t ? 0 : std::min<SimDuration>(wait, *hint - t);
+    }
   }
   const int timeout_ms =
       static_cast<int>((wait + kMillisecond - 1) / kMillisecond);
@@ -220,8 +225,10 @@ std::size_t EventLoop::step(SimDuration max_wait) {
 std::size_t EventLoop::run() {
   std::size_t fired = 0;
   while (!stopped()) fired += step(500 * kMillisecond);
-  // One final drain so work posted just before the stop is not lost.
+  // One final drain so work posted just before the stop is not lost, and
+  // a final flush so its sends (and the last step's) are not stranded.
   drain_posted();
+  run_flush_hooks();
   return fired;
 }
 
@@ -234,8 +241,9 @@ std::size_t EventLoop::run_for(SimDuration d) {
     fired += step(deadline - t);
   }
   // Same final drain as run(): a cross-thread post() landing just before
-  // the deadline must not be silently dropped.
+  // the deadline must not be silently dropped, nor its sends stranded.
   drain_posted();
+  run_flush_hooks();
   return fired;
 }
 

@@ -19,9 +19,11 @@
 #include <functional>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/time.hpp"
+#include "net/timer_wheel.hpp"
 #include "runtime/runtime.hpp"
 
 namespace evs::net {
@@ -69,31 +71,30 @@ class EventLoop final : public runtime::Clock, public runtime::TimerService {
   /// Enqueues `fn` to run on the loop thread; safe from any thread.
   void post(std::function<void()> fn);
 
+  using FlushHookId = std::uint64_t;
+
+  /// Registers a hook that runs on the loop thread at the top of every
+  /// step (before the loop blocks in epoll_wait) and once more after the
+  /// final drain when run()/run_for() returns. Transports use this to
+  /// flush their per-iteration send queues, so everything queued by the
+  /// previous step's callbacks hits the wire before the loop sleeps.
+  /// Hooks must not add or remove hooks from inside a hook.
+  FlushHookId add_flush_hook(std::function<void()> fn);
+  void remove_flush_hook(FlushHookId id);
+
   std::size_t pending_timers() const { return timer_callbacks_.size(); }
-  /// Heap entries still queued, live + cancelled-but-unpurged; the lazy
-  /// cancellation purge keeps this within a constant factor of
-  /// pending_timers() even under set/cancel churn (asserted by tests).
-  std::size_t queued_timers() const { return timer_heap_.size(); }
+  /// Timer-wheel entries still queued. Cancellation erases its entry
+  /// directly (O(1) via the wheel's id index), so unlike the old lazy-
+  /// cancelling heap this always equals pending_timers().
+  std::size_t queued_timers() const { return wheel_.size(); }
   bool stopped() const { return stop_.load(std::memory_order_relaxed); }
 
  private:
-  struct TimerEntry {
-    SimTime deadline;
-    std::uint64_t seq;
-    runtime::TimerId id;
-    bool operator>(const TimerEntry& other) const {
-      if (deadline != other.deadline) return deadline > other.deadline;
-      return seq > other.seq;
-    }
-  };
-
   /// One pass: waits for fds/timers (capped at `max_wait` µs) and fires
   /// whatever is due. Returns callbacks fired.
   std::size_t step(SimDuration max_wait);
   std::size_t fire_due_timers();
-  /// Drops cancelled entries sitting on top of the timer heap, so wait
-  /// deadlines are never computed from timers that will not fire.
-  void pop_cancelled_top();
+  void run_flush_hooks();
   void drain_wakeup();
   void drain_posted();
 
@@ -103,12 +104,14 @@ class EventLoop final : public runtime::Clock, public runtime::TimerService {
 
   std::uint64_t next_timer_seq_ = 0;
   runtime::TimerId next_timer_id_ = 1;
-  // Min-heap (std::push_heap/pop_heap with greater) rather than a
-  // std::priority_queue: cancellation purges need access to the
-  // underlying storage to compact cancelled entries in place.
-  std::vector<TimerEntry> timer_heap_;
-  std::size_t cancelled_in_heap_ = 0;
+  // Hierarchical wheel instead of a binary heap: the detector's per-peer
+  // set/cancel/re-arm churn makes O(1) cancellation the hot requirement.
+  TimerWheel wheel_;
+  std::vector<TimerWheel::Entry> due_;  // reused by fire_due_timers
   std::unordered_map<runtime::TimerId, std::function<void()>> timer_callbacks_;
+
+  std::vector<std::pair<FlushHookId, std::function<void()>>> flush_hooks_;
+  FlushHookId next_flush_hook_id_ = 1;
 
   struct FdHandlers {
     std::function<void()> on_readable;

@@ -91,6 +91,10 @@ void NetRuntime::host(runtime::Node& node) {
   });
   node.bind(std::move(env), self());
   node.on_start();
+  // on_start() runs before the loop does, so its sends (first heartbeats,
+  // join probes) would otherwise sit queued until the first step's flush
+  // hook; push them out now.
+  transport_.flush();
 }
 
 bool NetRuntime::dump_trace(const std::string& name) {

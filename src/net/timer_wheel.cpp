@@ -1,0 +1,151 @@
+#include "net/timer_wheel.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace evs::net {
+
+void TimerWheel::place(Entry entry) {
+  const std::uint64_t dtick = static_cast<std::uint64_t>(entry.deadline) >>
+                              kTickBits;
+  if (dtick < tick_) {
+    imminent_.push_back(entry);
+    index_[entry.id] =
+        Location{kImminent, 0, std::prev(imminent_.end())};
+    return;
+  }
+  const std::uint64_t delta = dtick - tick_;
+  for (int level = 0; level < kLevels; ++level) {
+    const int span_bits = kSlotBits * (level + 1);
+    if (level + 1 < kLevels && span_bits < 64 &&
+        (delta >> span_bits) != 0) {
+      continue;  // farther than this level reaches
+    }
+    std::size_t idx = (dtick >> (kSlotBits * level)) & (kSlots - 1);
+    if (level + 1 == kLevels && (delta >> (kSlotBits * kLevels)) != 0) {
+      // Beyond even the top level's horizon (~2 years of ticks): park in
+      // the farthest top slot; each wrap re-places it until it fits.
+      idx = (static_cast<std::size_t>(tick_ >> (kSlotBits * level)) +
+             kSlots - 1) &
+            (kSlots - 1);
+    }
+    // A nearly-full-wrap deadline can hash onto the slot the wheel is
+    // currently inside at this level; that slot's cascade has already
+    // happened this round, so bump the entry one level up (where the
+    // index provably differs) instead of parking it for a whole wrap.
+    if (level > 0 && level + 1 < kLevels &&
+        idx == ((tick_ >> (kSlotBits * level)) & (kSlots - 1))) {
+      continue;
+    }
+    Slot& slot = slots_[level][idx];
+    slot.push_back(entry);
+    index_[entry.id] = Location{level, idx, std::prev(slot.end())};
+    return;
+  }
+}
+
+void TimerWheel::insert(SimTime deadline, std::uint64_t seq,
+                        runtime::TimerId id) {
+  EVS_CHECK_MSG(!index_.contains(id), "duplicate timer id in wheel");
+  place(Entry{deadline, seq, id});
+}
+
+bool TimerWheel::erase(runtime::TimerId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  const Location& loc = it->second;
+  if (loc.level == kImminent) {
+    imminent_.erase(loc.it);
+  } else {
+    slots_[loc.level][loc.slot].erase(loc.it);
+  }
+  index_.erase(it);
+  return true;
+}
+
+void TimerWheel::advance(SimTime now) {
+  const std::uint64_t target = static_cast<std::uint64_t>(now) >> kTickBits;
+  while (tick_ <= target) {
+    // Fast path: nothing bucketed in any slot (everything pending is
+    // already staged), so the clock can jump without per-tick work.
+    if (index_.size() == imminent_.size()) {
+      tick_ = target + 1;
+      return;
+    }
+    const std::size_t idx = tick_ & (kSlots - 1);
+    if (idx == 0) {
+      // Entering a new level-0 round: pull the matching higher-level
+      // slots down, top level first only as far as rounds actually roll
+      // over (level l+1 rolls only when level l's index wrapped to 0).
+      for (int level = 1; level < kLevels; ++level) {
+        const std::size_t i =
+            (tick_ >> (kSlotBits * level)) & (kSlots - 1);
+        Slot moved;
+        moved.splice(moved.end(), slots_[level][i]);
+        for (auto entry_it = moved.begin(); entry_it != moved.end();) {
+          const Entry entry = *entry_it;
+          entry_it = moved.erase(entry_it);
+          index_.erase(entry.id);  // place() re-indexes at the new spot
+          place(entry);
+        }
+        if (i != 0) break;
+      }
+    }
+    Slot& slot = slots_[0][idx];
+    while (!slot.empty()) {
+      index_[slot.front().id] =
+          Location{kImminent, 0, slot.begin()};
+      imminent_.splice(imminent_.end(), slot, slot.begin());
+    }
+    ++tick_;
+  }
+}
+
+void TimerWheel::collect_due(SimTime now, std::vector<Entry>& out) {
+  advance(now);
+  if (imminent_.empty()) return;
+  // list::sort splices nodes in place, so the Location iterators held in
+  // index_ stay valid across the reorder.
+  imminent_.sort([](const Entry& a, const Entry& b) {
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    return a.seq < b.seq;
+  });
+  while (!imminent_.empty() && imminent_.front().deadline <= now) {
+    out.push_back(imminent_.front());
+    index_.erase(imminent_.front().id);
+    imminent_.pop_front();
+  }
+}
+
+std::optional<SimTime> TimerWheel::next_deadline_hint(SimTime now) {
+  advance(now);
+  std::optional<SimTime> best;
+  const auto consider = [&best](SimTime t) {
+    if (!best || t < *best) best = t;
+  };
+  for (const Entry& entry : imminent_) consider(entry.deadline);
+  if (index_.size() == imminent_.size()) return best;
+  for (int level = 0; level < kLevels; ++level) {
+    const std::uint64_t cur = tick_ >> (kSlotBits * level);
+    for (std::size_t j = 0; j < kSlots; ++j) {
+      const Slot& slot = slots_[level][j];
+      if (slot.empty()) continue;
+      std::uint64_t absolute = (cur & ~(kSlots - 1)) | j;
+      if (absolute < cur) absolute += kSlots;
+      if (absolute == cur) {
+        // The slot the wheel is currently inside at this level holds only
+        // near-full-wrap entries; its base time is in the past, so use
+        // the entries' real deadlines (the slot is small and this case
+        // is rare).
+        for (const Entry& entry : slot) consider(entry.deadline);
+      } else {
+        consider(static_cast<SimTime>(
+            absolute << (kTickBits + kSlotBits * level)));
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace evs::net

@@ -1,0 +1,96 @@
+// Hierarchical timer wheel: O(1) set / cancel / fire for the event loop.
+//
+// The binary heap this replaces cost O(log n) per set_timer/cancel_timer,
+// which the detector's per-peer heartbeat pattern (arm, cancel, re-arm,
+// thousands of times a second at fleet scale) turned into the dominant
+// timer cost. The wheel hashes each deadline into one of six levels of 64
+// slots — level l covers deadlines up to 64^(l+1) ticks away, one tick =
+// 2^10 µs — so placement, cancellation (direct list-node erasure via an
+// id index) and expiry are all constant-time; entries far in the future
+// cascade down one level at a time as their slot comes due.
+//
+// The firing contract is exactly the heap's: timers fire in strict
+// (deadline, insertion-seq) order with microsecond deadlines. Slots only
+// bucket *storage* — entries whose tick has arrived move to an `imminent`
+// staging list that is sorted before anything is handed out, so sub-tick
+// ordering and the insertion-order tie-break survive the bucketing.
+//
+// The wheel is a pure data structure driven by caller-supplied `now`
+// values (monotone, never wall-clock), which keeps it unit-testable
+// without sleeping: tests drive cascades by jumping `now` forward.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "runtime/runtime.hpp"
+
+namespace evs::net {
+
+class TimerWheel {
+ public:
+  struct Entry {
+    SimTime deadline = 0;
+    std::uint64_t seq = 0;  // insertion sequence, the deadline tie-break
+    runtime::TimerId id = 0;
+  };
+
+  /// Granularity of one tick in microseconds (2^10 = 1.024 ms). Deadlines
+  /// keep full µs precision — the tick only sizes the hash buckets.
+  static constexpr int kTickBits = 10;
+  static constexpr int kSlotBits = 6;
+  static constexpr std::size_t kSlots = 1u << kSlotBits;  // 64
+  static constexpr int kLevels = 6;  // horizon ≈ 64^6 ticks ≈ 2.2 years
+
+  explicit TimerWheel(SimTime now = 0) : tick_(now >> kTickBits) {}
+
+  /// Inserts a timer; `seq` must be unique and monotone across inserts
+  /// (the caller's insertion counter), `id` unique among live timers.
+  void insert(SimTime deadline, std::uint64_t seq, runtime::TimerId id);
+
+  /// Cancels a timer in O(1); false if the id is unknown (already fired
+  /// or collected).
+  bool erase(runtime::TimerId id);
+
+  /// Moves every entry with deadline <= now into `out`, ordered by
+  /// (deadline, seq). Time must never go backwards across calls.
+  void collect_due(SimTime now, std::vector<Entry>& out);
+
+  /// A lower bound on the earliest pending deadline, for the caller's
+  /// wait computation: never later than the true earliest deadline (and
+  /// <= now when something is already due). For entries still bucketed in
+  /// a coarse level the hint is the slot's start time, so a far-future
+  /// timer costs at most one early wake per level as it cascades toward
+  /// precision.
+  std::optional<SimTime> next_deadline_hint(SimTime now);
+
+  std::size_t size() const { return index_.size(); }
+  bool empty() const { return index_.empty(); }
+
+ private:
+  using Slot = std::list<Entry>;
+  struct Location {
+    int level = 0;  // kImminent when staged in imminent_
+    std::size_t slot = 0;
+    Slot::iterator it;
+  };
+  static constexpr int kImminent = -1;
+
+  /// Files an entry into the level/slot its distance-from-now selects
+  /// (or imminent_ when its tick has already passed) and indexes it.
+  void place(Entry entry);
+  /// Advances the wheel clock to `now`, cascading higher-level slots as
+  /// their rounds begin and staging every expired slot into imminent_.
+  void advance(SimTime now);
+
+  Slot slots_[kLevels][kSlots];
+  Slot imminent_;
+  std::uint64_t tick_;  // next tick not yet staged
+  std::unordered_map<runtime::TimerId, Location> index_;
+};
+
+}  // namespace evs::net

@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -29,10 +30,24 @@ std::uint64_t addr_key(std::uint32_t ip_host_order, std::uint16_t port) {
   return (std::uint64_t{ip_host_order} << 16) | port;
 }
 
+std::uint64_t dest_key(SiteId site, std::uint32_t incarnation) {
+  return (std::uint64_t{site.value} << 32) | incarnation;
+}
+
+void put_u32_le(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+/// sendmmsg's vlen bound per invocation (the kernel clamps at UIO_MAXIOV).
+constexpr std::size_t kMaxBatch = 1024;
+
 }  // namespace
 
 UdpTransport::UdpTransport(EventLoop& loop, NodeConfig config)
-    : loop_(loop), config_(std::move(config)) {
+    : loop_(loop), config_(std::move(config)), coalesce_(config_.coalesce) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   EVS_CHECK_MSG(fd_ >= 0, "socket() failed");
 
@@ -55,10 +70,30 @@ UdpTransport::UdpTransport(EventLoop& loop, NodeConfig config)
   for (const auto& [site, addr] : config_.peers)
     addr_to_site_.emplace(addr_key(addr.ip, addr.port), site);
 
+  // Receive pool: buffers, iovecs and source-address slots are wired to
+  // their mmsghdrs once; only msg_namelen/msg_flags reset per recvmmsg.
+  recv_buffers_.resize(std::size_t{kRecvBatch} * kRecvBufSize);
+  recv_msgs_.resize(kRecvBatch);
+  recv_iovs_.resize(kRecvBatch);
+  recv_srcs_.resize(kRecvBatch);
+  for (unsigned k = 0; k < kRecvBatch; ++k) {
+    recv_iovs_[k] = iovec{&recv_buffers_[std::size_t{k} * kRecvBufSize],
+                          kRecvBufSize};
+    msghdr& hdr = recv_msgs_[k].msg_hdr;
+    hdr = msghdr{};
+    hdr.msg_name = &recv_srcs_[k];
+    hdr.msg_namelen = sizeof(sockaddr_in);
+    hdr.msg_iov = &recv_iovs_[k];
+    hdr.msg_iovlen = 1;
+  }
+
   loop_.add_fd(fd_, [this]() { on_readable(); });
+  flush_hook_ = loop_.add_flush_hook([this]() { flush(); });
 }
 
 UdpTransport::~UdpTransport() {
+  flush();  // best effort: frames queued before teardown are not stranded
+  loop_.remove_flush_hook(flush_hook_);
   if (fd_ >= 0) {
     loop_.remove_fd(fd_);
     ::close(fd_);
@@ -73,130 +108,254 @@ void UdpTransport::set_drop_site(SiteId site, bool on) {
   }
 }
 
-void UdpTransport::transmit(SiteId dest_site, std::uint32_t dest_incarnation,
-                            const std::uint8_t* payload, std::size_t size) {
-  if (drop_all_ || drop_sites_.contains(dest_site)) {
+void UdpTransport::enqueue(SiteId site, std::uint32_t dest_incarnation,
+                           SharedBytes payload) {
+  if (drop_all_ || drop_sites_.contains(site)) {
     ++stats_.dropped_rule;
     return;
   }
-  const auto it = config_.peers.find(dest_site);
-  if (it == config_.peers.end()) {
+  if (!config_.peers.contains(site)) {
     ++stats_.dropped_unknown_peer;
     return;
   }
-  if (size > kMaxPayload) {
+  if (payload.size() > kMaxPayload) {
     ++stats_.dropped_oversize;
-    EVS_WARN("udp: payload of " << size << " bytes exceeds the datagram bound"
-                                << " — dropped (dest " << to_string(dest_site)
+    EVS_WARN("udp: payload of " << payload.size()
+                                << " bytes exceeds the datagram bound"
+                                << " — dropped (dest " << to_string(site)
                                 << ")");
     return;
   }
-
-  std::uint8_t header[kHeaderSize];
-  encode_header(DatagramHeader{self(), dest_incarnation}, header);
-
-  iovec iov[2];
-  iov[0].iov_base = header;
-  iov[0].iov_len = kHeaderSize;
-  iov[1].iov_base = const_cast<std::uint8_t*>(payload);
-  iov[1].iov_len = size;
-
-  sockaddr_in dest = to_sockaddr(it->second);
-  msghdr msg{};
-  msg.msg_name = &dest;
-  msg.msg_namelen = sizeof(dest);
-  msg.msg_iov = iov;
-  msg.msg_iovlen = 2;
-
-  if (::sendmsg(fd_, &msg, 0) < 0) {
-    // A full socket buffer or transient network error is just loss — the
-    // substrate assumes lossy links, so we count it and move on.
-    ++stats_.send_errors;
-    return;
-  }
-  ++stats_.datagrams_sent;
-  stats_.bytes_sent += kHeaderSize + size;
+  pending_.push_back(PendingFrame{site, dest_incarnation, std::move(payload)});
 }
 
 void UdpTransport::send(ProcessId to, Bytes payload) {
   ++stats_.payload_copies;
-  transmit(to.site, to.incarnation, payload.data(), payload.size());
+  enqueue(to.site, to.incarnation, SharedBytes(std::move(payload)));
 }
 
 void UdpTransport::send_to_site(SiteId site, Bytes payload) {
   ++stats_.payload_copies;
-  transmit(site, /*dest_incarnation=*/0, payload.data(), payload.size());
+  enqueue(site, /*dest_incarnation=*/0, SharedBytes(std::move(payload)));
 }
 
 void UdpTransport::send_multi(const std::vector<ProcessId>& recipients,
                               SharedBytes payload) {
-  // Encode-once fan-out: every transmit scatter/gathers out of the one
-  // shared buffer; only the 16-byte header is rebuilt per recipient.
-  const Bytes& bytes = payload.bytes();
+  // Encode-once fan-out: every recipient's queue entry refcounts the one
+  // shared buffer; the flush scatter/gathers straight out of it.
   for (const ProcessId to : recipients) {
     ++stats_.payloads_shared;
-    transmit(to.site, to.incarnation, bytes.data(), bytes.size());
+    enqueue(to.site, to.incarnation, payload);
   }
 }
 
-void UdpTransport::on_readable() {
-  // Headroom past kMaxPayload lets recvmsg flag (rather than silently
-  // clip) a datagram larger than anything we would ever send.
-  std::uint8_t buffer[kHeaderSize + kMaxPayload + 1];
-  for (;;) {
-    sockaddr_in src{};
-    iovec iov{buffer, sizeof(buffer)};
-    msghdr msg{};
-    msg.msg_name = &src;
-    msg.msg_namelen = sizeof(src);
-    msg.msg_iov = &iov;
-    msg.msg_iovlen = 1;
+void UdpTransport::flush() {
+  if (pending_.empty()) return;
 
-    const ssize_t n = ::recvmsg(fd_, &msg, 0);
-    if (n < 0) {
+  // Group queued frames by destination (site, incarnation) in first-
+  // appearance order; per-destination FIFO order is what coalescing and
+  // the receiver's split preserve end to end.
+  flush_groups_.clear();
+  flush_group_order_.clear();
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const std::uint64_t key =
+        dest_key(pending_[i].site, pending_[i].dest_incarnation);
+    auto [it, inserted] = flush_groups_.try_emplace(key);
+    if (inserted) flush_group_order_.push_back(key);
+    it->second.push_back(i);
+  }
+
+  // Header/prefix/destination arenas are sized up front from worst-case
+  // bounds (one datagram and one prefix per frame), so pointers taken
+  // into them below stay stable. iovecs are patched in afterwards.
+  const std::size_t n = pending_.size();
+  out_headers_.resize(n * kHeaderSize);
+  out_prefixes_.resize(n * kSubFramePrefix);
+  out_dests_.resize(n);
+  out_msgs_.clear();
+  out_iov_first_.clear();
+  out_iovs_.clear();
+  out_frame_counts_.clear();
+  out_sizes_.clear();
+
+  for (const std::uint64_t key : flush_group_order_) {
+    const std::vector<std::size_t>& frames = flush_groups_[key];
+    const SiteId site = pending_[frames.front()].site;
+    const auto peer = config_.peers.find(site);
+    if (peer == config_.peers.end()) continue;  // guarded at enqueue
+    const sockaddr_in dest = to_sockaddr(peer->second);
+    const auto incarnation = static_cast<std::uint32_t>(key & 0xffffffffu);
+
+    std::size_t i = 0;
+    while (i < frames.size()) {
+      // Greedy pack: as many following frames for this destination as fit
+      // under kMaxPayload (with their length prefixes) and the frame cap.
+      std::size_t count = 1;
+      if (coalesce_) {
+        std::size_t wire =
+            kSubFramePrefix + pending_[frames[i]].payload.size();
+        while (i + count < frames.size() && count < kMaxFramesPerDatagram) {
+          const std::size_t next =
+              kSubFramePrefix + pending_[frames[i + count]].payload.size();
+          if (wire + next > kMaxPayload) break;
+          wire += next;
+          ++count;
+        }
+      }
+
+      const std::size_t d = out_msgs_.size();
+      std::uint8_t* header = &out_headers_[d * kHeaderSize];
+      encode_header(
+          DatagramHeader{self(), incarnation, /*coalesced=*/count > 1},
+          header);
+      out_dests_[d] = dest;
+
+      const std::size_t iov_first = out_iovs_.size();
+      out_iovs_.push_back(iovec{header, kHeaderSize});
+      std::size_t dgram_bytes = kHeaderSize;
+      for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t frame = frames[i + k];
+        const Bytes& bytes = pending_[frame].payload.bytes();
+        if (count > 1) {
+          std::uint8_t* prefix = &out_prefixes_[frame * kSubFramePrefix];
+          put_u32_le(prefix, static_cast<std::uint32_t>(bytes.size()));
+          out_iovs_.push_back(iovec{prefix, kSubFramePrefix});
+          dgram_bytes += kSubFramePrefix;
+        }
+        out_iovs_.push_back(
+            iovec{const_cast<std::uint8_t*>(bytes.data()), bytes.size()});
+        dgram_bytes += bytes.size();
+      }
+
+      mmsghdr msg{};
+      msg.msg_hdr.msg_name = &out_dests_[d];
+      msg.msg_hdr.msg_namelen = sizeof(sockaddr_in);
+      msg.msg_hdr.msg_iovlen = out_iovs_.size() - iov_first;
+      out_msgs_.push_back(msg);
+      out_iov_first_.push_back(iov_first);
+      out_frame_counts_.push_back(static_cast<std::uint32_t>(count));
+      out_sizes_.push_back(dgram_bytes);
+      i += count;
+    }
+  }
+
+  // All iovecs exist now; point each message at its range.
+  for (std::size_t d = 0; d < out_msgs_.size(); ++d)
+    out_msgs_[d].msg_hdr.msg_iov = &out_iovs_[out_iov_first_[d]];
+
+  std::size_t base = 0;
+  while (base < out_msgs_.size()) {
+    const auto vlen = static_cast<unsigned>(
+        std::min(out_msgs_.size() - base, kMaxBatch));
+    ++stats_.sendmsg_calls;
+    const int sent = ::sendmmsg(fd_, &out_msgs_[base], vlen, 0);
+    if (sent <= 0) {
+      // A full socket buffer or transient network error is loss for the
+      // datagram at the head of the batch — the substrate assumes lossy
+      // links — and the rest of the batch still gets its chance.
+      ++stats_.send_errors;
+      ++base;
+      continue;
+    }
+    for (int k = 0; k < sent; ++k) {
+      const std::size_t d = base + static_cast<std::size_t>(k);
+      ++stats_.datagrams_sent;
+      stats_.bytes_sent += out_sizes_[d];
+      stats_.frames_sent += out_frame_counts_[d];
+      if (out_frame_counts_[d] > 1) ++stats_.datagrams_coalesced;
+    }
+    base += static_cast<std::size_t>(sent);
+  }
+
+  pending_.clear();
+}
+
+void UdpTransport::on_readable() {
+  for (;;) {
+    for (unsigned k = 0; k < kRecvBatch; ++k) {
+      recv_msgs_[k].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+      recv_msgs_[k].msg_hdr.msg_flags = 0;
+    }
+    ++stats_.recvmsg_calls;
+    const int got = ::recvmmsg(fd_, recv_msgs_.data(), kRecvBatch, 0, nullptr);
+    if (got < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-      ++stats_.send_errors;  // unexpected socket error; keep serving
+      ++stats_.recv_errors;  // unexpected socket error; keep serving
       return;
     }
-    stats_.bytes_received += static_cast<std::uint64_t>(n);
+    for (int k = 0; k < got; ++k) {
+      handle_datagram(recv_srcs_[k],
+                      &recv_buffers_[std::size_t{static_cast<unsigned>(k)} *
+                                     kRecvBufSize],
+                      recv_msgs_[k].msg_len, recv_msgs_[k].msg_hdr.msg_flags);
+    }
+    // A short batch means the queue is drained; if a datagram lands right
+    // after, level-triggered epoll fires this handler again.
+    if (got < static_cast<int>(kRecvBatch)) return;
+  }
+}
 
-    if ((msg.msg_flags & MSG_TRUNC) != 0) {
-      ++stats_.dropped_truncated;
-      continue;
-    }
-    // Source validation first: traffic from an address outside the peer
-    // book is dropped before we even look at its bytes.
-    const auto site_it = addr_to_site_.find(
-        addr_key(ntohl(src.sin_addr.s_addr), ntohs(src.sin_port)));
-    if (site_it == addr_to_site_.end()) {
-      ++stats_.dropped_unknown_peer;
-      continue;
-    }
-    const auto header = parse_header(buffer, static_cast<std::size_t>(n));
-    if (!header) {
-      ++stats_.dropped_malformed;
-      continue;
-    }
-    // The claimed site must be the one the book maps the source address
-    // to — a spoofed site id is malformed traffic.
-    if (site_it->second != header->from.site) {
-      ++stats_.dropped_malformed;
-      continue;
-    }
-    if (drop_all_ || drop_sites_.contains(header->from.site)) {
-      ++stats_.dropped_rule;
-      continue;
-    }
-    // Incarnation addressing: datagrams for a previous incarnation of
-    // this site die here, matching sim::Network's dropped_dead.
-    if (header->dest_incarnation != 0 &&
-        header->dest_incarnation != config_.incarnation) {
-      ++stats_.dropped_stale_incarnation;
-      continue;
-    }
+void UdpTransport::handle_datagram(const sockaddr_in& src,
+                                   const std::uint8_t* data, std::size_t n,
+                                   int flags) {
+  stats_.bytes_received += n;
+
+  if ((flags & MSG_TRUNC) != 0) {
+    ++stats_.dropped_truncated;
+    return;
+  }
+  // Source validation first: traffic from an address outside the peer
+  // book is dropped before we even look at its bytes.
+  const auto site_it = addr_to_site_.find(
+      addr_key(ntohl(src.sin_addr.s_addr), ntohs(src.sin_port)));
+  if (site_it == addr_to_site_.end()) {
+    ++stats_.dropped_unknown_peer;
+    return;
+  }
+  const auto header = parse_header(data, n);
+  if (!header) {
+    ++stats_.dropped_malformed;
+    return;
+  }
+  // The claimed site must be the one the book maps the source address
+  // to — a spoofed site id is malformed traffic.
+  if (site_it->second != header->from.site) {
+    ++stats_.dropped_malformed;
+    return;
+  }
+  if (drop_all_ || drop_sites_.contains(header->from.site)) {
+    ++stats_.dropped_rule;
+    return;
+  }
+  // Incarnation addressing: datagrams for a previous incarnation of
+  // this site die here, matching sim::Network's dropped_dead.
+  if (header->dest_incarnation != 0 &&
+      header->dest_incarnation != config_.incarnation) {
+    ++stats_.dropped_stale_incarnation;
+    return;
+  }
+  if (!header->coalesced) {
     ++stats_.datagrams_received;
+    ++stats_.frames_received;
     if (deliver_) {
-      const Bytes payload(buffer + kHeaderSize, buffer + n);
+      const Bytes payload(data + kHeaderSize, data + n);
+      deliver_(header->from, payload);
+    }
+    return;
+  }
+  // Coalesced: validate the entire payload before delivering any frame —
+  // one bad sub-frame length rejects the whole datagram.
+  if (!split_subframes(data + kHeaderSize, n - kHeaderSize,
+                       subframe_scratch_)) {
+    ++stats_.dropped_malformed;
+    return;
+  }
+  ++stats_.datagrams_received;
+  stats_.frames_received += subframe_scratch_.size();
+  if (deliver_) {
+    for (const auto& [offset, length] : subframe_scratch_) {
+      const std::uint8_t* frame = data + kHeaderSize + offset;
+      const Bytes payload(frame, frame + length);
       deliver_(header->from, payload);
     }
   }
@@ -209,6 +368,14 @@ void UdpTransport::export_metrics(obs::MetricsRegistry& registry,
       .set(stats_.datagrams_received);
   registry.counter(prefix + ".bytes_sent").set(stats_.bytes_sent);
   registry.counter(prefix + ".bytes_received").set(stats_.bytes_received);
+  registry.counter(prefix + ".frames_sent").set(stats_.frames_sent);
+  registry.counter(prefix + ".frames_received").set(stats_.frames_received);
+  registry.counter(prefix + ".datagrams_coalesced")
+      .set(stats_.datagrams_coalesced);
+  registry.counter(prefix + ".syscalls.sendmsg_calls")
+      .set(stats_.sendmsg_calls);
+  registry.counter(prefix + ".syscalls.recvmsg_calls")
+      .set(stats_.recvmsg_calls);
   registry.counter(prefix + ".payload_copies").set(stats_.payload_copies);
   registry.counter(prefix + ".payloads_shared").set(stats_.payloads_shared);
   registry.counter(prefix + ".dropped_malformed").set(stats_.dropped_malformed);
@@ -220,6 +387,12 @@ void UdpTransport::export_metrics(obs::MetricsRegistry& registry,
   registry.counter(prefix + ".dropped_rule").set(stats_.dropped_rule);
   registry.counter(prefix + ".dropped_oversize").set(stats_.dropped_oversize);
   registry.counter(prefix + ".send_errors").set(stats_.send_errors);
+  registry.counter(prefix + ".recv_errors").set(stats_.recv_errors);
+  registry.gauge(prefix + ".frames_per_datagram")
+      .set(stats_.datagrams_sent == 0
+               ? 0.0
+               : static_cast<double>(stats_.frames_sent) /
+                     static_cast<double>(stats_.datagrams_sent));
 }
 
 }  // namespace evs::net

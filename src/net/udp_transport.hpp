@@ -6,39 +6,74 @@
 // NodeConfig — sites never move during a run, matching the paper's model
 // of sites as stable locations.
 //
-// The send path preserves the encode-once fan-out contract: send_multi
-// shares one SharedBytes frame across all recipients and transmits each
-// copy with sendmsg(iovec{header, payload}) — one encode, n sendtos, zero
-// payload copies (the per-recipient header lives on the stack because the
-// addressed incarnation differs per recipient).
+// The send path is batched: send/send_to_site/send_multi enqueue frames
+// (validated and counted at enqueue time, preserving the old synchronous
+// drop semantics) and flush() — run by the EventLoop's flush hook once
+// per loop iteration — packs the whole queue onto the wire:
 //
-// The receive path is bounded and drop-oriented: the substrate already
-// assumes lossy links, so every malformed, truncated, spoofed,
-// unknown-peer or stale-incarnation datagram is counted and dropped — no
-// new protocol machinery, exactly the sim::Network drop semantics.
+//   * frames to the same (site, incarnation) may be coalesced into one
+//     datagram of length-prefixed sub-frames (magic "EVSB"), so a tick's
+//     burst of small protocol messages costs one datagram per peer;
+//   * all datagrams of the flush go down in one sendmmsg() (headers and
+//     sub-frame prefixes encoded into preallocated arenas, payload bytes
+//     scatter/gathered straight out of their SharedBytes buffers — the
+//     encode-once fan-out contract survives batching *and* coalescing);
+//   * a sendmmsg failure is loss for exactly one datagram (counted in
+//     send_errors, the rest of the batch still goes out), matching the
+//     old per-datagram sendmsg error handling.
+//
+// The receive path drains the socket with recvmmsg() into a reusable
+// buffer pool and splits coalesced datagrams back into individual frames
+// before delivery — same frames, same per-peer order as the unbatched
+// path. It stays bounded and drop-oriented: the substrate already assumes
+// lossy links, so every malformed, truncated, spoofed, unknown-peer or
+// stale-incarnation datagram is counted and dropped — a malformed
+// sub-frame length rejects its whole datagram (no partial delivery).
 // Drop-rules (set_drop_all / set_drop_site) emulate partitions for tests
 // and demos, the real-socket analogue of sim::Network::set_partition.
 #pragma once
+
+#include <netinet/in.h>
+#include <sys/socket.h>
 
 #include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "net/config.hpp"
+#include "net/datagram.hpp"
 #include "net/event_loop.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/runtime.hpp"
 
 namespace evs::net {
 
+/// Most sub-frames one coalesced datagram will carry. Keeps the iovec
+/// count per message (1 header + 2 per frame) far under IOV_MAX while
+/// still amortizing one datagram over a whole tick's worth of small
+/// protocol messages.
+inline constexpr std::size_t kMaxFramesPerDatagram = 128;
+
 struct UdpStats {
   std::uint64_t datagrams_sent = 0;
   std::uint64_t datagrams_received = 0;  // accepted and delivered
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
+  /// Protocol frames carried by sent / accepted datagrams; exceeds the
+  /// datagram counters exactly by what coalescing packed together.
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  /// Sent datagrams that carried >= 2 coalesced sub-frames.
+  std::uint64_t datagrams_coalesced = 0;
+  /// Syscall counters: the wire path's real cost. sendmsg_calls counts
+  /// sendmmsg() invocations, recvmsg_calls counts recvmmsg() — each
+  /// covers a whole batch, so calls << datagrams is the win being bought.
+  std::uint64_t sendmsg_calls = 0;
+  std::uint64_t recvmsg_calls = 0;
   /// Sends that owned their buffer (send / send_to_site): one heap buffer.
   std::uint64_t payload_copies = 0;
   /// Sends off a ref-counted fan-out buffer (send_multi): no copy at all.
@@ -49,7 +84,8 @@ struct UdpStats {
   std::uint64_t dropped_stale_incarnation = 0;
   std::uint64_t dropped_rule = 0;   // partition drop-rules
   std::uint64_t dropped_oversize = 0;  // payload > kMaxPayload on send
-  std::uint64_t send_errors = 0;    // sendmsg failures (EAGAIN, ENETUNREACH..)
+  std::uint64_t send_errors = 0;    // sendmmsg failures (EAGAIN, ENETUNREACH..)
+  std::uint64_t recv_errors = 0;    // unexpected recvmmsg failures
 };
 
 class UdpTransport final : public runtime::Transport {
@@ -71,14 +107,27 @@ class UdpTransport final : public runtime::Transport {
   /// Registers the deliver-callback (the hosted node's on_message).
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 
-  // runtime::Transport.
+  // runtime::Transport. Frames are queued; the loop's flush hook (or an
+  // explicit flush()) puts them on the wire.
   void send(ProcessId to, Bytes payload) override;
   void send_to_site(SiteId site, Bytes payload) override;
   void send_multi(const std::vector<ProcessId>& recipients,
                   SharedBytes payload) override;
 
+  /// Transmits everything queued since the last flush: groups frames per
+  /// (site, incarnation), coalesces where enabled, and issues one
+  /// sendmmsg per <= 1024 datagrams. Idempotent when the queue is empty.
+  void flush();
+  std::size_t pending_frames() const { return pending_.size(); }
+
+  /// Toggles small-message coalescing (initialized from config.coalesce).
+  /// Batched sendmmsg and the wire format are unaffected; this only
+  /// controls whether a flush may pack frames together.
+  void set_coalescing(bool on) { coalesce_ = on; }
+  bool coalescing() const { return coalesce_; }
+
   /// Partition emulation: drop all traffic in both directions (incoming
-  /// datagrams are discarded on receive, outgoing before sendmsg).
+  /// datagrams are discarded on receive, outgoing at enqueue time).
   void set_drop_all(bool on) { drop_all_ = on; }
   void set_drop_site(SiteId site, bool on);
 
@@ -87,10 +136,23 @@ class UdpTransport final : public runtime::Transport {
                       const std::string& prefix = "udp") const;
 
  private:
+  friend struct UdpTransportTestHook;  // tests inject socket-level faults
+
+  struct PendingFrame {
+    SiteId site;
+    std::uint32_t dest_incarnation = 0;
+    SharedBytes payload;
+  };
+
+  /// Enqueue-time validation and accounting (drop rules, unknown peer,
+  /// oversize), so counters move when send() runs, not at flush.
+  void enqueue(SiteId site, std::uint32_t dest_incarnation,
+               SharedBytes payload);
   void on_readable();
-  /// Sends one datagram: header (stack) + payload via scatter/gather.
-  void transmit(SiteId dest_site, std::uint32_t dest_incarnation,
-                const std::uint8_t* payload, std::size_t size);
+  /// Validates and delivers one received datagram (splitting coalesced
+  /// payloads); `n` is the wire size, `flags` the per-message msg_flags.
+  void handle_datagram(const sockaddr_in& src, const std::uint8_t* data,
+                       std::size_t n, int flags);
 
   EventLoop& loop_;
   NodeConfig config_;
@@ -98,10 +160,38 @@ class UdpTransport final : public runtime::Transport {
   std::uint16_t bound_port_ = 0;
   DeliverFn deliver_;
   UdpStats stats_;
+  bool coalesce_ = true;
   bool drop_all_ = false;
   std::unordered_set<SiteId> drop_sites_;
   /// (ip << 16 | port) -> site, for source validation on receive.
   std::unordered_map<std::uint64_t, SiteId> addr_to_site_;
+  EventLoop::FlushHookId flush_hook_ = 0;
+
+  std::vector<PendingFrame> pending_;
+
+  // Flush arenas, reused across flushes (grow-only): mmsghdr/iovec/
+  // sockaddr/header/prefix storage filled per flush, with iovec ranges
+  // patched into the mmsghdrs only after every push_back is done so
+  // vector growth can never leave a stale pointer behind.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> flush_groups_;
+  std::vector<std::uint64_t> flush_group_order_;
+  std::vector<mmsghdr> out_msgs_;
+  std::vector<std::size_t> out_iov_first_;
+  std::vector<iovec> out_iovs_;
+  std::vector<sockaddr_in> out_dests_;
+  std::vector<std::uint8_t> out_headers_;
+  std::vector<std::uint8_t> out_prefixes_;
+  std::vector<std::uint32_t> out_frame_counts_;
+  std::vector<std::size_t> out_sizes_;
+
+  // Receive pool: kRecvBatch fixed-size buffers drained per recvmmsg.
+  static constexpr unsigned kRecvBatch = 16;
+  static constexpr std::size_t kRecvBufSize = kHeaderSize + kMaxPayload + 1;
+  std::vector<std::uint8_t> recv_buffers_;
+  std::vector<mmsghdr> recv_msgs_;
+  std::vector<iovec> recv_iovs_;
+  std::vector<sockaddr_in> recv_srcs_;
+  std::vector<std::pair<std::size_t, std::size_t>> subframe_scratch_;
 };
 
 }  // namespace evs::net

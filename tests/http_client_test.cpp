@@ -1,0 +1,152 @@
+// Tests for the fleet tools' HTTP client (tools/http_client.hpp):
+// bounded in-flight concurrency and the connect-failure retry. The
+// "server" side is a plain blocking loopback listener driven by a test
+// thread, so every observable (which connection exists when, how many
+// connect attempts a refused port sees) is under test control.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http_client.hpp"
+
+namespace evs::tools {
+namespace {
+
+constexpr std::uint32_t kLoopback = (127u << 24) | 1u;
+
+/// Listening loopback socket on an ephemeral port.
+int make_listener(std::uint16_t& port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  EXPECT_EQ(::listen(fd, 8), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  port = ntohs(addr.sin_port);
+  return fd;
+}
+
+/// Serves one accepted connection: reads to the header terminator, sends
+/// a 200 with `body`, closes.
+void serve_one(int client, const std::string& body) {
+  std::string in;
+  char buf[1024];
+  while (in.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::read(client, buf, sizeof(buf));
+    if (n <= 0) break;
+    in.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::string out = "HTTP/1.0 200 OK\r\n\r\n" + body;
+  (void)!::write(client, out.data(), out.size());
+  ::close(client);
+}
+
+/// A port with nothing listening: bind, learn the number, close.
+std::uint16_t refused_port() {
+  std::uint16_t port = 0;
+  const int fd = make_listener(port);
+  ::close(fd);
+  return port;
+}
+
+TEST(HttpClient, InFlightCapDefersLaterConnections) {
+  std::uint16_t port = 0;
+  const int listener = make_listener(port);
+  std::atomic<bool> early_second{false};
+  std::thread server([&]() {
+    for (int i = 0; i < 3; ++i) {
+      const int client = ::accept(listener, nullptr, nullptr);
+      ASSERT_GE(client, 0);
+      if (i == 0) {
+        // With max_in_flight=1 the second connection must not exist
+        // until this first exchange completes; a readable listener here
+        // means the cap leaked. (Loopback connects land in microseconds,
+        // so 150 ms of silence is decisive.)
+        pollfd probe{listener, POLLIN, 0};
+        if (::poll(&probe, 1, 150) > 0) early_second = true;
+      }
+      serve_one(client, "r" + std::to_string(i));
+    }
+  });
+
+  std::vector<HttpRequest> requests(3);
+  for (auto& request : requests)
+    request.addr = net::PeerAddr{kLoopback, port};
+  HttpOptions options;
+  options.max_in_flight = 1;
+  const auto responses = http_fetch_all(requests, 5000, options);
+  server.join();
+  ::close(listener);
+
+  ASSERT_EQ(responses.size(), 3u);
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_TRUE(responses[i].success()) << "request " << i;
+    EXPECT_EQ(responses[i].attempts, 1) << "request " << i;
+  }
+  // FIFO admission: results stay index-aligned with requests.
+  EXPECT_EQ(responses[0].body, "r0");
+  EXPECT_EQ(responses[2].body, "r2");
+  EXPECT_FALSE(early_second.load()) << "cap of 1 opened a second connection";
+}
+
+TEST(HttpClient, RetriesRefusedConnectOnceByDefault) {
+  std::vector<HttpRequest> requests(1);
+  requests[0].addr = net::PeerAddr{kLoopback, refused_port()};
+  HttpOptions options;
+  options.retry_backoff_ms = 1;  // keep the test fast
+  const auto responses = http_fetch_all(requests, 2000, options);
+  EXPECT_FALSE(responses[0].ok);
+  EXPECT_EQ(responses[0].attempts, 2);  // original + one retry
+}
+
+TEST(HttpClient, RetryBudgetIsConfigurable) {
+  std::vector<HttpRequest> requests(1);
+  requests[0].addr = net::PeerAddr{kLoopback, refused_port()};
+  HttpOptions options;
+  options.retry_backoff_ms = 1;
+  options.connect_retries = 0;
+  EXPECT_EQ(http_fetch_all(requests, 2000, options)[0].attempts, 1);
+  options.connect_retries = 3;
+  EXPECT_EQ(http_fetch_all(requests, 2000, options)[0].attempts, 4);
+}
+
+TEST(HttpClient, MixedBatchKeepsIndexAlignmentAcrossRetries) {
+  std::uint16_t port = 0;
+  const int listener = make_listener(port);
+  std::thread server([&]() {
+    const int client = ::accept(listener, nullptr, nullptr);
+    ASSERT_GE(client, 0);
+    serve_one(client, "alive");
+  });
+
+  std::vector<HttpRequest> requests(2);
+  requests[0].addr = net::PeerAddr{kLoopback, refused_port()};
+  requests[1].addr = net::PeerAddr{kLoopback, port};
+  HttpOptions options;
+  options.retry_backoff_ms = 1;
+  const auto responses = http_fetch_all(requests, 5000, options);
+  server.join();
+  ::close(listener);
+
+  EXPECT_FALSE(responses[0].ok);
+  EXPECT_EQ(responses[0].attempts, 2);
+  ASSERT_TRUE(responses[1].success());
+  EXPECT_EQ(responses[1].body, "alive");
+  EXPECT_EQ(responses[1].attempts, 1);
+}
+
+}  // namespace
+}  // namespace evs::tools

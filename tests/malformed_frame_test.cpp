@@ -12,8 +12,10 @@
 // discarded and keep its view intact).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
 #include <random>
+#include <utility>
 #include <vector>
 
 #include "codec/codec.hpp"
@@ -201,6 +203,128 @@ TEST(MalformedFrame, DatagramHeaderRejectsGarbage) {
     if (parsed) {
       EXPECT_EQ(buf[0], static_cast<std::uint8_t>(net::kDatagramMagic & 0xff));
     }
+  }
+}
+
+// --- Coalesced-datagram sub-frame format (net/datagram.hpp) ---
+
+/// Packs frames into one coalesced payload: [u32 LE len][frame]...
+Bytes coalesce_payload(const std::vector<Bytes>& frames) {
+  Bytes payload;
+  for (const Bytes& frame : frames) {
+    const auto len = static_cast<std::uint32_t>(frame.size());
+    payload.push_back(static_cast<std::uint8_t>(len));
+    payload.push_back(static_cast<std::uint8_t>(len >> 8));
+    payload.push_back(static_cast<std::uint8_t>(len >> 16));
+    payload.push_back(static_cast<std::uint8_t>(len >> 24));
+    payload.insert(payload.end(), frame.begin(), frame.end());
+  }
+  return payload;
+}
+
+/// The split invariant: either the whole payload parses into in-bounds,
+/// contiguous, non-empty spans, or it is rejected with `out` cleared.
+void expect_clean_split(const Bytes& payload) {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  const bool ok =
+      net::split_subframes(payload.data(), payload.size(), spans);
+  if (!ok) {
+    EXPECT_TRUE(spans.empty());
+    return;
+  }
+  ASSERT_FALSE(spans.empty());
+  std::size_t expect_offset = net::kSubFramePrefix;
+  for (const auto& [offset, length] : spans) {
+    EXPECT_EQ(offset, expect_offset);
+    EXPECT_GE(length, 1u);
+    ASSERT_LE(offset + length, payload.size());
+    // Each recovered sub-frame feeds the same decoder the endpoint uses;
+    // hostile contents must still only ever raise DecodeError.
+    expect_clean_decode(
+        Bytes(payload.begin() + static_cast<long>(offset),
+              payload.begin() + static_cast<long>(offset + length)));
+    expect_offset = offset + length + net::kSubFramePrefix;
+  }
+  // Full coverage: the last span ends exactly at the payload end.
+  EXPECT_EQ(spans.back().first + spans.back().second, payload.size());
+}
+
+TEST(MalformedFrame, SubframeRoundTripRecoversCorpus) {
+  const std::vector<Bytes> frames = corpus();
+  const Bytes payload = coalesce_payload(frames);
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  ASSERT_TRUE(net::split_subframes(payload.data(), payload.size(), spans));
+  ASSERT_EQ(spans.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const auto& [offset, length] = spans[i];
+    EXPECT_EQ(Bytes(payload.begin() + static_cast<long>(offset),
+                    payload.begin() + static_cast<long>(offset + length)),
+              frames[i]);
+  }
+}
+
+TEST(MalformedFrame, SubframeTruncationIsAllOrNothing) {
+  // Every strict prefix of a coalesced payload either ends exactly on a
+  // sub-frame boundary (a valid, shorter sequence) or rejects outright —
+  // a truncated final sub-frame must never deliver its intact siblings.
+  const std::vector<Bytes> frames = corpus();
+  const Bytes payload = coalesce_payload(frames);
+  std::vector<std::size_t> boundaries;
+  std::size_t at = 0;
+  for (const Bytes& frame : frames) {
+    at += net::kSubFramePrefix + frame.size();
+    boundaries.push_back(at);
+  }
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    std::vector<std::pair<std::size_t, std::size_t>> spans;
+    const bool ok = net::split_subframes(payload.data(), len, spans);
+    const bool on_boundary =
+        std::find(boundaries.begin(), boundaries.end(), len) !=
+        boundaries.end();
+    EXPECT_EQ(ok, on_boundary && len > 0) << "prefix length " << len;
+    expect_clean_split(Bytes(payload.begin(),
+                             payload.begin() + static_cast<long>(len)));
+  }
+}
+
+TEST(MalformedFrame, SubframeBitFlipsSplitCleanly) {
+  // Bit flips landing in a length prefix produce garbage lengths (zero,
+  // overlong, just-past-the-end); the split must reject or stay in
+  // bounds, never read past the payload.
+  std::mt19937_64 rng(0xBADC0DE);
+  const Bytes payload = coalesce_payload(corpus());
+  for (int round = 0; round < 2000; ++round) {
+    Bytes mutated = payload;
+    std::uniform_int_distribution<int> flips(1, 8);
+    const int n = flips(rng);
+    for (int i = 0; i < n; ++i) {
+      std::uniform_int_distribution<std::size_t> pos(0, mutated.size() - 1);
+      std::uniform_int_distribution<int> bit(0, 7);
+      mutated[pos(rng)] ^= static_cast<std::uint8_t>(1 << bit(rng));
+    }
+    expect_clean_split(mutated);
+  }
+}
+
+TEST(MalformedFrame, SubframeGarbageSplitsCleanly) {
+  std::mt19937_64 rng(0x5EEDF00D);
+  for (int round = 0; round < 4000; ++round) {
+    std::uniform_int_distribution<std::size_t> len_dist(0, 128);
+    Bytes garbage(len_dist(rng));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng());
+    expect_clean_split(garbage);
+  }
+  // Targeted garbage lengths: zero, max-u32 and one-past-the-end.
+  for (const std::uint32_t evil : {0u, 0xffffffffu, 5u}) {
+    Bytes payload = coalesce_payload({Bytes{1, 2, 3, 4}});
+    payload[0] = static_cast<std::uint8_t>(evil);
+    payload[1] = static_cast<std::uint8_t>(evil >> 8);
+    payload[2] = static_cast<std::uint8_t>(evil >> 16);
+    payload[3] = static_cast<std::uint8_t>(evil >> 24);
+    std::vector<std::pair<std::size_t, std::size_t>> spans;
+    EXPECT_FALSE(net::split_subframes(payload.data(), payload.size(), spans))
+        << "length " << evil;
+    EXPECT_TRUE(spans.empty());
   }
 }
 

@@ -323,6 +323,14 @@ int main(int argc, char** argv) {
       die("node" + std::to_string(i) + " /metrics lacks transport counters");
     if (!contains_after(metrics, 0, "\"transport.dropped_malformed\":"))
       die("node" + std::to_string(i) + " /metrics lacks drop counters");
+    if (!contains_after(metrics, 0, "\"transport.syscalls.sendmsg_calls\":") ||
+        !contains_after(metrics, 0, "\"transport.syscalls.recvmsg_calls\":"))
+      die("node" + std::to_string(i) + " /metrics lacks syscall counters");
+    if (!contains_after(metrics, 0, "\"transport.recv_errors\":"))
+      die("node" + std::to_string(i) + " /metrics lacks recv_errors");
+    if (!contains_after(metrics, 0, "\"transport.datagrams_coalesced\":") ||
+        !contains_after(metrics, 0, "\"transport.frames_sent\":"))
+      die("node" + std::to_string(i) + " /metrics lacks coalescing counters");
     if (!contains_after(metrics, 0, "\"node.app_delivered\":"))
       die("node" + std::to_string(i) + " /metrics lacks endpoint counters");
 

@@ -18,6 +18,19 @@
 #include "net/event_loop.hpp"
 #include "net/udp_transport.hpp"
 
+namespace evs::net {
+
+/// Test-only seam: lets a test invoke the socket-readable path directly
+/// after sabotaging the fd, so receive-error accounting is reachable
+/// without a cooperating kernel.
+struct UdpTransportTestHook {
+  static void inject_readable(UdpTransport& transport) {
+    transport.on_readable();
+  }
+};
+
+}  // namespace evs::net
+
 namespace evs::test {
 namespace {
 
@@ -244,16 +257,18 @@ TEST(EventLoop, CancelledTimersDoNotGrowTheHeapWithoutBound) {
   loop.cancel_timer(keep);
 }
 
-TEST(EventLoop, CancelledTopEntryIsPurgedBeforeComputingWaits) {
-  // A cancelled near-term timer used to sit at the heap top and clamp
-  // every epoll wait to its dead deadline (early wakes until it came
-  // due). The purge drops dead top entries at the start of each step, so
-  // they can never be the wait bound.
+TEST(EventLoop, CancelledTimerLeavesNoQueuedEntryBehind) {
+  // The old binary heap left a cancelled entry behind (purged lazily); a
+  // cancelled near-term timer could clamp epoll waits to its dead
+  // deadline until the purge caught up. The timer wheel erases its entry
+  // directly, so a cancel can never be a wait bound — observable as
+  // queued_timers() dropping to zero immediately.
   EventLoop loop;
   loop.cancel_timer(loop.set_timer(3'600'000'000, []() {}));
-  EXPECT_EQ(loop.queued_timers(), 1u);  // lazily left in the heap...
+  EXPECT_EQ(loop.queued_timers(), 0u);
+  EXPECT_EQ(loop.pending_timers(), 0u);
   loop.run_for(kMillisecond);
-  EXPECT_EQ(loop.queued_timers(), 0u);  // ...purged by the first step
+  EXPECT_EQ(loop.queued_timers(), 0u);
   EXPECT_EQ(loop.pending_timers(), 0u);
 }
 
@@ -420,6 +435,145 @@ TEST_F(UdpPair, DropRulesEmulatePartition) {
   a_->send(b_->self(), Bytes{3});
   EXPECT_EQ(a_->stats().datagrams_sent, sent_before);
   EXPECT_EQ(a_->stats().dropped_rule, 1u);
+}
+
+TEST_F(UdpPair, ExplicitFlushDrainsTheSendQueue) {
+  // send() only queues; flush() is what reaches the wire. The loop's
+  // flush hook calls it every step, but it is also a public, synchronous
+  // operation.
+  a_->send(b_->self(), Bytes{1});
+  EXPECT_EQ(a_->pending_frames(), 1u);
+  EXPECT_EQ(a_->stats().datagrams_sent, 0u);
+  a_->flush();
+  EXPECT_EQ(a_->pending_frames(), 0u);
+  EXPECT_EQ(a_->stats().datagrams_sent, 1u);
+  EXPECT_EQ(a_->stats().frames_sent, 1u);
+  EXPECT_EQ(a_->stats().sendmsg_calls, 1u);
+}
+
+TEST_F(UdpPair, CoalescesSmallFramesIntoOneDatagramInOrder) {
+  std::vector<Bytes> got;
+  b_->set_deliver(
+      [&](ProcessId, const Bytes& payload) { got.push_back(payload); });
+  std::vector<Bytes> sent;
+  for (std::uint8_t i = 0; i < 8; ++i) {
+    sent.push_back(Bytes{i, static_cast<std::uint8_t>(i + 100)});
+    a_->send(b_->self(), sent.back());
+  }
+  ASSERT_TRUE(await([&]() { return got.size() == 8; }));
+  EXPECT_EQ(got, sent);  // same frames, same order
+  // One tick's burst to one peer = one coalesced datagram, one syscall.
+  EXPECT_EQ(a_->stats().datagrams_sent, 1u);
+  EXPECT_EQ(a_->stats().frames_sent, 8u);
+  EXPECT_EQ(a_->stats().datagrams_coalesced, 1u);
+  EXPECT_EQ(a_->stats().sendmsg_calls, 1u);
+  EXPECT_EQ(b_->stats().datagrams_received, 1u);
+  EXPECT_EQ(b_->stats().frames_received, 8u);
+}
+
+TEST_F(UdpPair, CoalescingOffSendsOneDatagramPerFrameInOneSyscall) {
+  ASSERT_TRUE(a_->coalescing());  // config default
+  a_->set_coalescing(false);
+  std::vector<Bytes> got;
+  b_->set_deliver(
+      [&](ProcessId, const Bytes& payload) { got.push_back(payload); });
+  for (std::uint8_t i = 0; i < 5; ++i) a_->send(b_->self(), Bytes{i});
+  ASSERT_TRUE(await([&]() { return got.size() == 5; }));
+  for (std::uint8_t i = 0; i < 5; ++i) EXPECT_EQ(got[i], Bytes{i});
+  // Five plain datagrams — but still one sendmmsg for the whole flush.
+  EXPECT_EQ(a_->stats().datagrams_sent, 5u);
+  EXPECT_EQ(a_->stats().datagrams_coalesced, 0u);
+  EXPECT_EQ(a_->stats().sendmsg_calls, 1u);
+  EXPECT_EQ(b_->stats().datagrams_received, 5u);
+  EXPECT_EQ(b_->stats().frames_received, 5u);
+}
+
+TEST_F(UdpPair, FlushBatchesMultipleDestinationsIntoOneSyscall) {
+  // Frames for different (site, incarnation) keys cannot share a
+  // datagram, but they do share the flush's sendmmsg.
+  int got = 0;
+  a_->set_deliver([&](ProcessId, const Bytes&) { ++got; });
+  b_->set_deliver([&](ProcessId, const Bytes&) { ++got; });
+  a_->send(b_->self(), Bytes{1});        // incarnation-addressed to b
+  a_->send_to_site(SiteId{1}, Bytes{2});  // site-addressed to b (key differs)
+  a_->send(a_->self(), Bytes{3});        // loopback to self
+  a_->flush();
+  EXPECT_EQ(a_->stats().datagrams_sent, 3u);
+  EXPECT_EQ(a_->stats().sendmsg_calls, 1u);
+  EXPECT_TRUE(await([&]() { return got == 3; }));
+}
+
+TEST_F(UdpPair, MalformedCoalescedDatagramIsRejectedWhole) {
+  // A coalesced ("EVSB") datagram whose sub-frame framing is broken must
+  // drop in full — even when an intact frame precedes the damage.
+  int got = 0;
+  b_->set_deliver([&](ProcessId, const Bytes&) { ++got; });
+  sockaddr_in dest{};
+  dest.sin_family = AF_INET;
+  dest.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  dest.sin_port = htons(b_->config().self_addr().port);
+
+  // Header claims coalesced; payload = [len=2]["hi"][len=100](nothing).
+  std::vector<std::uint8_t> datagram(net::kHeaderSize);
+  net::encode_header(
+      net::DatagramHeader{a_->self(), 0, /*coalesced=*/true},
+      datagram.data());
+  const std::uint8_t tail[] = {2, 0, 0, 0, 'h', 'i', 100, 0, 0, 0};
+  datagram.insert(datagram.end(), tail, tail + sizeof(tail));
+  ::sendto(a_->fd(), datagram.data(), datagram.size(), 0,
+           reinterpret_cast<sockaddr*>(&dest), sizeof(dest));
+  ASSERT_TRUE(await([&]() { return b_->stats().dropped_malformed == 1; }));
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(b_->stats().frames_received, 0u);
+  EXPECT_EQ(b_->stats().datagrams_received, 0u);
+
+  // An "EVSB" envelope with zero sub-frames is malformed too.
+  datagram.resize(net::kHeaderSize);
+  ::sendto(a_->fd(), datagram.data(), datagram.size(), 0,
+           reinterpret_cast<sockaddr*>(&dest), sizeof(dest));
+  ASSERT_TRUE(await([&]() { return b_->stats().dropped_malformed == 2; }));
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(UdpPair, ReceiveErrorsCountAsRecvErrorsNotSendErrors) {
+  // Sabotage the socket out from under the transport: after dup2,
+  // recvmmsg on the fd fails with ENOTSOCK. The readable path must
+  // count that as a receive error — it used to land in send_errors.
+  const int null_fd = ::open("/dev/null", O_RDONLY);
+  ASSERT_GE(null_fd, 0);
+  ASSERT_EQ(::dup2(null_fd, b_->fd()), b_->fd());
+  ::close(null_fd);
+  net::UdpTransportTestHook::inject_readable(*b_);
+  EXPECT_EQ(b_->stats().recv_errors, 1u);
+  EXPECT_EQ(b_->stats().send_errors, 0u);
+}
+
+TEST(NetConfig, ParsesCoalesceToggle) {
+  const char* base =
+      "self 0\n"
+      "peer 0 127.0.0.1:9000\n"
+      "peer 1 127.0.0.1:9001\n";
+  {
+    std::istringstream in(base);
+    NodeConfig config;
+    std::string error;
+    ASSERT_TRUE(net::parse_node_config(in, config, error)) << error;
+    EXPECT_TRUE(config.coalesce);  // default on
+  }
+  {
+    std::istringstream in(std::string(base) + "coalesce off\n");
+    NodeConfig config;
+    std::string error;
+    ASSERT_TRUE(net::parse_node_config(in, config, error)) << error;
+    EXPECT_FALSE(config.coalesce);
+  }
+  {
+    std::istringstream in(std::string(base) + "coalesce maybe\n");
+    NodeConfig config;
+    std::string error;
+    EXPECT_FALSE(net::parse_node_config(in, config, error));
+    EXPECT_FALSE(error.empty());
+  }
 }
 
 }  // namespace

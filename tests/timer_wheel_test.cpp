@@ -1,0 +1,227 @@
+// Unit tests for the hierarchical timer wheel (net/timer_wheel.hpp).
+//
+// The wheel replaced the event loop's binary heap, so the contract under
+// test is the heap's: strict (deadline, insertion-seq) firing order at
+// microsecond deadlines, O(1)-bounded storage under set/cancel churn,
+// and correct cascading for deadlines far enough out to live in the
+// coarse levels. The wheel is driven with synthetic `now` values — no
+// sleeping, every cascade is forced by jumping time.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/timer_wheel.hpp"
+
+namespace evs::net {
+namespace {
+
+using Entry = TimerWheel::Entry;
+
+constexpr SimTime kTick = SimTime{1} << TimerWheel::kTickBits;
+
+std::vector<runtime::TimerId> collect_ids(TimerWheel& wheel, SimTime now) {
+  std::vector<Entry> due;
+  wheel.collect_due(now, due);
+  std::vector<runtime::TimerId> ids;
+  ids.reserve(due.size());
+  for (const Entry& entry : due) ids.push_back(entry.id);
+  return ids;
+}
+
+TEST(TimerWheel, FiresInDeadlineOrderWithSeqTieBreak) {
+  // Same contract the heap enforced: deadline first, insertion sequence
+  // second. Insert out of order, with a three-way tie at t=5000.
+  TimerWheel wheel;
+  wheel.insert(/*deadline=*/5000, /*seq=*/2, /*id=*/12);
+  wheel.insert(9000, 1, 11);
+  wheel.insert(5000, 4, 14);
+  wheel.insert(1000, 3, 13);
+  wheel.insert(5000, 5, 15);
+
+  EXPECT_EQ(collect_ids(wheel, 999), (std::vector<runtime::TimerId>{}));
+  EXPECT_EQ(collect_ids(wheel, 1000), (std::vector<runtime::TimerId>{13}));
+  EXPECT_EQ(collect_ids(wheel, 10000),
+            (std::vector<runtime::TimerId>{12, 14, 15, 11}));
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, SubTickOrderingSurvivesBucketing) {
+  // Deadlines 3 µs apart land in the same 1024 µs bucket; the imminent-
+  // list sort must still hand them out in exact deadline order.
+  TimerWheel wheel;
+  wheel.insert(103, 1, 1);
+  wheel.insert(100, 2, 2);
+  wheel.insert(106, 3, 3);
+  EXPECT_EQ(collect_ids(wheel, 104), (std::vector<runtime::TimerId>{2, 1}));
+  EXPECT_EQ(collect_ids(wheel, 200), (std::vector<runtime::TimerId>{3}));
+}
+
+TEST(TimerWheel, EraseIsExactAndIdempotent) {
+  TimerWheel wheel;
+  wheel.insert(1000, 1, 1);
+  wheel.insert(2000, 2, 2);
+  EXPECT_TRUE(wheel.erase(1));
+  EXPECT_FALSE(wheel.erase(1));  // already gone
+  EXPECT_FALSE(wheel.erase(99));  // never inserted
+  EXPECT_EQ(wheel.size(), 1u);
+  EXPECT_EQ(collect_ids(wheel, 10000), (std::vector<runtime::TimerId>{2}));
+}
+
+TEST(TimerWheel, SetCancelChurnLeavesNoResidue) {
+  // The heartbeat detector's pattern: arm, cancel, re-arm, thousands of
+  // times. The heap left cancelled entries behind (bounded by a purge);
+  // the wheel must stay exactly at the live count.
+  TimerWheel wheel;
+  std::uint64_t seq = 0;
+  runtime::TimerId id = 1;
+  for (int round = 0; round < 5000; ++round) {
+    const runtime::TimerId this_id = id++;
+    wheel.insert(120'000 + round, seq++, this_id);
+    ASSERT_TRUE(wheel.erase(this_id));
+  }
+  EXPECT_EQ(wheel.size(), 0u);
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_FALSE(wheel.next_deadline_hint(0).has_value());
+}
+
+TEST(TimerWheel, FarFutureTimersCascadeAcrossLevels) {
+  // One timer per wheel level: ~1 tick, ~100 ticks, ~10^4, ... up to a
+  // deadline that must start three levels deep. Fire them by sweeping
+  // time forward through every cascade boundary.
+  TimerWheel wheel;
+  const std::vector<SimTime> deadlines = {
+      2 * kTick,            // level 0
+      100 * kTick,          // level 1
+      10'000 * kTick,       // level 2
+      1'000'000 * kTick,    // level 3 (64^3 = 262144 < 10^6 < 64^4)
+  };
+  for (std::size_t i = 0; i < deadlines.size(); ++i)
+    wheel.insert(deadlines[i], i, static_cast<runtime::TimerId>(i + 1));
+
+  std::vector<runtime::TimerId> fired;
+  SimTime now = 0;
+  while (!wheel.empty()) {
+    // Advance in uneven jumps so cascades happen at arbitrary offsets,
+    // not just at neat slot boundaries.
+    now += 37 * kTick + 11;
+    for (const auto id : collect_ids(wheel, now)) fired.push_back(id);
+    ASSERT_LT(now, SimTime{2'000'000} * kTick) << "timer never fired";
+  }
+  EXPECT_EQ(fired, (std::vector<runtime::TimerId>{1, 2, 3, 4}));
+}
+
+TEST(TimerWheel, FarFutureTimerNeverFiresEarly) {
+  // A deadline three levels up must survive every intermediate cascade
+  // without firing, then fire exactly when due.
+  TimerWheel wheel;
+  const SimTime deadline = 300'000 * kTick + 123;
+  wheel.insert(deadline, 0, 7);
+  EXPECT_EQ(collect_ids(wheel, deadline - 1),
+            (std::vector<runtime::TimerId>{}));
+  EXPECT_EQ(wheel.size(), 1u);
+  EXPECT_EQ(collect_ids(wheel, deadline), (std::vector<runtime::TimerId>{7}));
+}
+
+TEST(TimerWheel, HintIsALowerBoundAndNeverLate) {
+  // The event loop sleeps until the hint; a hint later than the true
+  // deadline would make a timer fire late. Early (coarse) is allowed.
+  TimerWheel wheel;
+  const SimTime deadline = 5'000 * kTick + 7;  // level 1 territory
+  wheel.insert(deadline, 0, 1);
+  SimTime now = 0;
+  for (int hops = 0; hops < 100; ++hops) {
+    const auto hint = wheel.next_deadline_hint(now);
+    ASSERT_TRUE(hint.has_value());
+    ASSERT_LE(*hint, deadline);
+    if (*hint <= now) break;  // due (or staged sub-tick): stop hopping
+    now = *hint;
+  }
+  EXPECT_EQ(collect_ids(wheel, deadline), (std::vector<runtime::TimerId>{1}));
+}
+
+TEST(TimerWheel, MatchesReferenceModelUnderRandomChurn) {
+  // Differential fuzz against a map-based reference priority queue:
+  // random inserts, cancels and time jumps must produce identical firing
+  // sequences. This is the heap-equivalence test in miniature.
+  std::mt19937_64 rng(0xE5E5E5);
+  TimerWheel wheel;
+  std::map<std::pair<SimTime, std::uint64_t>, runtime::TimerId> reference;
+  std::map<runtime::TimerId, std::pair<SimTime, std::uint64_t>> by_id;
+  std::uint64_t seq = 0;
+  runtime::TimerId next_id = 1;
+  SimTime now = 0;
+
+  for (int op = 0; op < 20'000; ++op) {
+    const auto pick = rng() % 100;
+    if (pick < 55) {  // insert, mostly near-term, sometimes far out
+      const SimTime delay = (rng() % 10 == 0)
+                                ? static_cast<SimTime>(rng() % (1 << 26))
+                                : static_cast<SimTime>(rng() % 200'000);
+      const SimTime deadline = now + delay;
+      const runtime::TimerId id = next_id++;
+      wheel.insert(deadline, seq, id);
+      reference.emplace(std::make_pair(deadline, seq), id);
+      by_id.emplace(id, std::make_pair(deadline, seq));
+      ++seq;
+    } else if (pick < 80 && !by_id.empty()) {  // cancel a random live timer
+      auto it = by_id.begin();
+      std::advance(it, static_cast<long>(rng() % by_id.size()));
+      ASSERT_TRUE(wheel.erase(it->first));
+      reference.erase(it->second);
+      by_id.erase(it);
+    } else {  // jump time and fire
+      now += static_cast<SimTime>(rng() % 300'000);
+      std::vector<Entry> due;
+      wheel.collect_due(now, due);
+      std::vector<runtime::TimerId> expected;
+      while (!reference.empty() && reference.begin()->first.first <= now) {
+        expected.push_back(reference.begin()->second);
+        by_id.erase(reference.begin()->second);
+        reference.erase(reference.begin());
+      }
+      std::vector<runtime::TimerId> got;
+      got.reserve(due.size());
+      for (const Entry& entry : due) got.push_back(entry.id);
+      ASSERT_EQ(got, expected) << "divergence at op " << op;
+    }
+    ASSERT_EQ(wheel.size(), reference.size());
+  }
+}
+
+TEST(TimerWheel, HintAgreesWithReferenceUnderChurn) {
+  // The hint must lower-bound the true earliest deadline at every probe.
+  std::mt19937_64 rng(0xC0FFEE);
+  TimerWheel wheel;
+  std::map<std::pair<SimTime, std::uint64_t>, runtime::TimerId> reference;
+  std::uint64_t seq = 0;
+  SimTime now = 0;
+  for (int op = 0; op < 2'000; ++op) {
+    const SimTime deadline = now + static_cast<SimTime>(rng() % (1 << 24));
+    wheel.insert(deadline, seq, static_cast<runtime::TimerId>(seq + 1));
+    reference.emplace(std::make_pair(deadline, seq), seq + 1);
+    ++seq;
+    now += static_cast<SimTime>(rng() % 50'000);
+    std::vector<Entry> due;
+    wheel.collect_due(now, due);
+    while (!reference.empty() && reference.begin()->first.first <= now)
+      reference.erase(reference.begin());
+    const auto hint = wheel.next_deadline_hint(now);
+    if (reference.empty()) {
+      EXPECT_FALSE(hint.has_value());
+    } else {
+      ASSERT_TRUE(hint.has_value());
+      ASSERT_LE(*hint, reference.begin()->first.first)
+          << "hint overshoots the earliest deadline at op " << op;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace evs::net

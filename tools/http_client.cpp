@@ -6,9 +6,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <ctime>
+#include <random>
 
 namespace evs::tools {
 
@@ -23,19 +26,31 @@ std::uint64_t wall_ms() {
 
 /// Per-request exchange state, advanced by the shared poll loop.
 struct Exchange {
-  enum class State { Connecting, Sending, Receiving, Done, Failed };
+  enum class State { Pending, Connecting, Sending, Receiving, Done, Failed };
 
   int fd = -1;
-  State state = State::Failed;
+  State state = State::Pending;  // waiting for an in-flight slot (or backoff)
   std::string out;       // full request text
   std::size_t sent = 0;
   std::string in;        // raw response (headers + body)
+  int attempts = 0;
+  std::uint64_t not_before = 0;  // earliest wall_ms to (re)start connecting
 
   bool active() const {
     return state == State::Connecting || state == State::Sending ||
            state == State::Receiving;
   }
 };
+
+/// Deterministic-free jitter for retry backoff: uniform in
+/// [base/2, 3*base/2). Seeded once per process from the monotonic clock —
+/// spreading retries out is the goal, not reproducibility.
+std::uint64_t jittered(std::uint64_t base_ms) {
+  static std::mt19937_64 rng(static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  if (base_ms == 0) return 0;
+  return base_ms / 2 + rng() % std::max<std::uint64_t>(base_ms, 1);
+}
 
 void fail_exchange(Exchange& ex) {
   if (ex.fd >= 0) ::close(ex.fd);
@@ -50,6 +65,9 @@ void finish_exchange(Exchange& ex) {
 }
 
 void start_exchange(const HttpRequest& request, Exchange& ex) {
+  // A retry restarts the exchange from scratch.
+  ex.sent = 0;
+  ex.in.clear();
   ex.out = request.method + " " + request.path + " HTTP/1.0\r\n" +
            request.headers;
   if (request.method != "GET")
@@ -58,7 +76,10 @@ void start_exchange(const HttpRequest& request, Exchange& ex) {
   ex.out += "\r\n" + request.body;
 
   ex.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (ex.fd < 0) return;  // stays Failed
+  if (ex.fd < 0) {
+    ex.state = Exchange::State::Failed;
+    return;
+  }
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
   sa.sin_addr.s_addr = htonl(request.addr.ip);
@@ -150,42 +171,90 @@ HttpResponse parse_response(const Exchange& ex) {
 }  // namespace
 
 std::vector<HttpResponse> http_fetch_all(
-    const std::vector<HttpRequest>& requests, std::uint64_t timeout_ms) {
-  std::vector<Exchange> exchanges(requests.size());
-  for (std::size_t i = 0; i < requests.size(); ++i)
-    start_exchange(requests[i], exchanges[i]);
+    const std::vector<HttpRequest>& requests, std::uint64_t timeout_ms,
+    const HttpOptions& options) {
+  const std::size_t cap = std::max<std::size_t>(options.max_in_flight, 1);
+  std::vector<Exchange> exchanges(requests.size());  // all start Pending
+
+  // A connect that dies before the connection is up goes back to Pending
+  // with a jittered backoff while it has attempts left; anything else is
+  // final. Returns true when the exchange was requeued.
+  const auto maybe_retry = [&](Exchange& ex) {
+    if (ex.attempts > options.connect_retries) return false;
+    ex.state = Exchange::State::Pending;
+    ex.not_before = wall_ms() + jittered(options.retry_backoff_ms);
+    return true;
+  };
 
   const std::uint64_t deadline = wall_ms() + timeout_ms;
   std::vector<pollfd> pfds;
   std::vector<std::size_t> owners;  // pfds[k] belongs to exchanges[owners[k]]
   for (;;) {
-    pfds.clear();
-    owners.clear();
+    // Admission: fill free in-flight slots with Pending exchanges (FIFO
+    // by index) whose backoff, if any, has elapsed.
+    std::size_t active = 0;
+    for (const Exchange& ex : exchanges)
+      if (ex.active()) ++active;
+    const std::uint64_t now = wall_ms();
+    std::uint64_t next_start = deadline;  // earliest pending wake-up
     for (std::size_t i = 0; i < exchanges.size(); ++i) {
       Exchange& ex = exchanges[i];
+      if (ex.state != Exchange::State::Pending) continue;
+      if (ex.not_before > now) {
+        next_start = std::min(next_start, ex.not_before);
+        continue;
+      }
+      if (active >= cap) break;  // later indices wait for a slot
+      ++ex.attempts;
+      start_exchange(requests[i], ex);
+      if (ex.active()) {
+        ++active;
+      } else if (!maybe_retry(ex)) {
+        // exhausted: stays Failed
+      } else if (ex.not_before > now) {
+        next_start = std::min(next_start, ex.not_before);
+      }
+    }
+
+    pfds.clear();
+    owners.clear();
+    bool any_pending = false;
+    for (std::size_t i = 0; i < exchanges.size(); ++i) {
+      Exchange& ex = exchanges[i];
+      if (ex.state == Exchange::State::Pending) any_pending = true;
       if (!ex.active()) continue;
       const short events =
           ex.state == Exchange::State::Receiving ? POLLIN : POLLOUT;
       pfds.push_back(pollfd{ex.fd, events, 0});
       owners.push_back(i);
     }
-    if (pfds.empty()) break;  // everything settled
+    if (pfds.empty() && !any_pending) break;  // everything settled
 
     const std::uint64_t t = wall_ms();
     if (t >= deadline) break;
+    // Wake for readiness, the deadline, or the next backoff expiry —
+    // whichever comes first (a pending retry must not sleep to deadline;
+    // next_start is already clamped to it). With no fds this is a plain
+    // sleep until the backoff expires.
     const int n = ::poll(pfds.data(), pfds.size(),
-                         static_cast<int>(deadline - t));
+                         static_cast<int>(std::max<std::uint64_t>(
+                             next_start > t ? next_start - t : 1, 1)));
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // timeout (or poll failure): abandon the stragglers
+    if (n < 0) break;  // poll failure: abandon the stragglers
     for (std::size_t k = 0; k < pfds.size(); ++k) {
       if (pfds[k].revents == 0) continue;
-      advance_exchange(exchanges[owners[k]]);
+      Exchange& ex = exchanges[owners[k]];
+      const bool was_connecting = ex.state == Exchange::State::Connecting;
+      advance_exchange(ex);
+      if (ex.state == Exchange::State::Failed && was_connecting)
+        maybe_retry(ex);
     }
   }
 
   std::vector<HttpResponse> responses(requests.size());
   for (std::size_t i = 0; i < exchanges.size(); ++i) {
     responses[i] = parse_response(exchanges[i]);
+    responses[i].attempts = exchanges[i].attempts;
     if (exchanges[i].active()) fail_exchange(exchanges[i]);  // deadline hit
   }
   return responses;

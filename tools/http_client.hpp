@@ -8,6 +8,14 @@
 // scraping an N-node fleet costs one slowest-node round trip instead of
 // the sum of N of them, and one stopped node (SIGSTOP'd in the partition
 // tests) cannot stretch a scrape beyond the deadline.
+//
+// Two knobs keep that batching fleet-scale (HttpOptions): a bound on
+// simultaneously open connections (so scraping hundreds of nodes does not
+// exhaust fds or SYN the whole fleet at once — further requests start as
+// slots free up, all still under the one deadline) and a connect-failure
+// retry with jittered backoff (one refused/unreachable connect — a node
+// mid-restart — gets a second chance instead of a hole in the scrape;
+// jitter keeps N retries from re-converging on the same instant).
 #pragma once
 
 #include <cstdint>
@@ -37,14 +45,31 @@ struct HttpResponse {
   bool ok = false;
   int status = 0;
   std::string body;
+  /// Connect attempts made (1 normally; 2 after one connect retry; 0 only
+  /// when the deadline expired before the request could start).
+  int attempts = 0;
 
   bool success() const { return ok && status >= 200 && status < 300; }
+};
+
+struct HttpOptions {
+  /// Most connections open at once; requests beyond the cap wait for a
+  /// slot (FIFO by index) under the same shared deadline.
+  std::size_t max_in_flight = 64;
+  /// Extra connect attempts after a refused/unreachable connect. Failures
+  /// after the connection is up (reset mid-exchange, garbage) and
+  /// deadline expiry are not retried.
+  int connect_retries = 1;
+  /// Base backoff before a connect retry; the actual wait is jittered
+  /// uniformly in [base/2, 3*base/2) so a fleet of retries spreads out.
+  std::uint64_t retry_backoff_ms = 20;
 };
 
 /// Runs all requests concurrently under one shared deadline; the result
 /// vector is index-aligned with `requests`.
 std::vector<HttpResponse> http_fetch_all(
-    const std::vector<HttpRequest>& requests, std::uint64_t timeout_ms);
+    const std::vector<HttpRequest>& requests, std::uint64_t timeout_ms,
+    const HttpOptions& options = {});
 
 /// One GET; returns the body on a 200, nullopt on any failure.
 std::optional<std::string> http_get(const net::PeerAddr& addr,
