@@ -56,8 +56,67 @@ bool GroupObjectBase::serving_normal() const {
 void GroupObjectBase::object_multicast(const Bytes& payload) {
   Encoder enc;
   enc.put_u8(static_cast<std::uint8_t>(FrameKind::Object));
+  enc.put_varint(++object_send_seq_);
   enc.put_bytes(payload);
   app_multicast(std::move(enc).take());
+}
+
+void GroupObjectBase::svc_multicast(
+    const Bytes& payload, runtime::SvcRespondFn respond,
+    std::function<runtime::SvcResponse()> finish) {
+  // Register the pending op *before* multicasting: when this member is the
+  // one ordering the message, self-delivery happens synchronously inside
+  // app_multicast, and resolve_pending_svc must find the entry there.
+  pending_svc_.push_back(PendingSvcOp{object_send_seq_ + 1, std::move(respond),
+                                      std::move(finish)});
+  object_multicast(payload);
+}
+
+void GroupObjectBase::resolve_pending_svc(std::uint64_t seq) {
+  EVS_DEBUG(to_string(id()) << " resolve_pending_svc seq=" << seq
+            << " front=" << (pending_svc_.empty()
+                                 ? std::string("none")
+                                 : std::to_string(pending_svc_.front().seq))
+            << " pending=" << pending_svc_.size());
+  // Ordered self-delivery makes skipped entries impossible in a healthy
+  // run; answer them Unavailable rather than leave a client hanging if a
+  // delivery was ever lost underneath us.
+  while (!pending_svc_.empty() && pending_svc_.front().seq < seq) {
+    PendingSvcOp entry = std::move(pending_svc_.front());
+    pending_svc_.pop_front();
+    if (entry.respond) entry.respond(svc_unavailable());
+  }
+  if (pending_svc_.empty() || pending_svc_.front().seq != seq) return;
+  PendingSvcOp entry = std::move(pending_svc_.front());
+  pending_svc_.pop_front();
+  // finish() runs after on_object_deliver applied the operation, so it
+  // reads post-apply state (lock granted? value stored?).
+  if (entry.respond) entry.respond(entry.finish());
+}
+
+void GroupObjectBase::fence_pending_svc(std::uint64_t new_epoch) {
+  for (PendingSvcOp& entry : pending_svc_) {
+    if (!entry.respond) continue;
+    entry.respond(runtime::SvcResponse::invalid_epoch(new_epoch));
+    entry.respond = nullptr;
+  }
+}
+
+void GroupObjectBase::svc_request(runtime::SvcRequest req,
+                                  runtime::SvcRespondFn respond) {
+  // The epoch fence on admission: a client that last saw a different view
+  // must re-learn the epoch before its operations are accepted (epoch 0
+  // is the bootstrap wildcard).
+  if (req.view_epoch != 0 && req.view_epoch != view_epoch()) {
+    respond(runtime::SvcResponse::invalid_epoch(view_epoch()));
+    return;
+  }
+  svc_dispatch(std::move(req), std::move(respond));
+}
+
+void GroupObjectBase::svc_dispatch(runtime::SvcRequest,
+                                   runtime::SvcRespondFn respond) {
+  respond(runtime::SvcResponse::unsupported());
 }
 
 // ----------------------------------------------------------- delegates ---
@@ -65,6 +124,11 @@ void GroupObjectBase::object_multicast(const Bytes& payload) {
 void GroupObjectBase::on_eview(const core::EView& eview) {
   const bool view_changed = eview.ev_seq == 0;
   if (view_changed) {
+    // Epoch fence: in-flight client operations were accepted under the
+    // previous view; answer them InvalidEpoch{new epoch} now rather than
+    // complete them as if nothing happened (flush already delivered
+    // everything that legitimately belongs to the old view).
+    fence_pending_svc(eview.view.id.epoch);
     if (object_config_.record_history) history_.record_view(eview.view);
     prior_view_ = current_settle_.view;  // the previous view's id
     current_settle_.view = eview.view.id;
@@ -101,6 +165,7 @@ void GroupObjectBase::on_eview(const core::EView& eview) {
   maybe_finish_chunks();
   maybe_request_merges();
   try_reconcile();
+  if (view_observer_) view_observer_(eview);
 }
 
 void GroupObjectBase::on_app_deliver(ProcessId sender, const Bytes& payload) {
@@ -119,9 +184,14 @@ void GroupObjectBase::dispatch_frame(ProcessId sender, const Bytes& payload) {
   Decoder dec(payload);
   switch (static_cast<FrameKind>(dec.get_u8())) {
     case FrameKind::Object: {
+      const std::uint64_t op_seq = dec.get_varint();
       Bytes body = dec.get_bytes();
       if (object_config_.record_history) history_.record_delivery(sender, body);
       on_object_deliver(sender, body);
+      // Our own operation came back through the total order: complete the
+      // external-client request it carried, if any (and if a view change
+      // didn't fence it first).
+      if (sender == id()) resolve_pending_svc(op_seq);
       break;
     }
     case FrameKind::Offer:

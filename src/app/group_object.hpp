@@ -35,6 +35,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -46,6 +48,7 @@
 #include "app/history.hpp"
 #include "app/mode.hpp"
 #include "evs/endpoint.hpp"
+#include "runtime/svc.hpp"
 
 namespace evs::app {
 
@@ -72,6 +75,9 @@ struct GroupObjectConfig {
   /// Record the Section-3 formal history (view + object-delivery events);
   /// lets tests and tools re-derive mode sequences via app::mode_trace.
   bool record_history = false;
+  /// Retry hint (ms) carried in Unavailable/Conflict responses to
+  /// external clients (runtime::Node::svc_request).
+  std::uint64_t svc_retry_after_ms = 50;
 };
 
 struct SettleRecord {
@@ -125,6 +131,27 @@ class GroupObjectBase : public core::EvsEndpoint, private core::EvsDelegate {
 
   void on_start() override;
 
+  /// External-client entry point (runtime::Node). Applies the epoch fence
+  /// — a request whose view_epoch is neither 0 (wildcard) nor the
+  /// installed view's epoch gets InvalidEpoch{current} — then routes to
+  /// the object's svc_dispatch.
+  void svc_request(runtime::SvcRequest req,
+                   runtime::SvcRespondFn respond) override;
+
+  /// Installed-view epoch, the value clients fence their requests with.
+  std::uint64_t view_epoch() const { return eview().view.id.epoch; }
+
+  /// Observes every enriched-view event after the object has processed it
+  /// (the object itself occupies the EvsDelegate slot, so a host that
+  /// wants to print view lines registers here instead).
+  void set_view_observer(std::function<void(const core::EView&)> fn) {
+    view_observer_ = std::move(fn);
+  }
+
+  /// Svc-originated multicasts answered but not yet delivered back; the
+  /// front door's per-node queue depth.
+  std::size_t svc_pending() const { return pending_svc_.size(); }
+
  protected:
   // ----- subclass interface ------------------------------------------
   virtual bool can_serve(const std::vector<ProcessId>& members) const = 0;
@@ -148,8 +175,32 @@ class GroupObjectBase : public core::EvsEndpoint, private core::EvsDelegate {
   /// holder left the view).
   virtual void on_new_view(const core::EView& eview) { (void)eview; }
 
+  /// Per-object operation dispatch for external-client requests, called
+  /// after the base's epoch fence admitted the request. The default
+  /// supports nothing; objects override with reads answered immediately
+  /// and writes funnelled through svc_multicast.
+  virtual void svc_dispatch(runtime::SvcRequest req,
+                            runtime::SvcRespondFn respond);
+
   /// Multicasts an external-operation message (totally ordered).
   void object_multicast(const Bytes& payload);
+
+  /// Multicasts an external-operation message on behalf of an external
+  /// client: when the multicast is delivered back at this replica (i.e.
+  /// the operation took its place in the total order and was applied),
+  /// `finish` builds the typed response and `respond` carries it out. If
+  /// an e-view change installs first, the client is answered
+  /// InvalidEpoch{new_epoch} instead — the epoch-fencing rule — while the
+  /// operation itself still applies in the next view (view synchrony
+  /// delivers queued multicasts there; only the *response* is fenced).
+  void svc_multicast(const Bytes& payload, runtime::SvcRespondFn respond,
+                     std::function<runtime::SvcResponse()> finish);
+
+  /// Unavailable{config.svc_retry_after_ms}: the object cannot serve the
+  /// operation right now (settling, minority partition, overload).
+  runtime::SvcResponse svc_unavailable() const {
+    return runtime::SvcResponse::unavailable(object_config_.svc_retry_after_ms);
+  }
 
  private:
   enum class FrameKind : std::uint8_t { Object = 1, Offer = 2, Chunk = 3 };
@@ -170,6 +221,14 @@ class GroupObjectBase : public core::EvsEndpoint, private core::EvsDelegate {
   void on_eview(const core::EView& eview) override;
   void on_app_deliver(ProcessId sender, const Bytes& payload) override;
   void dispatch_frame(ProcessId sender, const Bytes& payload);
+
+  /// Responds to pending svc ops whose multicast came back at `seq`, and
+  /// defensively fails any skipped ones.
+  void resolve_pending_svc(std::uint64_t seq);
+  /// The epoch fence: answers every unanswered pending svc op
+  /// InvalidEpoch{new epoch} at a view change (entries stay queued for
+  /// seq alignment — the multicasts themselves deliver in the new view).
+  void fence_pending_svc(std::uint64_t new_epoch);
 
   void evaluate_mode(const core::EView& eview, bool view_changed);
   void start_settle(const core::EView& eview);
@@ -211,6 +270,21 @@ class GroupObjectBase : public core::EvsEndpoint, private core::EvsDelegate {
 
   ObjectStats object_stats_;
   std::vector<SettleRecord> settle_log_;
+
+  // ----- external-client (svc) plumbing ------------------------------
+  /// Monotonic sequence stamped into every Object frame this member
+  /// sends; self-deliveries echo it back so svc completions align even
+  /// across view changes.
+  std::uint64_t object_send_seq_ = 0;
+  struct PendingSvcOp {
+    std::uint64_t seq = 0;
+    /// Nulled once answered (e.g. fenced at a view change); the entry
+    /// stays queued until its multicast delivers, keeping seq alignment.
+    runtime::SvcRespondFn respond;
+    std::function<runtime::SvcResponse()> finish;
+  };
+  std::deque<PendingSvcOp> pending_svc_;
+  std::function<void(const core::EView&)> view_observer_;
 };
 
 }  // namespace evs::app

@@ -1,6 +1,5 @@
 #include "net/admin.hpp"
 
-#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -122,52 +121,28 @@ std::uint64_t admin_command_code(const std::string& name) {
 }
 
 AdminServer::AdminServer(EventLoop& loop, std::uint32_t ip, std::uint16_t port)
-    : loop_(loop) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  EVS_CHECK_MSG(listen_fd_ >= 0, "admin: socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(ip);
-  addr.sin_port = htons(port);
-  EVS_CHECK_MSG(
-      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
-      "admin: cannot bind admin port");
-  EVS_CHECK_MSG(::listen(listen_fd_, 16) == 0, "admin: listen() failed");
-  socklen_t len = sizeof(addr);
-  EVS_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                          &len) == 0);
-  bound_port_ = ntohs(addr.sin_port);
-  loop_.add_fd(listen_fd_, [this]() { on_accept(); });
-}
+    : loop_(loop),
+      listener_(
+          loop, ip, port,
+          TcpListener::Callbacks{
+              .at_capacity =
+                  [this]() { return connections_.size() >= kMaxConnections; },
+              .on_connection = [this](int fd) { on_connection(fd); },
+              .on_shed = [this]() { ++stats_.dropped_overload; },
+          },
+          "admin") {}
 
 AdminServer::~AdminServer() {
   std::vector<int> fds;
   fds.reserve(connections_.size());
   for (const auto& [fd, conn] : connections_) fds.push_back(fd);
   for (const int fd : fds) close_connection(fd);
-  if (listen_fd_ >= 0) {
-    loop_.remove_fd(listen_fd_);
-    ::close(listen_fd_);
-  }
 }
 
-void AdminServer::on_accept() {
-  for (;;) {
-    const int fd =
-        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;  // EAGAIN or transient error: wait for the next wake
-    if (connections_.size() >= kMaxConnections) {
-      // Shed load instead of queueing: the scraper will retry.
-      ++stats_.dropped_overload;
-      ::close(fd);
-      continue;
-    }
-    ++stats_.connections_accepted;
-    connections_.emplace(fd, Connection{});
-    loop_.add_fd(fd, [this, fd]() { on_readable(fd); });
-  }
+void AdminServer::on_connection(int fd) {
+  ++stats_.connections_accepted;
+  connections_.emplace(fd, Connection{});
+  loop_.add_fd(fd, [this, fd]() { on_readable(fd); });
 }
 
 void AdminServer::on_readable(int fd) {

@@ -56,6 +56,7 @@
 #include <string>
 
 #include "net/event_loop.hpp"
+#include "net/tcp_listener.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -103,7 +104,7 @@ class AdminServer {
   AdminServer(const AdminServer&) = delete;
   AdminServer& operator=(const AdminServer&) = delete;
 
-  std::uint16_t bound_port() const { return bound_port_; }
+  std::uint16_t bound_port() const { return listener_.bound_port(); }
 
   /// Supplies the /status body (a complete JSON object).
   void set_status(std::function<std::string()> fn) { status_ = std::move(fn); }
@@ -144,7 +145,7 @@ class AdminServer {
     bool responded = false;
   };
 
-  void on_accept();
+  void on_connection(int fd);
   void on_readable(int fd);
   void on_writable(int fd);
   /// Parses conn.in; fills conn.out once the request (line + headers +
@@ -166,9 +167,8 @@ class AdminServer {
   void close_connection(int fd);
 
   EventLoop& loop_;
-  int listen_fd_ = -1;
-  std::uint16_t bound_port_ = 0;
   std::map<int, Connection> connections_;
+  TcpListener listener_;  // after connections_: accepts may fire during init
 
   std::function<std::string()> status_;
   const obs::MetricsRegistry* registry_ = nullptr;

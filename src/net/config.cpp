@@ -101,6 +101,15 @@ bool parse_node_config(std::istream& in, NodeConfig& out, std::string& error) {
       if (!addr) return fail("bad address '" + addr_text + "'");
       if (!out.admin.emplace(SiteId{site}, *addr).second)
         return fail("duplicate admin " + std::to_string(site));
+    } else if (keyword == "svc") {
+      std::uint32_t site = 0;
+      std::string addr_text;
+      if (!(fields >> site >> addr_text))
+        return fail("expected: svc <site-id> <ip:port>");
+      const auto addr = parse_addr(addr_text);
+      if (!addr) return fail("bad address '" + addr_text + "'");
+      if (!out.svc.emplace(SiteId{site}, *addr).second)
+        return fail("duplicate svc " + std::to_string(site));
     } else if (keyword == "admin_token") {
       std::string token;
       if (!(fields >> token)) return fail("expected: admin_token <secret>");
@@ -132,6 +141,12 @@ bool parse_node_config(std::istream& in, NodeConfig& out, std::string& error) {
   for (const auto& [site, addr] : out.admin) {
     if (!out.peers.contains(site)) {
       error = "admin line for unknown site " + to_string(site);
+      return false;
+    }
+  }
+  for (const auto& [site, addr] : out.svc) {
+    if (!out.peers.contains(site)) {
+      error = "svc line for unknown site " + to_string(site);
       return false;
     }
   }

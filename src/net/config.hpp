@@ -13,6 +13,8 @@
 //   admin 0 127.0.0.1:9100   # optional per-node admin (HTTP) endpoint
 //   admin 1 127.0.0.1:9101
 //   admin_token hunter2      # shared secret enabling the admin write side
+//   svc 0 127.0.0.1:9200     # optional per-node client service endpoint
+//   svc 1 127.0.0.1:9201     # (binary request/response, see svc/server.hpp)
 //   coalesce off             # optional; default on (pack small frames
 //                            # into one datagram per peer per flush)
 //
@@ -20,7 +22,10 @@
 // `self` makes the node serve the live-observability HTTP plane there
 // (see net/admin.hpp), and admin lines for other sites are how fleet
 // tools (tools/evs_top, tools/evs_ctl) find every node's endpoint from
-// one file. An `admin_token` line (one word, no spaces) arms the admin
+// one file. A `svc` line for `self` additionally serves the external-client
+// front door there (length-prefixed binary request/response, svc/server.hpp);
+// svc lines for other sites let load generators (tools/svc_bench) find the
+// whole fleet. An `admin_token` line (one word, no spaces) arms the admin
 // plane's POST side: control commands (/join, /leave, /merge-all,
 // /merge) are only accepted when they carry the same token, and a config
 // without the line leaves the plane read-only. Parsing is strict:
@@ -60,6 +65,9 @@ struct NodeConfig {
   std::map<SiteId, PeerAddr> peers;
   /// Site -> admin-plane (HTTP) address; optional, any subset of `peers`.
   std::map<SiteId, PeerAddr> admin;
+  /// Site -> client-service (binary front door) address; optional, any
+  /// subset of `peers`.
+  std::map<SiteId, PeerAddr> svc;
   /// Shared secret for admin-plane POST commands; empty = write side off.
   std::string admin_token;
   /// Small-message coalescing on the wire path (UdpTransport); on by
@@ -73,6 +81,11 @@ struct NodeConfig {
   std::optional<PeerAddr> self_admin_addr() const {
     const auto it = admin.find(self);
     return it == admin.end() ? std::nullopt : std::optional<PeerAddr>(it->second);
+  }
+  /// This node's client-service endpoint, if configured.
+  std::optional<PeerAddr> self_svc_addr() const {
+    const auto it = svc.find(self);
+    return it == svc.end() ? std::nullopt : std::optional<PeerAddr>(it->second);
   }
 };
 

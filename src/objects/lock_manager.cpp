@@ -29,6 +29,65 @@ bool LockManager::release() {
   return true;
 }
 
+void LockManager::svc_dispatch(runtime::SvcRequest req,
+                               runtime::SvcRespondFn respond) {
+  using runtime::SvcOp;
+  using runtime::SvcResponse;
+  // Remaining lease in ms (>= 1 so a client never gets "retry after 0"
+  // while the lease still fences it).
+  const auto remaining_ms = [this](SimTime at) -> std::uint64_t {
+    if (!holder_.has_value() || lease_expiry() <= at) return 1;
+    return std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(lease_expiry() - at) / 1000);
+  };
+  switch (req.op) {
+    case SvcOp::Get: {
+      const auto h = holder();
+      respond(SvcResponse::ok(view_epoch(), h ? to_string(*h) : ""));
+      return;
+    }
+    case SvcOp::Lock: {
+      if (!serving_normal()) {
+        respond(svc_unavailable());
+        return;
+      }
+      const SimTime stamp = now();
+      if (lease_active_at(stamp) && holder_ != id()) {
+        // Known-lost before ordering: someone else's lease fences us.
+        respond(SvcResponse::conflict(remaining_ms(stamp)));
+        return;
+      }
+      Encoder enc;
+      enc.put_u8(static_cast<std::uint8_t>(Op::Acquire));
+      enc.put_u64(stamp);
+      svc_multicast(std::move(enc).take(), std::move(respond),
+                    [this, remaining_ms]() {
+                      // Post-apply: did *this* replica's acquire win?
+                      if (i_hold_the_lock())
+                        return SvcResponse::ok(view_epoch(), to_string(id()));
+                      return SvcResponse::conflict(remaining_ms(now()));
+                    });
+      return;
+    }
+    case SvcOp::Unlock: {
+      if (!serving_normal()) {
+        respond(svc_unavailable());
+        return;
+      }
+      Encoder enc;
+      enc.put_u8(static_cast<std::uint8_t>(Op::Release));
+      enc.put_u64(now());
+      // Release only clears a lease this member holds; unlocking a lock
+      // we do not hold is an ordered no-op, reported Ok (idempotent).
+      svc_multicast(std::move(enc).take(), std::move(respond),
+                    [this]() { return SvcResponse::ok(view_epoch()); });
+      return;
+    }
+    default:
+      respond(SvcResponse::unsupported());
+  }
+}
+
 std::optional<ProcessId> LockManager::holder() const {
   // An expired lease no longer names a holder, even before anyone
   // re-acquires.

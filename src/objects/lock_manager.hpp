@@ -72,6 +72,12 @@ class LockManager : public app::GroupObjectBase {
   std::uint64_t state_version() const override { return version_; }
   void on_object_deliver(ProcessId sender, const Bytes& payload) override;
   void on_new_view(const core::EView& eview) override;
+  /// External clients: Get reports the current holder (empty = free);
+  /// Lock answers Conflict{remaining-lease-ms} while someone else's lease
+  /// is active, otherwise Ok/Conflict once the ordered acquire shows
+  /// whether this replica won; Unlock is an idempotent ordered release.
+  void svc_dispatch(runtime::SvcRequest req,
+                    runtime::SvcRespondFn respond) override;
 
  private:
   enum class Op : std::uint8_t { Acquire = 1, Release = 2 };

@@ -28,6 +28,32 @@ std::optional<std::string> MergeableKv::get(const std::string& key) const {
   return it->second.value;
 }
 
+void MergeableKv::svc_dispatch(runtime::SvcRequest req,
+                               runtime::SvcRespondFn respond) {
+  using runtime::SvcOp;
+  using runtime::SvcResponse;
+  switch (req.op) {
+    case SvcOp::Get:
+      respond(SvcResponse::ok(view_epoch(), get(req.key).value_or("")));
+      return;
+    case SvcOp::Put: {
+      if (!serving_normal()) {
+        respond(svc_unavailable());
+        return;
+      }
+      Encoder enc;
+      enc.put_string(req.key);
+      enc.put_string(req.value);
+      enc.put_varint(lamport_ + 1);
+      svc_multicast(std::move(enc).take(), std::move(respond),
+                    [this]() { return SvcResponse::ok(view_epoch()); });
+      return;
+    }
+    default:
+      respond(SvcResponse::unsupported());
+  }
+}
+
 void MergeableKv::on_object_deliver(ProcessId sender, const Bytes& payload) {
   Decoder dec(payload);
   std::string key = dec.get_string();

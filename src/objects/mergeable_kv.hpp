@@ -38,6 +38,11 @@ class MergeableKv : public app::GroupObjectBase {
   Bytes merge_cluster_states(const std::vector<Bytes>& snapshots) override;
   std::uint64_t state_version() const override { return version_; }
   void on_object_deliver(ProcessId sender, const Bytes& payload) override;
+  /// External clients: Get answers immediately (empty value = absent, and
+  /// a KV serves every partition, so reads never wait); Put completes when
+  /// the write is ordered and applied, or is fenced by a view change.
+  void svc_dispatch(runtime::SvcRequest req,
+                    runtime::SvcRespondFn respond) override;
 
  private:
   struct Entry {

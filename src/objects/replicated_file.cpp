@@ -47,8 +47,18 @@ bool ReplicatedFile::can_serve(const std::vector<ProcessId>& members) const {
 bool ReplicatedFile::write(const std::string& content) {
   if (!serving_normal()) return false;
   Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(Op::Write));
   enc.put_varint(version_ + 1);
   enc.put_string(content);
+  object_multicast(std::move(enc).take());
+  return true;
+}
+
+bool ReplicatedFile::append(const std::string& data) {
+  if (!serving_normal()) return false;
+  Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(Op::Append));
+  enc.put_string(data);
   object_multicast(std::move(enc).take());
   return true;
 }
@@ -63,14 +73,71 @@ std::optional<std::string> ReplicatedFile::read() const {
 void ReplicatedFile::on_object_deliver(ProcessId sender, const Bytes& payload) {
   (void)sender;
   Decoder dec(payload);
-  const std::uint64_t new_version = dec.get_varint();
-  std::string new_content = dec.get_string();
-  // Total order makes versions monotone; a concurrent write raced an
-  // earlier one and was ordered second — it wins with a bumped version.
-  version_ = std::max(version_ + 1, new_version);
-  content_ = std::move(new_content);
+  switch (static_cast<Op>(dec.get_u8())) {
+    case Op::Write: {
+      const std::uint64_t new_version = dec.get_varint();
+      std::string new_content = dec.get_string();
+      // Total order makes versions monotone; a concurrent write raced an
+      // earlier one and was ordered second — it wins with a bumped version.
+      version_ = std::max(version_ + 1, new_version);
+      content_ = std::move(new_content);
+      break;
+    }
+    case Op::Append:
+      // Appends carry no version: each replica applies them in the one
+      // global delivery order, so version/content stay identical.
+      ++version_;
+      content_ += dec.get_string();
+      break;
+    default:
+      throw DecodeError("ReplicatedFile: bad op");
+  }
   ++writes_applied_;
   persist();
+}
+
+void ReplicatedFile::svc_dispatch(runtime::SvcRequest req,
+                                  runtime::SvcRespondFn respond) {
+  using runtime::SvcOp;
+  using runtime::SvcResponse;
+  switch (req.op) {
+    case SvcOp::Get: {
+      const auto content = read();
+      if (!content) {
+        respond(svc_unavailable());  // settling with no state yet
+        return;
+      }
+      respond(SvcResponse::ok(view_epoch(), *content));
+      return;
+    }
+    case SvcOp::Put: {
+      if (!serving_normal()) {
+        respond(svc_unavailable());
+        return;
+      }
+      Encoder enc;
+      enc.put_u8(static_cast<std::uint8_t>(Op::Write));
+      enc.put_varint(version_ + 1);
+      enc.put_string(req.value);
+      svc_multicast(std::move(enc).take(), std::move(respond),
+                    [this]() { return SvcResponse::ok(view_epoch()); });
+      return;
+    }
+    case SvcOp::Append: {
+      if (!serving_normal()) {
+        respond(svc_unavailable());
+        return;
+      }
+      Encoder enc;
+      enc.put_u8(static_cast<std::uint8_t>(Op::Append));
+      enc.put_string(req.value);
+      svc_multicast(std::move(enc).take(), std::move(respond),
+                    [this]() { return SvcResponse::ok(view_epoch()); });
+      return;
+    }
+    default:
+      respond(SvcResponse::unsupported());
+  }
 }
 
 Bytes ReplicatedFile::snapshot_state() const {

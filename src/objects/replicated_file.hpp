@@ -47,6 +47,11 @@ class ReplicatedFile : public app::GroupObjectBase {
   /// External operation: read. Allowed in N- and R-mode; may be stale.
   std::optional<std::string> read() const;
 
+  /// External operation: append to the file. Ordered like write(); each
+  /// replica applies appends in the one global order, so the content
+  /// stays identical everywhere. Returns false when not in N-mode.
+  bool append(const std::string& data);
+
   std::uint64_t version() const { return version_; }
   const std::string& content() const { return content_; }
   std::uint64_t writes_applied() const { return writes_applied_; }
@@ -65,8 +70,15 @@ class ReplicatedFile : public app::GroupObjectBase {
   Bytes merge_cluster_states(const std::vector<Bytes>& snapshots) override;
   std::uint64_t state_version() const override { return version_; }
   void on_object_deliver(ProcessId sender, const Bytes& payload) override;
+  /// External clients: Get serves read() (Unavailable while settling
+  /// without state); Put is a whole-file write and Append an ordered
+  /// append, both completing when applied or fenced by a view change.
+  void svc_dispatch(runtime::SvcRequest req,
+                    runtime::SvcRespondFn respond) override;
 
  private:
+  enum class Op : std::uint8_t { Write = 1, Append = 2 };
+
   std::uint32_t votes_of(SiteId site) const;
   void persist();
 

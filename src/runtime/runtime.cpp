@@ -44,6 +44,33 @@ bool Node::admin_command(const std::string& name, const std::string&,
   return false;
 }
 
+void Node::svc_request(SvcRequest, SvcRespondFn respond) {
+  EVS_CHECK(respond != nullptr);
+  respond(SvcResponse::unsupported());
+}
+
+const char* to_string(SvcStatus status) {
+  switch (status) {
+    case SvcStatus::Ok: return "ok";
+    case SvcStatus::Conflict: return "conflict";
+    case SvcStatus::InvalidEpoch: return "invalid_epoch";
+    case SvcStatus::Unavailable: return "unavailable";
+    case SvcStatus::Unsupported: return "unsupported";
+  }
+  return "unknown";
+}
+
+const char* to_string(SvcOp op) {
+  switch (op) {
+    case SvcOp::Get: return "get";
+    case SvcOp::Put: return "put";
+    case SvcOp::Lock: return "lock";
+    case SvcOp::Unlock: return "unlock";
+    case SvcOp::Append: return "append";
+  }
+  return "unknown";
+}
+
 SimTime Node::now() const {
   EVS_CHECK(env_.clock != nullptr);
   return env_.clock->now();

@@ -33,6 +33,7 @@
 #include "common/ids.hpp"
 #include "common/time.hpp"
 #include "obs/trace.hpp"
+#include "runtime/svc.hpp"
 
 namespace evs::runtime {
 
@@ -163,6 +164,16 @@ class Node {
   /// leave calls) to the host.
   virtual bool admin_command(const std::string& name, const std::string& arg,
                              std::string& error);
+
+  /// Handles one external-client request from the front-door service
+  /// (src/svc/, runtime/svc.hpp). Runs on the runtime's event thread.
+  /// The node must call `respond` exactly once — immediately for reads
+  /// and rejections, deferred for ordered writes (when the operation is
+  /// applied at this replica or an e-view change fences it). The base
+  /// class hosts no servable object and answers Unsupported; group
+  /// objects override this with epoch-checked dispatch
+  /// (app::GroupObjectBase::svc_request).
+  virtual void svc_request(SvcRequest req, SvcRespondFn respond);
 
   /// Called for every message delivered to this incarnation while alive.
   virtual void on_message(ProcessId from, const Bytes& payload) = 0;

@@ -1,0 +1,105 @@
+// Client front door, part 1: the typed request/response surface a hosted
+// node exposes to external (non-member) clients.
+//
+// The paper's group objects serve *members*; scaling to millions of users
+// means lightweight clients that are not members at all. They speak a
+// small request/response protocol (src/svc/) whose requests are routed
+// into the hosted node through runtime::Node::svc_request and answered
+// with one of the typed outcomes below — modelled on an MLS-style epoch
+// server: every outcome either carries the data, a retry hint, or the
+// current view epoch so the client can re-fence itself.
+//
+// The epoch-fencing rule: every request carries the client's last-known
+// view epoch (0 = "unknown, accept any"). A request whose epoch does not
+// match the serving node's installed view is rejected with
+// InvalidEpoch{current_epoch} instead of being applied against state the
+// client has never observed; a request accepted but still in flight when
+// an e-view change installs is rejected the same way rather than left to
+// hang or silently retried. Clients always get exactly one typed answer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace evs::runtime {
+
+/// The external-operation set the front door multiplexes: Get/Put drive
+/// the mergeable KV (and whole-file read/write), Lock/Unlock the lock
+/// manager, Append the replicated file.
+enum class SvcOp : std::uint8_t {
+  Get = 1,
+  Put = 2,
+  Lock = 3,
+  Unlock = 4,
+  Append = 5,
+};
+
+/// Typed outcome variants (the MLS epoch-server shape).
+enum class SvcStatus : std::uint8_t {
+  /// Applied (or read); `value` and the current `view_epoch` are valid.
+  Ok = 1,
+  /// Refused by application logic (e.g. lock held); retry after the hint.
+  Conflict = 2,
+  /// The client's epoch is stale across an e-view change; `view_epoch`
+  /// carries the node's current epoch for the client to re-fence with.
+  InvalidEpoch = 3,
+  /// Not serving right now (minority partition, settling, admission
+  /// control shed); retry after the hint.
+  Unavailable = 4,
+  /// The hosted object has no such operation; retrying cannot help.
+  Unsupported = 5,
+};
+
+const char* to_string(SvcStatus status);
+const char* to_string(SvcOp op);
+
+struct SvcRequest {
+  SvcOp op = SvcOp::Get;
+  /// Client's last-known view epoch; 0 accepts whatever is installed.
+  std::uint64_t view_epoch = 0;
+  std::string key;    // Get/Put
+  std::string value;  // Put/Append
+};
+
+struct SvcResponse {
+  SvcStatus status = SvcStatus::Unsupported;
+  std::string value;                 // Ok: Get/read result (else empty)
+  std::uint64_t view_epoch = 0;      // Ok / InvalidEpoch
+  std::uint64_t retry_after_ms = 0;  // Conflict / Unavailable
+
+  static SvcResponse ok(std::uint64_t epoch, std::string value = {}) {
+    SvcResponse r;
+    r.status = SvcStatus::Ok;
+    r.view_epoch = epoch;
+    r.value = std::move(value);
+    return r;
+  }
+  static SvcResponse conflict(std::uint64_t retry_after_ms) {
+    SvcResponse r;
+    r.status = SvcStatus::Conflict;
+    r.retry_after_ms = retry_after_ms;
+    return r;
+  }
+  static SvcResponse invalid_epoch(std::uint64_t current_epoch) {
+    SvcResponse r;
+    r.status = SvcStatus::InvalidEpoch;
+    r.view_epoch = current_epoch;
+    return r;
+  }
+  static SvcResponse unavailable(std::uint64_t retry_after_ms) {
+    SvcResponse r;
+    r.status = SvcStatus::Unavailable;
+    r.retry_after_ms = retry_after_ms;
+    return r;
+  }
+  static SvcResponse unsupported() { return SvcResponse{}; }
+};
+
+/// Completion callback for one request. The node must invoke it exactly
+/// once, on the runtime's event thread — immediately for reads and
+/// rejections, deferred for ordered writes (fired when the operation is
+/// applied at this replica, or when a view change fences it).
+using SvcRespondFn = std::function<void(SvcResponse)>;
+
+}  // namespace evs::runtime

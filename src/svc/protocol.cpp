@@ -1,0 +1,144 @@
+#include "svc/protocol.hpp"
+
+namespace evs::svc {
+
+using runtime::SvcOp;
+using runtime::SvcRequest;
+using runtime::SvcResponse;
+using runtime::SvcStatus;
+
+Bytes encode_request(std::uint64_t request_id, const SvcRequest& req) {
+  Encoder enc;
+  enc.reserve(16 + req.key.size() + req.value.size());
+  enc.put_u64(request_id);
+  enc.put_u8(static_cast<std::uint8_t>(req.op));
+  enc.put_varint(req.view_epoch);
+  switch (req.op) {
+    case SvcOp::Get:
+      enc.put_string(req.key);
+      break;
+    case SvcOp::Put:
+      enc.put_string(req.key);
+      enc.put_string(req.value);
+      break;
+    case SvcOp::Lock:
+    case SvcOp::Unlock:
+      break;
+    case SvcOp::Append:
+      enc.put_string(req.value);
+      break;
+  }
+  return std::move(enc).take();
+}
+
+WireRequest decode_request(const Bytes& body) {
+  Decoder dec(body);
+  WireRequest wire;
+  wire.request_id = dec.get_u64();
+  const std::uint8_t op = dec.get_u8();
+  if (op < static_cast<std::uint8_t>(SvcOp::Get) ||
+      op > static_cast<std::uint8_t>(SvcOp::Append))
+    throw DecodeError("svc request: bad op tag");
+  wire.req.op = static_cast<SvcOp>(op);
+  wire.req.view_epoch = dec.get_varint();
+  switch (wire.req.op) {
+    case SvcOp::Get:
+      wire.req.key = dec.get_string();
+      break;
+    case SvcOp::Put:
+      wire.req.key = dec.get_string();
+      wire.req.value = dec.get_string();
+      break;
+    case SvcOp::Lock:
+    case SvcOp::Unlock:
+      break;
+    case SvcOp::Append:
+      wire.req.value = dec.get_string();
+      break;
+  }
+  dec.expect_end();
+  return wire;
+}
+
+Bytes encode_response(std::uint64_t request_id, const SvcResponse& resp) {
+  Encoder enc;
+  enc.reserve(16 + resp.value.size());
+  enc.put_u64(request_id);
+  enc.put_u8(static_cast<std::uint8_t>(resp.status));
+  switch (resp.status) {
+    case SvcStatus::Ok:
+      enc.put_varint(resp.view_epoch);
+      enc.put_string(resp.value);
+      break;
+    case SvcStatus::Conflict:
+      enc.put_varint(resp.retry_after_ms);
+      break;
+    case SvcStatus::InvalidEpoch:
+      enc.put_varint(resp.view_epoch);
+      break;
+    case SvcStatus::Unavailable:
+      enc.put_varint(resp.retry_after_ms);
+      break;
+    case SvcStatus::Unsupported:
+      break;
+  }
+  return std::move(enc).take();
+}
+
+WireResponse decode_response(const Bytes& body) {
+  Decoder dec(body);
+  WireResponse wire;
+  wire.request_id = dec.get_u64();
+  const std::uint8_t status = dec.get_u8();
+  if (status < static_cast<std::uint8_t>(SvcStatus::Ok) ||
+      status > static_cast<std::uint8_t>(SvcStatus::Unsupported))
+    throw DecodeError("svc response: bad status tag");
+  wire.resp.status = static_cast<SvcStatus>(status);
+  switch (wire.resp.status) {
+    case SvcStatus::Ok:
+      wire.resp.view_epoch = dec.get_varint();
+      wire.resp.value = dec.get_string();
+      break;
+    case SvcStatus::Conflict:
+      wire.resp.retry_after_ms = dec.get_varint();
+      break;
+    case SvcStatus::InvalidEpoch:
+      wire.resp.view_epoch = dec.get_varint();
+      break;
+    case SvcStatus::Unavailable:
+      wire.resp.retry_after_ms = dec.get_varint();
+      break;
+    case SvcStatus::Unsupported:
+      break;
+  }
+  dec.expect_end();
+  return wire;
+}
+
+void append_frame(std::string& out, const Bytes& body) {
+  const auto len = static_cast<std::uint32_t>(body.size());
+  out.push_back(static_cast<char>(len & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.push_back(static_cast<char>((len >> 16) & 0xff));
+  out.push_back(static_cast<char>((len >> 24) & 0xff));
+  out.append(reinterpret_cast<const char*>(body.data()), body.size());
+}
+
+FrameStatus next_frame(const std::string& buf, std::size_t& offset,
+                       Bytes& body, std::size_t max_body) {
+  if (buf.size() - offset < 4) return FrameStatus::NeedMore;
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(
+        static_cast<std::uint8_t>(buf[offset + i]));
+  };
+  const std::uint32_t len = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+  if (len == 0 || len > max_body) return FrameStatus::Malformed;
+  if (buf.size() - offset - 4 < len) return FrameStatus::NeedMore;
+  const auto* begin =
+      reinterpret_cast<const std::uint8_t*>(buf.data() + offset + 4);
+  body.assign(begin, begin + len);
+  offset += 4 + len;
+  return FrameStatus::Frame;
+}
+
+}  // namespace evs::svc

@@ -1,0 +1,79 @@
+// Client front door, part 2: the wire protocol.
+//
+// External clients speak a length-prefixed binary framing over TCP:
+//
+//   frame   := u32-LE body-length | body        (length in 1..max_frame)
+//   request := u64 request_id | u8 op | varint view_epoch | op-fields
+//   response:= u64 request_id | u8 status | status-fields
+//
+// Per-op request fields (runtime/svc.hpp's SvcOp):
+//   Get    -> string key
+//   Put    -> string key | string value
+//   Lock   -> (none)
+//   Unlock -> (none)
+//   Append -> string value
+//
+// Per-status response fields (SvcStatus):
+//   Ok           -> varint view_epoch | string value
+//   Conflict     -> varint retry_after_ms
+//   InvalidEpoch -> varint current_epoch
+//   Unavailable  -> varint retry_after_ms
+//   Unsupported  -> (none)
+//
+// request_id is an opaque client-chosen correlator echoed verbatim in the
+// response; connections are persistent and requests may be pipelined, so
+// responses are matched by id, not by order. Bodies are encoded with the
+// stack's codec layer and decoded defensively: unknown tags, truncated
+// fields and trailing bytes all throw DecodeError, and the server drops
+// the connection rather than guess (the same hardening discipline as the
+// UDP receive path).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "codec/codec.hpp"
+#include "common/bytes.hpp"
+#include "runtime/svc.hpp"
+
+namespace evs::svc {
+
+/// Default cap on one frame body; requests are small (a key + a value),
+/// so anything near this is hostile or corrupt.
+constexpr std::size_t kMaxFrameBytes = 64 * 1024;
+
+struct WireRequest {
+  std::uint64_t request_id = 0;
+  runtime::SvcRequest req;
+};
+
+struct WireResponse {
+  std::uint64_t request_id = 0;
+  runtime::SvcResponse resp;
+};
+
+Bytes encode_request(std::uint64_t request_id, const runtime::SvcRequest& req);
+/// Throws DecodeError on malformation (bad op tag, truncation, trailing
+/// bytes).
+WireRequest decode_request(const Bytes& body);
+
+Bytes encode_response(std::uint64_t request_id,
+                      const runtime::SvcResponse& resp);
+/// Throws DecodeError on malformation (bad status tag, truncation,
+/// trailing bytes).
+WireResponse decode_response(const Bytes& body);
+
+/// Appends one length-prefixed frame (u32-LE length + body) to `out`.
+void append_frame(std::string& out, const Bytes& body);
+
+enum class FrameStatus {
+  NeedMore,   // prefix or body still incomplete; read more
+  Frame,      // `body` extracted, `offset` advanced past the frame
+  Malformed,  // zero or over-cap length prefix; drop the connection
+};
+
+/// Attempts to extract one frame from `buf` starting at `offset`.
+FrameStatus next_frame(const std::string& buf, std::size_t& offset,
+                       Bytes& body, std::size_t max_body = kMaxFrameBytes);
+
+}  // namespace evs::svc

@@ -1,0 +1,255 @@
+#include "svc/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace evs::svc {
+
+using runtime::SvcRequest;
+using runtime::SvcRespondFn;
+using runtime::SvcResponse;
+using runtime::SvcStatus;
+
+SvcServer::SvcServer(net::EventLoop& loop, std::uint32_t ip,
+                     std::uint16_t port, SvcServerConfig config)
+    : loop_(loop),
+      config_(config),
+      listener_(
+          loop, ip, port,
+          net::TcpListener::Callbacks{
+              .at_capacity =
+                  [this]() {
+                    return connections_.size() >= config_.max_connections;
+                  },
+              .on_connection = [this](int fd) { on_connection(fd); },
+              .on_shed = [this]() { ++stats_.connections_shed; },
+          },
+          "svc") {}
+
+SvcServer::~SvcServer() {
+  *alive_ = false;  // completions and timers in flight become no-ops
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+  for (const int fd : fds) {
+    loop_.remove_fd(fd);
+    ::close(fd);
+  }
+  connections_.clear();
+}
+
+void SvcServer::on_connection(int fd) {
+  ++stats_.connections_accepted;
+  Conn conn;
+  conn.gen = next_conn_gen_++;
+  connections_.emplace(fd, std::move(conn));
+  loop_.add_fd(fd, [this, fd]() { on_readable(fd); });
+}
+
+void SvcServer::on_readable(int fd) {
+  {
+    const auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    Conn& conn = it->second;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n == 0) {  // peer closed
+        close_connection(fd);
+        return;
+      }
+      if (n < 0) break;  // EAGAIN (or transient): wait for the next wake
+      conn.in.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+  // Parse complete frames. Every dispatch may mutate connections_ (a
+  // synchronous completion can hit the slow-consumer guard or a broken
+  // pipe and close this very connection), so the Conn is re-looked-up
+  // per frame and consumed bytes erased only at the end.
+  std::size_t offset = 0;
+  for (;;) {
+    const auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    Conn& conn = it->second;
+    Bytes body;
+    const FrameStatus status =
+        next_frame(conn.in, offset, body, config_.max_frame_bytes);
+    if (status == FrameStatus::NeedMore) break;
+    if (status == FrameStatus::Malformed) {
+      ++stats_.dropped_malformed;
+      close_connection(fd);
+      return;
+    }
+    WireRequest wire;
+    try {
+      wire = decode_request(body);
+    } catch (const DecodeError&) {
+      ++stats_.dropped_malformed;
+      close_connection(fd);
+      return;
+    }
+    if (!dispatch(fd, wire.request_id, std::move(wire.req))) return;
+  }
+  const auto it = connections_.find(fd);
+  if (it != connections_.end() && offset > 0) it->second.in.erase(0, offset);
+}
+
+bool SvcServer::dispatch(int fd, std::uint64_t request_id, SvcRequest req) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return false;
+  Conn& conn = it->second;
+
+  // Admission control: shed with a retry hint instead of queueing beyond
+  // the caps; the request never reaches the node.
+  if (!handler_ || conn.inflight >= config_.max_inflight_per_conn ||
+      pending_ >= config_.max_pending) {
+    ++stats_.requests_shed;
+    return send_response(fd, conn, request_id,
+                         SvcResponse::unavailable(config_.shed_retry_after_ms));
+  }
+
+  ++conn.inflight;
+  ++pending_;
+  auto ctx = std::make_shared<RequestCtx>();
+  ctx->server = this;
+  ctx->alive = alive_;
+  ctx->fd = fd;
+  ctx->gen = conn.gen;
+  ctx->request_id = request_id;
+  ctx->start = loop_.now();
+  if (config_.request_timeout > 0) {
+    ctx->timer = loop_.set_timer(config_.request_timeout, [ctx]() {
+      complete(ctx, SvcResponse::unavailable(
+                        ctx->alive && *ctx->alive
+                            ? ctx->server->config_.shed_retry_after_ms
+                            : 0),
+               /*timed_out=*/true);
+    });
+  }
+  handler_(std::move(req),
+           [ctx](SvcResponse resp) { complete(ctx, std::move(resp), false); });
+  return connections_.contains(fd);
+}
+
+void SvcServer::complete(const std::shared_ptr<RequestCtx>& ctx,
+                         SvcResponse resp, bool timed_out) {
+  if (ctx->done) return;  // late completion after timeout, or double call
+  ctx->done = true;
+  if (!ctx->alive || !*ctx->alive) return;  // server torn down
+  SvcServer* server = ctx->server;
+  if (ctx->timer != 0 && !timed_out) server->loop_.cancel_timer(ctx->timer);
+  if (timed_out) ++server->stats_.requests_timed_out;
+  EVS_CHECK(server->pending_ > 0);
+  --server->pending_;
+  server->latency_us_.record(
+      static_cast<double>(server->loop_.now() - ctx->start));
+  server->count_response(resp);
+  const auto it = server->connections_.find(ctx->fd);
+  if (it == server->connections_.end() || it->second.gen != ctx->gen) {
+    ++server->stats_.responses_orphaned;
+    return;
+  }
+  Conn& conn = it->second;
+  EVS_CHECK(conn.inflight > 0);
+  --conn.inflight;
+  server->send_response(ctx->fd, conn, ctx->request_id, resp);
+}
+
+void SvcServer::count_response(const SvcResponse& resp) {
+  switch (resp.status) {
+    case SvcStatus::Ok: ++stats_.requests_ok; break;
+    case SvcStatus::Conflict: ++stats_.requests_conflict; break;
+    case SvcStatus::InvalidEpoch: ++stats_.requests_stale_epoch; break;
+    case SvcStatus::Unavailable: ++stats_.requests_unavailable; break;
+    case SvcStatus::Unsupported: ++stats_.requests_unsupported; break;
+  }
+}
+
+bool SvcServer::send_response(int fd, Conn& conn, std::uint64_t request_id,
+                              const SvcResponse& resp) {
+  append_frame(conn.out, encode_response(request_id, resp));
+  if (conn.out.size() - conn.sent > config_.max_out_bytes) {
+    // The client is not reading its responses; buffering without bound
+    // would let one slow consumer eat the node's memory.
+    ++stats_.slow_consumer_closed;
+    close_connection(fd);
+    return false;
+  }
+  return flush(fd, conn);
+}
+
+bool SvcServer::flush(int fd, Conn& conn) {
+  while (conn.sent < conn.out.size()) {
+    const ssize_t n = ::send(fd, conn.out.data() + conn.sent,
+                             conn.out.size() - conn.sent, MSG_NOSIGNAL);
+    if (n >= 0) {
+      conn.sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!conn.want_write) {
+        conn.want_write = true;
+        loop_.set_writable(fd, [this, fd]() { on_writable(fd); });
+      }
+      return true;
+    }
+    close_connection(fd);  // broken pipe etc.
+    return false;
+  }
+  conn.out.clear();
+  conn.sent = 0;
+  if (conn.want_write) {
+    conn.want_write = false;
+    loop_.set_writable(fd, {});
+  }
+  return true;
+}
+
+void SvcServer::on_writable(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  flush(fd, it->second);
+}
+
+void SvcServer::close_connection(int fd) {
+  loop_.remove_fd(fd);
+  ::close(fd);
+  // In-flight completions for this connection find a missing fd (or a
+  // different generation after reuse) and count responses_orphaned.
+  connections_.erase(fd);
+}
+
+void SvcServer::export_metrics(obs::MetricsRegistry& registry,
+                               const std::string& prefix) const {
+  registry.counter(prefix + ".connections_accepted")
+      .set(stats_.connections_accepted);
+  registry.counter(prefix + ".connections_shed").set(stats_.connections_shed);
+  registry.counter(prefix + ".dropped_malformed").set(stats_.dropped_malformed);
+  registry.counter(prefix + ".requests_ok").set(stats_.requests_ok);
+  registry.counter(prefix + ".requests_conflict").set(stats_.requests_conflict);
+  registry.counter(prefix + ".requests_stale_epoch")
+      .set(stats_.requests_stale_epoch);
+  registry.counter(prefix + ".requests_unavailable")
+      .set(stats_.requests_unavailable);
+  registry.counter(prefix + ".requests_unsupported")
+      .set(stats_.requests_unsupported);
+  registry.counter(prefix + ".requests_shed").set(stats_.requests_shed);
+  registry.counter(prefix + ".requests_timed_out")
+      .set(stats_.requests_timed_out);
+  registry.counter(prefix + ".responses_orphaned")
+      .set(stats_.responses_orphaned);
+  registry.counter(prefix + ".slow_consumer_closed")
+      .set(stats_.slow_consumer_closed);
+  registry.gauge(prefix + ".connections")
+      .set(static_cast<double>(connections_.size()));
+  registry.gauge(prefix + ".pending").set(static_cast<double>(pending_));
+  registry.histogram(prefix + ".latency_us") = latency_us_;
+}
+
+}  // namespace evs::svc

@@ -1,0 +1,180 @@
+// Client front door, part 3: the per-node service endpoint.
+//
+// One SvcServer per node serves the external-client request/response
+// protocol (svc/protocol.hpp) on a TCP listen socket, driven entirely by
+// the node's existing epoll EventLoop — no threads, same single-loop
+// discipline as the admin plane, sharing its accept/cap/shed skeleton
+// (net/tcp_listener.hpp). Connections are persistent and requests may be
+// pipelined; responses carry the client's request_id, so they complete in
+// any order.
+//
+// Admission control and backpressure are first-class, not best-effort:
+//
+//   * connection cap         — accepts past max_connections are shed at
+//                              the listener (closed immediately);
+//   * per-connection cap     — more than max_inflight_per_conn
+//                              unanswered requests on one connection get
+//                              Unavailable{retry_after_ms} without ever
+//                              reaching the node;
+//   * bounded request queue  — more than max_pending requests in flight
+//                              across all connections likewise shed with
+//                              Unavailable{retry_after_ms};
+//   * request timeout        — a request the node has not answered within
+//                              request_timeout is answered
+//                              Unavailable{retry_after_ms} (the late
+//                              completion is then dropped), so a wedged
+//                              replica can never hang a client;
+//   * slow-consumer guard    — a connection whose unread response backlog
+//                              exceeds max_out_bytes is closed rather than
+//                              buffering without bound.
+//
+// Every outcome is counted (SvcStats) and exported through
+// export_metrics() under the "svc." prefix — requests_ok / _conflict /
+// _stale_epoch / _shed and friends plus an end-to-end latency histogram —
+// so /metrics shows exactly how the front door is treating clients.
+//
+// Requests are routed to the hosted node through a Handler wired to
+// runtime::Node::svc_request. The handler's respond callback may fire
+// synchronously (reads, rejections) or later (ordered writes); a
+// completion that outlives its connection is counted responses_orphaned
+// and dropped. Connection slots are generation-stamped so a completion
+// can never write into an unrelated client that reused the fd number.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/time.hpp"
+#include "net/event_loop.hpp"
+#include "net/tcp_listener.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/svc.hpp"
+#include "svc/protocol.hpp"
+
+namespace evs::svc {
+
+struct SvcServerConfig {
+  /// Simultaneous client connections; extra accepts are shed.
+  std::size_t max_connections = 1024;
+  /// Unanswered requests allowed per connection before shedding.
+  std::size_t max_inflight_per_conn = 64;
+  /// Unanswered requests allowed across all connections before shedding.
+  std::size_t max_pending = 4096;
+  /// Largest accepted frame body; larger prefixes drop the connection.
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+  /// Unread response backlog per connection before the slow consumer is
+  /// closed.
+  std::size_t max_out_bytes = 4 * 1024 * 1024;
+  /// Hint carried in shed responses (Unavailable{retry_after_ms}).
+  std::uint64_t shed_retry_after_ms = 50;
+  /// Deadline for the node to answer one request, in microseconds of loop
+  /// time; 0 disables the timeout.
+  SimDuration request_timeout = 10'000'000;
+};
+
+struct SvcStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_shed = 0;     // over max_connections
+  std::uint64_t dropped_malformed = 0;    // bad frame / undecodable request
+  std::uint64_t requests_ok = 0;          // responses by status...
+  std::uint64_t requests_conflict = 0;
+  std::uint64_t requests_stale_epoch = 0;
+  std::uint64_t requests_unavailable = 0;
+  std::uint64_t requests_unsupported = 0;
+  std::uint64_t requests_shed = 0;        // admission control; never reached
+                                          // the node (also Unavailable on
+                                          // the wire, counted here instead)
+  std::uint64_t requests_timed_out = 0;   // node missed request_timeout
+  std::uint64_t responses_orphaned = 0;   // completed after conn close
+  std::uint64_t slow_consumer_closed = 0;
+};
+
+class SvcServer {
+ public:
+  /// Routes one decoded request into the node; must call the respond
+  /// callback exactly once (see runtime::Node::svc_request).
+  using Handler =
+      std::function<void(runtime::SvcRequest, runtime::SvcRespondFn)>;
+
+  /// Binds ip:port (host byte order; port 0 picks an ephemeral port, see
+  /// bound_port()) and registers with the loop. Throws InvariantViolation
+  /// on bind/listen failure.
+  SvcServer(net::EventLoop& loop, std::uint32_t ip, std::uint16_t port,
+            SvcServerConfig config = {});
+  ~SvcServer();
+  SvcServer(const SvcServer&) = delete;
+  SvcServer& operator=(const SvcServer&) = delete;
+
+  std::uint16_t bound_port() const { return listener_.bound_port(); }
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  const SvcStats& stats() const { return stats_; }
+  const SvcServerConfig& config() const { return config_; }
+  std::size_t connections() const { return connections_.size(); }
+  /// Requests currently awaiting a node response.
+  std::size_t pending() const { return pending_; }
+
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "svc") const;
+
+ private:
+  struct Conn {
+    std::string in;        // unparsed request bytes
+    std::string out;       // response bytes awaiting the socket
+    std::size_t sent = 0;  // prefix of `out` already written
+    std::size_t inflight = 0;
+    std::uint64_t gen = 0;  // guards completions against fd reuse
+    bool want_write = false;
+  };
+
+  /// One in-flight request's identity, shared with the respond closure and
+  /// the timeout timer. `alive` mirrors the server's lifetime so a
+  /// completion arriving after teardown is a no-op, not a wild pointer.
+  struct RequestCtx {
+    SvcServer* server = nullptr;
+    std::shared_ptr<bool> alive;
+    int fd = -1;
+    std::uint64_t gen = 0;
+    std::uint64_t request_id = 0;
+    SimTime start = 0;
+    runtime::TimerId timer = 0;
+    bool done = false;
+  };
+
+  void on_connection(int fd);
+  void on_readable(int fd);
+  void on_writable(int fd);
+  void close_connection(int fd);
+  /// Admits + dispatches one decoded request; returns false when the
+  /// connection was closed underneath (stop parsing its buffer).
+  bool dispatch(int fd, std::uint64_t request_id, runtime::SvcRequest req);
+  static void complete(const std::shared_ptr<RequestCtx>& ctx,
+                       runtime::SvcResponse resp, bool timed_out);
+  void count_response(const runtime::SvcResponse& resp);
+  /// Queues one response frame; returns false when the connection was
+  /// closed (slow consumer or broken pipe).
+  bool send_response(int fd, Conn& conn, std::uint64_t request_id,
+                     const runtime::SvcResponse& resp);
+  /// Writes what the socket accepts; arms/clears EPOLLOUT interest.
+  /// Returns false when the connection was closed (broken pipe).
+  bool flush(int fd, Conn& conn);
+
+  net::EventLoop& loop_;
+  SvcServerConfig config_;
+  Handler handler_;
+  std::map<int, Conn> connections_;
+  std::uint64_t next_conn_gen_ = 1;
+  std::size_t pending_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  SvcStats stats_;
+  obs::Histogram latency_us_;
+
+  net::TcpListener listener_;  // last: accepts may fire once registered
+};
+
+}  // namespace evs::svc

@@ -22,6 +22,7 @@
 #include "gms/wire.hpp"
 #include "net/datagram.hpp"
 #include "support/cluster.hpp"
+#include "svc/protocol.hpp"
 
 namespace evs::test {
 namespace {
@@ -325,6 +326,137 @@ TEST(MalformedFrame, SubframeGarbageSplitsCleanly) {
     EXPECT_FALSE(net::split_subframes(payload.data(), payload.size(), spans))
         << "length " << evil;
     EXPECT_TRUE(spans.empty());
+  }
+}
+
+// --- External-client svc wire protocol (svc/protocol.hpp) ---
+//
+// The front door faces arbitrary internet clients, so its decoders get
+// the same three attack shapes as the member-to-member wire: truncation,
+// bit flips, and raw garbage, against every request/response variant.
+
+/// One valid body per request op and response status — the svc corpus.
+std::vector<Bytes> svc_corpus() {
+  using runtime::SvcOp;
+  using runtime::SvcRequest;
+  using runtime::SvcResponse;
+  std::vector<Bytes> bodies;
+  std::uint64_t id = 1000;
+  const auto req = [&](SvcOp op, std::uint64_t epoch, std::string key = {},
+                       std::string value = {}) {
+    SvcRequest r;
+    r.op = op;
+    r.view_epoch = epoch;
+    r.key = std::move(key);
+    r.value = std::move(value);
+    bodies.push_back(svc::encode_request(++id, r));
+  };
+  req(SvcOp::Get, 7, "some-key");
+  req(SvcOp::Put, 42, "k", "a value with some length to flip bits in");
+  req(SvcOp::Lock, 3);
+  req(SvcOp::Unlock, 3);
+  req(SvcOp::Append, 0, "", "appended tail");
+  bodies.push_back(svc::encode_response(++id, SvcResponse::ok(9, "value")));
+  bodies.push_back(svc::encode_response(++id, SvcResponse::conflict(250)));
+  bodies.push_back(svc::encode_response(++id, SvcResponse::invalid_epoch(10)));
+  bodies.push_back(svc::encode_response(++id, SvcResponse::unavailable(50)));
+  bodies.push_back(svc::encode_response(++id, SvcResponse::unsupported()));
+  return bodies;
+}
+
+/// Hostile svc bytes must parse (as a request or a response) or raise
+/// DecodeError — both decoders run because a fuzzed body's origin is
+/// exactly what a confused or malicious client gets wrong.
+void expect_clean_svc_decode(const Bytes& body) {
+  try {
+    svc::decode_request(body);
+  } catch (const DecodeError&) {
+  }
+  try {
+    svc::decode_response(body);
+  } catch (const DecodeError&) {
+  }
+}
+
+TEST(MalformedFrame, SvcCorpusSeedsAreValid) {
+  const std::vector<Bytes> bodies = svc_corpus();
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_NO_THROW(svc::decode_request(bodies[i])) << i;
+  for (std::size_t i = 5; i < bodies.size(); ++i)
+    EXPECT_NO_THROW(svc::decode_response(bodies[i])) << i;
+}
+
+TEST(MalformedFrame, SvcEveryTruncationDecodesCleanly) {
+  for (const Bytes& body : svc_corpus()) {
+    for (std::size_t len = 0; len < body.size(); ++len)
+      expect_clean_svc_decode(Bytes(body.begin(), body.begin() + len));
+  }
+}
+
+TEST(MalformedFrame, SvcBitFlipsDecodeCleanly) {
+  std::mt19937_64 rng(0x57C0DE);
+  for (const Bytes& body : svc_corpus()) {
+    for (int round = 0; round < 400; ++round) {
+      Bytes mutated = body;
+      std::uniform_int_distribution<int> flips(1, 8);
+      const int n = flips(rng);
+      for (int i = 0; i < n; ++i) {
+        std::uniform_int_distribution<std::size_t> pos(0, mutated.size() - 1);
+        std::uniform_int_distribution<int> bit(0, 7);
+        mutated[pos(rng)] ^= static_cast<std::uint8_t>(1 << bit(rng));
+      }
+      expect_clean_svc_decode(mutated);
+    }
+  }
+}
+
+TEST(MalformedFrame, SvcRandomGarbageDecodesCleanly) {
+  std::mt19937_64 rng(0xF40D);
+  for (int round = 0; round < 4000; ++round) {
+    std::uniform_int_distribution<std::size_t> len_dist(0, 96);
+    Bytes garbage(len_dist(rng));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng());
+    expect_clean_svc_decode(garbage);
+  }
+}
+
+TEST(MalformedFrame, SvcFramingNeverReadsPastOrStalls) {
+  // Garbage length prefixes: zero and over-cap must be Malformed (drop
+  // the connection), in-cap short reads must be NeedMore, and a frame
+  // extracted must exactly match what append_frame wrote.
+  std::string buf;
+  const Bytes body = svc_corpus().front();
+  svc::append_frame(buf, body);
+  std::size_t offset = 0;
+  Bytes out;
+  ASSERT_EQ(svc::next_frame(buf, offset, out), svc::FrameStatus::Frame);
+  EXPECT_EQ(out, body);
+
+  std::mt19937_64 rng(0xF4A3E);
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = buf;
+    std::uniform_int_distribution<std::size_t> pos(0, mutated.size() - 1);
+    mutated[pos(rng)] ^= static_cast<char>(1 << (rng() % 8));
+    std::size_t off = 0;
+    Bytes extracted;
+    // Any verdict is fine; the property is bounded reads and no throw.
+    while (off < mutated.size() &&
+           svc::next_frame(mutated, off, extracted) ==
+               svc::FrameStatus::Frame) {
+    }
+  }
+  for (const std::uint32_t evil : {0u, 0xffffffffu, 0x10001u}) {
+    std::string evil_buf;
+    evil_buf.push_back(static_cast<char>(evil));
+    evil_buf.push_back(static_cast<char>(evil >> 8));
+    evil_buf.push_back(static_cast<char>(evil >> 16));
+    evil_buf.push_back(static_cast<char>(evil >> 24));
+    evil_buf += "payload";
+    std::size_t off = 0;
+    Bytes extracted;
+    EXPECT_EQ(svc::next_frame(evil_buf, off, extracted),
+              svc::FrameStatus::Malformed)
+        << evil;
   }
 }
 

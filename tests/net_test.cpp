@@ -168,6 +168,56 @@ TEST(NetConfig, RejectsBadAdminLines) {
   }
 }
 
+TEST(NetConfig, ParsesSvcLines) {
+  std::istringstream in(
+      "self 1\n"
+      "peer 0 127.0.0.1:9000\n"
+      "peer 1 127.0.0.1:9001\n"
+      "peer 2 127.0.0.1:9002\n"
+      "svc 1 127.0.0.1:9201\n"
+      "svc 2 127.0.0.1:9202\n");
+  NodeConfig config;
+  std::string error;
+  ASSERT_TRUE(net::parse_node_config(in, config, error)) << error;
+  ASSERT_EQ(config.svc.size(), 2u);
+  EXPECT_EQ(config.svc.at(SiteId{2}).port, 9202);
+  ASSERT_TRUE(config.self_svc_addr().has_value());
+  EXPECT_EQ(config.self_svc_addr()->port, 9201);
+}
+
+TEST(NetConfig, SvcLinesAreOptional) {
+  std::istringstream in(
+      "self 0\n"
+      "peer 0 127.0.0.1:9000\n"
+      "peer 1 127.0.0.1:9001\n");
+  NodeConfig config;
+  std::string error;
+  ASSERT_TRUE(net::parse_node_config(in, config, error)) << error;
+  EXPECT_TRUE(config.svc.empty());
+  EXPECT_FALSE(config.self_svc_addr().has_value());
+}
+
+TEST(NetConfig, RejectsBadSvcLines) {
+  const char* base =
+      "self 0\n"
+      "peer 0 127.0.0.1:9000\n"
+      "peer 1 127.0.0.1:9001\n";
+  const char* bad[] = {
+      "svc 0 127.0.0.1:9200\nsvc 0 127.0.0.1:9201\n",  // duplicate site
+      "svc 7 127.0.0.1:9200\n",                        // unknown site
+      "svc 0 127.0.0.1\n",                             // bad address
+      "svc 0\n",                                       // missing address
+      "svc zero 127.0.0.1:9200\n",                     // non-numeric site
+  };
+  for (const char* lines : bad) {
+    std::istringstream in(std::string(base) + lines);
+    NodeConfig config;
+    std::string error;
+    EXPECT_FALSE(net::parse_node_config(in, config, error)) << lines;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
 TEST(NetConfig, RejectsMalformedFiles) {
   const char* bad[] = {
       "peer 0 127.0.0.1:9000\npeer 1 127.0.0.1:9001\n",  // no self

@@ -1,0 +1,625 @@
+// Client front door tests: the svc wire protocol (round trips and
+// rejection of malformed bodies), the SvcServer's admission control and
+// exactly-one-typed-response promise over real loopback sockets on its
+// own epoll loop, and the view-epoch fencing rule end-to-end through
+// simulated group objects (MergeableKv, LockManager, ReplicatedFile).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "obs/metrics.hpp"
+#include "objects/lock_manager.hpp"
+#include "objects/mergeable_kv.hpp"
+#include "objects/replicated_file.hpp"
+#include "support/object_cluster.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+
+namespace evs::test {
+namespace {
+
+using runtime::SvcOp;
+using runtime::SvcRequest;
+using runtime::SvcRespondFn;
+using runtime::SvcResponse;
+using runtime::SvcStatus;
+
+// ------------------------------------------------------------- protocol ---
+
+SvcRequest make_request(SvcOp op, std::uint64_t epoch, std::string key = {},
+                        std::string value = {}) {
+  SvcRequest req;
+  req.op = op;
+  req.view_epoch = epoch;
+  req.key = std::move(key);
+  req.value = std::move(value);
+  return req;
+}
+
+TEST(SvcProtocol, RequestRoundTripsEveryOp) {
+  const SvcRequest cases[] = {
+      make_request(SvcOp::Get, 7, "a-key"),
+      make_request(SvcOp::Put, 0, "k", std::string(300, 'v')),
+      make_request(SvcOp::Lock, 12),
+      make_request(SvcOp::Unlock, 12),
+      make_request(SvcOp::Append, 3, "", "tail"),
+  };
+  std::uint64_t id = 100;
+  for (const SvcRequest& req : cases) {
+    const svc::WireRequest back =
+        svc::decode_request(svc::encode_request(++id, req));
+    EXPECT_EQ(back.request_id, id);
+    EXPECT_EQ(back.req.op, req.op);
+    EXPECT_EQ(back.req.view_epoch, req.view_epoch);
+    EXPECT_EQ(back.req.key, req.key);
+    EXPECT_EQ(back.req.value, req.value);
+  }
+}
+
+TEST(SvcProtocol, ResponseRoundTripsEveryStatus) {
+  const SvcResponse cases[] = {
+      SvcResponse::ok(42, "payload"),     SvcResponse::ok(1),
+      SvcResponse::conflict(250),         SvcResponse::invalid_epoch(43),
+      SvcResponse::unavailable(50),       SvcResponse::unsupported(),
+  };
+  std::uint64_t id = 7;
+  for (const SvcResponse& resp : cases) {
+    const svc::WireResponse back =
+        svc::decode_response(svc::encode_response(++id, resp));
+    EXPECT_EQ(back.request_id, id);
+    EXPECT_EQ(back.resp.status, resp.status);
+    EXPECT_EQ(back.resp.value, resp.value);
+    EXPECT_EQ(back.resp.view_epoch, resp.view_epoch);
+    EXPECT_EQ(back.resp.retry_after_ms, resp.retry_after_ms);
+  }
+}
+
+TEST(SvcProtocol, RejectsBadTagsAndTrailingBytes) {
+  // Unknown op tag.
+  Bytes req = svc::encode_request(1, make_request(SvcOp::Get, 0, "k"));
+  req[8] = 0x77;  // op byte follows the u64 request_id
+  EXPECT_THROW(svc::decode_request(req), DecodeError);
+  // Unknown status tag.
+  Bytes resp = svc::encode_response(1, SvcResponse::ok(1));
+  resp[8] = 0x00;
+  EXPECT_THROW(svc::decode_response(resp), DecodeError);
+  // Trailing bytes after a complete body.
+  req = svc::encode_request(1, make_request(SvcOp::Lock, 0));
+  req.push_back(0);
+  EXPECT_THROW(svc::decode_request(req), DecodeError);
+  resp = svc::encode_response(1, SvcResponse::unsupported());
+  resp.push_back(9);
+  EXPECT_THROW(svc::decode_response(resp), DecodeError);
+}
+
+TEST(SvcProtocol, FramingExtractsAndRejects) {
+  std::string buf;
+  const Bytes a = svc::encode_request(1, make_request(SvcOp::Get, 0, "x"));
+  const Bytes b = svc::encode_request(2, make_request(SvcOp::Lock, 5));
+  svc::append_frame(buf, a);
+  svc::append_frame(buf, b);
+
+  std::size_t offset = 0;
+  Bytes body;
+  ASSERT_EQ(svc::next_frame(buf, offset, body), svc::FrameStatus::Frame);
+  EXPECT_EQ(body, a);
+  ASSERT_EQ(svc::next_frame(buf, offset, body), svc::FrameStatus::Frame);
+  EXPECT_EQ(body, b);
+  EXPECT_EQ(svc::next_frame(buf, offset, body), svc::FrameStatus::NeedMore);
+  EXPECT_EQ(offset, buf.size());
+
+  // Every strict prefix of one frame is NeedMore, never a bogus Frame.
+  std::string one;
+  svc::append_frame(one, a);
+  for (std::size_t len = 0; len < one.size(); ++len) {
+    std::size_t off = 0;
+    EXPECT_EQ(svc::next_frame(one.substr(0, len), off, body),
+              svc::FrameStatus::NeedMore);
+  }
+
+  // Zero and over-cap lengths are Malformed, not a wait-for-more stall.
+  std::string evil(4, '\0');  // length prefix 0
+  std::size_t off = 0;
+  EXPECT_EQ(svc::next_frame(evil, off, body), svc::FrameStatus::Malformed);
+  std::string huge;
+  svc::append_frame(huge, Bytes{1});
+  huge[2] = '\x7f';  // length prefix far above kMaxFrameBytes
+  off = 0;
+  EXPECT_EQ(svc::next_frame(huge, off, body), svc::FrameStatus::Malformed);
+}
+
+// ------------------------------------------------------------ SvcServer ---
+
+constexpr std::uint32_t kLoopbackIp = (127u << 24) | 1u;
+
+/// A nonblocking loopback client speaking the svc framing.
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    ::fcntl(fd_, F_SETFL, O_NONBLOCK);
+  }
+  ~TestClient() { close(); }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  void send_request(std::uint64_t id, const SvcRequest& req) {
+    std::string frame;
+    svc::append_frame(frame, svc::encode_request(id, req));
+    send_raw(frame);
+  }
+
+  void send_raw(const std::string& bytes) { out_ += bytes; }
+
+  /// Pumps the loop until `count` responses have arrived (or a deadline).
+  bool pump_until(net::EventLoop& loop, std::size_t count,
+                  int max_iterations = 2000) {
+    for (int i = 0; i < max_iterations && responses.size() < count; ++i) {
+      while (sent_ < out_.size()) {
+        const ssize_t n = ::send(fd_, out_.data() + sent_,
+                                 out_.size() - sent_, MSG_NOSIGNAL);
+        if (n <= 0) break;
+        sent_ += static_cast<std::size_t>(n);
+      }
+      loop.run_for(kMillisecond);
+      char buf[4096];
+      while (fd_ >= 0) {
+        const ssize_t n = ::read(fd_, buf, sizeof(buf));
+        if (n > 0) {
+          in_.append(buf, static_cast<std::size_t>(n));
+        } else {
+          if (n == 0) closed_by_server = true;
+          break;
+        }
+      }
+      std::size_t offset = 0;
+      Bytes body;
+      while (svc::next_frame(in_, offset, body) == svc::FrameStatus::Frame)
+        responses.push_back(svc::decode_response(body));
+      in_.erase(0, offset);
+      if (closed_by_server) break;
+    }
+    return responses.size() >= count;
+  }
+
+  const SvcResponse* response_for(std::uint64_t id) const {
+    for (const svc::WireResponse& r : responses) {
+      if (r.request_id == id) return &r.resp;
+    }
+    return nullptr;
+  }
+
+  std::vector<svc::WireResponse> responses;
+  bool closed_by_server = false;
+
+ private:
+  int fd_ = -1;
+  std::string in_;
+  std::string out_;
+  std::size_t sent_ = 0;
+};
+
+TEST(SvcServer, PipelinedRequestsCompleteAndMatchByRequestId) {
+  net::EventLoop loop;
+  svc::SvcServer server(loop, kLoopbackIp, 0);
+  ASSERT_NE(server.bound_port(), 0);
+  server.set_handler([](SvcRequest req, SvcRespondFn respond) {
+    respond(SvcResponse::ok(req.view_epoch, req.key + "=" + req.value));
+  });
+
+  TestClient client(server.bound_port());
+  client.send_request(11, make_request(SvcOp::Put, 3, "a", "1"));
+  client.send_request(12, make_request(SvcOp::Put, 3, "b", "2"));
+  client.send_request(13, make_request(SvcOp::Get, 3, "c"));
+  ASSERT_TRUE(client.pump_until(loop, 3));
+  ASSERT_NE(client.response_for(12), nullptr);
+  EXPECT_EQ(client.response_for(12)->value, "b=2");
+  EXPECT_EQ(client.response_for(13)->value, "c=");
+  EXPECT_EQ(server.stats().requests_ok, 3u);
+  EXPECT_EQ(server.stats().connections_accepted, 1u);
+}
+
+TEST(SvcServer, DeferredCompletionStillDelivers) {
+  net::EventLoop loop;
+  svc::SvcServer server(loop, kLoopbackIp, 0);
+  std::vector<SvcRespondFn> held;
+  server.set_handler([&held](SvcRequest, SvcRespondFn respond) {
+    held.push_back(std::move(respond));
+  });
+
+  TestClient client(server.bound_port());
+  client.send_request(1, make_request(SvcOp::Get, 0, "k"));
+  EXPECT_FALSE(client.pump_until(loop, 1, 20));
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_EQ(server.pending(), 1u);
+  held[0](SvcResponse::ok(9, "later"));
+  ASSERT_TRUE(client.pump_until(loop, 1));
+  EXPECT_EQ(client.responses[0].resp.value, "later");
+  EXPECT_EQ(server.pending(), 0u);
+}
+
+TEST(SvcServer, PerConnectionInflightCapShedsWithRetryAfter) {
+  net::EventLoop loop;
+  svc::SvcServerConfig config;
+  config.max_inflight_per_conn = 2;
+  config.shed_retry_after_ms = 77;
+  svc::SvcServer server(loop, kLoopbackIp, 0, config);
+  std::vector<SvcRespondFn> held;
+  server.set_handler([&held](SvcRequest, SvcRespondFn respond) {
+    held.push_back(std::move(respond));
+  });
+
+  TestClient client(server.bound_port());
+  for (std::uint64_t id = 1; id <= 3; ++id)
+    client.send_request(id, make_request(SvcOp::Get, 0, "k"));
+  // Only the shed response arrives; the two admitted ones are held.
+  ASSERT_TRUE(client.pump_until(loop, 1));
+  const SvcResponse* shed = client.response_for(3);
+  ASSERT_NE(shed, nullptr);
+  EXPECT_EQ(shed->status, SvcStatus::Unavailable);
+  EXPECT_EQ(shed->retry_after_ms, 77u);
+  EXPECT_EQ(server.stats().requests_shed, 1u);
+  // The admitted requests still complete normally afterwards.
+  for (SvcRespondFn& respond : held) respond(SvcResponse::ok(1));
+  ASSERT_TRUE(client.pump_until(loop, 3));
+  EXPECT_EQ(server.stats().requests_ok, 2u);
+}
+
+TEST(SvcServer, GlobalPendingCapShedsAcrossConnections) {
+  net::EventLoop loop;
+  svc::SvcServerConfig config;
+  config.max_pending = 1;
+  svc::SvcServer server(loop, kLoopbackIp, 0, config);
+  std::vector<SvcRespondFn> held;
+  server.set_handler([&held](SvcRequest, SvcRespondFn respond) {
+    held.push_back(std::move(respond));
+  });
+
+  TestClient first(server.bound_port());
+  TestClient second(server.bound_port());
+  first.send_request(1, make_request(SvcOp::Get, 0, "k"));
+  EXPECT_FALSE(first.pump_until(loop, 1, 20));  // admitted and held
+  second.send_request(2, make_request(SvcOp::Get, 0, "k"));
+  ASSERT_TRUE(second.pump_until(loop, 1));
+  EXPECT_EQ(second.responses[0].resp.status, SvcStatus::Unavailable);
+  EXPECT_EQ(server.stats().requests_shed, 1u);
+  ASSERT_EQ(held.size(), 1u);
+  held[0](SvcResponse::ok(1));
+  ASSERT_TRUE(first.pump_until(loop, 1));
+}
+
+TEST(SvcServer, RequestTimeoutAnswersUnavailableAndDropsLateCompletion) {
+  net::EventLoop loop;
+  svc::SvcServerConfig config;
+  config.request_timeout = 20 * kMillisecond;
+  svc::SvcServer server(loop, kLoopbackIp, 0, config);
+  std::vector<SvcRespondFn> held;
+  server.set_handler([&held](SvcRequest, SvcRespondFn respond) {
+    held.push_back(std::move(respond));
+  });
+
+  TestClient client(server.bound_port());
+  client.send_request(5, make_request(SvcOp::Get, 0, "k"));
+  ASSERT_TRUE(client.pump_until(loop, 1));
+  EXPECT_EQ(client.responses[0].resp.status, SvcStatus::Unavailable);
+  EXPECT_EQ(server.stats().requests_timed_out, 1u);
+  EXPECT_EQ(server.pending(), 0u);
+  // The node answering after the deadline must be a silent no-op.
+  ASSERT_EQ(held.size(), 1u);
+  held[0](SvcResponse::ok(1, "too late"));
+  loop.run_for(5 * kMillisecond);
+  EXPECT_EQ(client.responses.size(), 1u);
+  EXPECT_EQ(server.stats().requests_ok, 0u);
+}
+
+TEST(SvcServer, CompletionAfterDisconnectIsOrphaned) {
+  net::EventLoop loop;
+  svc::SvcServer server(loop, kLoopbackIp, 0);
+  std::vector<SvcRespondFn> held;
+  server.set_handler([&held](SvcRequest, SvcRespondFn respond) {
+    held.push_back(std::move(respond));
+  });
+
+  TestClient client(server.bound_port());
+  client.send_request(1, make_request(SvcOp::Get, 0, "k"));
+  EXPECT_FALSE(client.pump_until(loop, 1, 20));
+  ASSERT_EQ(held.size(), 1u);
+  client.close();
+  loop.run_for(10 * kMillisecond);  // server notices the hangup
+  EXPECT_EQ(server.connections(), 0u);
+  held[0](SvcResponse::ok(1));
+  EXPECT_EQ(server.stats().responses_orphaned, 1u);
+  EXPECT_EQ(server.pending(), 0u);
+}
+
+TEST(SvcServer, MalformedFramesDropTheConnection) {
+  net::EventLoop loop;
+  svc::SvcServer server(loop, kLoopbackIp, 0);
+  server.set_handler([](SvcRequest, SvcRespondFn respond) {
+    respond(SvcResponse::ok(1));
+  });
+
+  {
+    // Zero-length frame prefix.
+    TestClient client(server.bound_port());
+    client.send_raw(std::string(4, '\0'));
+    client.pump_until(loop, 1, 50);
+    EXPECT_TRUE(client.closed_by_server);
+  }
+  {
+    // Valid framing, undecodable body (bad op tag).
+    TestClient client(server.bound_port());
+    Bytes body = svc::encode_request(1, make_request(SvcOp::Get, 0, "k"));
+    body[8] = 0x66;
+    std::string frame;
+    svc::append_frame(frame, body);
+    client.send_raw(frame);
+    client.pump_until(loop, 1, 50);
+    EXPECT_TRUE(client.closed_by_server);
+  }
+  EXPECT_EQ(server.stats().dropped_malformed, 2u);
+  EXPECT_EQ(server.connections(), 0u);
+}
+
+TEST(SvcServer, ConnectionCapShedsExtraAccepts) {
+  net::EventLoop loop;
+  svc::SvcServerConfig config;
+  config.max_connections = 1;
+  svc::SvcServer server(loop, kLoopbackIp, 0, config);
+  server.set_handler([](SvcRequest, SvcRespondFn respond) {
+    respond(SvcResponse::ok(1));
+  });
+
+  TestClient keeper(server.bound_port());
+  keeper.send_request(1, make_request(SvcOp::Get, 0, "k"));
+  ASSERT_TRUE(keeper.pump_until(loop, 1));
+
+  TestClient extra(server.bound_port());
+  extra.send_request(2, make_request(SvcOp::Get, 0, "k"));
+  extra.pump_until(loop, 1, 50);
+  EXPECT_TRUE(extra.closed_by_server);
+  EXPECT_TRUE(extra.responses.empty());
+  EXPECT_EQ(server.stats().connections_shed, 1u);
+
+  // The admitted connection is unaffected.
+  keeper.send_request(3, make_request(SvcOp::Get, 0, "k"));
+  ASSERT_TRUE(keeper.pump_until(loop, 2));
+}
+
+TEST(SvcServer, NoHandlerShedsInsteadOfHanging) {
+  net::EventLoop loop;
+  svc::SvcServer server(loop, kLoopbackIp, 0);
+  TestClient client(server.bound_port());
+  client.send_request(1, make_request(SvcOp::Get, 0, "k"));
+  ASSERT_TRUE(client.pump_until(loop, 1));
+  EXPECT_EQ(client.responses[0].resp.status, SvcStatus::Unavailable);
+  EXPECT_EQ(server.stats().requests_shed, 1u);
+}
+
+TEST(SvcServer, ExportsCountersAndLatencyHistogram) {
+  net::EventLoop loop;
+  svc::SvcServer server(loop, kLoopbackIp, 0);
+  server.set_handler([](SvcRequest, SvcRespondFn respond) {
+    respond(SvcResponse::ok(1));
+  });
+  TestClient client(server.bound_port());
+  client.send_request(1, make_request(SvcOp::Get, 0, "k"));
+  ASSERT_TRUE(client.pump_until(loop, 1));
+
+  obs::MetricsRegistry registry;
+  server.export_metrics(registry);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"svc.requests_ok\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("svc.latency_us"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"svc.connections\":1"), std::string::npos) << json;
+}
+
+// ----------------------------------------------- group objects + fencing ---
+
+app::GroupObjectConfig plain_config(const std::vector<SiteId>& universe) {
+  app::GroupObjectConfig cfg;
+  cfg.endpoint.universe = universe;
+  return cfg;
+}
+
+/// Issues one svc_request against a sim-hosted object, capturing the
+/// (possibly deferred) typed response.
+struct Capture {
+  std::optional<SvcResponse> response;
+  SvcRespondFn fn() {
+    return [this](SvcResponse r) {
+      ASSERT_FALSE(response.has_value()) << "second response for one request";
+      response = std::move(r);
+    };
+  }
+};
+
+TEST(SvcObjects, KvGetPutRoundTripThroughTheGroup) {
+  ObjectCluster<objects::MergeableKv, app::GroupObjectConfig> c(
+      3, 11, [](const auto& u) { return plain_config(u); });
+  ASSERT_TRUE(c.await_all_normal(c.all_indices()));
+
+  Capture get0;
+  c.obj(0).svc_request(make_request(SvcOp::Get, 0, "greeting"), get0.fn());
+  ASSERT_TRUE(get0.response.has_value());  // reads answer synchronously
+  EXPECT_EQ(get0.response->status, SvcStatus::Ok);
+  EXPECT_EQ(get0.response->value, "");  // absent key reads empty
+  const std::uint64_t epoch = get0.response->view_epoch;
+  EXPECT_GT(epoch, 0u);
+
+  Capture put;
+  c.obj(0).svc_request(make_request(SvcOp::Put, epoch, "greeting", "hello"),
+                       put.fn());
+  ASSERT_TRUE(c.await([&]() { return put.response.has_value(); }));
+  EXPECT_EQ(put.response->status, SvcStatus::Ok);
+  EXPECT_EQ(put.response->view_epoch, epoch);
+
+  // The write is ordered group-wide: another member serves it.
+  ASSERT_TRUE(c.await([&]() {
+    return c.obj(2).get("greeting").value_or("") == "hello";
+  }));
+  Capture get2;
+  c.obj(2).svc_request(make_request(SvcOp::Get, epoch, "greeting"), get2.fn());
+  ASSERT_TRUE(get2.response.has_value());
+  EXPECT_EQ(get2.response->value, "hello");
+}
+
+TEST(SvcObjects, StaleEpochIsRejectedWithCurrentEpoch) {
+  ObjectCluster<objects::MergeableKv, app::GroupObjectConfig> c(
+      3, 12, [](const auto& u) { return plain_config(u); });
+  ASSERT_TRUE(c.await_all_normal(c.all_indices()));
+  const std::uint64_t epoch = c.obj(0).view_epoch();
+
+  Capture stale;
+  c.obj(0).svc_request(
+      make_request(SvcOp::Put, epoch + 7, "k", "v"), stale.fn());
+  ASSERT_TRUE(stale.response.has_value());
+  EXPECT_EQ(stale.response->status, SvcStatus::InvalidEpoch);
+  EXPECT_EQ(stale.response->view_epoch, epoch);
+  // The rejected write never entered the total order.
+  EXPECT_FALSE(c.obj(0).get("k").has_value());
+}
+
+TEST(SvcObjects, InFlightPutIsFencedAcrossViewChange) {
+  ObjectCluster<objects::MergeableKv, app::GroupObjectConfig> c(
+      3, 13, [](const auto& u) { return plain_config(u); });
+  ASSERT_TRUE(c.await_all_normal(c.all_indices()));
+
+  // View synchrony delivers every message in the view it was sent in: even
+  // across a partition a member's own forward self-loopbacks and is drained
+  // in the dying view, completing with Ok under the old epoch. The only way
+  // an op stays in flight across a view change is to submit it while the
+  // endpoint is *blocked* for the flush — then it rides app_queue_ into the
+  // next view and the fence answers before the re-send delivers. Cut the
+  // sequencer (p0) off alone: the survivors' round coordinator blocks while
+  // waiting for its peer's ack over the network, an observable window (a
+  // lone member acks its own propose in a single event and never shows it).
+  const std::size_t victim = 1;
+  const std::uint64_t epoch = c.obj(victim).view_epoch();
+
+  c.world().network().set_partition({{c.site(0)}, {c.site(1), c.site(2)}});
+  ASSERT_TRUE(c.await([&]() { return c.obj(victim).blocked(); },
+                      120 * kSecond, kMillisecond / 4));
+  ASSERT_EQ(c.obj(victim).view_epoch(), epoch);  // new view not yet installed
+
+  Capture put;
+  c.obj(victim).svc_request(make_request(SvcOp::Put, epoch, "fenced", "value"),
+                            put.fn());
+  EXPECT_FALSE(put.response.has_value());  // genuinely in flight
+
+  // The view change fences the response with the *new* epoch...
+  ASSERT_TRUE(c.await([&]() { return put.response.has_value(); }));
+  EXPECT_EQ(put.response->status, SvcStatus::InvalidEpoch);
+  EXPECT_GT(put.response->view_epoch, epoch);
+  EXPECT_EQ(put.response->view_epoch, c.obj(victim).view_epoch());
+
+  // ...but the queued multicast still delivers in the next view: only the
+  // response was fenced, the operation itself is not lost.
+  ASSERT_TRUE(c.await([&]() {
+    return c.obj(victim).get("fenced").value_or("") == "value";
+  }));
+}
+
+TEST(SvcObjects, LockConflictCarriesLeaseRetryHint) {
+  ObjectCluster<objects::LockManager, app::GroupObjectConfig> c(
+      3, 14, [](const auto& u) { return plain_config(u); });
+  ASSERT_TRUE(c.await_all_normal(c.all_indices()));
+
+  Capture lock0;
+  c.obj(0).svc_request(make_request(SvcOp::Lock, 0), lock0.fn());
+  ASSERT_TRUE(c.await([&]() { return lock0.response.has_value(); }));
+  EXPECT_EQ(lock0.response->status, SvcStatus::Ok);
+  EXPECT_EQ(lock0.response->value, to_string(c.obj(0).id()));
+  ASSERT_TRUE(c.await([&]() { return c.obj(1).holder().has_value(); }));
+
+  // A competing client through another member: Conflict with the
+  // remaining lease as its retry hint.
+  Capture lock1;
+  c.obj(1).svc_request(make_request(SvcOp::Lock, 0), lock1.fn());
+  ASSERT_TRUE(c.await([&]() { return lock1.response.has_value(); }));
+  EXPECT_EQ(lock1.response->status, SvcStatus::Conflict);
+  EXPECT_GT(lock1.response->retry_after_ms, 0u);
+
+  // Get reports the holder; Unlock by the holder frees it.
+  Capture who;
+  c.obj(2).svc_request(make_request(SvcOp::Get, 0), who.fn());
+  ASSERT_TRUE(who.response.has_value());
+  EXPECT_EQ(who.response->value, to_string(c.obj(0).id()));
+
+  Capture unlock;
+  c.obj(0).svc_request(make_request(SvcOp::Unlock, 0), unlock.fn());
+  ASSERT_TRUE(c.await([&]() { return unlock.response.has_value(); }));
+  EXPECT_EQ(unlock.response->status, SvcStatus::Ok);
+  ASSERT_TRUE(c.await([&]() { return !c.obj(2).holder().has_value(); }));
+}
+
+objects::ReplicatedFileConfig file_config(const std::vector<SiteId>& u) {
+  objects::ReplicatedFileConfig cfg;
+  cfg.object.endpoint.universe = u;
+  return cfg;
+}
+
+TEST(SvcObjects, FileServesPutAppendAndMinorityUnavailable) {
+  ObjectCluster<objects::ReplicatedFile, objects::ReplicatedFileConfig> c(
+      3, 15, [](const auto& u) { return file_config(u); });
+  ASSERT_TRUE(c.await_all_normal(c.all_indices()));
+
+  Capture put;
+  c.obj(0).svc_request(make_request(SvcOp::Put, 0, "", "hello"), put.fn());
+  ASSERT_TRUE(c.await([&]() { return put.response.has_value(); }));
+  EXPECT_EQ(put.response->status, SvcStatus::Ok);
+
+  Capture append;
+  c.obj(1).svc_request(make_request(SvcOp::Append, 0, "", " world"),
+                       append.fn());
+  ASSERT_TRUE(c.await([&]() { return append.response.has_value(); }));
+  EXPECT_EQ(append.response->status, SvcStatus::Ok);
+  ASSERT_TRUE(c.await([&]() { return c.obj(2).content() == "hello world"; }));
+
+  // Unsupported op against this object type.
+  Capture lock;
+  c.obj(0).svc_request(make_request(SvcOp::Lock, 0), lock.fn());
+  ASSERT_TRUE(lock.response.has_value());
+  EXPECT_EQ(lock.response->status, SvcStatus::Unsupported);
+
+  // Quorum loss: the minority member keeps serving reads but answers
+  // writes Unavailable{retry} — typed, never a hang.
+  c.world().network().set_partition({{c.site(2)}, {c.site(0), c.site(1)}});
+  ASSERT_TRUE(c.await([&]() {
+    return c.obj(2).view().size() == 1 && !c.obj(2).blocked();
+  }));
+  Capture read;
+  c.obj(2).svc_request(make_request(SvcOp::Get, 0), read.fn());
+  ASSERT_TRUE(read.response.has_value());
+  EXPECT_EQ(read.response->status, SvcStatus::Ok);
+  EXPECT_EQ(read.response->value, "hello world");  // stale reads allowed
+  Capture write;
+  c.obj(2).svc_request(make_request(SvcOp::Put, 0, "", "minority"),
+                       write.fn());
+  ASSERT_TRUE(write.response.has_value());
+  EXPECT_EQ(write.response->status, SvcStatus::Unavailable);
+  EXPECT_GT(write.response->retry_after_ms, 0u);
+}
+
+}  // namespace
+}  // namespace evs::test

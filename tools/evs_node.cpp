@@ -8,11 +8,21 @@
 // simulator.
 //
 //   ./evs_node --config node0.conf --multicast 100 --merge-all
+//   ./evs_node --config node0.conf --object kv      # serve external clients
+//
+// `--object kv|lock|file` hosts a group object (MergeableKv, LockManager,
+// ReplicatedFile) instead of a bare endpoint; combined with a `svc <self>
+// <ip:port>` config line the node serves the external-client front door
+// there (svc::SvcServer routing into the object's view-fenced
+// svc_request). Plain mode with a svc line also serves the port, but
+// every request is answered Unsupported — the bare endpoint hosts no
+// object.
 //
 // Config file format: see src/net/config.hpp. Every status line on stdout
-// is machine-parseable (the loopback ctest greps them):
+// is machine-parseable (the loopback ctests grep them):
 //   up site=<n> port=<p> universe=<k>
 //   admin site=<n> port=<p>          (iff the config has `admin <self> ...`)
+//   svc site=<n> port=<p>            (iff the config has `svc <self> ...`)
 //   view epoch=<e> coordinator=<site> size=<n> members=<s0,s1,...>
 //   deliver n=<total> from=<site>
 //   sent n=<total>
@@ -25,12 +35,18 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "app/group_object.hpp"
 #include "evs/endpoint.hpp"
 #include "net/config.hpp"
 #include "net/runtime.hpp"
+#include "objects/lock_manager.hpp"
+#include "objects/mergeable_kv.hpp"
+#include "objects/replicated_file.hpp"
+#include "svc/server.hpp"
 
 using namespace evs;
 
@@ -53,13 +69,24 @@ struct Options {
   /// leaves a (slightly stale) trace behind for post-mortem checking.
   std::uint64_t trace_flush_ms = 0;
   bool merge_all = false;
+  /// Hosted group object: "" / "none" (bare endpoint), "kv", "lock",
+  /// "file".
+  std::string object_kind;
+  // Front-door cap overrides (0 = SvcServerConfig default); tests force
+  // tiny caps to exercise shed-with-retry-after.
+  std::uint64_t svc_max_conns = 0;
+  std::uint64_t svc_inflight = 0;
+  std::uint64_t svc_queue = 0;
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --config FILE [--duration-ms N] [--multicast N]\n"
                "          [--payload-bytes N] [--send-interval-ms N]\n"
-               "          [--merge-all] [--trace-name NAME]\n",
+               "          [--merge-all] [--trace-name NAME]\n"
+               "          [--object none|kv|lock|file]\n"
+               "          [--svc-max-conns N] [--svc-inflight N]\n"
+               "          [--svc-queue N]\n",
                argv0);
   return 2;
 }
@@ -177,6 +204,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-flush-ms") {
       const char* v = value();
       ok = v != nullptr && parse_u64(v, options.trace_flush_ms);
+    } else if (arg == "--object") {
+      const char* v = value();
+      ok = v != nullptr;
+      if (ok) options.object_kind = v;
+    } else if (arg == "--svc-max-conns") {
+      const char* v = value();
+      ok = v != nullptr && parse_u64(v, options.svc_max_conns);
+    } else if (arg == "--svc-inflight") {
+      const char* v = value();
+      ok = v != nullptr && parse_u64(v, options.svc_inflight);
+    } else if (arg == "--svc-queue") {
+      const char* v = value();
+      ok = v != nullptr && parse_u64(v, options.svc_queue);
     } else if (arg == "--merge-all") {
       options.merge_all = true;
     } else {
@@ -198,11 +238,78 @@ int main(int argc, char** argv) {
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
 
   net::NetRuntime rt(config);
-  core::EvsEndpoint endpoint(rt.endpoint_config());
-  NodeDriver driver(rt, endpoint, options);
-  rt.host(endpoint);
-  rt.set_metrics_exporter([&endpoint, &rt](obs::MetricsRegistry& registry) {
-    endpoint.export_metrics(registry, "node");
+
+  // Hosted node: a bare EvsEndpoint (driven by NodeDriver) or a group
+  // object serving external clients. A group object *is* an EvsEndpoint,
+  // but it owns the EvsDelegate slot itself, so view lines come from its
+  // view-observer hook instead of a NodeDriver.
+  std::unique_ptr<core::EvsEndpoint> plain;
+  std::unique_ptr<app::GroupObjectBase> object;
+  std::unique_ptr<NodeDriver> driver;
+  core::EvsEndpoint* endpoint = nullptr;
+  std::uint64_t object_views = 0;
+
+  if (options.object_kind.empty() || options.object_kind == "none") {
+    plain = std::make_unique<core::EvsEndpoint>(rt.endpoint_config());
+    driver = std::make_unique<NodeDriver>(rt, *plain, options);
+    endpoint = plain.get();
+  } else {
+    if (options.multicast > 0) {
+      std::fprintf(stderr, "--multicast drives a bare endpoint; it cannot "
+                           "be combined with --object\n");
+      return 2;
+    }
+    app::GroupObjectConfig oc;
+    oc.endpoint = rt.endpoint_config();
+    if (options.object_kind == "kv") {
+      object = std::make_unique<objects::MergeableKv>(oc);
+    } else if (options.object_kind == "lock") {
+      object = std::make_unique<objects::LockManager>(oc);
+    } else if (options.object_kind == "file") {
+      object = std::make_unique<objects::ReplicatedFile>(
+          objects::ReplicatedFileConfig{oc, {}, 0});
+    } else {
+      return usage(argv[0]);
+    }
+    endpoint = object.get();
+    object->set_view_observer([&object_views](const core::EView& eview) {
+      if (eview.ev_seq != 0) return;
+      ++object_views;
+      std::printf("view epoch=%llu coordinator=%u size=%zu members=%s\n",
+                  static_cast<unsigned long long>(eview.view.id.epoch),
+                  eview.view.id.coordinator.site.value, eview.view.size(),
+                  members_csv(eview.view.members).c_str());
+    });
+  }
+  rt.host(*endpoint);
+
+  // The external-client front door, iff the config names a svc endpoint
+  // for self. Owned here (not by NetRuntime) — the svc layer sits above
+  // net, and routing needs the hosted node, which the tool owns too.
+  std::unique_ptr<svc::SvcServer> svc_server;
+  if (const auto svc_addr = config.self_svc_addr()) {
+    svc::SvcServerConfig sc;
+    if (options.svc_max_conns > 0) sc.max_connections = options.svc_max_conns;
+    if (options.svc_inflight > 0)
+      sc.max_inflight_per_conn = options.svc_inflight;
+    if (options.svc_queue > 0) sc.max_pending = options.svc_queue;
+    svc_server = std::make_unique<svc::SvcServer>(rt.loop(), svc_addr->ip,
+                                                  svc_addr->port, sc);
+    runtime::Node* node = endpoint;
+    svc_server->set_handler(
+        [node](runtime::SvcRequest req, runtime::SvcRespondFn respond) {
+          node->svc_request(std::move(req), std::move(respond));
+        });
+  }
+
+  rt.set_metrics_exporter([&endpoint, &object, &svc_server,
+                           &rt](obs::MetricsRegistry& registry) {
+    if (object != nullptr) {
+      object->export_metrics(registry, "node");
+    } else {
+      endpoint->export_metrics(registry, "node");
+    }
+    if (svc_server != nullptr) svc_server->export_metrics(registry, "svc");
     registry.counter("store.writes").set(rt.store().writes());
     registry.counter("store.bytes").set(rt.store().bytes());
   });
@@ -218,6 +325,9 @@ int main(int argc, char** argv) {
   if (rt.admin() != nullptr)
     std::printf("admin site=%u port=%u\n", config.self.value,
                 rt.admin()->bound_port());
+  if (svc_server != nullptr)
+    std::printf("svc site=%u port=%u\n", config.self.value,
+                svc_server->bound_port());
 
   const std::string trace_name =
       options.trace_name.empty()
@@ -243,12 +353,14 @@ int main(int argc, char** argv) {
 
   rt.dump_trace(trace_name);  // refreshes every metrics exporter first
 
-  const gms::View& view = endpoint.view();
+  const gms::View& view = endpoint->view();
+  const std::uint64_t views =
+      driver != nullptr ? driver->views_installed() : object_views;
   std::printf("summary sent=%llu delivered=%llu views=%llu epoch=%llu "
               "size=%zu\n",
-              static_cast<unsigned long long>(driver.sent()),
-              static_cast<unsigned long long>(driver.delivered()),
-              static_cast<unsigned long long>(driver.views_installed()),
+              static_cast<unsigned long long>(driver ? driver->sent() : 0),
+              static_cast<unsigned long long>(driver ? driver->delivered() : 0),
+              static_cast<unsigned long long>(views),
               static_cast<unsigned long long>(view.id.epoch), view.size());
   return 0;
 }

@@ -1,0 +1,377 @@
+// svc_bench: open-loop load generator for the client front door.
+//
+// Opens N persistent TCP connections to one node's svc endpoint and sends
+// requests at a fixed aggregate rate, round-robin across connections,
+// without waiting for responses (open loop — queueing delay shows up as
+// latency instead of silently throttling the offered load). Every response
+// is matched by request_id and bucketed by status; the summary is one JSON
+// object on stdout:
+//
+//   {"conns":1100,"attempted":50000,"completed":49900,"ok":48000,
+//    "conflict":0,"stale_epoch":0,"unavailable":1900,"unsupported":0,
+//    "conns_refused":76,"conns_closed":0,"lost":100,
+//    "duration_ms":5012,"ops_per_sec":9958.1,
+//    "p50_us":412,"p95_us":1871,"p99_us":3544}
+//
+// "unavailable" counts shed responses (the server's admission control
+// answering Unavailable{retry_after_ms}); "conns_refused" counts connects
+// the listener shed at its connection cap; "lost" counts requests that
+// never got any response before the drain deadline (should be 0 — the
+// server promises exactly one typed response per request).
+//
+//   ./svc_bench --addr 127.0.0.1:9200 --conns 64 --rate 5000 \
+//               --duration-ms 5000 --op mix
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "svc/protocol.hpp"
+
+using namespace evs;
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t conns = 16;
+  std::uint64_t rate = 1000;         // aggregate requests/second
+  std::uint64_t duration_ms = 5000;  // send window
+  std::uint64_t drain_ms = 2000;     // post-window wait for stragglers
+  std::string op = "mix";            // get | put | mix
+  std::uint64_t view_epoch = 0;      // 0 = wildcard (never fenced)
+  std::uint64_t key_space = 64;
+  std::uint64_t value_bytes = 64;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --addr IP:PORT [--conns N] [--rate OPS_PER_SEC]\n"
+               "          [--duration-ms N] [--drain-ms N] [--op get|put|mix]\n"
+               "          [--view-epoch N] [--key-space N] [--value-bytes N]\n",
+               argv0);
+  return 2;
+}
+
+std::uint64_t now_us() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000 +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1'000;
+}
+
+struct Conn {
+  int fd = -1;
+  bool connecting = false;
+  std::string in;           // unparsed response bytes
+  std::size_t in_off = 0;   // parse offset into `in`
+  std::string out;          // request bytes awaiting the socket
+  std::size_t sent = 0;     // prefix of `out` already written
+};
+
+struct Stats {
+  std::uint64_t attempted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t conflict = 0;
+  std::uint64_t stale_epoch = 0;
+  std::uint64_t unavailable = 0;
+  std::uint64_t unsupported = 0;
+  std::uint64_t conns_refused = 0;  // connect failed / closed before use
+  std::uint64_t conns_closed = 0;   // closed mid-run with traffic in flight
+  std::vector<std::uint64_t> latencies_us;
+};
+
+std::uint64_t percentile(std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+int open_conn(const Options& options, Conn& conn) {
+  conn.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (conn.fd < 0) return -1;
+  int one = 1;
+  ::setsockopt(conn.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  ::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr);
+  const int rc = ::connect(conn.fd, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr));
+  conn.connecting = rc < 0 && errno == EINPROGRESS;
+  if (rc < 0 && !conn.connecting) {
+    ::close(conn.fd);
+    conn.fd = -1;
+    return -1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  auto parse_u64 = [](const char* text, std::uint64_t& out) {
+    char* end = nullptr;
+    out = std::strtoull(text, &end, 10);
+    return end != text && *end == '\0';
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = (i + 1 < argc) ? argv[i + 1] : nullptr;
+    ++i;
+    std::uint64_t n = 0;
+    if (v == nullptr) return usage(argv[0]);
+    if (arg == "--addr") {
+      const std::string addr = v;
+      const auto colon = addr.rfind(':');
+      if (colon == std::string::npos || !parse_u64(addr.c_str() + colon + 1, n))
+        return usage(argv[0]);
+      options.host = addr.substr(0, colon);
+      options.port = static_cast<std::uint16_t>(n);
+    } else if (arg == "--conns" && parse_u64(v, n)) {
+      options.conns = n;
+    } else if (arg == "--rate" && parse_u64(v, n)) {
+      options.rate = n;
+    } else if (arg == "--duration-ms" && parse_u64(v, n)) {
+      options.duration_ms = n;
+    } else if (arg == "--drain-ms" && parse_u64(v, n)) {
+      options.drain_ms = n;
+    } else if (arg == "--op") {
+      options.op = v;
+    } else if (arg == "--view-epoch" && parse_u64(v, n)) {
+      options.view_epoch = n;
+    } else if (arg == "--key-space" && parse_u64(v, n)) {
+      options.key_space = std::max<std::uint64_t>(1, n);
+    } else if (arg == "--value-bytes" && parse_u64(v, n)) {
+      options.value_bytes = n;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (options.port == 0 || options.conns == 0 || options.rate == 0)
+    return usage(argv[0]);
+  if (options.op != "get" && options.op != "put" && options.op != "mix")
+    return usage(argv[0]);
+
+  Stats stats;
+  std::vector<Conn> conns(options.conns);
+  for (Conn& conn : conns) {
+    if (open_conn(options, conn) < 0) ++stats.conns_refused;
+  }
+
+  // request_id -> send time; ids are globally unique so responses can be
+  // matched regardless of which connection carried them.
+  std::unordered_map<std::uint64_t, std::uint64_t> inflight;
+  std::uint64_t next_id = 1;
+  const std::string value(options.value_bytes, 'v');
+
+  const std::uint64_t start = now_us();
+  const std::uint64_t send_deadline = start + options.duration_ms * 1'000;
+  const std::uint64_t drain_deadline =
+      send_deadline + options.drain_ms * 1'000;
+  // Open loop: request k is due at start + k/rate, regardless of progress.
+  const double interval_us = 1e6 / static_cast<double>(options.rate);
+  std::uint64_t due = 0;  // requests that should have been sent by `now`
+  std::size_t rr = 0;     // round-robin cursor
+
+  std::vector<pollfd> pfds;
+  while (true) {
+    const std::uint64_t now = now_us();
+    if (now >= drain_deadline) break;
+    if (inflight.empty() && now >= send_deadline) break;
+
+    // Enqueue every request that is due by now.
+    if (now < send_deadline) {
+      due = static_cast<std::uint64_t>(
+          static_cast<double>(now - start) / interval_us);
+      while (stats.attempted < due) {
+        // Find a live connection, starting at the cursor.
+        std::size_t tries = 0;
+        while (tries < conns.size() && conns[rr].fd < 0) {
+          rr = (rr + 1) % conns.size();
+          ++tries;
+        }
+        if (tries == conns.size()) break;  // every connection is gone
+        Conn& conn = conns[rr];
+        rr = (rr + 1) % conns.size();
+
+        runtime::SvcRequest req;
+        const bool do_put =
+            options.op == "put" || (options.op == "mix" && next_id % 2 == 0);
+        req.op = do_put ? runtime::SvcOp::Put : runtime::SvcOp::Get;
+        req.view_epoch = options.view_epoch;
+        req.key = "bench-k" + std::to_string(next_id % options.key_space);
+        if (do_put) req.value = value;
+        svc::append_frame(conn.out, svc::encode_request(next_id, req));
+        inflight.emplace(next_id, now);
+        ++next_id;
+        ++stats.attempted;
+      }
+    }
+
+    pfds.clear();
+    for (const Conn& conn : conns) {
+      if (conn.fd < 0) continue;
+      short events = POLLIN;
+      if (conn.connecting || conn.sent < conn.out.size()) events |= POLLOUT;
+      pfds.push_back(pollfd{conn.fd, events, 0});
+    }
+    if (pfds.empty()) break;
+
+    // Sleep until the next request is due (or a cap, to notice deadlines).
+    std::uint64_t wake = now < send_deadline
+                             ? start + static_cast<std::uint64_t>(
+                                           static_cast<double>(due + 1) *
+                                           interval_us)
+                             : now + 50'000;
+    wake = std::min(wake, drain_deadline);
+    const int timeout_ms =
+        wake > now ? static_cast<int>((wake - now) / 1'000) : 0;
+    ::poll(pfds.data(), pfds.size(), std::max(timeout_ms, 0));
+
+    std::size_t pi = 0;
+    for (Conn& conn : conns) {
+      if (conn.fd < 0) continue;
+      const pollfd& pfd = pfds[pi++];
+      bool dead = (pfd.revents & (POLLERR | POLLHUP)) != 0;
+      if (!dead && (pfd.revents & POLLOUT) != 0) {
+        if (conn.connecting) {
+          int err = 0;
+          socklen_t len = sizeof(err);
+          ::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+          if (err != 0) {
+            dead = true;
+          } else {
+            conn.connecting = false;
+          }
+        }
+        while (!dead && conn.sent < conn.out.size()) {
+          const ssize_t n = ::send(conn.fd, conn.out.data() + conn.sent,
+                                   conn.out.size() - conn.sent, MSG_NOSIGNAL);
+          if (n > 0) {
+            conn.sent += static_cast<std::size_t>(n);
+          } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            break;
+          } else {
+            dead = true;
+          }
+        }
+        if (conn.sent == conn.out.size()) {
+          conn.out.clear();
+          conn.sent = 0;
+        }
+      }
+      if (!dead && (pfd.revents & POLLIN) != 0) {
+        char buf[16 * 1024];
+        while (true) {
+          const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+          if (n > 0) {
+            conn.in.append(buf, static_cast<std::size_t>(n));
+          } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            break;
+          } else {
+            dead = true;  // orderly close or error
+            break;
+          }
+        }
+        Bytes body;
+        while (true) {
+          const svc::FrameStatus st =
+              svc::next_frame(conn.in, conn.in_off, body);
+          if (st == svc::FrameStatus::NeedMore) break;
+          if (st == svc::FrameStatus::Malformed) {
+            dead = true;
+            break;
+          }
+          try {
+            const svc::WireResponse wire = svc::decode_response(body);
+            const auto it = inflight.find(wire.request_id);
+            if (it != inflight.end()) {
+              stats.latencies_us.push_back(now_us() - it->second);
+              inflight.erase(it);
+              ++stats.completed;
+              switch (wire.resp.status) {
+                case runtime::SvcStatus::Ok: ++stats.ok; break;
+                case runtime::SvcStatus::Conflict: ++stats.conflict; break;
+                case runtime::SvcStatus::InvalidEpoch:
+                  ++stats.stale_epoch;
+                  break;
+                case runtime::SvcStatus::Unavailable:
+                  ++stats.unavailable;
+                  break;
+                case runtime::SvcStatus::Unsupported:
+                  ++stats.unsupported;
+                  break;
+              }
+            }
+          } catch (const DecodeError&) {
+            dead = true;
+            break;
+          }
+        }
+        if (conn.in_off > 0) {
+          conn.in.erase(0, conn.in_off);
+          conn.in_off = 0;
+        }
+      }
+      if (dead) {
+        ::close(conn.fd);
+        conn.fd = -1;
+        if (conn.connecting) {
+          ++stats.conns_refused;  // never got to send anything
+        } else {
+          ++stats.conns_closed;
+        }
+      }
+    }
+  }
+
+  for (Conn& conn : conns) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+
+  const std::uint64_t wall_us = std::max<std::uint64_t>(1, now_us() - start);
+  std::sort(stats.latencies_us.begin(), stats.latencies_us.end());
+  const double ops_per_sec = static_cast<double>(stats.completed) * 1e6 /
+                             static_cast<double>(wall_us);
+  std::printf(
+      "{\"conns\":%zu,\"attempted\":%llu,\"completed\":%llu,"
+      "\"ok\":%llu,\"conflict\":%llu,\"stale_epoch\":%llu,"
+      "\"unavailable\":%llu,\"unsupported\":%llu,"
+      "\"conns_refused\":%llu,\"conns_closed\":%llu,\"lost\":%zu,"
+      "\"duration_ms\":%llu,\"ops_per_sec\":%.1f,"
+      "\"p50_us\":%llu,\"p95_us\":%llu,\"p99_us\":%llu}\n",
+      options.conns, static_cast<unsigned long long>(stats.attempted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.ok),
+      static_cast<unsigned long long>(stats.conflict),
+      static_cast<unsigned long long>(stats.stale_epoch),
+      static_cast<unsigned long long>(stats.unavailable),
+      static_cast<unsigned long long>(stats.unsupported),
+      static_cast<unsigned long long>(stats.conns_refused),
+      static_cast<unsigned long long>(stats.conns_closed), inflight.size(),
+      static_cast<unsigned long long>(wall_us / 1'000), ops_per_sec,
+      static_cast<unsigned long long>(percentile(stats.latencies_us, 0.50)),
+      static_cast<unsigned long long>(percentile(stats.latencies_us, 0.95)),
+      static_cast<unsigned long long>(percentile(stats.latencies_us, 0.99)));
+  // Nonzero exit when the server broke its exactly-one-response promise.
+  return inflight.empty() ? 0 : 1;
+}
