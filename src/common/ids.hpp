@@ -16,6 +16,13 @@
 
 namespace evs {
 
+/// Names one group instance inside a multi-group process. Plain integer
+/// (not a strong type): it is a routing label minted by configuration,
+/// never computed with, and it crosses the wire as a raw u32. Group 0 is
+/// the default group of single-group runs.
+using GroupId = std::uint32_t;
+inline constexpr GroupId kDefaultGroup = 0;
+
 /// Stable location of a process; owns the site's StableStore.
 struct SiteId {
   std::uint32_t value = 0;

@@ -1,0 +1,178 @@
+#include "log/shard_router.hpp"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace evs::log {
+
+using runtime::SvcOp;
+using runtime::SvcRequest;
+using runtime::SvcRespondFn;
+using runtime::SvcResponse;
+using runtime::SvcStatus;
+
+namespace {
+
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty() || s.size() > 20) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return std::nullopt;
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool is_log_op(SvcOp op) {
+  switch (op) {
+    case SvcOp::LogAppend:
+    case SvcOp::LogRead:
+    case SvcOp::LogTail:
+    case SvcOp::LogSeal:
+    case SvcOp::LogTrim:
+    case SvcOp::LogFill:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void ShardRouter::add_group(GroupId group, runtime::Node& node) {
+  EVS_CHECK_MSG(!groups_.contains(group), "duplicate router group");
+  groups_[group] = &node;
+}
+
+void ShardRouter::add_shard(std::uint32_t index, runtime::Node& node) {
+  if (index >= shards_.size()) shards_.resize(index + 1, nullptr);
+  EVS_CHECK_MSG(shards_[index] == nullptr, "duplicate router shard");
+  shards_[index] = &node;
+}
+
+std::uint32_t ShardRouter::shard_for_key(const std::string& key) const {
+  const std::uint64_t n = parse_u64(key).value_or(fnv1a(key));
+  return static_cast<std::uint32_t>(n % shards_.size());
+}
+
+void ShardRouter::route(SvcRequest req, SvcRespondFn respond) {
+  if (is_log_op(req.op)) {
+    route_log(std::move(req), std::move(respond));
+    return;
+  }
+  const auto it = groups_.find(req.group);
+  if (it == groups_.end()) {
+    ++stats_.unknown_group;
+    respond(SvcResponse::unsupported());
+    return;
+  }
+  ++stats_.routed_group;
+  it->second->svc_request(std::move(req), std::move(respond));
+}
+
+void ShardRouter::route_log(SvcRequest req, SvcRespondFn respond) {
+  if (shards_.empty()) {
+    ++stats_.unknown_group;
+    respond(SvcResponse::unsupported());
+    return;
+  }
+  std::uint32_t shard = 0;
+  switch (req.op) {
+    case SvcOp::LogAppend:
+      shard = shard_for_key(req.key);
+      break;
+    case SvcOp::LogRead:
+    case SvcOp::LogTrim:
+    case SvcOp::LogFill: {
+      const auto global = parse_u64(req.key);
+      if (!global) {
+        ++stats_.bad_position;
+        respond(SvcResponse::unsupported());
+        return;
+      }
+      shard = static_cast<std::uint32_t>(*global % shards_.size());
+      break;
+    }
+    case SvcOp::LogTail:
+    case SvcOp::LogSeal:
+      fan_out(std::move(req), std::move(respond));
+      return;
+    default:
+      respond(SvcResponse::unsupported());
+      return;
+  }
+  if (shards_[shard] == nullptr) {
+    ++stats_.unknown_group;
+    respond(SvcResponse::unsupported());
+    return;
+  }
+  ++stats_.routed_shard;
+  shards_[shard]->svc_request(std::move(req), std::move(respond));
+}
+
+void ShardRouter::fan_out(SvcRequest req, SvcRespondFn respond) {
+  ++stats_.fanned_out;
+  for (const runtime::Node* shard : shards_) {
+    if (shard == nullptr) {
+      respond(SvcResponse::unsupported());
+      return;
+    }
+  }
+  // One answer per shard; completion may be deferred (seal is an ordered
+  // multicast), so the aggregate lives on the heap until the last shard
+  // answers. Any non-Ok answer wins — the client's retry/redirect logic
+  // then treats the whole-log op like a single-shard one.
+  struct Aggregate {
+    std::size_t awaiting = 0;
+    bool tail = false;
+    std::uint64_t max_tail = 0;
+    std::uint64_t epoch = 0;
+    std::optional<SvcResponse> failure;
+    SvcRespondFn respond;
+  };
+  auto agg = std::make_shared<Aggregate>();
+  agg->awaiting = shards_.size();
+  agg->tail = req.op == SvcOp::LogTail;
+  agg->respond = std::move(respond);
+  for (runtime::Node* shard : shards_) {
+    SvcRequest copy = req;
+    shard->svc_request(std::move(copy), [agg](SvcResponse resp) {
+      if (resp.status != SvcStatus::Ok && !agg->failure)
+        agg->failure = resp;
+      if (resp.status == SvcStatus::Ok && agg->tail) {
+        const auto tail = parse_u64(resp.value);
+        if (tail && *tail >= agg->max_tail) {
+          agg->max_tail = *tail;
+          agg->epoch = resp.view_epoch;
+        }
+      }
+      EVS_CHECK(agg->awaiting > 0);
+      if (--agg->awaiting > 0) return;
+      if (agg->failure) {
+        agg->respond(*agg->failure);
+      } else if (agg->tail) {
+        agg->respond(SvcResponse::ok(agg->epoch,
+                                     std::to_string(agg->max_tail)));
+      } else {
+        agg->respond(SvcResponse::ok(0, "sealed"));
+      }
+    });
+  }
+}
+
+}  // namespace evs::log

@@ -1,0 +1,78 @@
+// Sharded shared log, part 2: the per-process request router.
+//
+// A multi-group host (net::NetRuntime::host_group) runs every shard of
+// the log in one process; external clients talk to any member's front
+// door (svc::SvcServer) without knowing the sharding. The ShardRouter is
+// the piece between the two: it takes each decoded SvcRequest and hands
+// it to the right in-process group instance.
+//
+//   * Non-log operations route by the request's `group` field to that
+//     group's node (Unsupported when the group is not hosted here).
+//   * LogAppend picks the shard from the routing key — a decimal key
+//     routes as key % G (clients can target a shard deterministically),
+//     anything else through FNV-1a % G — so one key always lands on one
+//     shard's total order.
+//   * LogRead / LogTrim / LogFill carry a global position; its owner is
+//     position % G by the interleaving rule (log_shard.hpp).
+//   * LogTail and LogSeal are whole-log operations: the router fans them
+//     out to every shard and aggregates — tail is the max over shards of
+//     their next unassigned global position; seal succeeds when every
+//     shard sealed. Any shard's failure (Unavailable, NotLeader, ...)
+//     becomes the whole operation's answer, so a client retries or
+//     redirects exactly as for a single-shard op. Clients should send
+//     whole-log operations with view_epoch 0: the shards are distinct
+//     groups whose epochs advance independently, so no single fence
+//     value can match all of them.
+//
+// The router holds plain Node pointers — the owner (evs_node) keeps the
+// objects alive for the router's lifetime and the fan-out completions
+// run on the same event loop, so no synchronisation is needed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "runtime/svc.hpp"
+
+namespace evs::log {
+
+struct RouterStats {
+  std::uint64_t routed_group = 0;    // non-log ops, by group field
+  std::uint64_t routed_shard = 0;    // single-shard log ops
+  std::uint64_t fanned_out = 0;      // whole-log ops (tail / seal)
+  std::uint64_t unknown_group = 0;   // group field names nothing hosted
+  std::uint64_t bad_position = 0;    // unparseable / misrouted position
+};
+
+class ShardRouter {
+ public:
+  /// Registers the node serving `group` for non-log requests.
+  void add_group(GroupId group, runtime::Node& node);
+
+  /// Registers log shard `index` (of the G shards hosted everywhere);
+  /// call once per shard, any order. The node must be a LogShard (it
+  /// answers the Log* svc ops).
+  void add_shard(std::uint32_t index, runtime::Node& node);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  const RouterStats& stats() const { return stats_; }
+
+  /// Routes one request; invokes `respond` exactly once (possibly
+  /// synchronously). Suitable as the svc::SvcServer handler.
+  void route(runtime::SvcRequest req, runtime::SvcRespondFn respond);
+
+ private:
+  void route_log(runtime::SvcRequest req, runtime::SvcRespondFn respond);
+  /// Fans `req` to every shard; aggregates per `op` (tail: max position,
+  /// seal: all-ok).
+  void fan_out(runtime::SvcRequest req, runtime::SvcRespondFn respond);
+  std::uint32_t shard_for_key(const std::string& key) const;
+
+  std::map<GroupId, runtime::Node*> groups_;
+  std::vector<runtime::Node*> shards_;  // index = shard index
+  RouterStats stats_;
+};
+
+}  // namespace evs::log

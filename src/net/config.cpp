@@ -1,5 +1,6 @@
 #include "net/config.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -52,6 +53,14 @@ std::vector<SiteId> NodeConfig::universe() const {
   sites.reserve(peers.size());
   for (const auto& [site, addr] : peers) sites.push_back(site);
   return sites;  // std::map keys are already sorted
+}
+
+std::vector<GroupSpec> NodeConfig::log_shards() const {
+  std::vector<GroupSpec> shards;
+  for (const GroupSpec& g : groups)
+    if (g.object == "log") shards.push_back(g);
+  std::sort(shards.begin(), shards.end());
+  return shards;
 }
 
 bool parse_node_config(std::istream& in, NodeConfig& out, std::string& error) {
@@ -120,6 +129,18 @@ bool parse_node_config(std::istream& in, NodeConfig& out, std::string& error) {
       if (!(fields >> value) || (value != "on" && value != "off"))
         return fail("expected: coalesce on|off");
       out.coalesce = value == "on";
+    } else if (keyword == "group") {
+      std::uint32_t id = 0;
+      std::string object;
+      if (!(fields >> id >> object))
+        return fail("expected: group <id> <object>");
+      if (object != "kv" && object != "lock" && object != "file" &&
+          object != "log" && object != "none")
+        return fail("unknown group object '" + object +
+                    "' (kv|lock|file|log|none)");
+      for (const GroupSpec& g : out.groups)
+        if (g.id == id) return fail("duplicate group " + std::to_string(id));
+      out.groups.push_back(GroupSpec{GroupId{id}, object});
     } else {
       return fail("unknown keyword '" + keyword + "'");
     }

@@ -17,6 +17,13 @@
 //   svc 1 127.0.0.1:9201     # (binary request/response, see svc/server.hpp)
 //   coalesce off             # optional; default on (pack small frames
 //                            # into one datagram per peer per flush)
+//   group 0 kv               # optional: group instances this process
+//   group 1 log              # hosts, one line per instance — id is the
+//   group 2 log              # wire-level GroupId, the word names the
+//                            # hosted object kind (kv | lock | file |
+//                            # log | none). No group lines = the single
+//                            # default group 0, object chosen by the
+//                            # host binary's flags, exactly as before.
 //
 // The peer line for `self` doubles as the bind address; an admin line for
 // `self` makes the node serve the live-observability HTTP plane there
@@ -58,6 +65,16 @@ struct PeerAddr {
 /// Parses "a.b.c.d:port"; returns nullopt on any malformation.
 std::optional<PeerAddr> parse_addr(const std::string& text);
 
+/// One `group <id> <object>` line: a group instance this process hosts.
+/// The object word is the hosted group-object kind; the config layer only
+/// checks it is a known kind, the host binary instantiates it.
+struct GroupSpec {
+  GroupId id = kDefaultGroup;
+  std::string object;  // "kv" | "lock" | "file" | "log" | "none"
+
+  auto operator<=>(const GroupSpec&) const = default;
+};
+
 struct NodeConfig {
   SiteId self;
   std::uint32_t incarnation = 1;
@@ -73,6 +90,13 @@ struct NodeConfig {
   /// Small-message coalescing on the wire path (UdpTransport); on by
   /// default, `coalesce off` pins every frame to its own datagram.
   bool coalesce = true;
+  /// Group instances to host, in file order (ids unique). Empty = the
+  /// single default group, configured by the host binary as before.
+  std::vector<GroupSpec> groups;
+
+  /// The log-object groups among `groups`, in id order. Their rank in
+  /// this vector is the shard index of the sharded log (shard i of G).
+  std::vector<GroupSpec> log_shards() const;
 
   /// Sorted universe (the key set of `peers`).
   std::vector<SiteId> universe() const;

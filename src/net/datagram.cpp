@@ -25,6 +25,7 @@ void encode_header(const DatagramHeader& header, std::uint8_t* out) {
   put_u32(out + 4, header.from.site.value);
   put_u32(out + 8, header.from.incarnation);
   put_u32(out + 12, header.dest_incarnation);
+  put_u32(out + 16, header.group);
 }
 
 std::optional<DatagramHeader> parse_header(const std::uint8_t* data,
@@ -38,6 +39,7 @@ std::optional<DatagramHeader> parse_header(const std::uint8_t* data,
   header.from.site = SiteId{get_u32(data + 4)};
   header.from.incarnation = get_u32(data + 8);
   header.dest_incarnation = get_u32(data + 12);
+  header.group = get_u32(data + 16);
   header.coalesced = magic == kDatagramMagicBatch;
   if (header.from.incarnation == 0) return std::nullopt;  // never minted
   return header;

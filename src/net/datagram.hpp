@@ -1,25 +1,37 @@
-// Real-time runtime, part 3: the UDP datagram envelope.
+// Real-time runtime, part 3: the UDP datagram envelope (version 2).
 //
 // The simulated network carries (from, payload) out of band; UDP gives us
-// only a source address, so every datagram prepends a fixed 16-byte
+// only a source address, so every datagram prepends a fixed 20-byte
 // header to the unchanged gms::frame payload:
 //
-//   u32 magic "EVS1"      — rejects stray traffic on the port
+//   u32 magic "EVS2"      — rejects stray traffic on the port
 //   u32 from.site         — sender identity (validated against the
 //   u32 from.incarnation    address book: spoofed sites are dropped)
 //   u32 dest_incarnation  — 0 for site-addressed traffic (heartbeats);
 //                           otherwise the addressed incarnation, so a
 //                           message to a dead incarnation is dropped by
 //                           the receiver exactly as sim::Network drops it
+//   u32 group             — the group instance this frame belongs to. One
+//                           process hosts many group instances over one
+//                           socket; the messenger demuxes on this field.
+//                           0 is the default group of single-group runs.
 //
-// A second magic, "EVSB", marks a *coalesced* datagram: same header,
+// Version 1 ("EVS1"/"EVSB", 16-byte header, no group field) is *rejected*
+// into dropped_malformed: a mixed-version fleet would silently cross-wire
+// group traffic, so the envelope bump is a hard cut, same as any other
+// unknown magic.
+//
+// A second magic, "EVSC", marks a *coalesced* datagram: same header,
 // but the payload is a sequence of length-prefixed sub-frames
 //
 //   [u32 len][len bytes of frame] [u32 len][frame] ...
 //
 // which the receiver splits back into individual protocol frames (same
 // frames, same order — coalescing changes datagram counts, never wire
-// semantics). Single-frame datagrams keep the plain "EVS1" form, so a
+// semantics). All frames of one coalesced datagram belong to the same
+// group: the flush path packs per (site, incarnation, group), so the one
+// header field still labels every sub-frame. Single-frame datagrams keep
+// the plain "EVS2" form, so a
 // coalescing sender stays wire-compatible with a pre-coalescing peer
 // until it actually packs two frames together.
 //
@@ -41,10 +53,13 @@
 
 namespace evs::net {
 
-inline constexpr std::uint32_t kDatagramMagic = 0x31535645;  // "EVS1" LE
+inline constexpr std::uint32_t kDatagramMagic = 0x32535645;  // "EVS2" LE
 /// Coalesced-datagram magic: payload is length-prefixed sub-frames.
-inline constexpr std::uint32_t kDatagramMagicBatch = 0x42535645;  // "EVSB" LE
-inline constexpr std::size_t kHeaderSize = 16;
+inline constexpr std::uint32_t kDatagramMagicBatch = 0x43535645;  // "EVSC" LE
+/// The retired v1 magics; rejected, but named so tests can assert that.
+inline constexpr std::uint32_t kDatagramMagicV1 = 0x31535645;       // "EVS1"
+inline constexpr std::uint32_t kDatagramMagicBatchV1 = 0x42535645;  // "EVSB"
+inline constexpr std::size_t kHeaderSize = 20;
 /// Length prefix of each sub-frame in a coalesced payload.
 inline constexpr std::size_t kSubFramePrefix = 4;
 /// Largest payload we will send or accept in one datagram. UDP caps the
@@ -54,7 +69,9 @@ inline constexpr std::size_t kMaxPayload = 65507 - kHeaderSize;
 struct DatagramHeader {
   ProcessId from;
   std::uint32_t dest_incarnation = 0;  // 0 = site-addressed
-  bool coalesced = false;  // "EVSB": payload holds length-prefixed frames
+  /// Group instance the frame belongs to (0 = the default group).
+  std::uint32_t group = 0;
+  bool coalesced = false;  // "EVSC": payload holds length-prefixed frames
 
   bool operator==(const DatagramHeader&) const = default;
 };

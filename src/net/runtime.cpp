@@ -19,6 +19,7 @@ NetRuntime::NetRuntime(NodeConfig config)
     admin_->set_trace(&trace_bus_);
     admin_->set_metrics(&metrics_, [this]() { refresh_metrics(); });
     admin_->set_status([this]() {
+      runtime::Node* primary = primary_node();
       std::ostringstream os;
       os << "{\"site\":" << config_.self.value
          << ",\"incarnation\":" << config_.incarnation
@@ -26,17 +27,33 @@ NetRuntime::NetRuntime(NodeConfig config)
          << ",\"port\":" << transport_.bound_port()
          << ",\"admin_port\":" << admin_->bound_port()
          << ",\"uptime_us\":" << loop_.now() << ",\"node\":"
-         << (node_ != nullptr ? node_->admin_status_json() : "null") << "}";
+         << (primary != nullptr ? primary->admin_status_json() : "null");
+      // Per-group detail only for true multi-group hosts; a single
+      // default-group run keeps the exact legacy /status shape.
+      if (groups_.size() > 1 || !groups_.contains(kDefaultGroup)) {
+        os << ",\"groups\":[";
+        bool first = true;
+        for (const auto& [id, hosted] : groups_) {
+          if (!first) os << ",";
+          first = false;
+          os << "{\"id\":" << id << ",\"alive\":"
+             << (hosted.node->alive() ? "true" : "false")
+             << ",\"node\":" << hosted.node->admin_status_json() << "}";
+        }
+        os << "]";
+      }
+      os << "}";
       return os.str();
     });
     admin_->set_token(config_.admin_token);
     admin_->set_command([this](const std::string& name,
                                const std::string& arg) {
       AdminCommandResult result;
-      if (node_ == nullptr || !node_->alive()) {
+      runtime::Node* primary = primary_node();
+      if (primary == nullptr || !primary->alive()) {
         result.message = "no live node hosted";
       } else {
-        result.ok = node_->admin_command(name, arg, result.message);
+        result.ok = primary->admin_command(name, arg, result.message);
       }
       if (trace_bus_.enabled()) {
         obs::TraceEvent event;
@@ -71,30 +88,75 @@ vsync::EndpointConfig NetRuntime::endpoint_config() const {
   return config;
 }
 
-void NetRuntime::host(runtime::Node& node) {
-  EVS_CHECK_MSG(node_ == nullptr, "NetRuntime already hosts a node");
-  node_ = &node;
+void NetRuntime::host(runtime::Node& node) { host_group(kDefaultGroup, node); }
+
+void NetRuntime::host_group(GroupId id, runtime::Node& node) {
+  EVS_CHECK_MSG(!groups_.contains(id),
+                "NetRuntime already hosts group " + std::to_string(id));
+  HostedGroup hosted;
+  hosted.channel = std::make_unique<GroupChannel>(transport_, id);
+  hosted.trace = std::make_unique<obs::GroupTraceBus>(trace_bus_, id);
+  hosted.store =
+      std::make_unique<runtime::PrefixStore>(store_, "g" + std::to_string(id) + "/");
+  hosted.node = &node;
+
   runtime::Env env;
-  env.transport = &transport_;
+  env.transport = hosted.channel.get();
   env.clock = &loop_;
   env.timers = &loop_;
-  env.store = &store_;
-  env.trace = &trace_bus_;
-  env.halt = [this]() {
-    // Voluntary leave / teardown: mirror sim::World::crash then stop.
-    node_->on_crash();
-    node_->detach();
+  env.store = hosted.store.get();
+  env.trace = hosted.trace.get();
+  env.halt = [this, id]() {
+    // Voluntary leave / teardown of this group: mirror sim::World::crash.
+    // Other hosted groups keep running; the loop stops only when the
+    // halting group was the last one alive.
+    const auto it = groups_.find(id);
+    if (it == groups_.end()) return;
+    runtime::Node* halting = it->second.node;
+    halting->on_crash();
+    unhost_group(id);
+    for (const auto& [other_id, other] : groups_)
+      if (other.node->alive()) return;
     loop_.stop();
   };
-  transport_.set_deliver([&node](ProcessId from, const Bytes& payload) {
+  transport_.set_deliver(id, [&node](ProcessId from, const Bytes& payload) {
     if (node.alive()) node.on_message(from, payload);
   });
+  groups_.emplace(id, std::move(hosted));
   node.bind(std::move(env), self());
   node.on_start();
   // on_start() runs before the loop does, so its sends (first heartbeats,
   // join probes) would otherwise sit queued until the first step's flush
   // hook; push them out now.
   transport_.flush();
+}
+
+void NetRuntime::unhost_group(GroupId id) {
+  const auto it = groups_.find(id);
+  if (it == groups_.end()) return;
+  transport_.clear_deliver(id);
+  // detach() also cancels the node's outstanding timers out of the shared
+  // wheel — a destroyed node must leave nothing behind that captures it.
+  it->second.node->detach();
+  groups_.erase(it);
+}
+
+runtime::Node* NetRuntime::group_node(GroupId id) {
+  const auto it = groups_.find(id);
+  return it == groups_.end() ? nullptr : it->second.node;
+}
+
+std::vector<GroupId> NetRuntime::hosted_groups() const {
+  std::vector<GroupId> ids;
+  ids.reserve(groups_.size());
+  for (const auto& [id, hosted] : groups_) ids.push_back(id);
+  return ids;
+}
+
+runtime::Node* NetRuntime::primary_node() const {
+  const auto def = groups_.find(kDefaultGroup);
+  if (def != groups_.end()) return def->second.node;
+  return groups_.empty() ? nullptr : groups_.begin()->second.node;
 }
 
 bool NetRuntime::dump_trace(const std::string& name) {

@@ -1,17 +1,26 @@
-// Real-time runtime, part 5: the bundle that hosts one protocol node.
+// Real-time runtime, part 5: the bundle that hosts protocol nodes.
 //
 // NetRuntime is the net-side counterpart of sim::World for a single
 // process: it owns the event loop (Clock + TimerService), the UDP
 // transport, the site's stable store and the observability sinks, wires
-// them into a runtime::Env, and hosts exactly one runtime::Node — the
+// them into runtime::Envs, and hosts one or more runtime::Nodes — the
 // same vsync/evs endpoint classes the simulator spawns, byte-for-byte the
 // same protocol code.
 //
 //   net::NodeConfig cfg = ...;             // static peer book
 //   net::NetRuntime rt(cfg);
 //   core::EvsEndpoint ep(rt.endpoint_config());
-//   rt.host(ep);                           // bind + on_start
+//   rt.host(ep);                           // bind + on_start (group 0)
 //   rt.run();                              // until stop / halt / signal
+//
+// A process hosting several group instances (config `group` lines) calls
+// host_group(id, node) once per instance: every node shares the one event
+// loop, timer wheel, socket and trace ring, but sees a per-group
+// Transport (frames stamped with its GroupId and demuxed back on
+// receive), a per-group trace facade (events labelled with its group) and
+// a per-group StableStore namespace. unhost_group() tears one instance
+// down without disturbing the rest: its deliver entry leaves the demux
+// table and detach() cancels its timers out of the shared wheel.
 //
 // EVS_TRACE_OUT works identically to sim runs: the trace bus records the
 // same typed events (stamped with loop-monotonic µs) and dump_trace()
@@ -19,6 +28,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -73,11 +83,32 @@ class NetRuntime {
   /// millisecond scales).
   vsync::EndpointConfig endpoint_config() const;
 
-  /// Binds `node` to this runtime's services and starts it. The node must
-  /// outlive run(). A node that halt()s (voluntary leave) gets its
-  /// on_crash() hook and stops the loop — the process-level analogue of
+  /// Binds `node` to this runtime's services as the default group (0) and
+  /// starts it. The node must outlive run(). A node that halt()s
+  /// (voluntary leave) gets its on_crash() hook; the loop stops when the
+  /// last hosted group halts — the process-level analogue of
   /// sim::World::crash.
   void host(runtime::Node& node);
+
+  /// Binds `node` as group instance `id` over the shared loop/socket:
+  /// sends go out stamped with the group id, receives demux back to it,
+  /// trace events carry the label, and persisted keys live under the
+  /// "g<id>/" namespace of the site store. One node per group id; the
+  /// node must outlive its hosting.
+  void host_group(GroupId id, runtime::Node& node);
+
+  /// Tears group `id` down without touching other groups: removes its
+  /// deliver entry from the demux table, detaches the node (cancelling
+  /// its timers out of the shared wheel) and drops the per-group wiring.
+  /// The node object itself stays owned by the caller. No-op when the
+  /// group is not hosted.
+  void unhost_group(GroupId id);
+
+  /// The node hosted as group `id`, or nullptr.
+  runtime::Node* group_node(GroupId id);
+
+  /// Ids of currently hosted groups, ascending.
+  std::vector<GroupId> hosted_groups() const;
 
   /// Runs the event loop until stop()/halt/request_stop.
   void run() { loop_.run(); }
@@ -87,6 +118,18 @@ class NetRuntime {
   bool dump_trace(const std::string& name);
 
  private:
+  /// Per-group wiring owned by the runtime; the node itself is not owned.
+  struct HostedGroup {
+    std::unique_ptr<GroupChannel> channel;
+    std::unique_ptr<obs::GroupTraceBus> trace;
+    std::unique_ptr<runtime::PrefixStore> store;
+    runtime::Node* node = nullptr;
+  };
+
+  /// The default-group node if hosted (legacy admin/status surface), else
+  /// the lowest hosted group's node, else nullptr.
+  runtime::Node* primary_node() const;
+
   NodeConfig config_;
   EventLoop loop_;
   UdpTransport transport_;
@@ -95,7 +138,7 @@ class NetRuntime {
   obs::MetricsRegistry metrics_;
   std::unique_ptr<AdminServer> admin_;
   std::function<void(obs::MetricsRegistry&)> metrics_exporter_;
-  runtime::Node* node_ = nullptr;
+  std::map<GroupId, HostedGroup> groups_;
   bool trace_dumped_ = false;
 };
 

@@ -30,10 +30,6 @@ std::uint64_t addr_key(std::uint32_t ip_host_order, std::uint16_t port) {
   return (std::uint64_t{ip_host_order} << 16) | port;
 }
 
-std::uint64_t dest_key(SiteId site, std::uint32_t incarnation) {
-  return (std::uint64_t{site.value} << 32) | incarnation;
-}
-
 void put_u32_le(std::uint8_t* out, std::uint32_t v) {
   out[0] = static_cast<std::uint8_t>(v);
   out[1] = static_cast<std::uint8_t>(v >> 8);
@@ -108,7 +104,18 @@ void UdpTransport::set_drop_site(SiteId site, bool on) {
   }
 }
 
-void UdpTransport::enqueue(SiteId site, std::uint32_t dest_incarnation,
+void UdpTransport::set_deliver(GroupId group, DeliverFn fn) {
+  if (fn) {
+    deliver_[group] = std::move(fn);
+  } else {
+    deliver_.erase(group);
+  }
+}
+
+void UdpTransport::clear_deliver(GroupId group) { deliver_.erase(group); }
+
+void UdpTransport::enqueue(GroupId group, SiteId site,
+                           std::uint32_t dest_incarnation,
                            SharedBytes payload) {
   if (drop_all_ || drop_sites_.contains(site)) {
     ++stats_.dropped_rule;
@@ -126,40 +133,57 @@ void UdpTransport::enqueue(SiteId site, std::uint32_t dest_incarnation,
                                 << ")");
     return;
   }
-  pending_.push_back(PendingFrame{site, dest_incarnation, std::move(payload)});
+  pending_.push_back(
+      PendingFrame{site, dest_incarnation, group, std::move(payload)});
 }
 
 void UdpTransport::send(ProcessId to, Bytes payload) {
-  ++stats_.payload_copies;
-  enqueue(to.site, to.incarnation, SharedBytes(std::move(payload)));
+  send(kDefaultGroup, to, std::move(payload));
 }
 
 void UdpTransport::send_to_site(SiteId site, Bytes payload) {
-  ++stats_.payload_copies;
-  enqueue(site, /*dest_incarnation=*/0, SharedBytes(std::move(payload)));
+  send_to_site(kDefaultGroup, site, std::move(payload));
 }
 
 void UdpTransport::send_multi(const std::vector<ProcessId>& recipients,
+                              SharedBytes payload) {
+  send_multi(kDefaultGroup, recipients, std::move(payload));
+}
+
+void UdpTransport::send(GroupId group, ProcessId to, Bytes payload) {
+  ++stats_.payload_copies;
+  enqueue(group, to.site, to.incarnation, SharedBytes(std::move(payload)));
+}
+
+void UdpTransport::send_to_site(GroupId group, SiteId site, Bytes payload) {
+  ++stats_.payload_copies;
+  enqueue(group, site, /*dest_incarnation=*/0, SharedBytes(std::move(payload)));
+}
+
+void UdpTransport::send_multi(GroupId group,
+                              const std::vector<ProcessId>& recipients,
                               SharedBytes payload) {
   // Encode-once fan-out: every recipient's queue entry refcounts the one
   // shared buffer; the flush scatter/gathers straight out of it.
   for (const ProcessId to : recipients) {
     ++stats_.payloads_shared;
-    enqueue(to.site, to.incarnation, payload);
+    enqueue(group, to.site, to.incarnation, payload);
   }
 }
 
 void UdpTransport::flush() {
   if (pending_.empty()) return;
 
-  // Group queued frames by destination (site, incarnation) in first-
-  // appearance order; per-destination FIFO order is what coalescing and
-  // the receiver's split preserve end to end.
+  // Group queued frames by (site, incarnation, group) in first-appearance
+  // order; per-destination FIFO order is what coalescing and the
+  // receiver's split preserve end to end. The group id lives in the
+  // datagram header, so frames of different groups never share a
+  // coalesced datagram.
   flush_groups_.clear();
   flush_group_order_.clear();
   for (std::size_t i = 0; i < pending_.size(); ++i) {
-    const std::uint64_t key =
-        dest_key(pending_[i].site, pending_[i].dest_incarnation);
+    const FlushKey key{pending_[i].site, pending_[i].dest_incarnation,
+                       pending_[i].group};
     auto [it, inserted] = flush_groups_.try_emplace(key);
     if (inserted) flush_group_order_.push_back(key);
     it->second.push_back(i);
@@ -177,14 +201,14 @@ void UdpTransport::flush() {
   out_iovs_.clear();
   out_frame_counts_.clear();
   out_sizes_.clear();
+  out_groups_.clear();
+  out_payload_bytes_.clear();
 
-  for (const std::uint64_t key : flush_group_order_) {
+  for (const FlushKey& key : flush_group_order_) {
     const std::vector<std::size_t>& frames = flush_groups_[key];
-    const SiteId site = pending_[frames.front()].site;
-    const auto peer = config_.peers.find(site);
+    const auto peer = config_.peers.find(key.site);
     if (peer == config_.peers.end()) continue;  // guarded at enqueue
     const sockaddr_in dest = to_sockaddr(peer->second);
-    const auto incarnation = static_cast<std::uint32_t>(key & 0xffffffffu);
 
     std::size_t i = 0;
     while (i < frames.size()) {
@@ -205,14 +229,15 @@ void UdpTransport::flush() {
 
       const std::size_t d = out_msgs_.size();
       std::uint8_t* header = &out_headers_[d * kHeaderSize];
-      encode_header(
-          DatagramHeader{self(), incarnation, /*coalesced=*/count > 1},
-          header);
+      encode_header(DatagramHeader{self(), key.incarnation, key.group,
+                                   /*coalesced=*/count > 1},
+                    header);
       out_dests_[d] = dest;
 
       const std::size_t iov_first = out_iovs_.size();
       out_iovs_.push_back(iovec{header, kHeaderSize});
       std::size_t dgram_bytes = kHeaderSize;
+      std::size_t payload_bytes = 0;
       for (std::size_t k = 0; k < count; ++k) {
         const std::size_t frame = frames[i + k];
         const Bytes& bytes = pending_[frame].payload.bytes();
@@ -225,6 +250,7 @@ void UdpTransport::flush() {
         out_iovs_.push_back(
             iovec{const_cast<std::uint8_t*>(bytes.data()), bytes.size()});
         dgram_bytes += bytes.size();
+        payload_bytes += bytes.size();
       }
 
       mmsghdr msg{};
@@ -235,6 +261,8 @@ void UdpTransport::flush() {
       out_iov_first_.push_back(iov_first);
       out_frame_counts_.push_back(static_cast<std::uint32_t>(count));
       out_sizes_.push_back(dgram_bytes);
+      out_groups_.push_back(key.group);
+      out_payload_bytes_.push_back(payload_bytes);
       i += count;
     }
   }
@@ -263,6 +291,9 @@ void UdpTransport::flush() {
       stats_.bytes_sent += out_sizes_[d];
       stats_.frames_sent += out_frame_counts_[d];
       if (out_frame_counts_[d] > 1) ++stats_.datagrams_coalesced;
+      GroupWireStats& gs = group_stats_[out_groups_[d]];
+      gs.frames_sent += out_frame_counts_[d];
+      gs.frame_bytes_sent += out_payload_bytes_[d];
     }
     base += static_cast<std::size_t>(sent);
   }
@@ -334,13 +365,22 @@ void UdpTransport::handle_datagram(const sockaddr_in& src,
     ++stats_.dropped_stale_incarnation;
     return;
   }
+  // Group demux: a datagram for a group this process does not host (a
+  // torn-down instance, or a misconfigured peer) dies here, loudly
+  // countable, before any frame is surfaced.
+  const auto sink = deliver_.find(header->group);
+  if (sink == deliver_.end()) {
+    ++stats_.dropped_unknown_group;
+    return;
+  }
+  GroupWireStats& gs = group_stats_[header->group];
   if (!header->coalesced) {
     ++stats_.datagrams_received;
     ++stats_.frames_received;
-    if (deliver_) {
-      const Bytes payload(data + kHeaderSize, data + n);
-      deliver_(header->from, payload);
-    }
+    ++gs.frames_received;
+    gs.frame_bytes_received += n - kHeaderSize;
+    const Bytes payload(data + kHeaderSize, data + n);
+    sink->second(header->from, payload);
     return;
   }
   // Coalesced: validate the entire payload before delivering any frame —
@@ -352,13 +392,22 @@ void UdpTransport::handle_datagram(const sockaddr_in& src,
   }
   ++stats_.datagrams_received;
   stats_.frames_received += subframe_scratch_.size();
-  if (deliver_) {
-    for (const auto& [offset, length] : subframe_scratch_) {
-      const std::uint8_t* frame = data + kHeaderSize + offset;
-      const Bytes payload(frame, frame + length);
-      deliver_(header->from, payload);
-    }
+  gs.frames_received += subframe_scratch_.size();
+  for (const auto& [offset, length] : subframe_scratch_) {
+    gs.frame_bytes_received += length;
+    const std::uint8_t* frame = data + kHeaderSize + offset;
+    const Bytes payload(frame, frame + length);
+    // Re-resolve per frame: a delivery may unhost its own group
+    // (clear_deliver from inside the callback), invalidating `sink`.
+    const auto s = deliver_.find(header->group);
+    if (s == deliver_.end()) break;
+    s->second(header->from, payload);
   }
+}
+
+GroupWireStats UdpTransport::group_stats(GroupId group) const {
+  const auto it = group_stats_.find(group);
+  return it == group_stats_.end() ? GroupWireStats{} : it->second;
 }
 
 void UdpTransport::export_metrics(obs::MetricsRegistry& registry,
@@ -386,6 +435,8 @@ void UdpTransport::export_metrics(obs::MetricsRegistry& registry,
       .set(stats_.dropped_stale_incarnation);
   registry.counter(prefix + ".dropped_rule").set(stats_.dropped_rule);
   registry.counter(prefix + ".dropped_oversize").set(stats_.dropped_oversize);
+  registry.counter(prefix + ".dropped_unknown_group")
+      .set(stats_.dropped_unknown_group);
   registry.counter(prefix + ".send_errors").set(stats_.send_errors);
   registry.counter(prefix + ".recv_errors").set(stats_.recv_errors);
   registry.gauge(prefix + ".frames_per_datagram")
@@ -393,6 +444,20 @@ void UdpTransport::export_metrics(obs::MetricsRegistry& registry,
                ? 0.0
                : static_cast<double>(stats_.frames_sent) /
                      static_cast<double>(stats_.datagrams_sent));
+  // Per-group traffic slices, only once more than the default group has
+  // traffic — single-group runs keep their flat metric namespace.
+  if (group_stats_.size() > 1 ||
+      (group_stats_.size() == 1 &&
+       group_stats_.begin()->first != kDefaultGroup)) {
+    for (const auto& [group, gs] : group_stats_) {
+      const std::string g = prefix + ".group" + std::to_string(group);
+      registry.counter(g + ".frames_sent").set(gs.frames_sent);
+      registry.counter(g + ".frames_received").set(gs.frames_received);
+      registry.counter(g + ".frame_bytes_sent").set(gs.frame_bytes_sent);
+      registry.counter(g + ".frame_bytes_received")
+          .set(gs.frame_bytes_received);
+    }
+  }
 }
 
 }  // namespace evs::net

@@ -1,19 +1,29 @@
 // Real-time runtime, part 4: the UDP messenger.
 //
-// One non-blocking UDP socket per node, driven by the EventLoop, speaking
-// the unchanged gms::frame wire format wrapped in the 16-byte datagram
-// header (net/datagram.hpp). Addressing uses the static peer book from
-// NodeConfig — sites never move during a run, matching the paper's model
-// of sites as stable locations.
+// One non-blocking UDP socket per *process*, driven by the EventLoop,
+// speaking the unchanged gms::frame wire format wrapped in the 20-byte
+// datagram header (net/datagram.hpp). Addressing uses the static peer
+// book from NodeConfig — sites never move during a run, matching the
+// paper's model of sites as stable locations.
+//
+// The socket is shared by every group instance the process hosts: each
+// frame carries its GroupId in the envelope, sends take the group as an
+// explicit argument (or go through a GroupChannel facade, which is what a
+// hosted node's runtime::Transport actually is), and the receive path
+// demuxes on the header's group field to the per-group deliver-callback.
+// A frame for a group this process does not host is counted
+// dropped_unknown_group and discarded — the multi-group analogue of
+// dropped_unknown_peer.
 //
 // The send path is batched: send/send_to_site/send_multi enqueue frames
 // (validated and counted at enqueue time, preserving the old synchronous
 // drop semantics) and flush() — run by the EventLoop's flush hook once
 // per loop iteration — packs the whole queue onto the wire:
 //
-//   * frames to the same (site, incarnation) may be coalesced into one
-//     datagram of length-prefixed sub-frames (magic "EVSB"), so a tick's
-//     burst of small protocol messages costs one datagram per peer;
+//   * frames to the same (site, incarnation, group) may be coalesced into
+//     one datagram of length-prefixed sub-frames (magic "EVSC"), so a
+//     tick's burst of small protocol messages costs one datagram per peer
+//     per group;
 //   * all datagrams of the flush go down in one sendmmsg() (headers and
 //     sub-frame prefixes encoded into preallocated arenas, payload bytes
 //     scatter/gathered straight out of their SharedBytes buffers — the
@@ -37,6 +47,7 @@
 #include <sys/socket.h>
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -57,6 +68,16 @@ namespace evs::net {
 /// still amortizing one datagram over a whole tick's worth of small
 /// protocol messages.
 inline constexpr std::size_t kMaxFramesPerDatagram = 128;
+
+/// Wire counters of one group's share of the socket. The aggregate
+/// counters in UdpStats keep their exact old meaning; these slice the
+/// frame/byte counters per group so /metrics can show both views.
+struct GroupWireStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t frame_bytes_sent = 0;      // payload bytes, headers excluded
+  std::uint64_t frame_bytes_received = 0;
+};
 
 struct UdpStats {
   std::uint64_t datagrams_sent = 0;
@@ -81,6 +102,7 @@ struct UdpStats {
   std::uint64_t dropped_malformed = 0;    // runt, bad magic, spoofed site
   std::uint64_t dropped_truncated = 0;    // datagram exceeded our buffer
   std::uint64_t dropped_unknown_peer = 0;  // source address not in the book
+  std::uint64_t dropped_unknown_group = 0;  // group not hosted here
   std::uint64_t dropped_stale_incarnation = 0;
   std::uint64_t dropped_rule = 0;   // partition drop-rules
   std::uint64_t dropped_oversize = 0;  // payload > kMaxPayload on send
@@ -104,18 +126,31 @@ class UdpTransport final : public runtime::Transport {
   /// The port actually bound (differs from config when it said port 0).
   std::uint16_t bound_port() const { return bound_port_; }
 
-  /// Registers the deliver-callback (the hosted node's on_message).
-  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+  /// Registers the deliver-callback of one group instance; frames whose
+  /// envelope names `group` go to `fn`. The overload without a group is
+  /// the single-group legacy spelling (kDefaultGroup).
+  void set_deliver(GroupId group, DeliverFn fn);
+  void set_deliver(DeliverFn fn) { set_deliver(kDefaultGroup, std::move(fn)); }
+  /// Unregisters a group's deliver-callback: subsequent frames for it are
+  /// counted dropped_unknown_group (per-group teardown, see NetRuntime).
+  void clear_deliver(GroupId group);
 
-  // runtime::Transport. Frames are queued; the loop's flush hook (or an
-  // explicit flush()) puts them on the wire.
+  // runtime::Transport (the single-group legacy surface: kDefaultGroup).
+  // Frames are queued; the loop's flush hook (or an explicit flush())
+  // puts them on the wire.
   void send(ProcessId to, Bytes payload) override;
   void send_to_site(SiteId site, Bytes payload) override;
   void send_multi(const std::vector<ProcessId>& recipients,
                   SharedBytes payload) override;
 
+  // Group-addressed sends: what GroupChannel forwards to.
+  void send(GroupId group, ProcessId to, Bytes payload);
+  void send_to_site(GroupId group, SiteId site, Bytes payload);
+  void send_multi(GroupId group, const std::vector<ProcessId>& recipients,
+                  SharedBytes payload);
+
   /// Transmits everything queued since the last flush: groups frames per
-  /// (site, incarnation), coalesces where enabled, and issues one
+  /// (site, incarnation, group), coalesces where enabled, and issues one
   /// sendmmsg per <= 1024 datagrams. Idempotent when the queue is empty.
   void flush();
   std::size_t pending_frames() const { return pending_.size(); }
@@ -132,6 +167,11 @@ class UdpTransport final : public runtime::Transport {
   void set_drop_site(SiteId site, bool on);
 
   const UdpStats& stats() const { return stats_; }
+  /// One group's slice of the frame/byte counters (zeroes if never seen).
+  GroupWireStats group_stats(GroupId group) const;
+  /// Exports the aggregate counters under `prefix` plus, when more than
+  /// one group has touched the wire, per-group slices under
+  /// `prefix.group<id>.` — the per-group labels /metrics reports.
   void export_metrics(obs::MetricsRegistry& registry,
                       const std::string& prefix = "udp") const;
 
@@ -141,12 +181,13 @@ class UdpTransport final : public runtime::Transport {
   struct PendingFrame {
     SiteId site;
     std::uint32_t dest_incarnation = 0;
+    GroupId group = kDefaultGroup;
     SharedBytes payload;
   };
 
   /// Enqueue-time validation and accounting (drop rules, unknown peer,
   /// oversize), so counters move when send() runs, not at flush.
-  void enqueue(SiteId site, std::uint32_t dest_incarnation,
+  void enqueue(GroupId group, SiteId site, std::uint32_t dest_incarnation,
                SharedBytes payload);
   void on_readable();
   /// Validates and delivers one received datagram (splitting coalesced
@@ -158,8 +199,10 @@ class UdpTransport final : public runtime::Transport {
   NodeConfig config_;
   int fd_ = -1;
   std::uint16_t bound_port_ = 0;
-  DeliverFn deliver_;
+  /// Per-group demux table; receive looks the envelope's group up here.
+  std::unordered_map<GroupId, DeliverFn> deliver_;
   UdpStats stats_;
+  std::map<GroupId, GroupWireStats> group_stats_;
   bool coalesce_ = true;
   bool drop_all_ = false;
   std::unordered_set<SiteId> drop_sites_;
@@ -173,8 +216,23 @@ class UdpTransport final : public runtime::Transport {
   // sockaddr/header/prefix storage filled per flush, with iovec ranges
   // patched into the mmsghdrs only after every push_back is done so
   // vector growth can never leave a stale pointer behind.
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> flush_groups_;
-  std::vector<std::uint64_t> flush_group_order_;
+  struct FlushKey {
+    SiteId site;
+    std::uint32_t incarnation = 0;
+    GroupId group = kDefaultGroup;
+    bool operator==(const FlushKey&) const = default;
+  };
+  struct FlushKeyHash {
+    std::size_t operator()(const FlushKey& k) const {
+      std::uint64_t h = (std::uint64_t{k.site.value} << 32) | k.incarnation;
+      h ^= (std::uint64_t{k.group} + 0x9e3779b97f4a7c15ull) + (h << 6) +
+           (h >> 2);
+      return std::hash<std::uint64_t>{}(h);
+    }
+  };
+  std::unordered_map<FlushKey, std::vector<std::size_t>, FlushKeyHash>
+      flush_groups_;
+  std::vector<FlushKey> flush_group_order_;
   std::vector<mmsghdr> out_msgs_;
   std::vector<std::size_t> out_iov_first_;
   std::vector<iovec> out_iovs_;
@@ -183,6 +241,8 @@ class UdpTransport final : public runtime::Transport {
   std::vector<std::uint8_t> out_prefixes_;
   std::vector<std::uint32_t> out_frame_counts_;
   std::vector<std::size_t> out_sizes_;
+  std::vector<GroupId> out_groups_;
+  std::vector<std::size_t> out_payload_bytes_;
 
   // Receive pool: kRecvBatch fixed-size buffers drained per recvmmsg.
   static constexpr unsigned kRecvBatch = 16;
@@ -192,6 +252,33 @@ class UdpTransport final : public runtime::Transport {
   std::vector<iovec> recv_iovs_;
   std::vector<sockaddr_in> recv_srcs_;
   std::vector<std::pair<std::size_t, std::size_t>> subframe_scratch_;
+};
+
+/// The runtime::Transport one hosted group instance actually sees: every
+/// send is forwarded to the shared UdpTransport stamped with this group's
+/// id. Receive-side wiring is separate (UdpTransport::set_deliver(group)),
+/// done by the host when it binds the node.
+class GroupChannel final : public runtime::Transport {
+ public:
+  GroupChannel(UdpTransport& transport, GroupId group)
+      : transport_(transport), group_(group) {}
+
+  GroupId group() const { return group_; }
+
+  void send(ProcessId to, Bytes payload) override {
+    transport_.send(group_, to, std::move(payload));
+  }
+  void send_to_site(SiteId site, Bytes payload) override {
+    transport_.send_to_site(group_, site, std::move(payload));
+  }
+  void send_multi(const std::vector<ProcessId>& recipients,
+                  SharedBytes payload) override {
+    transport_.send_multi(group_, recipients, std::move(payload));
+  }
+
+ private:
+  UdpTransport& transport_;
+  GroupId group_;
 };
 
 }  // namespace evs::net

@@ -190,7 +190,11 @@ void write_jsonl_event(std::ostream& os, const TraceEvent& e,
      << "\",\"kind\":\"" << to_string(e.kind) << "\",\"view\":\""
      << view_str(e.view) << "\",\"peer\":\"" << proc_str(e.peer)
      << "\",\"seq\":" << e.seq << ",\"value\":" << e.value
-     << ",\"aux\":" << e.aux << "}\n";
+     << ",\"aux\":" << e.aux;
+  // Group label only when off the default group: single-group traces keep
+  // their exact pre-multigroup shape (and old readers keep parsing them).
+  if (e.group != kDefaultGroup) os << ",\"g\":" << e.group;
+  os << "}\n";
 }
 
 void TraceBus::write_jsonl(std::ostream& os) const {
@@ -223,7 +227,7 @@ void TraceBus::write_chrome_trace(std::ostream& os) const {
        << ",\"pid\":" << e.proc.site.value << ",\"tid\":" << e.proc.incarnation
        << ",\"args\":{\"view\":\"" << view_str(e.view) << "\",\"peer\":\""
        << proc_str(e.peer) << "\",\"seq\":" << e.seq << ",\"value\":" << e.value
-       << ",\"aux\":" << e.aux << "}}";
+       << ",\"aux\":" << e.aux << ",\"group\":" << e.group << "}}";
   }
   os << "]}\n";
 }
@@ -245,6 +249,12 @@ std::vector<TraceEvent> read_jsonl(std::istream& is, std::size_t* skipped) {
                     parse_u64(field(line, "value"), e.value) &&
                     parse_u64(field(line, "aux"), e.aux);
     if (!ok) {
+      ++bad;
+      continue;
+    }
+    // Optional group label; absent = the default group.
+    const std::string_view g = field(line, "g");
+    if (!g.empty() && !parse_u32(g, e.group)) {
       ++bad;
       continue;
     }

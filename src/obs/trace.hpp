@@ -74,6 +74,10 @@ struct TraceEvent {
   std::uint64_t seq = 0;  // msg seq, round number, ev_seq, chunk index...
   std::uint64_t value = 0;  // payload hash, member count, new mode...
   std::uint64_t aux = 0;    // secondary numeric (sv-set count, prior mode...)
+  /// Group instance the event belongs to; 0 (the default group) for
+  /// single-group runs. Stamped by the host's GroupTraceBus forwarder, not
+  /// by protocol code — the stack stays group-oblivious.
+  GroupId group = kDefaultGroup;
 
   bool operator==(const TraceEvent&) const = default;
 };
@@ -89,6 +93,7 @@ class TraceBus {
   static constexpr std::size_t kDefaultCapacity = 1 << 16;
 
   explicit TraceBus(std::size_t capacity = kDefaultCapacity);
+  virtual ~TraceBus() = default;
 
   bool enabled() const { return enabled_; }
   void set_enabled(bool on) { enabled_ = on; }
@@ -97,8 +102,9 @@ class TraceBus {
   void set_capacity(std::size_t capacity);
 
   /// Appends one event; the oldest event is overwritten once the ring is
-  /// full (dropped() counts how many were lost that way).
-  void record(const TraceEvent& event);
+  /// full (dropped() counts how many were lost that way). Virtual so a
+  /// forwarding bus (GroupTraceBus) can relabel events in flight.
+  virtual void record(const TraceEvent& event);
 
   /// Events in recording order, oldest first.
   std::vector<TraceEvent> events() const;
@@ -129,6 +135,34 @@ class TraceBus {
   bool enabled_ = false;
   std::vector<TraceEvent> ring_;  // capacity fixed up front
   std::uint64_t total_ = 0;       // events ever recorded
+};
+
+/// Per-group facade over a shared TraceBus: stamps every recorded event
+/// with one group id and forwards it to the host's real bus. A multi-group
+/// host hands each group instance one of these as its Env.trace, so the
+/// protocol stack records exactly as before while every event lands in the
+/// shared ring carrying its group label. Holds no events of its own (the
+/// minimum ring of 1 slot exists only to satisfy the base class); enabled
+/// state mirrors the sink at construction — flip the *sink* at runtime,
+/// not the facade.
+class GroupTraceBus final : public TraceBus {
+ public:
+  GroupTraceBus(TraceBus& sink, GroupId group)
+      : TraceBus(/*capacity=*/1), sink_(sink), group_(group) {
+    set_enabled(sink.enabled());
+  }
+
+  GroupId group() const { return group_; }
+
+  void record(const TraceEvent& event) override {
+    TraceEvent labelled = event;
+    labelled.group = group_;
+    sink_.record(labelled);
+  }
+
+ private:
+  TraceBus& sink_;
+  GroupId group_;
 };
 
 /// Writes `event` as one write_jsonl-format line; a non-null `index`

@@ -1,5 +1,6 @@
 #include "runtime/runtime.hpp"
 
+#include <memory>
 #include <utility>
 
 #include "common/check.hpp"
@@ -56,6 +57,7 @@ const char* to_string(SvcStatus status) {
     case SvcStatus::InvalidEpoch: return "invalid_epoch";
     case SvcStatus::Unavailable: return "unavailable";
     case SvcStatus::Unsupported: return "unsupported";
+    case SvcStatus::NotLeader: return "not_leader";
   }
   return "unknown";
 }
@@ -67,6 +69,12 @@ const char* to_string(SvcOp op) {
     case SvcOp::Lock: return "lock";
     case SvcOp::Unlock: return "unlock";
     case SvcOp::Append: return "append";
+    case SvcOp::LogAppend: return "log_append";
+    case SvcOp::LogRead: return "log_read";
+    case SvcOp::LogTail: return "log_tail";
+    case SvcOp::LogSeal: return "log_seal";
+    case SvcOp::LogTrim: return "log_trim";
+    case SvcOp::LogFill: return "log_fill";
   }
   return "unknown";
 }
@@ -94,14 +102,39 @@ void Node::send_multi(const std::vector<ProcessId>& recipients,
 
 TimerId Node::set_timer(SimDuration delay, std::function<void()> fn) {
   EVS_CHECK(fn != nullptr);
-  // Nodes outlive their timers (both runtimes keep the node in memory
-  // until teardown), so capturing `this` is safe; alive_ gates execution.
-  return env_.timers->set_timer(delay, [this, fn = std::move(fn)]() {
-    if (alive_) fn();
-  });
+  // The wrapper captures `this`, so every registered timer must be gone
+  // from the shared wheel before the node is destroyed: detach() and the
+  // destructor cancel everything in live_timers_. The id slot is filled
+  // after registration — safe because the runtime is single-threaded, so
+  // nothing can fire between set_timer() returning and the slot being set.
+  auto slot = std::make_shared<TimerId>(0);
+  const TimerId id =
+      env_.timers->set_timer(delay, [this, slot, fn = std::move(fn)]() {
+        live_timers_.erase(*slot);
+        if (alive_) fn();
+      });
+  *slot = id;
+  live_timers_.insert(id);
+  return id;
 }
 
-void Node::cancel_timer(TimerId id) { env_.timers->cancel_timer(id); }
+void Node::cancel_timer(TimerId id) {
+  live_timers_.erase(id);
+  env_.timers->cancel_timer(id);
+}
+
+Node::~Node() { cancel_all_timers(); }
+
+void Node::detach() {
+  alive_ = false;
+  cancel_all_timers();
+}
+
+void Node::cancel_all_timers() {
+  if (env_.timers == nullptr) return;
+  for (const TimerId id : live_timers_) env_.timers->cancel_timer(id);
+  live_timers_.clear();
+}
 
 StableStore& Node::store() {
   EVS_CHECK(env_.store != nullptr);

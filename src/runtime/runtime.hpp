@@ -27,6 +27,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -114,6 +115,31 @@ class MemoryStore : public StableStore {
   std::uint64_t writes_ = 0;
 };
 
+/// View of another store under a key prefix — the per-group namespace a
+/// multi-group host gives each instance, so two groups persisting the
+/// same logical key (epoch, snapshot) in the site's one store never
+/// collide. The inner store must outlive the view.
+class PrefixStore final : public StableStore {
+ public:
+  PrefixStore(StableStore& inner, std::string prefix)
+      : inner_(inner), prefix_(std::move(prefix)) {}
+
+  void put(const std::string& key, Bytes value) override {
+    inner_.put(prefix_ + key, std::move(value));
+  }
+  std::optional<Bytes> get(const std::string& key) const override {
+    return inner_.get(prefix_ + key);
+  }
+  void erase(const std::string& key) override { inner_.erase(prefix_ + key); }
+  bool contains(const std::string& key) const override {
+    return inner_.contains(prefix_ + key);
+  }
+
+ private:
+  StableStore& inner_;
+  std::string prefix_;
+};
+
 /// Everything a Node needs from its runtime, as non-owning pointers; the
 /// host guarantees they outlive the node's callbacks.
 struct Env {
@@ -133,7 +159,7 @@ struct Env {
 /// facilities resolve through the injected Env.
 class Node {
  public:
-  virtual ~Node() = default;
+  virtual ~Node();
 
   ProcessId id() const { return id_; }
   bool alive() const { return alive_; }
@@ -188,8 +214,10 @@ class Node {
   /// deliver-callback to on_message().
   void bind(Env env, ProcessId id);
 
-  /// Marks the incarnation dead: timers stop firing, sends become no-ops.
-  void detach() { alive_ = false; }
+  /// Marks the incarnation dead: outstanding timers are cancelled out of
+  /// the runtime's wheel (they capture `this`; a multi-group host destroys
+  /// nodes while the shared wheel lives on), sends become no-ops.
+  void detach();
 
  protected:
   void send(ProcessId to, Bytes payload);
@@ -211,9 +239,17 @@ class Node {
   const Env& env() const { return env_; }
 
  private:
+  /// Cancels every timer this node still has registered with the shared
+  /// TimerService. Called by detach() and the destructor so a torn-down
+  /// group instance leaves nothing behind in the host's wheel.
+  void cancel_all_timers();
+
   Env env_;
   ProcessId id_{};
   bool alive_ = false;
+  /// Ids of timers set but not yet fired/cancelled; the set_timer wrapper
+  /// erases on fire, cancel_timer on cancel.
+  std::unordered_set<TimerId> live_timers_;
 };
 
 }  // namespace evs::runtime

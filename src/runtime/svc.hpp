@@ -22,17 +22,39 @@
 #include <functional>
 #include <string>
 
+#include "common/ids.hpp"
+
 namespace evs::runtime {
 
 /// The external-operation set the front door multiplexes: Get/Put drive
 /// the mergeable KV (and whole-file read/write), Lock/Unlock the lock
-/// manager, Append the replicated file.
+/// manager, Append the replicated file. The Log* family drives the
+/// sharded shared log (src/log/): positions in requests and responses are
+/// *global* log positions, decimal-encoded in key/value.
 enum class SvcOp : std::uint8_t {
   Get = 1,
   Put = 2,
   Lock = 3,
   Unlock = 4,
   Append = 5,
+  /// Append `value` to the log; key (optional) is the routing key that
+  /// picks the shard. Ok carries the assigned global position in `value`.
+  LogAppend = 6,
+  /// Read the record at global position `key`. Ok's value is tagged:
+  /// 'D'+bytes = data, 'F' = filled (junk), 'T' = trimmed away.
+  LogRead = 7,
+  /// Global tail: Ok's value is the smallest global position not yet
+  /// assigned by any shard (decimal).
+  LogTail = 8,
+  /// Seal epoch `key`: the shard refuses appends while its view epoch is
+  /// <= the sealed epoch; a view change re-opens it at the new epoch.
+  LogSeal = 9,
+  /// Trim the shard owning global position `key`: discards its records at
+  /// local positions below that point (a global trim issues one per shard).
+  LogTrim = 10,
+  /// Fill global position `key` with junk if unwritten, advancing the
+  /// owning shard's tail past it — unblocks in-order global readers.
+  LogFill = 11,
 };
 
 /// Typed outcome variants (the MLS epoch-server shape).
@@ -49,6 +71,9 @@ enum class SvcStatus : std::uint8_t {
   Unavailable = 4,
   /// The hosted object has no such operation; retrying cannot help.
   Unsupported = 5,
+  /// Writes go to the shard coordinator; `coordinator_site` names it.
+  /// Reads are served by any member, so only ordered writes see this.
+  NotLeader = 6,
 };
 
 const char* to_string(SvcStatus status);
@@ -56,10 +81,14 @@ const char* to_string(SvcOp op);
 
 struct SvcRequest {
   SvcOp op = SvcOp::Get;
+  /// Group instance the request addresses (multi-group hosts); 0 targets
+  /// the default group. Log ops ignore it — the host routes them to the
+  /// owning shard itself.
+  GroupId group = kDefaultGroup;
   /// Client's last-known view epoch; 0 accepts whatever is installed.
   std::uint64_t view_epoch = 0;
-  std::string key;    // Get/Put
-  std::string value;  // Put/Append
+  std::string key;    // Get/Put, Log* position / routing key
+  std::string value;  // Put/Append/LogAppend
 };
 
 struct SvcResponse {
@@ -67,6 +96,7 @@ struct SvcResponse {
   std::string value;                 // Ok: Get/read result (else empty)
   std::uint64_t view_epoch = 0;      // Ok / InvalidEpoch
   std::uint64_t retry_after_ms = 0;  // Conflict / Unavailable
+  std::uint32_t coordinator_site = 0;  // NotLeader: where writes go
 
   static SvcResponse ok(std::uint64_t epoch, std::string value = {}) {
     SvcResponse r;
@@ -94,6 +124,14 @@ struct SvcResponse {
     return r;
   }
   static SvcResponse unsupported() { return SvcResponse{}; }
+  static SvcResponse not_leader(std::uint32_t coordinator_site,
+                                std::uint64_t epoch) {
+    SvcResponse r;
+    r.status = SvcStatus::NotLeader;
+    r.coordinator_site = coordinator_site;
+    r.view_epoch = epoch;
+    return r;
+  }
 };
 
 /// Completion callback for one request. The node must invoke it exactly

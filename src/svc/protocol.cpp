@@ -12,6 +12,7 @@ Bytes encode_request(std::uint64_t request_id, const SvcRequest& req) {
   enc.reserve(16 + req.key.size() + req.value.size());
   enc.put_u64(request_id);
   enc.put_u8(static_cast<std::uint8_t>(req.op));
+  enc.put_varint(req.group);
   enc.put_varint(req.view_epoch);
   switch (req.op) {
     case SvcOp::Get:
@@ -23,9 +24,20 @@ Bytes encode_request(std::uint64_t request_id, const SvcRequest& req) {
       break;
     case SvcOp::Lock:
     case SvcOp::Unlock:
+    case SvcOp::LogTail:
       break;
     case SvcOp::Append:
       enc.put_string(req.value);
+      break;
+    case SvcOp::LogAppend:
+      enc.put_string(req.key);
+      enc.put_string(req.value);
+      break;
+    case SvcOp::LogRead:
+    case SvcOp::LogSeal:
+    case SvcOp::LogTrim:
+    case SvcOp::LogFill:
+      enc.put_string(req.key);
       break;
   }
   return std::move(enc).take();
@@ -37,9 +49,12 @@ WireRequest decode_request(const Bytes& body) {
   wire.request_id = dec.get_u64();
   const std::uint8_t op = dec.get_u8();
   if (op < static_cast<std::uint8_t>(SvcOp::Get) ||
-      op > static_cast<std::uint8_t>(SvcOp::Append))
+      op > static_cast<std::uint8_t>(SvcOp::LogFill))
     throw DecodeError("svc request: bad op tag");
   wire.req.op = static_cast<SvcOp>(op);
+  const std::uint64_t group = dec.get_varint();
+  if (group > UINT32_MAX) throw DecodeError("svc request: bad group");
+  wire.req.group = static_cast<GroupId>(group);
   wire.req.view_epoch = dec.get_varint();
   switch (wire.req.op) {
     case SvcOp::Get:
@@ -51,9 +66,20 @@ WireRequest decode_request(const Bytes& body) {
       break;
     case SvcOp::Lock:
     case SvcOp::Unlock:
+    case SvcOp::LogTail:
       break;
     case SvcOp::Append:
       wire.req.value = dec.get_string();
+      break;
+    case SvcOp::LogAppend:
+      wire.req.key = dec.get_string();
+      wire.req.value = dec.get_string();
+      break;
+    case SvcOp::LogRead:
+    case SvcOp::LogSeal:
+    case SvcOp::LogTrim:
+    case SvcOp::LogFill:
+      wire.req.key = dec.get_string();
       break;
   }
   dec.expect_end();
@@ -81,6 +107,10 @@ Bytes encode_response(std::uint64_t request_id, const SvcResponse& resp) {
       break;
     case SvcStatus::Unsupported:
       break;
+    case SvcStatus::NotLeader:
+      enc.put_varint(resp.coordinator_site);
+      enc.put_varint(resp.view_epoch);
+      break;
   }
   return std::move(enc).take();
 }
@@ -91,7 +121,7 @@ WireResponse decode_response(const Bytes& body) {
   wire.request_id = dec.get_u64();
   const std::uint8_t status = dec.get_u8();
   if (status < static_cast<std::uint8_t>(SvcStatus::Ok) ||
-      status > static_cast<std::uint8_t>(SvcStatus::Unsupported))
+      status > static_cast<std::uint8_t>(SvcStatus::NotLeader))
     throw DecodeError("svc response: bad status tag");
   wire.resp.status = static_cast<SvcStatus>(status);
   switch (wire.resp.status) {
@@ -110,6 +140,13 @@ WireResponse decode_response(const Bytes& body) {
       break;
     case SvcStatus::Unsupported:
       break;
+    case SvcStatus::NotLeader: {
+      const std::uint64_t site = dec.get_varint();
+      if (site > UINT32_MAX) throw DecodeError("svc response: bad site");
+      wire.resp.coordinator_site = static_cast<std::uint32_t>(site);
+      wire.resp.view_epoch = dec.get_varint();
+      break;
+    }
   }
   dec.expect_end();
   return wire;

@@ -3,15 +3,26 @@
 // External clients speak a length-prefixed binary framing over TCP:
 //
 //   frame   := u32-LE body-length | body        (length in 1..max_frame)
-//   request := u64 request_id | u8 op | varint view_epoch | op-fields
+//   request := u64 request_id | u8 op | varint group | varint view_epoch
+//              | op-fields
 //   response:= u64 request_id | u8 status | status-fields
 //
+// `group` addresses one group instance of a multi-group host (0 = the
+// default group); log operations ignore it, the host routes them to the
+// owning shard itself.
+//
 // Per-op request fields (runtime/svc.hpp's SvcOp):
-//   Get    -> string key
-//   Put    -> string key | string value
-//   Lock   -> (none)
-//   Unlock -> (none)
-//   Append -> string value
+//   Get       -> string key
+//   Put       -> string key | string value
+//   Lock      -> (none)
+//   Unlock    -> (none)
+//   Append    -> string value
+//   LogAppend -> string key (routing) | string value (record)
+//   LogRead   -> string key (decimal global position)
+//   LogTail   -> (none)
+//   LogSeal   -> string key (decimal epoch)
+//   LogTrim   -> string key (decimal global position)
+//   LogFill   -> string key (decimal global position)
 //
 // Per-status response fields (SvcStatus):
 //   Ok           -> varint view_epoch | string value
@@ -19,6 +30,7 @@
 //   InvalidEpoch -> varint current_epoch
 //   Unavailable  -> varint retry_after_ms
 //   Unsupported  -> (none)
+//   NotLeader    -> varint coordinator_site | varint view_epoch
 //
 // request_id is an opaque client-chosen correlator echoed verbatim in the
 // response; connections are persistent and requests may be pipelined, so

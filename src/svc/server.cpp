@@ -168,6 +168,7 @@ void SvcServer::count_response(const SvcResponse& resp) {
     case SvcStatus::InvalidEpoch: ++stats_.requests_stale_epoch; break;
     case SvcStatus::Unavailable: ++stats_.requests_unavailable; break;
     case SvcStatus::Unsupported: ++stats_.requests_unsupported; break;
+    case SvcStatus::NotLeader: ++stats_.requests_not_leader; break;
   }
 }
 
@@ -239,6 +240,8 @@ void SvcServer::export_metrics(obs::MetricsRegistry& registry,
       .set(stats_.requests_unavailable);
   registry.counter(prefix + ".requests_unsupported")
       .set(stats_.requests_unsupported);
+  registry.counter(prefix + ".requests_not_leader")
+      .set(stats_.requests_not_leader);
   registry.counter(prefix + ".requests_shed").set(stats_.requests_shed);
   registry.counter(prefix + ".requests_timed_out")
       .set(stats_.requests_timed_out);

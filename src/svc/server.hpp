@@ -84,6 +84,7 @@ struct SvcStats {
   std::uint64_t requests_stale_epoch = 0;
   std::uint64_t requests_unavailable = 0;
   std::uint64_t requests_unsupported = 0;
+  std::uint64_t requests_not_leader = 0;  // write redirected to coordinator
   std::uint64_t requests_shed = 0;        // admission control; never reached
                                           // the node (also Unavailable on
                                           // the wire, counted here instead)

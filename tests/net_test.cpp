@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -73,6 +74,38 @@ TEST(Datagram, HeaderRoundTrip) {
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->from, header.from);
   EXPECT_EQ(parsed->dest_incarnation, header.dest_incarnation);
+  EXPECT_EQ(parsed->group, kDefaultGroup);
+  EXPECT_FALSE(parsed->coalesced);
+}
+
+TEST(Datagram, HeaderCarriesGroupAndCoalescedFlag) {
+  // The v2 envelope stamps the group id into every datagram — the
+  // multi-group demux key — independently for plain and coalesced frames.
+  std::uint8_t buf[net::kHeaderSize];
+  for (const bool coalesced : {false, true}) {
+    const net::DatagramHeader header{ProcessId{SiteId{2}, 7}, 4,
+                                     GroupId{3}, coalesced};
+    net::encode_header(header, buf);
+    const auto parsed = net::parse_header(buf, sizeof(buf));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->from, header.from);
+    EXPECT_EQ(parsed->group, GroupId{3});
+    EXPECT_EQ(parsed->coalesced, coalesced);
+  }
+}
+
+TEST(Datagram, RejectsV1Magics) {
+  // v1 ("EVS1"/"EVSB") datagrams have no group field; a v2 node must
+  // refuse them outright rather than misread 16-byte headers.
+  std::uint8_t buf[net::kHeaderSize];
+  net::encode_header(net::DatagramHeader{ProcessId{SiteId{1}, 1}, 0}, buf);
+  for (const std::uint32_t magic :
+       {net::kDatagramMagicV1, net::kDatagramMagicBatchV1}) {
+    std::memcpy(buf, &magic, sizeof(magic));
+    EXPECT_FALSE(net::parse_header(buf, sizeof(buf)).has_value());
+    // Not even as a 16-byte (v1-sized) header.
+    EXPECT_FALSE(net::parse_header(buf, 16).has_value());
+  }
 }
 
 TEST(Datagram, RejectsRuntBadMagicAndZeroIncarnation) {
@@ -422,6 +455,56 @@ TEST_F(UdpPair, SendMultiSharesOneBuffer) {
   EXPECT_EQ(a_->stats().payload_copies, 0u);
 }
 
+TEST_F(UdpPair, GroupFramesDemuxToTheirSinks) {
+  // One socket, many groups: each frame lands at the sink registered for
+  // the group stamped in its envelope, and nowhere else.
+  std::vector<Bytes> got0, got1;
+  b_->set_deliver(GroupId{0},
+                  [&](ProcessId, const Bytes& p) { got0.push_back(p); });
+  b_->set_deliver(GroupId{1},
+                  [&](ProcessId, const Bytes& p) { got1.push_back(p); });
+  a_->send(GroupId{1}, b_->self(), Bytes{11});
+  a_->send(GroupId{0}, b_->self(), Bytes{10});
+  ASSERT_TRUE(await([&]() { return got0.size() + got1.size() == 2; }));
+  ASSERT_EQ(got0.size(), 1u);
+  ASSERT_EQ(got1.size(), 1u);
+  EXPECT_EQ(got0[0], Bytes{10});
+  EXPECT_EQ(got1[0], Bytes{11});
+  // Wire accounting is per group on both sides.
+  EXPECT_EQ(a_->group_stats(GroupId{0}).frames_sent, 1u);
+  EXPECT_EQ(a_->group_stats(GroupId{1}).frames_sent, 1u);
+  EXPECT_EQ(b_->group_stats(GroupId{0}).frames_received, 1u);
+  EXPECT_EQ(b_->group_stats(GroupId{1}).frames_received, 1u);
+}
+
+TEST_F(UdpPair, UnknownGroupFramesAreDropped) {
+  int got = 0;
+  b_->set_deliver([&](ProcessId, const Bytes&) { ++got; });
+  a_->send(GroupId{7}, b_->self(), Bytes{1});
+  ASSERT_TRUE(await([&]() { return b_->stats().dropped_unknown_group == 1; }));
+  EXPECT_EQ(got, 0);
+  // Unregistering turns a known group back into an unknown one — the
+  // per-group teardown path NetRuntime::unhost_group relies on.
+  b_->clear_deliver(kDefaultGroup);
+  a_->send(b_->self(), Bytes{2});
+  ASSERT_TRUE(await([&]() { return b_->stats().dropped_unknown_group == 2; }));
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(UdpPair, GroupChannelStampsItsGroup) {
+  // The runtime::Transport facade a hosted group sees: sends go out
+  // stamped with its group id, so they demux to the peer's same-group
+  // instance.
+  net::GroupChannel channel(*a_, GroupId{3});
+  int got = 0;
+  b_->set_deliver(GroupId{3}, [&](ProcessId, const Bytes&) { ++got; });
+  channel.send(b_->self(), Bytes{1});
+  channel.send_to_site(SiteId{1}, Bytes{2});
+  channel.send_multi({b_->self()}, SharedBytes(Bytes{3}));
+  ASSERT_TRUE(await([&]() { return got == 3; }));
+  EXPECT_EQ(a_->group_stats(GroupId{3}).frames_sent, 3u);
+}
+
 TEST_F(UdpPair, StaleIncarnationIsDropped) {
   int got = 0;
   b_->set_deliver([&](ProcessId, const Bytes&) { ++got; });
@@ -566,7 +649,7 @@ TEST_F(UdpPair, MalformedCoalescedDatagramIsRejectedWhole) {
   // Header claims coalesced; payload = [len=2]["hi"][len=100](nothing).
   std::vector<std::uint8_t> datagram(net::kHeaderSize);
   net::encode_header(
-      net::DatagramHeader{a_->self(), 0, /*coalesced=*/true},
+      net::DatagramHeader{a_->self(), 0, kDefaultGroup, /*coalesced=*/true},
       datagram.data());
   const std::uint8_t tail[] = {2, 0, 0, 0, 'h', 'i', 100, 0, 0, 0};
   datagram.insert(datagram.end(), tail, tail + sizeof(tail));

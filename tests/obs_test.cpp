@@ -66,6 +66,40 @@ TEST(TraceBus, JsonlRoundTripPreservesEveryField) {
   EXPECT_EQ(back, bus.events());
 }
 
+TEST(TraceBus, GroupFacadeLabelsEventsIntoTheSharedRing) {
+  // The multi-group host hands each instance a GroupTraceBus; the stack
+  // records group-obliviously and every event lands in the one shared
+  // ring carrying its group label.
+  TraceBus sink(8);
+  sink.set_enabled(true);
+  GroupTraceBus g1(sink, GroupId{1});
+  GroupTraceBus g2(sink, GroupId{2});
+  g1.record({10, proc(0), EventKind::MessageSent});
+  g2.record({11, proc(0), EventKind::MessageSent});
+  sink.record({12, proc(0), EventKind::MessageSent});  // default group
+
+  const std::vector<TraceEvent> events = sink.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].group, GroupId{1});
+  EXPECT_EQ(events[1].group, GroupId{2});
+  EXPECT_EQ(events[2].group, kDefaultGroup);
+  // The facade holds nothing of its own — it is a relabelling forwarder.
+  EXPECT_EQ(g1.size(), 0u);
+
+  // The label survives the jsonl round trip (and the default group keeps
+  // the pre-multigroup line shape: no "g" field at all).
+  std::stringstream ss;
+  sink.write_jsonl(ss);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("\"g\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"g\":2"), std::string::npos);
+  std::stringstream back_in(text);
+  std::size_t skipped = 9;
+  const std::vector<TraceEvent> back = read_jsonl(back_in, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  EXPECT_EQ(back, events);
+}
+
 TEST(TraceBus, ReadJsonlSkipsUnparseableLines) {
   std::stringstream ss;
   ss << "{\"t\":5,\"proc\":\"1:0\",\"kind\":\"MessageSent\",\"view\":\"0:0:0\","

@@ -53,13 +53,22 @@ TEST(SvcProtocol, RequestRoundTripsEveryOp) {
       make_request(SvcOp::Lock, 12),
       make_request(SvcOp::Unlock, 12),
       make_request(SvcOp::Append, 3, "", "tail"),
+      make_request(SvcOp::LogAppend, 0, "routing-key", "record"),
+      make_request(SvcOp::LogRead, 2, "17"),
+      make_request(SvcOp::LogTail, 0),
+      make_request(SvcOp::LogSeal, 9, "5"),
+      make_request(SvcOp::LogTrim, 0, "8"),
+      make_request(SvcOp::LogFill, 0, "21"),
   };
   std::uint64_t id = 100;
-  for (const SvcRequest& req : cases) {
+  for (SvcRequest req : cases) {
+    // The group field rides on every op (multi-group hosts demux by it).
+    req.group = GroupId{static_cast<std::uint32_t>(id % 3)};
     const svc::WireRequest back =
         svc::decode_request(svc::encode_request(++id, req));
     EXPECT_EQ(back.request_id, id);
     EXPECT_EQ(back.req.op, req.op);
+    EXPECT_EQ(back.req.group, req.group);
     EXPECT_EQ(back.req.view_epoch, req.view_epoch);
     EXPECT_EQ(back.req.key, req.key);
     EXPECT_EQ(back.req.value, req.value);
@@ -71,6 +80,7 @@ TEST(SvcProtocol, ResponseRoundTripsEveryStatus) {
       SvcResponse::ok(42, "payload"),     SvcResponse::ok(1),
       SvcResponse::conflict(250),         SvcResponse::invalid_epoch(43),
       SvcResponse::unavailable(50),       SvcResponse::unsupported(),
+      SvcResponse::not_leader(3, 44),
   };
   std::uint64_t id = 7;
   for (const SvcResponse& resp : cases) {
@@ -81,6 +91,7 @@ TEST(SvcProtocol, ResponseRoundTripsEveryStatus) {
     EXPECT_EQ(back.resp.value, resp.value);
     EXPECT_EQ(back.resp.view_epoch, resp.view_epoch);
     EXPECT_EQ(back.resp.retry_after_ms, resp.retry_after_ms);
+    EXPECT_EQ(back.resp.coordinator_site, resp.coordinator_site);
   }
 }
 

@@ -18,6 +18,16 @@
 // every request is answered Unsupported — the bare endpoint hosts no
 // object.
 //
+// A config with `group <id> <object>` lines hosts one group instance per
+// line over the same socket/loop/timer wheel (NetRuntime::host_group) —
+// the multi-group runtime. Log-object groups form the shards of the
+// sharded shared log (src/log/): shard index = rank of the group id among
+// the log groups, G = their count. The front door then routes through a
+// log::ShardRouter: per-group for ordinary ops, key%G / position%G for
+// log ops, fan-out for tail/seal. Multi-group mode is incompatible with
+// --object and --multicast; view lines gain a group label:
+//   view group=<g> epoch=<e> coordinator=<site> size=<n> members=...
+//
 // Config file format: see src/net/config.hpp. Every status line on stdout
 // is machine-parseable (the loopback ctests grep them):
 //   up site=<n> port=<p> universe=<k>
@@ -41,6 +51,8 @@
 
 #include "app/group_object.hpp"
 #include "evs/endpoint.hpp"
+#include "log/log_shard.hpp"
+#include "log/shard_router.hpp"
 #include "net/config.hpp"
 #include "net/runtime.hpp"
 #include "objects/lock_manager.hpp"
@@ -242,14 +254,68 @@ int main(int argc, char** argv) {
   // Hosted node: a bare EvsEndpoint (driven by NodeDriver) or a group
   // object serving external clients. A group object *is* an EvsEndpoint,
   // but it owns the EvsDelegate slot itself, so view lines come from its
-  // view-observer hook instead of a NodeDriver.
+  // view-observer hook instead of a NodeDriver. With config `group`
+  // lines, one instance per line is hosted instead (multi-group mode),
+  // `endpoint` pointing at the lowest group's instance for the summary.
   std::unique_ptr<core::EvsEndpoint> plain;
   std::unique_ptr<app::GroupObjectBase> object;
   std::unique_ptr<NodeDriver> driver;
   core::EvsEndpoint* endpoint = nullptr;
   std::uint64_t object_views = 0;
 
-  if (options.object_kind.empty() || options.object_kind == "none") {
+  std::vector<std::unique_ptr<app::GroupObjectBase>> group_objects;
+  log::ShardRouter router;
+  const bool multi_group = !config.groups.empty();
+
+  if (multi_group) {
+    if (!options.object_kind.empty() || options.multicast > 0) {
+      std::fprintf(stderr, "config `group` lines are incompatible with "
+                           "--object and --multicast\n");
+      return 2;
+    }
+    const std::vector<net::GroupSpec> shard_specs = config.log_shards();
+    for (const net::GroupSpec& g : config.groups) {
+      app::GroupObjectConfig oc;
+      oc.endpoint = rt.endpoint_config();
+      std::unique_ptr<app::GroupObjectBase> obj;
+      if (g.object == "kv") {
+        obj = std::make_unique<objects::MergeableKv>(oc);
+      } else if (g.object == "lock") {
+        obj = std::make_unique<objects::LockManager>(oc);
+      } else if (g.object == "file") {
+        obj = std::make_unique<objects::ReplicatedFile>(
+            objects::ReplicatedFileConfig{oc, {}, 0});
+      } else if (g.object == "log") {
+        std::uint32_t index = 0;
+        for (std::size_t s = 0; s < shard_specs.size(); ++s)
+          if (shard_specs[s].id == g.id)
+            index = static_cast<std::uint32_t>(s);
+        obj = std::make_unique<log::LogShard>(log::LogShardConfig{
+            oc, index, static_cast<std::uint32_t>(shard_specs.size())});
+        router.add_shard(index, *obj);
+      } else {  // "none": groups exist to serve; a bare member adds none
+        std::fprintf(stderr, "group %u: object 'none' is not hostable in "
+                             "multi-group mode\n", g.id);
+        return 2;
+      }
+      router.add_group(g.id, *obj);
+      const GroupId gid = g.id;
+      obj->set_view_observer([gid, &object_views](const core::EView& ev) {
+        if (ev.ev_seq != 0) return;
+        ++object_views;
+        std::printf("view group=%u epoch=%llu coordinator=%u size=%zu "
+                    "members=%s\n",
+                    gid, static_cast<unsigned long long>(ev.view.id.epoch),
+                    ev.view.id.coordinator.site.value, ev.view.size(),
+                    members_csv(ev.view.members).c_str());
+      });
+      group_objects.push_back(std::move(obj));
+      rt.host_group(g.id, *group_objects.back());
+      if (endpoint == nullptr) endpoint = group_objects.front().get();
+    }
+    std::printf("groups n=%zu shards=%zu\n", group_objects.size(),
+                router.shard_count());
+  } else if (options.object_kind.empty() || options.object_kind == "none") {
     plain = std::make_unique<core::EvsEndpoint>(rt.endpoint_config());
     driver = std::make_unique<NodeDriver>(rt, *plain, options);
     endpoint = plain.get();
@@ -281,7 +347,7 @@ int main(int argc, char** argv) {
                   members_csv(eview.view.members).c_str());
     });
   }
-  rt.host(*endpoint);
+  if (!multi_group) rt.host(*endpoint);
 
   // The external-client front door, iff the config names a svc endpoint
   // for self. Owned here (not by NetRuntime) — the svc layer sits above
@@ -295,16 +361,31 @@ int main(int argc, char** argv) {
     if (options.svc_queue > 0) sc.max_pending = options.svc_queue;
     svc_server = std::make_unique<svc::SvcServer>(rt.loop(), svc_addr->ip,
                                                   svc_addr->port, sc);
-    runtime::Node* node = endpoint;
-    svc_server->set_handler(
-        [node](runtime::SvcRequest req, runtime::SvcRespondFn respond) {
-          node->svc_request(std::move(req), std::move(respond));
-        });
+    if (multi_group) {
+      svc_server->set_handler(
+          [&router](runtime::SvcRequest req, runtime::SvcRespondFn respond) {
+            router.route(std::move(req), std::move(respond));
+          });
+    } else {
+      runtime::Node* node = endpoint;
+      svc_server->set_handler(
+          [node](runtime::SvcRequest req, runtime::SvcRespondFn respond) {
+            node->svc_request(std::move(req), std::move(respond));
+          });
+    }
   }
 
-  rt.set_metrics_exporter([&endpoint, &object, &svc_server,
-                           &rt](obs::MetricsRegistry& registry) {
-    if (object != nullptr) {
+  rt.set_metrics_exporter([&endpoint, &object, &svc_server, &config,
+                           &group_objects, &rt](obs::MetricsRegistry& registry) {
+    if (!group_objects.empty()) {
+      // Aggregate view under "node" (the primary group) plus one labelled
+      // slice per hosted group, mirroring the transport's per-group wire
+      // counters.
+      endpoint->export_metrics(registry, "node");
+      for (std::size_t i = 0; i < group_objects.size(); ++i)
+        group_objects[i]->export_metrics(
+            registry, "node.g" + std::to_string(config.groups[i].id));
+    } else if (object != nullptr) {
       object->export_metrics(registry, "node");
     } else {
       endpoint->export_metrics(registry, "node");

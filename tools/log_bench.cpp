@@ -1,0 +1,401 @@
+// log_bench: append throughput + correctness probe for the sharded log.
+//
+// Phase 1 (load): an open-loop engine (same discipline as svc_bench —
+// requests are due on a fixed schedule regardless of progress, so
+// queueing shows up as latency, not as silently reduced load) sends
+// LogAppend requests over N pipelined connections to one node's front
+// door. Keys round-robin over --key-space, so the router spreads the
+// appends across all G shards; every Ok response carries the assigned
+// *global* position, which the bench records. Point --addr at the
+// coordinator site: appends are accepted only there (elsewhere they come
+// back NotLeader, which the bench counts but does not chase — redirect
+// chasing is the SDK's job, measured separately).
+//
+// Phase 2 (verify, via the tools/svc_client.hpp SDK — retries, re-fence
+// and redirects included): asks LogTail, then reads every global
+// position below the tail (capped at --verify-limit) expecting data or
+// junk fill — i.e. the position space the shards claim to have assigned
+// is dense. Locally, acked positions must be unique (single-copy
+// ordering: the same position acked twice is a forked log).
+//
+// One JSON object on stdout:
+//   {"shards":4,"conns":8,"attempted":20000,"completed":20000,
+//    "ok":19990,"not_leader":0,"rejected":10,"lost":0,
+//    "duration_ms":5004,"appends_per_sec":3994.8,
+//    "p50_us":510,"p95_us":1620,"p99_us":2950,
+//    "tail":19990,"verified":19990,"holes":0,"dup_positions":0,
+//    "dense":true}
+//
+//   ./log_bench --addr 127.0.0.1:9200 --shards 4 --rate 4000 \
+//               --duration-ms 5000
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "svc/protocol.hpp"
+#include "svc_client.hpp"
+
+using namespace evs;
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint64_t shards = 1;          // G, for the summary only
+  std::size_t conns = 8;
+  std::uint64_t rate = 2000;         // appends/second
+  std::uint64_t duration_ms = 5000;
+  std::uint64_t drain_ms = 2000;
+  std::uint64_t key_space = 256;     // routing keys (spread across shards)
+  std::uint64_t value_bytes = 64;
+  std::uint64_t verify_limit = 100'000;  // max positions to read back
+  bool verify = true;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --addr IP:PORT [--shards G] [--conns N]\n"
+               "          [--rate APPENDS_PER_SEC] [--duration-ms N]\n"
+               "          [--drain-ms N] [--key-space N] [--value-bytes N]\n"
+               "          [--verify-limit N] [--no-verify]\n",
+               argv0);
+  return 2;
+}
+
+std::uint64_t now_us() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000 +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1'000;
+}
+
+struct Conn {
+  int fd = -1;
+  bool connecting = false;
+  std::string in;
+  std::size_t in_off = 0;
+  std::string out;
+  std::size_t sent = 0;
+};
+
+int open_conn(const Options& options, Conn& conn) {
+  conn.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (conn.fd < 0) return -1;
+  int one = 1;
+  ::setsockopt(conn.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  ::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr);
+  const int rc =
+      ::connect(conn.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  conn.connecting = rc < 0 && errno == EINPROGRESS;
+  if (rc < 0 && !conn.connecting) {
+    ::close(conn.fd);
+    conn.fd = -1;
+    return -1;
+  }
+  return 0;
+}
+
+std::uint64_t percentile(std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+bool parse_pos(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 10);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  auto parse_u64 = [](const char* text, std::uint64_t& out) {
+    char* end = nullptr;
+    out = std::strtoull(text, &end, 10);
+    return end != text && *end == '\0';
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--no-verify") {
+      options.verify = false;
+      continue;
+    }
+    const char* v = (i + 1 < argc) ? argv[i + 1] : nullptr;
+    ++i;
+    std::uint64_t n = 0;
+    if (v == nullptr) return usage(argv[0]);
+    if (arg == "--addr") {
+      const std::string addr = v;
+      const auto colon = addr.rfind(':');
+      if (colon == std::string::npos ||
+          !parse_u64(addr.c_str() + colon + 1, n))
+        return usage(argv[0]);
+      options.host = addr.substr(0, colon);
+      options.port = static_cast<std::uint16_t>(n);
+    } else if (arg == "--shards" && parse_u64(v, n)) {
+      options.shards = std::max<std::uint64_t>(1, n);
+    } else if (arg == "--conns" && parse_u64(v, n)) {
+      options.conns = n;
+    } else if (arg == "--rate" && parse_u64(v, n)) {
+      options.rate = n;
+    } else if (arg == "--duration-ms" && parse_u64(v, n)) {
+      options.duration_ms = n;
+    } else if (arg == "--drain-ms" && parse_u64(v, n)) {
+      options.drain_ms = n;
+    } else if (arg == "--key-space" && parse_u64(v, n)) {
+      options.key_space = std::max<std::uint64_t>(1, n);
+    } else if (arg == "--value-bytes" && parse_u64(v, n)) {
+      options.value_bytes = n;
+    } else if (arg == "--verify-limit" && parse_u64(v, n)) {
+      options.verify_limit = n;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (options.port == 0 || options.conns == 0 || options.rate == 0)
+    return usage(argv[0]);
+
+  std::vector<Conn> conns(options.conns);
+  std::uint64_t conns_refused = 0;
+  for (Conn& conn : conns) {
+    if (open_conn(options, conn) < 0) ++conns_refused;
+  }
+
+  std::unordered_map<std::uint64_t, std::uint64_t> inflight;  // id -> t_send
+  std::uint64_t next_id = 1;
+  std::uint64_t attempted = 0, completed = 0, ok = 0, not_leader = 0,
+                rejected = 0;
+  std::vector<std::uint64_t> latencies_us;
+  std::vector<std::uint64_t> positions;  // acked global positions
+  const std::string value(options.value_bytes, 'v');
+
+  const std::uint64_t start = now_us();
+  const std::uint64_t send_deadline = start + options.duration_ms * 1'000;
+  const std::uint64_t drain_deadline =
+      send_deadline + options.drain_ms * 1'000;
+  const double interval_us = 1e6 / static_cast<double>(options.rate);
+  std::size_t rr = 0;
+
+  std::vector<pollfd> pfds;
+  while (true) {
+    const std::uint64_t now = now_us();
+    if (now >= drain_deadline) break;
+    if (inflight.empty() && now >= send_deadline) break;
+
+    if (now < send_deadline) {
+      const std::uint64_t due = static_cast<std::uint64_t>(
+          static_cast<double>(now - start) / interval_us);
+      while (attempted < due) {
+        std::size_t tries = 0;
+        while (tries < conns.size() && conns[rr].fd < 0) {
+          rr = (rr + 1) % conns.size();
+          ++tries;
+        }
+        if (tries == conns.size()) break;
+        Conn& conn = conns[rr];
+        rr = (rr + 1) % conns.size();
+
+        runtime::SvcRequest req;
+        req.op = runtime::SvcOp::LogAppend;
+        req.view_epoch = 0;  // wildcard; the SDK path measures fencing
+        req.key = std::to_string(next_id % options.key_space);
+        req.value = value;
+        svc::append_frame(conn.out, svc::encode_request(next_id, req));
+        inflight.emplace(next_id, now);
+        ++next_id;
+        ++attempted;
+      }
+    }
+
+    pfds.clear();
+    for (const Conn& conn : conns) {
+      if (conn.fd < 0) continue;
+      short events = POLLIN;
+      if (conn.connecting || conn.sent < conn.out.size()) events |= POLLOUT;
+      pfds.push_back(pollfd{conn.fd, events, 0});
+    }
+    if (pfds.empty()) break;
+
+    const std::uint64_t wake =
+        std::min(now + 20'000, drain_deadline);
+    ::poll(pfds.data(), pfds.size(),
+           static_cast<int>((wake - now) / 1'000) + 1);
+
+    std::size_t pi = 0;
+    for (Conn& conn : conns) {
+      if (conn.fd < 0) continue;
+      const pollfd& pfd = pfds[pi++];
+      bool dead = (pfd.revents & (POLLERR | POLLHUP)) != 0;
+      if (!dead && (pfd.revents & POLLOUT) != 0) {
+        if (conn.connecting) {
+          int err = 0;
+          socklen_t len = sizeof(err);
+          ::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+          if (err != 0) dead = true;
+          conn.connecting = false;
+        }
+        while (!dead && conn.sent < conn.out.size()) {
+          const ssize_t n = ::send(conn.fd, conn.out.data() + conn.sent,
+                                   conn.out.size() - conn.sent, MSG_NOSIGNAL);
+          if (n > 0) {
+            conn.sent += static_cast<std::size_t>(n);
+          } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            break;
+          } else {
+            dead = true;
+          }
+        }
+        if (conn.sent == conn.out.size()) {
+          conn.out.clear();
+          conn.sent = 0;
+        }
+      }
+      if (!dead && (pfd.revents & POLLIN) != 0) {
+        char buf[16 * 1024];
+        while (true) {
+          const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+          if (n > 0) {
+            conn.in.append(buf, static_cast<std::size_t>(n));
+          } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            break;
+          } else {
+            dead = true;
+            break;
+          }
+        }
+        Bytes body;
+        while (true) {
+          const svc::FrameStatus st =
+              svc::next_frame(conn.in, conn.in_off, body);
+          if (st == svc::FrameStatus::NeedMore) break;
+          if (st == svc::FrameStatus::Malformed) {
+            dead = true;
+            break;
+          }
+          try {
+            const svc::WireResponse wire = svc::decode_response(body);
+            const auto it = inflight.find(wire.request_id);
+            if (it != inflight.end()) {
+              latencies_us.push_back(now_us() - it->second);
+              inflight.erase(it);
+              ++completed;
+              if (wire.resp.status == runtime::SvcStatus::Ok) {
+                ++ok;
+                std::uint64_t pos = 0;
+                if (parse_pos(wire.resp.value, pos)) positions.push_back(pos);
+              } else if (wire.resp.status == runtime::SvcStatus::NotLeader) {
+                ++not_leader;
+              } else {
+                ++rejected;
+              }
+            }
+          } catch (const DecodeError&) {
+            dead = true;
+            break;
+          }
+        }
+        if (conn.in_off > 0) {
+          conn.in.erase(0, conn.in_off);
+          conn.in_off = 0;
+        }
+      }
+      if (dead) {
+        ::close(conn.fd);
+        conn.fd = -1;
+      }
+    }
+  }
+  for (Conn& conn : conns) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  const std::uint64_t wall_us = std::max<std::uint64_t>(1, now_us() - start);
+
+  // Local single-copy check: no global position acked twice.
+  std::sort(positions.begin(), positions.end());
+  std::uint64_t dup_positions = 0;
+  for (std::size_t i = 1; i < positions.size(); ++i)
+    if (positions[i] == positions[i - 1]) ++dup_positions;
+
+  // Verification pass through the retrying SDK.
+  std::uint64_t tail = 0, verified = 0, holes = 0;
+  bool dense = true;
+  if (options.verify) {
+    tools::SvcClient client(tools::SvcAddr{options.host, options.port});
+    runtime::SvcRequest treq;
+    treq.op = runtime::SvcOp::LogTail;
+    const runtime::SvcResponse tresp =
+        client.call(treq, /*fence=*/false);  // shards fence independently
+    if (tresp.status == runtime::SvcStatus::Ok) parse_pos(tresp.value, tail);
+    const std::uint64_t upto = std::min(tail, options.verify_limit);
+    for (std::uint64_t pos = 0; pos < upto; ++pos) {
+      runtime::SvcRequest rreq;
+      rreq.op = runtime::SvcOp::LogRead;
+      rreq.key = std::to_string(pos);
+      const runtime::SvcResponse rresp = client.call(rreq, /*fence=*/false);
+      // Positions of a lagging shard's residue class sit above that
+      // shard's own tail (Conflict after retries) — those are the holes
+      // fill() exists for; anything else non-Ok is a verification hole.
+      if (rresp.status == runtime::SvcStatus::Ok &&
+          (rresp.value.starts_with("D") || rresp.value.starts_with("F") ||
+           rresp.value.starts_with("T"))) {
+        ++verified;
+      } else {
+        ++holes;
+        dense = false;
+      }
+    }
+  }
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const double per_sec =
+      static_cast<double>(ok) * 1e6 / static_cast<double>(wall_us);
+  std::printf(
+      "{\"shards\":%llu,\"conns\":%zu,\"attempted\":%llu,"
+      "\"completed\":%llu,\"ok\":%llu,\"not_leader\":%llu,"
+      "\"rejected\":%llu,\"lost\":%zu,\"conns_refused\":%llu,"
+      "\"duration_ms\":%llu,\"appends_per_sec\":%.1f,"
+      "\"p50_us\":%llu,\"p95_us\":%llu,\"p99_us\":%llu,"
+      "\"tail\":%llu,\"verified\":%llu,\"holes\":%llu,"
+      "\"dup_positions\":%llu,\"dense\":%s}\n",
+      static_cast<unsigned long long>(options.shards), options.conns,
+      static_cast<unsigned long long>(attempted),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(not_leader),
+      static_cast<unsigned long long>(rejected), inflight.size(),
+      static_cast<unsigned long long>(conns_refused),
+      static_cast<unsigned long long>(wall_us / 1'000), per_sec,
+      static_cast<unsigned long long>(percentile(latencies_us, 0.50)),
+      static_cast<unsigned long long>(percentile(latencies_us, 0.95)),
+      static_cast<unsigned long long>(percentile(latencies_us, 0.99)),
+      static_cast<unsigned long long>(tail),
+      static_cast<unsigned long long>(verified),
+      static_cast<unsigned long long>(holes),
+      static_cast<unsigned long long>(dup_positions),
+      dense && dup_positions == 0 ? "true" : "false");
+  return (dup_positions == 0 && inflight.empty()) ? 0 : 1;
+}

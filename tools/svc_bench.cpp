@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "svc/protocol.hpp"
+#include "svc_client.hpp"
 
 using namespace evs;
 
@@ -56,13 +57,18 @@ struct Options {
   std::uint64_t view_epoch = 0;      // 0 = wildcard (never fenced)
   std::uint64_t key_space = 64;
   std::uint64_t value_bytes = 64;
+  /// Learn the installed epoch through the retrying SDK (one fenced Get,
+  /// riding out InvalidEpoch) and stamp it into every open-loop request —
+  /// the bench then measures the fenced path instead of the wildcard.
+  bool fence = false;
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --addr IP:PORT [--conns N] [--rate OPS_PER_SEC]\n"
                "          [--duration-ms N] [--drain-ms N] [--op get|put|mix]\n"
-               "          [--view-epoch N] [--key-space N] [--value-bytes N]\n",
+               "          [--view-epoch N] [--key-space N] [--value-bytes N]\n"
+               "          [--fence]\n",
                argv0);
   return 2;
 }
@@ -91,6 +97,7 @@ struct Stats {
   std::uint64_t stale_epoch = 0;
   std::uint64_t unavailable = 0;
   std::uint64_t unsupported = 0;
+  std::uint64_t not_leader = 0;
   std::uint64_t conns_refused = 0;  // connect failed / closed before use
   std::uint64_t conns_closed = 0;   // closed mid-run with traffic in flight
   std::vector<std::uint64_t> latencies_us;
@@ -135,6 +142,10 @@ int main(int argc, char** argv) {
   };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--fence") {
+      options.fence = true;
+      continue;
+    }
     const char* v = (i + 1 < argc) ? argv[i + 1] : nullptr;
     ++i;
     std::uint64_t n = 0;
@@ -170,6 +181,18 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   if (options.op != "get" && options.op != "put" && options.op != "mix")
     return usage(argv[0]);
+
+  if (options.fence) {
+    tools::SvcClient client(tools::SvcAddr{options.host, options.port});
+    runtime::SvcRequest probe;
+    probe.op = runtime::SvcOp::Get;
+    probe.key = "bench-fence";
+    if (client.call(probe).status != runtime::SvcStatus::Ok) {
+      std::fprintf(stderr, "--fence: could not learn the view epoch\n");
+      return 1;
+    }
+    options.view_epoch = client.fenced_epoch();
+  }
 
   Stats stats;
   std::vector<Conn> conns(options.conns);
@@ -320,6 +343,9 @@ int main(int argc, char** argv) {
                 case runtime::SvcStatus::Unsupported:
                   ++stats.unsupported;
                   break;
+                case runtime::SvcStatus::NotLeader:
+                  ++stats.not_leader;
+                  break;
               }
             }
           } catch (const DecodeError&) {
@@ -355,7 +381,7 @@ int main(int argc, char** argv) {
   std::printf(
       "{\"conns\":%zu,\"attempted\":%llu,\"completed\":%llu,"
       "\"ok\":%llu,\"conflict\":%llu,\"stale_epoch\":%llu,"
-      "\"unavailable\":%llu,\"unsupported\":%llu,"
+      "\"unavailable\":%llu,\"unsupported\":%llu,\"not_leader\":%llu,"
       "\"conns_refused\":%llu,\"conns_closed\":%llu,\"lost\":%zu,"
       "\"duration_ms\":%llu,\"ops_per_sec\":%.1f,"
       "\"p50_us\":%llu,\"p95_us\":%llu,\"p99_us\":%llu}\n",
@@ -366,6 +392,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.stale_epoch),
       static_cast<unsigned long long>(stats.unavailable),
       static_cast<unsigned long long>(stats.unsupported),
+      static_cast<unsigned long long>(stats.not_leader),
       static_cast<unsigned long long>(stats.conns_refused),
       static_cast<unsigned long long>(stats.conns_closed), inflight.size(),
       static_cast<unsigned long long>(wall_us / 1'000), ops_per_sec,

@@ -1,7 +1,7 @@
 // trace_check: replay recorded traces through the RunChecker.
 //
-// Usage: trace_check [--merge] [--spans-json FILE] [--spans-chrome FILE]
-//                    <run.trace.jsonl>...
+// Usage: trace_check [--merge] [--group N] [--spans-json FILE]
+//                    [--spans-chrome FILE] <run.trace.jsonl>...
 //
 // Reads each JSONL trace produced by obs::TraceBus::write_jsonl (e.g. via
 // EVS_TRACE_OUT), validates it against the view-synchrony properties
@@ -16,15 +16,23 @@
 // cross-process properties — P2.1 agreement, P2.3 integrity — only hold
 // on the union of the group's traces.
 //
+// Multi-group traces (events carrying a "g" label — one process hosting
+// several group instances) are split by group and each group's slice is
+// checked on its own: the view-synchrony properties hold per group
+// instance, and a union across groups would see interleaved unrelated
+// views as violations. --group N restricts checking to one group.
+//
 // --spans-json / --spans-chrome run the cross-process span correlation
 // (obs/spans.hpp) over the union of all input files: clock-offset
 // estimation, per-channel latency histograms and view-change phase
 // breakdowns as JSON, or Chrome-trace flow events for Perfetto. Either
 // flag also prints the per-round phase summary to stdout.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,16 +42,40 @@
 
 namespace {
 
-bool check_and_report(const char* label,
-                      const std::vector<evs::obs::TraceEvent>& events,
-                      std::size_t skipped) {
+bool check_one(const std::string& label,
+               const std::vector<evs::obs::TraceEvent>& events,
+               std::size_t skipped) {
   const std::vector<evs::obs::Violation> violations =
       evs::obs::RunChecker::check(events);
   std::printf("%s: %zu events (%zu unparseable lines skipped), %zu violations\n",
-              label, events.size(), skipped, violations.size());
+              label.c_str(), events.size(), skipped, violations.size());
   for (const evs::obs::Violation& v : violations)
     std::printf("  %s\n", v.str().c_str());
   return violations.empty();
+}
+
+/// Splits by group label and checks each group's slice independently; a
+/// trace with one group (the common case) keeps its unsuffixed label.
+bool check_and_report(const char* label,
+                      const std::vector<evs::obs::TraceEvent>& events,
+                      std::size_t skipped) {
+  std::vector<evs::GroupId> groups;
+  for (const evs::obs::TraceEvent& e : events)
+    if (std::find(groups.begin(), groups.end(), e.group) == groups.end())
+      groups.push_back(e.group);
+  std::sort(groups.begin(), groups.end());
+  if (groups.size() <= 1) return check_one(label, events, skipped);
+
+  bool ok = true;
+  for (const evs::GroupId g : groups) {
+    std::vector<evs::obs::TraceEvent> slice;
+    for (const evs::obs::TraceEvent& e : events)
+      if (e.group == g) slice.push_back(e);
+    // Per-file parse skips are reported once, against the first slice.
+    const std::string sub = std::string(label) + "[g=" + std::to_string(g) + "]";
+    if (!check_one(sub, slice, g == groups.front() ? skipped : 0)) ok = false;
+  }
+  return ok;
 }
 
 bool write_file(const std::string& path,
@@ -61,6 +93,7 @@ bool write_file(const std::string& path,
 
 int main(int argc, char** argv) {
   bool merge = false;
+  std::optional<evs::GroupId> only_group;
   std::string spans_json_path;
   std::string spans_chrome_path;
   std::vector<const char*> files;
@@ -68,13 +101,15 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--merge") {
       merge = true;
+    } else if (arg == "--group" && i + 1 < argc) {
+      only_group = static_cast<evs::GroupId>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--spans-json" && i + 1 < argc) {
       spans_json_path = argv[++i];
     } else if (arg == "--spans-chrome" && i + 1 < argc) {
       spans_chrome_path = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr,
-                   "usage: %s [--merge] [--spans-json FILE] "
+                   "usage: %s [--merge] [--group N] [--spans-json FILE] "
                    "[--spans-chrome FILE] <run.trace.jsonl>...\n",
                    argv[0]);
       return 2;
@@ -84,7 +119,7 @@ int main(int argc, char** argv) {
   }
   if (files.empty()) {
     std::fprintf(stderr,
-                 "usage: %s [--merge] [--spans-json FILE] "
+                 "usage: %s [--merge] [--group N] [--spans-json FILE] "
                  "[--spans-chrome FILE] <run.trace.jsonl>...\n",
                  argv[0]);
     return 2;
@@ -104,6 +139,11 @@ int main(int argc, char** argv) {
     std::size_t skipped = 0;
     std::vector<evs::obs::TraceEvent> events =
         evs::obs::read_jsonl(is, &skipped);
+    if (only_group) {
+      std::erase_if(events, [&](const evs::obs::TraceEvent& e) {
+        return e.group != *only_group;
+      });
+    }
     if (merge || want_spans) {
       merged.insert(merged.end(), events.begin(), events.end());
       merged_skipped += skipped;
