@@ -54,11 +54,23 @@ bool GroupObjectBase::serving_normal() const {
 }
 
 void GroupObjectBase::object_multicast(const Bytes& payload) {
+  // Flag-day frame change: every Object frame carries its trace context
+  // (0 = untraced) so the propagated context survives the total order and
+  // flush unions — the ordered delivery, not the datagram, is the unit a
+  // request's causality follows.
   Encoder enc;
   enc.put_u8(static_cast<std::uint8_t>(FrameKind::Object));
   enc.put_varint(++object_send_seq_);
+  enc.put_varint(active_trace_);
   enc.put_bytes(payload);
+  // Stamp the wire envelope too while the multicast (and any synchronous
+  // self-delivery it triggers) runs, then clear: datagrams this operation
+  // provokes carry the context, unrelated later traffic does not.
+  if (active_trace_ != 0 && env().transport != nullptr)
+    env().transport->set_trace_context(active_trace_);
   app_multicast(std::move(enc).take());
+  if (active_trace_ != 0 && env().transport != nullptr)
+    env().transport->set_trace_context(0);
 }
 
 void GroupObjectBase::svc_multicast(
@@ -67,8 +79,15 @@ void GroupObjectBase::svc_multicast(
   // Register the pending op *before* multicasting: when this member is the
   // one ordering the message, self-delivery happens synchronously inside
   // app_multicast, and resolve_pending_svc must find the entry there.
-  pending_svc_.push_back(PendingSvcOp{object_send_seq_ + 1, std::move(respond),
+  pending_svc_.push_back(PendingSvcOp{object_send_seq_ + 1, active_trace_,
+                                      now(), std::move(respond),
                                       std::move(finish)});
+  if (active_trace_ != 0) {
+    if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+      bus->record({now(), id(), obs::EventKind::RequestOrdered,
+                   eview().view.id, {}, active_trace_, object_send_seq_ + 1});
+    }
+  }
   object_multicast(payload);
 }
 
@@ -89,6 +108,7 @@ void GroupObjectBase::resolve_pending_svc(std::uint64_t seq) {
   if (pending_svc_.empty() || pending_svc_.front().seq != seq) return;
   PendingSvcOp entry = std::move(pending_svc_.front());
   pending_svc_.pop_front();
+  order_us_.record(static_cast<double>(now() - entry.sent));
   // finish() runs after on_object_deliver applied the operation, so it
   // reads post-apply state (lock granted? value stored?).
   if (entry.respond) entry.respond(entry.finish());
@@ -97,6 +117,13 @@ void GroupObjectBase::resolve_pending_svc(std::uint64_t seq) {
 void GroupObjectBase::fence_pending_svc(std::uint64_t new_epoch) {
   for (PendingSvcOp& entry : pending_svc_) {
     if (!entry.respond) continue;
+    fence_us_.record(static_cast<double>(now() - entry.sent));
+    if (entry.trace != 0) {
+      if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+        bus->record({now(), id(), obs::EventKind::RequestFenced,
+                     eview().view.id, {}, entry.trace, new_epoch});
+      }
+    }
     entry.respond(runtime::SvcResponse::invalid_epoch(new_epoch));
     entry.respond = nullptr;
   }
@@ -111,7 +138,11 @@ void GroupObjectBase::svc_request(runtime::SvcRequest req,
     respond(runtime::SvcResponse::invalid_epoch(view_epoch()));
     return;
   }
+  // The dispatch runs under the request's trace context (0 when the
+  // request was unsampled): any svc_multicast it performs propagates it.
+  active_trace_ = runtime::effective_trace(req);
   svc_dispatch(std::move(req), std::move(respond));
+  active_trace_ = 0;
 }
 
 void GroupObjectBase::svc_dispatch(runtime::SvcRequest,
@@ -185,9 +216,23 @@ void GroupObjectBase::dispatch_frame(ProcessId sender, const Bytes& payload) {
   switch (static_cast<FrameKind>(dec.get_u8())) {
     case FrameKind::Object: {
       const std::uint64_t op_seq = dec.get_varint();
+      const std::uint64_t op_trace = dec.get_varint();
       Bytes body = dec.get_bytes();
       if (object_config_.record_history) history_.record_delivery(sender, body);
+      auto* bus = trace();
+      const bool traced =
+          op_trace != 0 && bus != nullptr && bus->enabled();
+      if (traced) {
+        bus->record({now(), id(), obs::EventKind::RequestDelivered,
+                     eview().view.id, sender, op_trace, op_seq});
+      }
+      const SimTime apply_start = now();
       on_object_deliver(sender, body);
+      apply_us_.record(static_cast<double>(now() - apply_start));
+      if (traced) {
+        bus->record({now(), id(), obs::EventKind::RequestApplied,
+                     eview().view.id, sender, op_trace, op_seq});
+      }
       // Our own operation came back through the total order: complete the
       // external-client request it carried, if any (and if a view change
       // didn't fence it first).
@@ -655,6 +700,11 @@ void GroupObjectBase::export_metrics(obs::MetricsRegistry& registry,
   registry.counter(prefix + ".chunk_messages").set(object_stats_.chunk_messages);
   registry.counter(prefix + ".ambiguous_classifications")
       .set(object_stats_.ambiguous_classifications);
+  // Per-phase attribution of svc-originated operations (see the accessor
+  // docs in group_object.hpp for the exact spans each one measures).
+  registry.histogram(prefix + ".svc.order_us") = order_us_;
+  registry.histogram(prefix + ".svc.fence_us") = fence_us_;
+  registry.histogram(prefix + ".svc.apply_us") = apply_us_;
   if (machine_.has_value()) {
     const SimTime at = now();
     registry.gauge(prefix + ".mode.normal_us")

@@ -48,6 +48,7 @@
 #include "app/history.hpp"
 #include "app/mode.hpp"
 #include "evs/endpoint.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/svc.hpp"
 
 namespace evs::app {
@@ -151,6 +152,17 @@ class GroupObjectBase : public core::EvsEndpoint, private core::EvsDelegate {
   /// Svc-originated multicasts answered but not yet delivered back; the
   /// front door's per-node queue depth.
   std::size_t svc_pending() const { return pending_svc_.size(); }
+
+  /// Per-phase latency attribution of svc-originated operations:
+  /// order_us  — svc_multicast send to ordered self-delivery (the total-
+  ///             order round trip the external write paid);
+  /// fence_us  — svc_multicast send to the e-view change that fenced the
+  ///             response instead (time the client waited to learn the
+  ///             epoch moved);
+  /// apply_us  — on_object_deliver duration, every ordered delivery.
+  const obs::Histogram& order_latency() const { return order_us_; }
+  const obs::Histogram& fence_latency() const { return fence_us_; }
+  const obs::Histogram& apply_latency() const { return apply_us_; }
 
  protected:
   // ----- subclass interface ------------------------------------------
@@ -276,14 +288,26 @@ class GroupObjectBase : public core::EvsEndpoint, private core::EvsDelegate {
   /// sends; self-deliveries echo it back so svc completions align even
   /// across view changes.
   std::uint64_t object_send_seq_ = 0;
+  /// Trace context of the svc request currently dispatching (0 outside a
+  /// traced dispatch): stamped into the Object frame and pushed into the
+  /// transport envelope by object_multicast, so the propagated context
+  /// survives both the total order and the wire.
+  std::uint64_t active_trace_ = 0;
   struct PendingSvcOp {
     std::uint64_t seq = 0;
+    /// Trace context the request carried (0 = untraced).
+    std::uint64_t trace = 0;
+    /// When the multicast went out — the origin of order_us / fence_us.
+    SimTime sent = 0;
     /// Nulled once answered (e.g. fenced at a view change); the entry
     /// stays queued until its multicast delivers, keeping seq alignment.
     runtime::SvcRespondFn respond;
     std::function<runtime::SvcResponse()> finish;
   };
   std::deque<PendingSvcOp> pending_svc_;
+  obs::Histogram order_us_;
+  obs::Histogram fence_us_;
+  obs::Histogram apply_us_;
   std::function<void(const core::EView&)> view_observer_;
 };
 

@@ -44,15 +44,42 @@ bool parse_u64(std::string_view text, std::uint64_t& out) {
   return true;
 }
 
-/// Parses "since=<u64>" (the only query /trace accepts). Empty query is
-/// since=0; anything else — including values over 2^64-1 — is malformed.
-bool parse_since(const std::string& query, std::uint64_t& out) {
-  out = 0;
+/// Parses /trace's query: any &-separated combination of "since=<u64>"
+/// and "req=<u64>" (each at most once). Empty query is since=0 with no
+/// request filter; anything else — unknown keys, empty or overflowing
+/// values — is malformed.
+bool parse_trace_query(const std::string& query, std::uint64_t& since,
+                       bool& req_filter, std::uint64_t& req) {
+  since = 0;
+  req_filter = false;
+  req = 0;
   if (query.empty()) return true;
-  constexpr std::string_view kKey = "since=";
-  if (query.size() <= kKey.size() || query.compare(0, kKey.size(), kKey) != 0)
-    return false;
-  return parse_u64(std::string_view(query).substr(kKey.size()), out);
+  std::size_t pos = 0;
+  bool saw_since = false;
+  while (pos <= query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string_view pair =
+        std::string_view(query).substr(pos, amp - pos);
+    pos = amp + 1;
+    constexpr std::string_view kSince = "since=";
+    constexpr std::string_view kReq = "req=";
+    if (pair.size() > kSince.size() &&
+        pair.compare(0, kSince.size(), kSince) == 0) {
+      if (saw_since || !parse_u64(pair.substr(kSince.size()), since))
+        return false;
+      saw_since = true;
+    } else if (pair.size() > kReq.size() &&
+               pair.compare(0, kReq.size(), kReq) == 0) {
+      if (req_filter || !parse_u64(pair.substr(kReq.size()), req) || req == 0)
+        return false;
+      req_filter = true;
+    } else {
+      return false;
+    }
+    if (pos > query.size()) break;
+  }
+  return true;
 }
 
 char ascii_lower(char c) {
@@ -287,20 +314,35 @@ std::string AdminServer::route(const std::string& path,
       return "no trace bus\n";
     }
     std::uint64_t since = 0;
-    if (!parse_since(query, since)) {
+    bool req_filter = false;
+    std::uint64_t req = 0;
+    if (!parse_trace_query(query, since, req_filter, req)) {
       ok = false;
-      return "bad since parameter\n";
+      return "bad trace query (since=<u64>, req=<u64>)\n";
     }
     std::uint64_t next = since;
     std::ostringstream os;
     for (const auto& [index, event] :
          trace_->events_since(since, kMaxTraceEvents, &next)) {
+      // req= narrows the tail to one traced request's lifecycle hops
+      // (the Request* kinds carry the trace id in their seq field).
+      if (req_filter &&
+          !(obs::is_request_event(event.kind) && event.seq == req))
+        continue;
       obs::write_jsonl_event(os, event, &index);
     }
     extra_headers =
         "X-Evs-Next-Since: " + std::to_string(next) + "\r\n";
     content_type = "application/x-ndjson";
     return os.str();
+  }
+  if (path == "/health") {
+    if (!health_) {
+      content_type = "unavailable";
+      return "no health provider\n";
+    }
+    content_type = "application/json";
+    return health_();
   }
   content_type.clear();  // 404
   return {};

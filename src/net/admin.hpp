@@ -22,6 +22,15 @@
 //                        each line carrying an "i" index field; the
 //                        X-Evs-Next-Since response header is the N to
 //                        pass on the next poll.
+//   GET /trace?req=T   — the same tail filtered to the Request* lifecycle
+//                        events of trace id T (combinable with since=),
+//                        i.e. the hops one sampled client request took
+//                        through this node.
+//   GET /health        — the online oracle checker's verdict (a JSON
+//                        object from obs::LiveChecker::health_json):
+//                        events checked, violations total / per group,
+//                        recent violation summaries. Always HTTP 200; the
+//                        body's "healthy" flag carries the verdict.
 //
 // Write side (POST) — the paper's application-control calls, exposed so
 // an operator, orchestrator or tools/evs_ctl can drive Figure-1 mode
@@ -120,6 +129,10 @@ class AdminServer {
   /// Wires /trace to `bus` (served 503 until set).
   void set_trace(const obs::TraceBus* bus) { trace_ = bus; }
 
+  /// Supplies the /health body (a complete JSON object; served 503 until
+  /// set). NetRuntime wires this to its online LiveChecker.
+  void set_health(std::function<std::string()> fn) { health_ = std::move(fn); }
+
   /// Arms the write side: POST commands are only accepted when the
   /// request carries `token`. An empty token keeps the plane read-only.
   void set_token(std::string token) { token_ = std::move(token); }
@@ -171,6 +184,7 @@ class AdminServer {
   TcpListener listener_;  // after connections_: accepts may fire during init
 
   std::function<std::string()> status_;
+  std::function<std::string()> health_;
   const obs::MetricsRegistry* registry_ = nullptr;
   std::function<void()> refresh_;
   const obs::TraceBus* trace_ = nullptr;

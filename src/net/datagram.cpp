@@ -18,6 +18,16 @@ std::uint32_t get_u32(const std::uint8_t* in) {
          (static_cast<std::uint32_t>(in[3]) << 24);
 }
 
+void put_u64(std::uint8_t* out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint64_t get_u64(const std::uint8_t* in) {
+  return static_cast<std::uint64_t>(get_u32(in)) |
+         (static_cast<std::uint64_t>(get_u32(in + 4)) << 32);
+}
+
 }  // namespace
 
 void encode_header(const DatagramHeader& header, std::uint8_t* out) {
@@ -26,6 +36,7 @@ void encode_header(const DatagramHeader& header, std::uint8_t* out) {
   put_u32(out + 8, header.from.incarnation);
   put_u32(out + 12, header.dest_incarnation);
   put_u32(out + 16, header.group);
+  put_u64(out + 20, header.trace);
 }
 
 std::optional<DatagramHeader> parse_header(const std::uint8_t* data,
@@ -40,6 +51,7 @@ std::optional<DatagramHeader> parse_header(const std::uint8_t* data,
   header.from.incarnation = get_u32(data + 8);
   header.dest_incarnation = get_u32(data + 12);
   header.group = get_u32(data + 16);
+  header.trace = get_u64(data + 20);
   header.coalesced = magic == kDatagramMagicBatch;
   if (header.from.incarnation == 0) return std::nullopt;  // never minted
   return header;

@@ -1,10 +1,10 @@
-// Real-time runtime, part 3: the UDP datagram envelope (version 2).
+// Real-time runtime, part 3: the UDP datagram envelope (version 3).
 //
 // The simulated network carries (from, payload) out of band; UDP gives us
-// only a source address, so every datagram prepends a fixed 20-byte
+// only a source address, so every datagram prepends a fixed 28-byte
 // header to the unchanged gms::frame payload:
 //
-//   u32 magic "EVS2"      — rejects stray traffic on the port
+//   u32 magic "EVS3"      — rejects stray traffic on the port
 //   u32 from.site         — sender identity (validated against the
 //   u32 from.incarnation    address book: spoofed sites are dropped)
 //   u32 dest_incarnation  — 0 for site-addressed traffic (heartbeats);
@@ -15,13 +15,17 @@
 //                           process hosts many group instances over one
 //                           socket; the messenger demuxes on this field.
 //                           0 is the default group of single-group runs.
+//   u64 trace             — propagated trace context: the sampled client
+//                           request this datagram's frames were provoked
+//                           by, 0 for everything untraced. Observability
+//                           metadata only — delivery never branches on it.
 //
-// Version 1 ("EVS1"/"EVSB", 16-byte header, no group field) is *rejected*
-// into dropped_malformed: a mixed-version fleet would silently cross-wire
-// group traffic, so the envelope bump is a hard cut, same as any other
-// unknown magic.
+// Older versions (v1 "EVS1"/"EVSB", v2 "EVS2"/"EVSC" without the trace
+// field) are *rejected* into dropped_malformed: a mixed-version fleet
+// would silently cross-wire or mis-frame traffic, so each envelope bump
+// is a hard cut, same as any other unknown magic.
 //
-// A second magic, "EVSC", marks a *coalesced* datagram: same header,
+// A second magic, "EVSD", marks a *coalesced* datagram: same header,
 // but the payload is a sequence of length-prefixed sub-frames
 //
 //   [u32 len][len bytes of frame] [u32 len][frame] ...
@@ -29,10 +33,11 @@
 // which the receiver splits back into individual protocol frames (same
 // frames, same order — coalescing changes datagram counts, never wire
 // semantics). All frames of one coalesced datagram belong to the same
-// group: the flush path packs per (site, incarnation, group), so the one
-// header field still labels every sub-frame. Single-frame datagrams keep
-// the plain "EVS2" form, so a
-// coalescing sender stays wire-compatible with a pre-coalescing peer
+// group *and trace context*: the flush path packs per (site, incarnation,
+// group, trace), so the header fields still label every sub-frame —
+// untraced traffic (trace 0, the entirety of a sampling-off run) packs
+// exactly as before. Single-frame datagrams keep the plain "EVS3" form,
+// so a coalescing sender stays wire-compatible with a pre-coalescing peer
 // until it actually packs two frames together.
 //
 // All fields little-endian, matching the codec. Parsing is total: any
@@ -53,13 +58,15 @@
 
 namespace evs::net {
 
-inline constexpr std::uint32_t kDatagramMagic = 0x32535645;  // "EVS2" LE
+inline constexpr std::uint32_t kDatagramMagic = 0x33535645;  // "EVS3" LE
 /// Coalesced-datagram magic: payload is length-prefixed sub-frames.
-inline constexpr std::uint32_t kDatagramMagicBatch = 0x43535645;  // "EVSC" LE
-/// The retired v1 magics; rejected, but named so tests can assert that.
+inline constexpr std::uint32_t kDatagramMagicBatch = 0x44535645;  // "EVSD" LE
+/// The retired v1/v2 magics; rejected, but named so tests can assert that.
 inline constexpr std::uint32_t kDatagramMagicV1 = 0x31535645;       // "EVS1"
 inline constexpr std::uint32_t kDatagramMagicBatchV1 = 0x42535645;  // "EVSB"
-inline constexpr std::size_t kHeaderSize = 20;
+inline constexpr std::uint32_t kDatagramMagicV2 = 0x32535645;       // "EVS2"
+inline constexpr std::uint32_t kDatagramMagicBatchV2 = 0x43535645;  // "EVSC"
+inline constexpr std::size_t kHeaderSize = 28;
 /// Length prefix of each sub-frame in a coalesced payload.
 inline constexpr std::size_t kSubFramePrefix = 4;
 /// Largest payload we will send or accept in one datagram. UDP caps the
@@ -71,7 +78,9 @@ struct DatagramHeader {
   std::uint32_t dest_incarnation = 0;  // 0 = site-addressed
   /// Group instance the frame belongs to (0 = the default group).
   std::uint32_t group = 0;
-  bool coalesced = false;  // "EVSC": payload holds length-prefixed frames
+  /// Propagated trace context; 0 = untraced (observability only).
+  std::uint64_t trace = 0;
+  bool coalesced = false;  // "EVSD": payload holds length-prefixed frames
 
   bool operator==(const DatagramHeader&) const = default;
 };

@@ -14,9 +14,15 @@ NetRuntime::NetRuntime(NodeConfig config)
   // Same opt-in as sim::World: EVS_TRACE_OUT turns recording on without
   // per-binary plumbing.
   if (!obs::trace_out_dir().empty()) trace_bus_.set_enabled(true);
+  // Online checking rides the bus's observer tap: with tracing off the
+  // protocol hooks never even build events, so the checker idles (and
+  // /health reports healthy over zero events checked).
+  trace_bus_.set_observer(
+      [this](const obs::TraceEvent& event) { checker_.observe(event); });
   if (const auto addr = config_.self_admin_addr()) {
     admin_ = std::make_unique<AdminServer>(loop_, addr->ip, addr->port);
     admin_->set_trace(&trace_bus_);
+    admin_->set_health([this]() { return checker_.health_json(); });
     admin_->set_metrics(&metrics_, [this]() { refresh_metrics(); });
     admin_->set_status([this]() {
       runtime::Node* primary = primary_node();
@@ -26,7 +32,9 @@ NetRuntime::NetRuntime(NodeConfig config)
          << ",\"process\":\"" << to_string(self()) << "\""
          << ",\"port\":" << transport_.bound_port()
          << ",\"admin_port\":" << admin_->bound_port()
-         << ",\"uptime_us\":" << loop_.now() << ",\"node\":"
+         << ",\"uptime_us\":" << loop_.now()
+         << ",\"health\":" << (checker_.healthy() ? "true" : "false")
+         << ",\"node\":"
          << (primary != nullptr ? primary->admin_status_json() : "null");
       // Per-group detail only for true multi-group hosts; a single
       // default-group run keeps the exact legacy /status shape.
@@ -72,6 +80,9 @@ NetRuntime::NetRuntime(NodeConfig config)
 void NetRuntime::refresh_metrics() {
   transport_.export_metrics(metrics_, "transport");
   if (admin_ != nullptr) admin_->export_metrics(metrics_, "admin");
+  metrics_.counter("obs.events_checked").set(checker_.events_checked());
+  metrics_.counter("obs.oracle_violations").set(checker_.violations());
+  metrics_.counter("obs.checker_saturated").set(checker_.saturated());
   if (metrics_exporter_) metrics_exporter_(metrics_);
 }
 

@@ -36,6 +36,7 @@
 #include "net/config.hpp"
 #include "net/event_loop.hpp"
 #include "net/udp_transport.hpp"
+#include "obs/check.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/runtime.hpp"
@@ -55,6 +56,11 @@ class NetRuntime {
   runtime::MemoryStore& store() { return store_; }
   obs::TraceBus& trace_bus() { return trace_bus_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
+  /// The online oracle checker fed from the trace bus's observer tap: as
+  /// long as tracing is enabled, every recorded event is checked against
+  /// the incremental safety oracles and violations surface in /health,
+  /// /status's "health" flag and the obs.oracle_violations counter.
+  const obs::LiveChecker& checker() const { return checker_; }
 
   ProcessId self() const { return transport_.self(); }
 
@@ -135,6 +141,7 @@ class NetRuntime {
   UdpTransport transport_;
   runtime::MemoryStore store_;
   obs::TraceBus trace_bus_;
+  obs::LiveChecker checker_;
   obs::MetricsRegistry metrics_;
   std::unique_ptr<AdminServer> admin_;
   std::function<void(obs::MetricsRegistry&)> metrics_exporter_;

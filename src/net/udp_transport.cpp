@@ -133,8 +133,8 @@ void UdpTransport::enqueue(GroupId group, SiteId site,
                                 << ")");
     return;
   }
-  pending_.push_back(
-      PendingFrame{site, dest_incarnation, group, std::move(payload)});
+  pending_.push_back(PendingFrame{site, dest_incarnation, group,
+                                  current_trace_, std::move(payload)});
 }
 
 void UdpTransport::send(ProcessId to, Bytes payload) {
@@ -174,16 +174,16 @@ void UdpTransport::send_multi(GroupId group,
 void UdpTransport::flush() {
   if (pending_.empty()) return;
 
-  // Group queued frames by (site, incarnation, group) in first-appearance
-  // order; per-destination FIFO order is what coalescing and the
-  // receiver's split preserve end to end. The group id lives in the
-  // datagram header, so frames of different groups never share a
-  // coalesced datagram.
+  // Group queued frames by (site, incarnation, group, trace) in
+  // first-appearance order; per-destination FIFO order is what coalescing
+  // and the receiver's split preserve end to end. Group id and trace
+  // context live in the datagram header, so frames of different groups —
+  // or of different traced requests — never share a coalesced datagram.
   flush_groups_.clear();
   flush_group_order_.clear();
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     const FlushKey key{pending_[i].site, pending_[i].dest_incarnation,
-                       pending_[i].group};
+                       pending_[i].group, pending_[i].trace};
     auto [it, inserted] = flush_groups_.try_emplace(key);
     if (inserted) flush_group_order_.push_back(key);
     it->second.push_back(i);
@@ -230,7 +230,7 @@ void UdpTransport::flush() {
       const std::size_t d = out_msgs_.size();
       std::uint8_t* header = &out_headers_[d * kHeaderSize];
       encode_header(DatagramHeader{self(), key.incarnation, key.group,
-                                   /*coalesced=*/count > 1},
+                                   key.trace, /*coalesced=*/count > 1},
                     header);
       out_dests_[d] = dest;
 

@@ -1,7 +1,7 @@
 // Real-time runtime, part 4: the UDP messenger.
 //
 // One non-blocking UDP socket per *process*, driven by the EventLoop,
-// speaking the unchanged gms::frame wire format wrapped in the 20-byte
+// speaking the unchanged gms::frame wire format wrapped in the 28-byte
 // datagram header (net/datagram.hpp). Addressing uses the static peer
 // book from NodeConfig — sites never move during a run, matching the
 // paper's model of sites as stable locations.
@@ -20,10 +20,13 @@
 // drop semantics) and flush() — run by the EventLoop's flush hook once
 // per loop iteration — packs the whole queue onto the wire:
 //
-//   * frames to the same (site, incarnation, group) may be coalesced into
-//     one datagram of length-prefixed sub-frames (magic "EVSC"), so a
-//     tick's burst of small protocol messages costs one datagram per peer
-//     per group;
+//   * frames to the same (site, incarnation, group, trace) may be
+//     coalesced into one datagram of length-prefixed sub-frames (magic
+//     "EVSD"), so a tick's burst of small protocol messages costs one
+//     datagram per peer per group — the trace context rides the envelope,
+//     so frames of different traced requests never share a datagram, and
+//     untraced traffic (trace 0, all of a sampling-off run) packs exactly
+//     as before;
 //   * all datagrams of the flush go down in one sendmmsg() (headers and
 //     sub-frame prefixes encoded into preallocated arenas, payload bytes
 //     scatter/gathered straight out of their SharedBytes buffers — the
@@ -149,9 +152,17 @@ class UdpTransport final : public runtime::Transport {
   void send_multi(GroupId group, const std::vector<ProcessId>& recipients,
                   SharedBytes payload);
 
+  /// Sets the trace context stamped onto subsequently enqueued frames
+  /// (carried in the datagram envelope, 0 = untraced). Scoped by the
+  /// caller around the sends a traced request provokes.
+  void set_trace_context(std::uint64_t trace) override {
+    current_trace_ = trace;
+  }
+
   /// Transmits everything queued since the last flush: groups frames per
-  /// (site, incarnation, group), coalesces where enabled, and issues one
-  /// sendmmsg per <= 1024 datagrams. Idempotent when the queue is empty.
+  /// (site, incarnation, group, trace), coalesces where enabled, and
+  /// issues one sendmmsg per <= 1024 datagrams. Idempotent when the queue
+  /// is empty.
   void flush();
   std::size_t pending_frames() const { return pending_.size(); }
 
@@ -182,6 +193,8 @@ class UdpTransport final : public runtime::Transport {
     SiteId site;
     std::uint32_t dest_incarnation = 0;
     GroupId group = kDefaultGroup;
+    /// Trace context active when the frame was enqueued (0 = untraced).
+    std::uint64_t trace = 0;
     SharedBytes payload;
   };
 
@@ -205,6 +218,8 @@ class UdpTransport final : public runtime::Transport {
   std::map<GroupId, GroupWireStats> group_stats_;
   bool coalesce_ = true;
   bool drop_all_ = false;
+  /// Trace context stamped onto frames at enqueue time (0 = untraced).
+  std::uint64_t current_trace_ = 0;
   std::unordered_set<SiteId> drop_sites_;
   /// (ip << 16 | port) -> site, for source validation on receive.
   std::unordered_map<std::uint64_t, SiteId> addr_to_site_;
@@ -220,6 +235,9 @@ class UdpTransport final : public runtime::Transport {
     SiteId site;
     std::uint32_t incarnation = 0;
     GroupId group = kDefaultGroup;
+    /// Trace context of the frames under this key: the envelope carries
+    /// one trace per datagram, so mixed-trace frames never coalesce.
+    std::uint64_t trace = 0;
     bool operator==(const FlushKey&) const = default;
   };
   struct FlushKeyHash {
@@ -227,6 +245,7 @@ class UdpTransport final : public runtime::Transport {
       std::uint64_t h = (std::uint64_t{k.site.value} << 32) | k.incarnation;
       h ^= (std::uint64_t{k.group} + 0x9e3779b97f4a7c15ull) + (h << 6) +
            (h >> 2);
+      h ^= k.trace + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
       return std::hash<std::uint64_t>{}(h);
     }
   };
@@ -274,6 +293,9 @@ class GroupChannel final : public runtime::Transport {
   void send_multi(const std::vector<ProcessId>& recipients,
                   SharedBytes payload) override {
     transport_.send_multi(group_, recipients, std::move(payload));
+  }
+  void set_trace_context(std::uint64_t trace) override {
+    transport_.set_trace_context(trace);
   }
 
  private:

@@ -242,4 +242,167 @@ std::vector<Violation> RunChecker::check(const std::vector<TraceEvent>& events) 
   return out;
 }
 
+// ----------------------------------------------------------------------
+// LiveChecker: the incremental, local-only slices of the same oracles.
+
+void LiveChecker::report(GroupId group, std::string property,
+                         std::string detail) {
+  ++violations_;
+  ++group_violations_[group];
+  recent_.push_back({std::move(property), std::move(detail)});
+  while (recent_.size() > kMaxRecent) recent_.pop_front();
+}
+
+void LiveChecker::observe(const TraceEvent& e) {
+  ++events_checked_;
+  switch (e.kind) {
+    case EventKind::MessageDelivered:
+    case EventKind::FlushDelivery: {
+      const MsgId id{e.peer, e.value};
+      const auto key = std::make_tuple(e.group, e.proc, id);
+      const auto it = delivered_.find(key);
+      if (it == delivered_.end()) {
+        if (delivered_.size() >= kMaxTracked) {
+          ++saturated_;
+          return;
+        }
+        delivered_[key] = DeliveryState{e.view, false};
+        return;
+      }
+      if (it->second.duplicate_reported) return;
+      it->second.duplicate_reported = true;
+      if (it->second.first_view == e.view) {
+        report(e.group, "Integrity (P2.3)",
+               "process " + proc_str(e.proc) + " delivered " + msg_str(id) +
+                   " more than once in view " + view_str(e.view));
+      } else {
+        report(e.group, "Uniqueness (P2.2)",
+               "process " + proc_str(e.proc) + " delivered " + msg_str(id) +
+                   " in views " + view_str(it->second.first_view) + " and " +
+                   view_str(e.view));
+      }
+      return;
+    }
+    case EventKind::EviewChange: {
+      const auto key = std::make_tuple(e.group, e.proc, e.view);
+      const auto it = structure_.find(key);
+      if (it == structure_.end()) {
+        if (structure_.size() >= kMaxTracked) {
+          ++saturated_;
+          return;
+        }
+        structure_[key] = StructureState{e.seq, e.value, e.aux};
+        return;
+      }
+      StructureState& prev = it->second;
+      if (e.seq <= prev.seq) {
+        std::ostringstream os;
+        os << "process " << proc_str(e.proc) << " in view " << view_str(e.view)
+           << ": e-view seq went " << prev.seq << " -> " << e.seq;
+        report(e.group, "Structure (P6.3)", os.str());
+      }
+      if (e.value > prev.subviews || e.aux > prev.svsets) {
+        std::ostringstream os;
+        os << "process " << proc_str(e.proc) << " in view " << view_str(e.view)
+           << ": structure grew within the view (subviews " << prev.subviews
+           << " -> " << e.value << ", sv-sets " << prev.svsets << " -> "
+           << e.aux << ")";
+        report(e.group, "Structure (P6.3)", os.str());
+      }
+      prev = StructureState{e.seq, e.value, e.aux};
+      return;
+    }
+    case EventKind::ModeTransition: {
+      constexpr std::uint64_t kNormal = 0, kReduced = 1, kSettling = 2;
+      const std::uint64_t via = e.seq, to = e.value, from = e.aux;
+      const auto key = std::make_pair(e.group, e.proc);
+      const auto known = mode_.find(key);
+      if (known == mode_.end() && mode_.size() >= kMaxTracked) {
+        ++saturated_;
+        return;
+      }
+      const std::uint64_t expected =
+          known == mode_.end() ? kSettling : known->second;
+      if (from != expected) {
+        std::ostringstream os;
+        os << "process " << proc_str(e.proc) << " reports a transition out of "
+           << mode_name(from) << " but was in " << mode_name(expected);
+        report(e.group, "Modes (Figure 1)", os.str());
+      }
+      const bool legal =
+          (via == 0 && (from == kNormal || from == kSettling) &&
+           to == kReduced) ||
+          (via == 1 && from == kReduced && to == kSettling) ||
+          (via == 2 && (from == kNormal || from == kSettling) &&
+           to == kSettling) ||
+          (via == 3 && from == kSettling && to == kNormal);
+      if (!legal) {
+        std::ostringstream os;
+        os << "process " << proc_str(e.proc) << " took an illegal edge "
+           << mode_name(from) << " -> " << mode_name(to) << " via "
+           << transition_name(via);
+        report(e.group, "Modes (Figure 1)", os.str());
+      }
+      mode_[key] = to;
+      return;
+    }
+    case EventKind::RequestAdmitted:
+    case EventKind::RequestOrdered:
+    case EventKind::RequestDelivered:
+    case EventKind::RequestApplied:
+    case EventKind::RequestReplied: {
+      // Per-(trace, process) phase timestamps must never run backwards on
+      // that process's own clock; a rank regression (Admitted after
+      // Replied) is a *new cycle* of a reused trace id, legal as long as
+      // time still advances. RequestFenced is out of band and unchecked.
+      const std::uint8_t rank = static_cast<std::uint8_t>(
+          static_cast<int>(e.kind) - static_cast<int>(EventKind::RequestAdmitted));
+      const auto key = std::make_tuple(e.group, e.seq, e.proc);
+      const auto it = requests_.find(key);
+      if (it == requests_.end()) {
+        if (requests_.size() >= kMaxTracked) {
+          ++saturated_;
+          return;
+        }
+        requests_[key] = RequestState{rank, e.time};
+        return;
+      }
+      if (e.time < it->second.last_time) {
+        std::ostringstream os;
+        os << "request " << e.seq << " at process " << proc_str(e.proc)
+           << ": phase " << to_string(e.kind) << " at t=" << e.time
+           << " precedes the prior phase at t=" << it->second.last_time;
+        report(e.group, "Request phases", os.str());
+      }
+      it->second = RequestState{rank, e.time};
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+std::string LiveChecker::health_json() const {
+  std::ostringstream os;
+  os << "{\"healthy\":" << (healthy() ? "true" : "false")
+     << ",\"events_checked\":" << events_checked_
+     << ",\"violations\":" << violations_ << ",\"saturated\":" << saturated_
+     << ",\"groups\":[";
+  bool first = true;
+  for (const auto& [group, count] : group_violations_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"id\":" << group << ",\"violations\":" << count << "}";
+  }
+  os << "],\"recent\":[";
+  first = true;
+  for (const Violation& v : recent_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << v.str() << "\"";
+  }
+  os << "]}";
+  return os.str();
+}
+
 }  // namespace evs::obs

@@ -155,17 +155,44 @@ SpanAnalysis correlate_spans(const std::vector<TraceEvent>& events) {
   }
 
   // ---- corrected times, latencies, per-channel histograms.
-  std::map<PairKey, std::size_t> channel_index;
+  // Two sweeps: the first computes corrected latencies and each directed
+  // channel's minimum; a negative minimum means the symmetric-path split
+  // under-corrected this (faster) direction of an asymmetric path, and the
+  // second sweep lifts the whole direction by that floor so no channel
+  // reports negative latency while relative shape is preserved.
+  std::map<PairKey, double> channel_min;
   for (MessageSpan& span : out.spans) {
     span.send_corrected = clocks.correct(span.send_raw, span.sender);
     for (DeliverySpan& d : span.deliveries) {
       d.recv_corrected = clocks.correct(d.recv_raw, d.recipient);
       d.latency_us = d.recv_corrected - span.send_corrected;
       const PairKey pair{span.sender, d.recipient};
+      const auto it = channel_min.find(pair);
+      if (it == channel_min.end() || d.latency_us < it->second)
+        channel_min[pair] = d.latency_us;
+    }
+  }
+  const auto is_one_sided = [&clocks](ProcessId p) {
+    return std::find(clocks.one_sided.begin(), clocks.one_sided.end(), p) !=
+           clocks.one_sided.end();
+  };
+  std::map<PairKey, std::size_t> channel_index;
+  for (MessageSpan& span : out.spans) {
+    for (DeliverySpan& d : span.deliveries) {
+      const PairKey pair{span.sender, d.recipient};
+      const double minimum = channel_min.at(pair);
+      const double floor = minimum < 0 ? -minimum : 0.0;
+      d.latency_us += floor;
       auto it = channel_index.find(pair);
       if (it == channel_index.end()) {
         it = channel_index.emplace(pair, out.channels.size()).first;
-        out.channels.push_back(ChannelLatency{span.sender, d.recipient, {}});
+        ChannelLatency channel;
+        channel.from = span.sender;
+        channel.to = d.recipient;
+        channel.floor_us = floor;
+        channel.one_sided =
+            is_one_sided(span.sender) || is_one_sided(d.recipient);
+        out.channels.push_back(std::move(channel));
       }
       out.channels[it->second].latency_us.record(d.latency_us);
     }
@@ -294,7 +321,9 @@ void write_spans_json(std::ostream& os, const SpanAnalysis& a) {
     put_number(os, c.latency_us.quantile(0.95));
     os << ",\"max_us\":";
     put_number(os, c.latency_us.max());
-    os << "}";
+    os << ",\"floor_us\":";
+    put_number(os, c.floor_us);
+    os << ",\"one_sided\":" << (c.one_sided ? "true" : "false") << "}";
   }
   os << "],\"view_changes\":[";
   first = true;
@@ -313,6 +342,122 @@ void write_spans_json(std::ostream& os, const SpanAnalysis& a) {
     os << ",\"install_to_eview_us\":";
     put_number(os, b.install_to_eview_us);
     os << "}";
+  }
+  os << "]}\n";
+}
+
+namespace {
+
+// Lifecycle rank of a request phase on one node; Fenced is out-of-band
+// (a view change can fence at any point) and gets no rank.
+int request_phase_rank(EventKind kind) {
+  switch (kind) {
+    case EventKind::RequestAdmitted:
+      return 0;
+    case EventKind::RequestOrdered:
+      return 1;
+    case EventKind::RequestDelivered:
+      return 2;
+    case EventKind::RequestApplied:
+      return 3;
+    case EventKind::RequestReplied:
+      return 4;
+    default:
+      return -1;
+  }
+}
+
+}  // namespace
+
+RequestTree assemble_request_tree(const std::vector<TraceEvent>& events,
+                                  std::uint64_t trace_id,
+                                  const ClockModel& clocks) {
+  RequestTree tree;
+  tree.trace_id = trace_id;
+  for (const TraceEvent& e : events) {
+    if (!is_request_event(e.kind) || e.seq != trace_id) continue;
+    const bool duplicate = std::any_of(
+        tree.hops.begin(), tree.hops.end(), [&e](const RequestHop& h) {
+          return h.proc == e.proc && h.kind == e.kind && h.group == e.group &&
+                 h.time_raw == e.time && h.value == e.value && h.aux == e.aux;
+        });
+    if (duplicate) continue;  // same dump merged twice
+    RequestHop hop;
+    hop.proc = e.proc;
+    hop.kind = e.kind;
+    hop.group = e.group;
+    hop.time_raw = e.time;
+    hop.time_corrected = clocks.correct(e.time, e.proc);
+    hop.value = e.value;
+    hop.aux = e.aux;
+    tree.hops.push_back(hop);
+  }
+  tree.found = !tree.hops.empty();
+  for (const RequestHop& hop : tree.hops)
+    if (std::find(tree.processes.begin(), tree.processes.end(), hop.proc) ==
+        tree.processes.end())
+      tree.processes.push_back(hop.proc);
+  std::sort(tree.processes.begin(), tree.processes.end());
+
+  // Per-node phase monotonicity on raw clocks: order the node's ranked
+  // hops by (raw time, rank) and require ranks non-decreasing — a later
+  // raw timestamp with an earlier phase is a violation.
+  for (const ProcessId& proc : tree.processes) {
+    std::vector<std::pair<SimTime, int>> phases;
+    for (const RequestHop& hop : tree.hops) {
+      const int rank = request_phase_rank(hop.kind);
+      if (hop.proc == proc && rank >= 0) phases.emplace_back(hop.time_raw, rank);
+    }
+    std::sort(phases.begin(), phases.end());
+    for (std::size_t i = 1; i < phases.size(); ++i) {
+      if (phases[i].second < phases[i - 1].second) {
+        tree.monotonic = false;
+        tree.errors.push_back(
+            "process " + proc_str(proc) + ": phase rank " +
+            std::to_string(phases[i].second) + " at t=" +
+            std::to_string(phases[i].first) + "us after rank " +
+            std::to_string(phases[i - 1].second) + " at t=" +
+            std::to_string(phases[i - 1].first) + "us");
+      }
+    }
+  }
+
+  std::sort(tree.hops.begin(), tree.hops.end(),
+            [](const RequestHop& a, const RequestHop& b) {
+              return std::tie(a.time_corrected, a.proc, a.time_raw) <
+                     std::tie(b.time_corrected, b.proc, b.time_raw);
+            });
+  return tree;
+}
+
+void write_request_tree_json(std::ostream& os, const RequestTree& tree) {
+  os << "{\"trace_id\":" << tree.trace_id
+     << ",\"found\":" << (tree.found ? "true" : "false")
+     << ",\"monotonic\":" << (tree.monotonic ? "true" : "false")
+     << ",\"processes\":[";
+  bool first = true;
+  for (const ProcessId& p : tree.processes) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << proc_str(p) << "\"";
+  }
+  os << "],\"hops\":[";
+  first = true;
+  for (const RequestHop& hop : tree.hops) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"proc\":\"" << proc_str(hop.proc) << "\",\"kind\":\""
+       << to_string(hop.kind) << "\",\"group\":" << hop.group
+       << ",\"time_raw_us\":" << hop.time_raw << ",\"time_corrected_us\":";
+    put_number(os, hop.time_corrected);
+    os << ",\"value\":" << hop.value << ",\"aux\":" << hop.aux << "}";
+  }
+  os << "],\"errors\":[";
+  first = true;
+  for (const std::string& err : tree.errors) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << err << "\"";
   }
   os << "]}\n";
 }

@@ -78,6 +78,16 @@ struct ChannelLatency {
   ProcessId from;
   ProcessId to;
   Histogram latency_us;
+  /// Per-direction minimum-delay floor: the symmetric-path clock model
+  /// splits asymmetry evenly, so the faster direction of an asymmetric
+  /// path can come out with *negative* corrected latencies. When that
+  /// happens the whole direction is shifted up by `floor_us` (the amount
+  /// that makes its minimum exactly zero) — relative latency shape is
+  /// preserved, absolute values are lower bounds.
+  double floor_us = 0;
+  /// Either endpoint's clock offset was a one-sided (upper-bound)
+  /// estimate, so this channel's absolute latencies inherit that bias.
+  bool one_sided = false;
 };
 
 /// One view-change round, attributed to protocol phases. Durations are -1
@@ -122,5 +132,48 @@ void write_spans_json(std::ostream& os, const SpanAnalysis& analysis);
 /// at each send, a slice + flow-in at each delivery, on corrected
 /// timestamps — Perfetto draws the cross-process arrows.
 void write_chrome_flows(std::ostream& os, const SpanAnalysis& analysis);
+
+// ---------------------------------------------------------------------------
+// Request span trees: the causal tree of one traced client request,
+// assembled from the Request* lifecycle events of a merged multi-process
+// trace (trace_check --request).
+
+/// One lifecycle hop of a traced request at one process.
+struct RequestHop {
+  ProcessId proc;
+  EventKind kind = EventKind::RequestAdmitted;
+  GroupId group = kDefaultGroup;
+  SimTime time_raw = 0;       // that process's own clock
+  double time_corrected = 0;  // reference clock (cross-process ordering only)
+  std::uint64_t value = 0;    // op / op seq / epoch / status (kind-specific)
+  std::uint64_t aux = 0;      // request id for Admitted/Replied
+};
+
+/// The assembled tree of one trace id. Validity is judged on *raw*
+/// per-process timestamps — phase order within one node never needs the
+/// clock model; corrected times are only used to order hops of different
+/// processes for display.
+struct RequestTree {
+  std::uint64_t trace_id = 0;
+  /// All hops, corrected-time order (ties broken by process then phase).
+  std::vector<RequestHop> hops;
+  /// Distinct processes the request touched, ascending.
+  std::vector<ProcessId> processes;
+  bool found = false;      // any hop carried this trace id
+  bool monotonic = true;   // per-node phase order held on raw clocks
+  std::vector<std::string> errors;  // what broke, when !monotonic
+};
+
+/// Collects the Request* events of `trace_id` and validates per-node phase
+/// monotonicity (Admitted <= Ordered <= Delivered <= Applied <= Replied on
+/// each node's own clock; Fenced is out-of-band and exempt). `clocks`
+/// usually comes from correlate_spans() over the same event union.
+RequestTree assemble_request_tree(const std::vector<TraceEvent>& events,
+                                  std::uint64_t trace_id,
+                                  const ClockModel& clocks);
+
+/// One JSON object: trace id, verdict, per-hop list (process, kind, group,
+/// raw + corrected time, kind-specific values), and any validation errors.
+void write_request_tree_json(std::ostream& os, const RequestTree& tree);
 
 }  // namespace evs::obs

@@ -12,7 +12,7 @@ namespace evs::obs {
 
 namespace {
 
-constexpr std::array<const char*, 17> kKindNames = {
+constexpr std::array<const char*, 23> kKindNames = {
     "?",
     "HeartbeatSuspect",
     "HeartbeatUnsuspect",
@@ -30,6 +30,12 @@ constexpr std::array<const char*, 17> kKindNames = {
     "ReconcilePhase",
     "StateTransferChunk",
     "AdminCommand",
+    "RequestAdmitted",
+    "RequestFenced",
+    "RequestOrdered",
+    "RequestDelivered",
+    "RequestApplied",
+    "RequestReplied",
 };
 
 // Compact textual ids that survive the JSONL round trip.
@@ -144,6 +150,7 @@ void TraceBus::record(const TraceEvent& event) {
     ring_[total_ % ring_.capacity()] = event;
   }
   ++total_;
+  if (observer_) observer_(event);
 }
 
 std::vector<TraceEvent> TraceBus::events() const {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <utility>
@@ -49,7 +50,24 @@ enum class EventKind : std::uint8_t {
   StateTransferChunk,     // split-transfer chunk received (seq = index)
   AdminCommand,           // admin-plane control command (seq = AdminCommandCode,
                           // value = 1 accepted / 0 rejected)
+  // Request lifecycle events: every hop a traced client request takes
+  // through the svc front door and the ordered multicast it provokes.
+  // All six carry the propagated 64-bit trace id in `seq` — that field is
+  // the correlator trace_check --request joins on across processes.
+  RequestAdmitted,        // svc server dispatched it (value = op, aux = req id)
+  RequestFenced,          // e-view change fenced the pending op (value = epoch)
+  RequestOrdered,         // coordinator multicast it (value = object op seq)
+  RequestDelivered,       // ordered delivery at a replica (peer = sender,
+                          // value = object op seq)
+  RequestApplied,         // replica applied it (value = object op seq)
+  RequestReplied,         // svc server wrote the reply (value = status,
+                          // aux = req id)
 };
+
+/// True for the six Request* lifecycle kinds (whose seq is a trace id).
+constexpr bool is_request_event(EventKind kind) {
+  return kind >= EventKind::RequestAdmitted && kind <= EventKind::RequestReplied;
+}
 
 const char* to_string(EventKind kind);
 /// Inverse of to_string; returns false on unknown names.
@@ -128,6 +146,14 @@ class TraceBus {
 
   void clear();
 
+  /// Optional per-event tap, invoked for every event actually recorded
+  /// (i.e. after the enabled() gate, with the final group label when the
+  /// event arrived through a GroupTraceBus). This is the seam the online
+  /// RunChecker hangs off; keep the callback cheap, it runs on the
+  /// recording path.
+  using ObserverFn = std::function<void(const TraceEvent&)>;
+  void set_observer(ObserverFn fn) { observer_ = std::move(fn); }
+
   void write_jsonl(std::ostream& os) const;
   void write_chrome_trace(std::ostream& os) const;
 
@@ -135,6 +161,7 @@ class TraceBus {
   bool enabled_ = false;
   std::vector<TraceEvent> ring_;  // capacity fixed up front
   std::uint64_t total_ = 0;       // events ever recorded
+  ObserverFn observer_;
 };
 
 /// Per-group facade over a shared TraceBus: stamps every recorded event

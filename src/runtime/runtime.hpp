@@ -80,6 +80,12 @@ class Transport {
   /// send() once per recipient.
   virtual void send_multi(const std::vector<ProcessId>& recipients,
                           SharedBytes payload) = 0;
+
+  /// Sets the propagated trace context stamped onto subsequently enqueued
+  /// frames (net runtimes carry it in the datagram envelope); 0 clears
+  /// it. Observability metadata only — delivery never depends on it, and
+  /// the default (and the simulator) ignores it entirely.
+  virtual void set_trace_context(std::uint64_t trace) { (void)trace; }
 };
 
 /// Per-site permanent storage (the paper's "permanent part of the local

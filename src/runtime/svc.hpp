@@ -87,9 +87,23 @@ struct SvcRequest {
   GroupId group = kDefaultGroup;
   /// Client's last-known view epoch; 0 accepts whatever is installed.
   std::uint64_t view_epoch = 0;
+  /// Propagated trace context (Dapper-style): a client-chosen or
+  /// SDK-generated 64-bit id that rides the wire frame, is stamped into
+  /// the ordered multicast the request provokes, and labels the
+  /// Request* trace events at every hop. 0 = no context.
+  std::uint64_t trace_id = 0;
+  /// Sampling decision, made by the client; hops only emit trace events
+  /// (and stamp envelopes) for sampled requests with a non-zero trace_id.
+  bool sampled = false;
   std::string key;    // Get/Put, Log* position / routing key
   std::string value;  // Put/Append/LogAppend
 };
+
+/// The trace id hops act on: non-zero only when the client both set an id
+/// and asked for sampling.
+inline std::uint64_t effective_trace(const SvcRequest& req) {
+  return req.sampled ? req.trace_id : 0;
+}
 
 struct SvcResponse {
   SvcStatus status = SvcStatus::Unsupported;

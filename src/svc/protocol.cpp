@@ -14,6 +14,8 @@ Bytes encode_request(std::uint64_t request_id, const SvcRequest& req) {
   enc.put_u8(static_cast<std::uint8_t>(req.op));
   enc.put_varint(req.group);
   enc.put_varint(req.view_epoch);
+  enc.put_u64(req.trace_id);
+  enc.put_u8(req.sampled ? 1 : 0);
   switch (req.op) {
     case SvcOp::Get:
       enc.put_string(req.key);
@@ -56,6 +58,11 @@ WireRequest decode_request(const Bytes& body) {
   if (group > UINT32_MAX) throw DecodeError("svc request: bad group");
   wire.req.group = static_cast<GroupId>(group);
   wire.req.view_epoch = dec.get_varint();
+  wire.req.trace_id = dec.get_u64();
+  const std::uint8_t trace_flags = dec.get_u8();
+  if ((trace_flags & ~std::uint8_t{1}) != 0)
+    throw DecodeError("svc request: bad trace flags");
+  wire.req.sampled = (trace_flags & 1) != 0;
   switch (wire.req.op) {
     case SvcOp::Get:
       wire.req.key = dec.get_string();

@@ -4,8 +4,15 @@
 //
 //   frame   := u32-LE body-length | body        (length in 1..max_frame)
 //   request := u64 request_id | u8 op | varint group | varint view_epoch
-//              | op-fields
+//              | u64 trace_id | u8 trace_flags | op-fields
 //   response:= u64 request_id | u8 status | status-fields
+//
+// trace_id/trace_flags carry the propagated trace context (bit 0 of
+// trace_flags = sampled; all other bits must be zero — an unknown flag
+// bit is a DecodeError, so a bit-flipped frame is rejected instead of
+// silently changing sampling semantics). This is a flag-day field: both
+// sides encode and expect it, there is no versioned negotiation, same as
+// the group field before it.
 //
 // `group` addresses one group instance of a multi-group host (0 = the
 // default group); log operations ignore it, the host routes them to the

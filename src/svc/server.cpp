@@ -53,6 +53,9 @@ void SvcServer::on_connection(int fd) {
 }
 
 void SvcServer::on_readable(int fd) {
+  // One arrival stamp per socket pass: every frame parsed below waited at
+  // least from here, so pipelined requests see their queueing delay.
+  const SimTime arrival = loop_.now();
   {
     const auto it = connections_.find(fd);
     if (it == connections_.end()) return;
@@ -94,13 +97,14 @@ void SvcServer::on_readable(int fd) {
       close_connection(fd);
       return;
     }
-    if (!dispatch(fd, wire.request_id, std::move(wire.req))) return;
+    if (!dispatch(fd, wire.request_id, std::move(wire.req), arrival)) return;
   }
   const auto it = connections_.find(fd);
   if (it != connections_.end() && offset > 0) it->second.in.erase(0, offset);
 }
 
-bool SvcServer::dispatch(int fd, std::uint64_t request_id, SvcRequest req) {
+bool SvcServer::dispatch(int fd, std::uint64_t request_id, SvcRequest req,
+                         SimTime arrival) {
   const auto it = connections_.find(fd);
   if (it == connections_.end()) return false;
   Conn& conn = it->second;
@@ -122,7 +126,14 @@ bool SvcServer::dispatch(int fd, std::uint64_t request_id, SvcRequest req) {
   ctx->fd = fd;
   ctx->gen = conn.gen;
   ctx->request_id = request_id;
+  ctx->trace = runtime::effective_trace(req);
   ctx->start = loop_.now();
+  admit_us_.record(static_cast<double>(ctx->start - arrival));
+  if (ctx->trace != 0 && trace_ != nullptr && trace_->enabled()) {
+    trace_->record({ctx->start, self_, obs::EventKind::RequestAdmitted, {}, {},
+                    ctx->trace, static_cast<std::uint64_t>(req.op),
+                    request_id});
+  }
   if (config_.request_timeout > 0) {
     ctx->timer = loop_.set_timer(config_.request_timeout, [ctx]() {
       complete(ctx, SvcResponse::unavailable(
@@ -158,7 +169,17 @@ void SvcServer::complete(const std::shared_ptr<RequestCtx>& ctx,
   Conn& conn = it->second;
   EVS_CHECK(conn.inflight > 0);
   --conn.inflight;
+  const SimTime reply_start = server->loop_.now();
   server->send_response(ctx->fd, conn, ctx->request_id, resp);
+  server->reply_us_.record(
+      static_cast<double>(server->loop_.now() - reply_start));
+  if (ctx->trace != 0 && server->trace_ != nullptr &&
+      server->trace_->enabled()) {
+    server->trace_->record({reply_start, server->self_,
+                            obs::EventKind::RequestReplied, {}, {}, ctx->trace,
+                            static_cast<std::uint64_t>(resp.status),
+                            ctx->request_id});
+  }
 }
 
 void SvcServer::count_response(const SvcResponse& resp) {
@@ -252,7 +273,9 @@ void SvcServer::export_metrics(obs::MetricsRegistry& registry,
   registry.gauge(prefix + ".connections")
       .set(static_cast<double>(connections_.size()));
   registry.gauge(prefix + ".pending").set(static_cast<double>(pending_));
+  registry.histogram(prefix + ".admit_us") = admit_us_;
   registry.histogram(prefix + ".latency_us") = latency_us_;
+  registry.histogram(prefix + ".reply_us") = reply_us_;
 }
 
 }  // namespace evs::svc

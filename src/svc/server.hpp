@@ -51,6 +51,7 @@
 #include "net/event_loop.hpp"
 #include "net/tcp_listener.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/svc.hpp"
 #include "svc/protocol.hpp"
 
@@ -113,6 +114,16 @@ class SvcServer {
 
   void set_handler(Handler handler) { handler_ = std::move(handler); }
 
+  /// Wires the trace bus the server reports request lifecycle events to
+  /// (RequestAdmitted at dispatch, RequestReplied when the response frame
+  /// is queued). The server has no protocol identity of its own, so the
+  /// host passes the hosted node's — events of both layers then collate
+  /// under one process in the merged trace. Null disables emission.
+  void set_trace(obs::TraceBus* bus, ProcessId self) {
+    trace_ = bus;
+    self_ = self;
+  }
+
   const SvcStats& stats() const { return stats_; }
   const SvcServerConfig& config() const { return config_; }
   std::size_t connections() const { return connections_.size(); }
@@ -141,6 +152,8 @@ class SvcServer {
     int fd = -1;
     std::uint64_t gen = 0;
     std::uint64_t request_id = 0;
+    /// Effective trace context of the request (0 = untraced).
+    std::uint64_t trace = 0;
     SimTime start = 0;
     runtime::TimerId timer = 0;
     bool done = false;
@@ -152,7 +165,10 @@ class SvcServer {
   void close_connection(int fd);
   /// Admits + dispatches one decoded request; returns false when the
   /// connection was closed underneath (stop parsing its buffer).
-  bool dispatch(int fd, std::uint64_t request_id, runtime::SvcRequest req);
+  /// `arrival` is when the socket pass that produced the frame started —
+  /// the origin of the admission-wait histogram.
+  bool dispatch(int fd, std::uint64_t request_id, runtime::SvcRequest req,
+                SimTime arrival);
   static void complete(const std::shared_ptr<RequestCtx>& ctx,
                        runtime::SvcResponse resp, bool timed_out);
   void count_response(const runtime::SvcResponse& resp);
@@ -173,7 +189,15 @@ class SvcServer {
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   SvcStats stats_;
+  /// Per-phase attribution: admit_us (socket arrival to node dispatch),
+  /// latency_us (dispatch to node completion — the node's share, the
+  /// ordering/fence spans inside it are the group object's histograms),
+  /// reply_us (completion to the response frame queued/written).
+  obs::Histogram admit_us_;
   obs::Histogram latency_us_;
+  obs::Histogram reply_us_;
+  obs::TraceBus* trace_ = nullptr;
+  ProcessId self_{};
 
   net::TcpListener listener_;  // last: accepts may fire once registered
 };

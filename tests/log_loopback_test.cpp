@@ -621,6 +621,32 @@ int main(int argc, char** argv) {
     die("log_bench reported duplicate or lost appends");
   std::fprintf(stderr, "ok: log_bench load + verify pass clean\n");
 
+  // 7b. One sampled append: the trace context rides the svc frame into
+  //     the ordered multicast, so after shutdown the merged dumps must
+  //     assemble one span tree that crosses all three processes. Reading
+  //     the record back through the other two nodes first guarantees the
+  //     delivery hops exist before the traces flush.
+  constexpr std::uint64_t kSampledTraceId = 0x7e5717aceull;
+  SvcRequest traced_append = log_req(SvcOp::LogAppend, "112", "traced");
+  traced_append.trace_id = kSampledTraceId;
+  traced_append.sampled = true;
+  SvcResponse traced_resp = writer.call(traced_append);
+  for (int waited = 0; traced_resp.status != SvcStatus::Ok; waited += 100) {
+    if (waited >= 60000) die("sampled LogAppend never succeeded");
+    if (traced_resp.status != SvcStatus::Unavailable &&
+        traced_resp.status != SvcStatus::InvalidEpoch)
+      die(std::string("sampled LogAppend answered ") +
+          evs::runtime::to_string(traced_resp.status));
+    ::usleep(100 * 1000);
+    traced_resp = writer.call(traced_append);
+  }
+  const std::uint64_t traced_pos =
+      std::strtoull(traced_resp.value.c_str(), nullptr, 10);
+  await_read(follower, traced_pos, "Dtraced", "sampled-record read");
+  await_read(revived, traced_pos, "Dtraced", "sampled-record read");
+  std::fprintf(stderr, "ok: sampled append at %llu replicated everywhere\n",
+               static_cast<unsigned long long>(traced_pos));
+
   // 8. Clean shutdown; the merged traces pass the per-group checker.
   for (int i = 0; i < kNodes; ++i) ::kill(children[i].pid, SIGTERM);
   for (int i = 0; i < kNodes; ++i) reap(children[i]);
@@ -643,7 +669,35 @@ int main(int argc, char** argv) {
     die("trace_check found violations in a group's merged trace");
   std::fprintf(stderr, "ok: merged traces pass per-group trace_check\n");
 
+  // 9. The sampled request assembles into one monotonic span tree. The
+  //    JSON lands in $EVS_LOOPBACK_ARTIFACTS when set (CI uploads it),
+  //    else in the scratch dir.
+  const char* artifacts = std::getenv("EVS_LOOPBACK_ARTIFACTS");
+  const bool keep_tree = artifacts != nullptr && *artifacts != '\0';
+  const std::string tree_path =
+      (keep_tree ? std::string(artifacts) : dir) + "/request_tree.json";
+  if (run_and_wait({trace_check, "--merge", traces[0], traces[1], traces[2],
+                    "--request", "0x7e5717ace", "--request-json",
+                    tree_path}) != 0)
+    die("trace_check rejected the sampled request's span tree");
+  std::string tree;
+  {
+    std::ifstream is(tree_path);
+    std::string line;
+    while (std::getline(is, line)) tree += line;
+  }
+  if (tree.find("\"found\":true") == std::string::npos ||
+      tree.find("\"monotonic\":true") == std::string::npos)
+    die("request tree JSON is not a found+monotonic tree: " + tree);
+  for (int i = 0; i < kNodes; ++i)
+    if (tree.find("\"" + std::to_string(i) + ":") == std::string::npos)
+      die("sampled request's span tree is missing site " + std::to_string(i));
+  std::fprintf(stderr,
+               "ok: sampled request's span tree crosses all %d processes\n",
+               kNodes);
+
   for (const std::string& path : config_paths) ::unlink(path.c_str());
+  if (!keep_tree) ::unlink(tree_path.c_str());
   for (const std::string& path : traces) {
     const std::string stem =
         path.substr(0, path.size() - sizeof(".trace.jsonl") + 1);

@@ -207,6 +207,42 @@ TEST(MalformedFrame, DatagramHeaderRejectsGarbage) {
   }
 }
 
+TEST(MalformedFrame, DatagramMagicVersioningIsAHardCut) {
+  // The v3 envelope: both current magics parse (with the trace context
+  // intact), every retired magic is rejected — a mixed-version fleet must
+  // fail loudly, not mis-frame.
+  std::uint8_t header[net::kHeaderSize];
+  const net::DatagramHeader h{pid(3, 2), 5, 7, 0xabcdef0123456789ull,
+                              /*coalesced=*/false};
+  net::encode_header(h, header);
+  EXPECT_EQ(header[0], static_cast<std::uint8_t>(net::kDatagramMagic & 0xff));
+  auto parsed = net::parse_header(header, sizeof(header));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, h);
+
+  net::DatagramHeader batch = h;
+  batch.coalesced = true;
+  net::encode_header(batch, header);
+  EXPECT_EQ(header[0],
+            static_cast<std::uint8_t>(net::kDatagramMagicBatch & 0xff));
+  parsed = net::parse_header(header, sizeof(header));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->coalesced);
+  EXPECT_EQ(parsed->trace, h.trace);
+
+  for (const std::uint32_t old_magic :
+       {net::kDatagramMagicV1, net::kDatagramMagicBatchV1,
+        net::kDatagramMagicV2, net::kDatagramMagicBatchV2}) {
+    net::encode_header(h, header);
+    header[0] = static_cast<std::uint8_t>(old_magic);
+    header[1] = static_cast<std::uint8_t>(old_magic >> 8);
+    header[2] = static_cast<std::uint8_t>(old_magic >> 16);
+    header[3] = static_cast<std::uint8_t>(old_magic >> 24);
+    EXPECT_FALSE(net::parse_header(header, sizeof(header)).has_value())
+        << "magic " << old_magic;
+  }
+}
+
 // --- Coalesced-datagram sub-frame format (net/datagram.hpp) ---
 
 /// Packs frames into one coalesced payload: [u32 LE len][frame]...
@@ -343,17 +379,22 @@ std::vector<Bytes> svc_corpus() {
   std::vector<Bytes> bodies;
   std::uint64_t id = 1000;
   const auto req = [&](SvcOp op, std::uint64_t epoch, std::string key = {},
-                       std::string value = {}) {
+                       std::string value = {}, std::uint64_t trace_id = 0,
+                       bool sampled = false) {
     SvcRequest r;
     r.op = op;
     r.view_epoch = epoch;
     r.key = std::move(key);
     r.value = std::move(value);
+    r.trace_id = trace_id;
+    r.sampled = sampled;
     bodies.push_back(svc::encode_request(++id, r));
   };
-  req(SvcOp::Get, 7, "some-key");
+  // A sampled trace context rides two of the seeds, so the truncation and
+  // bit-flip shapes also sweep across the trace_id/trace_flags bytes.
+  req(SvcOp::Get, 7, "some-key", "", 0x1122334455667788ull, true);
   req(SvcOp::Put, 42, "k", "a value with some length to flip bits in");
-  req(SvcOp::Lock, 3);
+  req(SvcOp::Lock, 3, "", "", 0xfeedfacefeedfaceull, true);
   req(SvcOp::Unlock, 3);
   req(SvcOp::Append, 0, "", "appended tail");
   bodies.push_back(svc::encode_response(++id, SvcResponse::ok(9, "value")));
@@ -418,6 +459,41 @@ TEST(MalformedFrame, SvcRandomGarbageDecodesCleanly) {
     for (auto& b : garbage) b = static_cast<std::uint8_t>(rng());
     expect_clean_svc_decode(garbage);
   }
+}
+
+TEST(MalformedFrame, SvcTraceContextRoundTripsAndBadFlagsReject) {
+  using runtime::SvcOp;
+  using runtime::SvcRequest;
+  // Round trip: trace id and the sampled flag survive the codec.
+  SvcRequest r;
+  r.op = SvcOp::Lock;
+  r.view_epoch = 3;
+  r.trace_id = 0xabcdef0123456789ull;
+  r.sampled = true;
+  const Bytes body = svc::encode_request(55, r);
+  const svc::WireRequest back = svc::decode_request(body);
+  EXPECT_EQ(back.request_id, 55u);
+  EXPECT_EQ(back.req.trace_id, r.trace_id);
+  EXPECT_TRUE(back.req.sampled);
+
+  // A Lock request carries nothing after the trace flags, so the flags
+  // byte is the body's last; every unknown flag bit must be rejected
+  // (forward-compat: old servers fail loudly on flags they cannot honour).
+  for (int bit = 1; bit < 8; ++bit) {
+    Bytes tampered = body;
+    tampered.back() |= static_cast<std::uint8_t>(1 << bit);
+    EXPECT_THROW(svc::decode_request(tampered), DecodeError) << "bit " << bit;
+  }
+  // Truncating anywhere inside the 9 trace bytes decodes cleanly.
+  for (std::size_t cut = body.size() - 9; cut < body.size(); ++cut)
+    expect_clean_svc_decode(Bytes(body.begin(), body.begin() + cut));
+
+  // An unsampled request encodes flag byte 0 and decodes unsampled.
+  r.sampled = false;
+  r.trace_id = 0;
+  const svc::WireRequest plain = svc::decode_request(svc::encode_request(56, r));
+  EXPECT_EQ(plain.req.trace_id, 0u);
+  EXPECT_FALSE(plain.req.sampled);
 }
 
 TEST(MalformedFrame, SvcFramingNeverReadsPastOrStalls) {

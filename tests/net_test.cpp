@@ -79,12 +79,14 @@ TEST(Datagram, HeaderRoundTrip) {
 }
 
 TEST(Datagram, HeaderCarriesGroupAndCoalescedFlag) {
-  // The v2 envelope stamps the group id into every datagram — the
+  // The envelope stamps the group id into every datagram — the
   // multi-group demux key — independently for plain and coalesced frames.
   std::uint8_t buf[net::kHeaderSize];
   for (const bool coalesced : {false, true}) {
-    const net::DatagramHeader header{ProcessId{SiteId{2}, 7}, 4,
-                                     GroupId{3}, coalesced};
+    const net::DatagramHeader header{.from = ProcessId{SiteId{2}, 7},
+                                     .dest_incarnation = 4,
+                                     .group = GroupId{3},
+                                     .coalesced = coalesced};
     net::encode_header(header, buf);
     const auto parsed = net::parse_header(buf, sizeof(buf));
     ASSERT_TRUE(parsed.has_value());
@@ -649,7 +651,9 @@ TEST_F(UdpPair, MalformedCoalescedDatagramIsRejectedWhole) {
   // Header claims coalesced; payload = [len=2]["hi"][len=100](nothing).
   std::vector<std::uint8_t> datagram(net::kHeaderSize);
   net::encode_header(
-      net::DatagramHeader{a_->self(), 0, kDefaultGroup, /*coalesced=*/true},
+      net::DatagramHeader{.from = a_->self(),
+                          .group = kDefaultGroup,
+                          .coalesced = true},
       datagram.data());
   const std::uint8_t tail[] = {2, 0, 0, 0, 'h', 'i', 100, 0, 0, 0};
   datagram.insert(datagram.end(), tail, tail + sizeof(tail));

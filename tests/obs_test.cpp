@@ -117,7 +117,7 @@ TEST(TraceBus, ReadJsonlSkipsUnparseableLines) {
 }
 
 TEST(TraceBus, EventKindNamesRoundTrip) {
-  for (int i = 1; i <= 15; ++i) {
+  for (int i = 1; i <= 22; ++i) {
     const auto kind = static_cast<EventKind>(i);
     EventKind back = EventKind::MessageSent;
     ASSERT_TRUE(parse_event_kind(to_string(kind), back)) << to_string(kind);
@@ -126,6 +126,58 @@ TEST(TraceBus, EventKindNamesRoundTrip) {
   EventKind out;
   EXPECT_FALSE(parse_event_kind("?", out));
   EXPECT_FALSE(parse_event_kind("Bogus", out));
+}
+
+TEST(TraceBus, RequestLifecycleEventsRoundTripThroughJsonl) {
+  // All six Request* kinds, with the trace id in seq and the kind-specific
+  // value/aux payloads, survive the JSONL round trip — trace_check
+  // --request reassembles span trees from exactly these lines.
+  const std::uint64_t trace_id = 0xdeadbeefcafe0123ull;
+  TraceBus bus(16);
+  bus.set_enabled(true);
+  bus.record({100, proc(0), EventKind::RequestAdmitted, {}, {}, trace_id, 7,
+              42});
+  bus.record({105, proc(0), EventKind::RequestOrdered, view(3, 0), {},
+              trace_id, 9, 0, GroupId{2}});
+  bus.record({110, proc(1), EventKind::RequestDelivered, view(3, 0), proc(0),
+              trace_id, 9, 0, GroupId{2}});
+  bus.record({112, proc(1), EventKind::RequestApplied, view(3, 0), proc(0),
+              trace_id, 9, 0, GroupId{2}});
+  bus.record({115, proc(0), EventKind::RequestFenced, view(4, 0), {}, trace_id,
+              4, 0, GroupId{2}});
+  bus.record({120, proc(0), EventKind::RequestReplied, {}, {}, trace_id, 0,
+              42});
+
+  std::stringstream ss;
+  bus.write_jsonl(ss);
+  std::size_t skipped = 5;
+  const std::vector<TraceEvent> back = read_jsonl(ss, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  EXPECT_EQ(back, bus.events());
+  for (const TraceEvent& e : back) {
+    EXPECT_TRUE(is_request_event(e.kind)) << to_string(e.kind);
+    EXPECT_EQ(e.seq, trace_id);
+  }
+  EXPECT_FALSE(is_request_event(EventKind::MessageDelivered));
+  EXPECT_FALSE(is_request_event(EventKind::AdminCommand));
+}
+
+TEST(TraceBus, ObserverTapSeesEveryRecordedEvent) {
+  TraceBus bus(8);
+  std::vector<TraceEvent> seen;
+  bus.set_observer([&seen](const TraceEvent& e) { seen.push_back(e); });
+  // Disabled: the record is dropped before the tap.
+  bus.record({1, proc(0), EventKind::MessageSent});
+  EXPECT_TRUE(seen.empty());
+  bus.set_enabled(true);
+  bus.record({2, proc(0), EventKind::MessageSent, {}, proc(0), 5});
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].seq, 5u);
+  // Through a group facade the tap sees the final (relabelled) event.
+  GroupTraceBus g(bus, GroupId{3});
+  g.record({3, proc(0), EventKind::MessageSent});
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[1].group, GroupId{3});
 }
 
 TEST(Metrics, HistogramExactQuantiles) {
@@ -431,6 +483,110 @@ TEST(RunChecker, ModeChainMustBeContinuous) {
   const std::vector<Violation> v = RunChecker::check_modes(events);
   ASSERT_EQ(v.size(), 1u);
   EXPECT_NE(v[0].detail.find("but was in NORMAL"), std::string::npos);
+}
+
+// --- LiveChecker: the online oracle plane -----------------------------------
+
+TEST(LiveChecker, CleanTraceStaysHealthy) {
+  LiveChecker checker;
+  for (const TraceEvent& e : clean_trace()) checker.observe(e);
+  EXPECT_EQ(checker.events_checked(), clean_trace().size());
+  EXPECT_EQ(checker.violations(), 0u);
+  EXPECT_TRUE(checker.healthy());
+  EXPECT_NE(checker.health_json().find("\"healthy\":true"), std::string::npos)
+      << checker.health_json();
+}
+
+// The ISSUE acceptance check: an injected oracle violation raises the
+// violation counter and flips health to unhealthy.
+TEST(LiveChecker, InjectedDuplicateDeliveryFlipsHealth) {
+  LiveChecker checker;
+  for (const TraceEvent& e : clean_trace()) checker.observe(e);
+  ASSERT_TRUE(checker.healthy());
+  // Deliver a's v1 message at b a second time, in a different view: the
+  // local Uniqueness slice catches it.
+  const std::uint64_t h = payload_hash({'m', '1'});
+  checker.observe(
+      {8, proc(1), EventKind::MessageDelivered, view(2, 0), proc(0), 1, h});
+  EXPECT_EQ(checker.violations(), 1u);
+  EXPECT_FALSE(checker.healthy());
+  ASSERT_EQ(checker.recent().size(), 1u);
+  EXPECT_EQ(checker.recent().front().property, "Uniqueness (P2.2)");
+  const std::string json = checker.health_json();
+  EXPECT_NE(json.find("\"healthy\":false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"violations\":1"), std::string::npos) << json;
+  EXPECT_EQ(checker.violations_by_group().at(kDefaultGroup), 1u);
+}
+
+TEST(LiveChecker, SameViewRedeliveryIsIntegrity) {
+  LiveChecker checker;
+  const std::uint64_t h = payload_hash({'z'});
+  checker.observe(
+      {1, proc(0), EventKind::MessageDelivered, view(1, 0), proc(0), 1, h});
+  checker.observe(
+      {2, proc(0), EventKind::MessageDelivered, view(1, 0), proc(0), 1, h});
+  ASSERT_EQ(checker.violations(), 1u);
+  EXPECT_EQ(checker.recent().front().property, "Integrity (P2.3)");
+}
+
+TEST(LiveChecker, GroupsViolateIndependently) {
+  // The same corrupted sequence under two group labels is two independent
+  // violations; health_json breaks them out per group.
+  LiveChecker checker;
+  const std::uint64_t h = payload_hash({'g'});
+  for (const GroupId g : {GroupId{1}, GroupId{4}}) {
+    checker.observe({1, proc(0), EventKind::MessageDelivered, view(1, 0),
+                     proc(0), 1, h, 0, g});
+    checker.observe({2, proc(0), EventKind::MessageDelivered, view(1, 0),
+                     proc(0), 1, h, 0, g});
+  }
+  EXPECT_EQ(checker.violations(), 2u);
+  EXPECT_EQ(checker.violations_by_group().at(GroupId{1}), 1u);
+  EXPECT_EQ(checker.violations_by_group().at(GroupId{4}), 1u);
+  const std::string json = checker.health_json();
+  EXPECT_NE(json.find("{\"id\":1,\"violations\":1}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("{\"id\":4,\"violations\":1}"), std::string::npos)
+      << json;
+}
+
+TEST(LiveChecker, RequestPhaseTimeRegressionIsViolation) {
+  LiveChecker checker;
+  const std::uint64_t trace_id = 77;
+  checker.observe(
+      {100, proc(0), EventKind::RequestAdmitted, {}, {}, trace_id, 7, 1});
+  checker.observe(
+      {110, proc(0), EventKind::RequestOrdered, view(1, 0), {}, trace_id, 9});
+  EXPECT_TRUE(checker.healthy());
+  // A later phase stamped *earlier* on the same process clock: broken.
+  checker.observe(
+      {90, proc(0), EventKind::RequestReplied, {}, {}, trace_id, 0, 1});
+  ASSERT_EQ(checker.violations(), 1u);
+  EXPECT_EQ(checker.recent().front().property, "Request phases");
+}
+
+TEST(LiveChecker, RequestIdReuseWithAdvancingTimeIsLegal) {
+  // A rank regression (Admitted after Replied) is a new cycle of a reused
+  // trace id; as long as time advances the checker stays quiet. Other
+  // processes' phases are tracked separately and never compared across
+  // clocks.
+  LiveChecker checker;
+  const std::uint64_t trace_id = 78;
+  checker.observe(
+      {100, proc(0), EventKind::RequestAdmitted, {}, {}, trace_id, 7, 1});
+  checker.observe(
+      {120, proc(0), EventKind::RequestReplied, {}, {}, trace_id, 0, 1});
+  checker.observe(
+      {130, proc(0), EventKind::RequestAdmitted, {}, {}, trace_id, 7, 2});
+  // A different process delivers with a clock far behind: no comparison.
+  checker.observe({5, proc(1), EventKind::RequestDelivered, view(1, 0),
+                   proc(0), trace_id, 9});
+  EXPECT_EQ(checker.violations(), 0u);
+  EXPECT_TRUE(checker.healthy());
+  // RequestFenced is out of band: never part of the phase chain.
+  checker.observe(
+      {1, proc(0), EventKind::RequestFenced, view(2, 0), {}, trace_id, 2});
+  EXPECT_EQ(checker.violations(), 0u);
 }
 
 }  // namespace

@@ -89,6 +89,123 @@ TEST(Spans, OneSidedTrafficIsFlaggedAsUpperBound) {
   EXPECT_EQ(analysis.clocks.one_sided[0], c);
 }
 
+TEST(Spans, NegativeChannelMinimumIsLiftedByPerDirectionFloor) {
+  // All clocks truly aligned. a<->b exchange symmetric 50us paths, so both
+  // get offset 0. c only ever receives: its offset comes from the a->c
+  // edge under the zero-delay assumption (-100), which over-corrects the
+  // genuinely faster b->c channel (10us true delay) to -90us. The floor
+  // must lift that whole direction so its minimum is exactly 0, flag the
+  // channel one-sided, and leave the honest channels untouched.
+  const ProcessId a = proc(0), b = proc(1), c = proc(2);
+  const ViewId v = view(1, 0);
+  const std::vector<TraceEvent> events = {
+      sent(1000, a, v, 1), delivered(1050, b, a, v, 1),
+      sent(2000, b, v, 1), delivered(2050, a, b, v, 1),
+      sent(3000, a, v, 2), delivered(3100, c, a, v, 2),  // a->c: 100us
+      sent(4000, b, v, 2), delivered(4010, c, b, v, 2),  // b->c: 10us
+  };
+  const SpanAnalysis analysis = correlate_spans(events);
+  EXPECT_DOUBLE_EQ(analysis.clocks.offset_us.at(c), -100.0);
+  ASSERT_EQ(analysis.clocks.one_sided.size(), 1u);
+  EXPECT_EQ(analysis.clocks.one_sided[0], c);
+
+  const auto channel = [&](ProcessId from, ProcessId to) {
+    for (const ChannelLatency& ch : analysis.channels)
+      if (ch.from == from && ch.to == to) return &ch;
+    return static_cast<const ChannelLatency*>(nullptr);
+  };
+  const ChannelLatency* bc = channel(b, c);
+  ASSERT_NE(bc, nullptr);
+  EXPECT_DOUBLE_EQ(bc->floor_us, 90.0);
+  EXPECT_DOUBLE_EQ(bc->latency_us.min(), 0.0);
+  EXPECT_TRUE(bc->one_sided);
+  const ChannelLatency* ac = channel(a, c);
+  ASSERT_NE(ac, nullptr);
+  EXPECT_DOUBLE_EQ(ac->floor_us, 0.0);  // zero-delay bound: min is already 0
+  EXPECT_TRUE(ac->one_sided);
+  const ChannelLatency* ab = channel(a, b);
+  ASSERT_NE(ab, nullptr);
+  EXPECT_DOUBLE_EQ(ab->floor_us, 0.0);
+  EXPECT_DOUBLE_EQ(ab->latency_us.min(), 50.0);
+  EXPECT_FALSE(ab->one_sided);
+
+  std::ostringstream os;
+  write_spans_json(os, analysis);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"floor_us\":90"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"one_sided\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"one_sided\":false"), std::string::npos) << json;
+}
+
+TEST(Spans, RequestTreeAssemblesHopsAcrossProcesses) {
+  const ProcessId a = proc(0), b = proc(1);
+  const ViewId v = view(1, 0);
+  const std::uint64_t tid = 0x5157ull;
+  // b's clock runs 350us ahead; per-process phases are raw-monotonic.
+  const std::vector<TraceEvent> events = {
+      {100, a, EventKind::RequestAdmitted, v, a, tid, 1},
+      {110, a, EventKind::RequestOrdered, v, {}, tid, 4},
+      {500, b, EventKind::RequestDelivered, v, a, tid, 4},
+      {505, b, EventKind::RequestApplied, v, a, tid, 4},
+      {130, a, EventKind::RequestReplied, v, a, tid, 1},
+      {120, a, EventKind::RequestReplied, v, a, tid + 1, 1},  // other trace
+      {115, a, EventKind::MessageSent, v, a, tid, 9},  // not a request hop
+  };
+  ClockModel clocks;
+  clocks.reference = a;
+  clocks.offset_us[a] = 0.0;
+  clocks.offset_us[b] = -350.0;
+  const RequestTree tree = assemble_request_tree(events, tid, clocks);
+  EXPECT_TRUE(tree.found);
+  EXPECT_TRUE(tree.monotonic);
+  EXPECT_TRUE(tree.errors.empty());
+  ASSERT_EQ(tree.processes.size(), 2u);
+  ASSERT_EQ(tree.hops.size(), 5u);
+  // Hops come out in corrected-time order: b's 500/505 raw map to 150/155.
+  EXPECT_EQ(tree.hops[0].kind, EventKind::RequestAdmitted);
+  EXPECT_EQ(tree.hops[1].kind, EventKind::RequestOrdered);
+  EXPECT_EQ(tree.hops[2].kind, EventKind::RequestReplied);
+  EXPECT_EQ(tree.hops[3].kind, EventKind::RequestDelivered);
+  EXPECT_DOUBLE_EQ(tree.hops[3].time_corrected, 150.0);
+
+  std::ostringstream os;
+  write_request_tree_json(os, tree);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"trace_id\":20823"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"found\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"monotonic\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kind\":\"RequestAdmitted\""), std::string::npos)
+      << json;
+
+  const RequestTree missing = assemble_request_tree(events, 0x9999, clocks);
+  EXPECT_FALSE(missing.found);
+}
+
+TEST(Spans, RequestTreePhaseRegressionOnOneNodeIsFlagged) {
+  const ProcessId a = proc(0);
+  const ViewId v = view(1, 0);
+  const std::uint64_t tid = 42;
+  // Replied carries an *earlier* raw time than Ordered on the same node:
+  // per-node raw clocks are authoritative, so this is a violation (clock
+  // offsets may never be used to excuse same-process reordering). Fenced
+  // is out-of-band and exempt wherever it lands.
+  const std::vector<TraceEvent> events = {
+      {100, a, EventKind::RequestAdmitted, v, a, tid, 1},
+      {110, a, EventKind::RequestOrdered, v, {}, tid, 4},
+      {105, a, EventKind::RequestReplied, v, a, tid, 1},
+      {90, a, EventKind::RequestFenced, v, {}, tid, 8},
+  };
+  const RequestTree tree = assemble_request_tree(events, tid, ClockModel{});
+  EXPECT_TRUE(tree.found);
+  EXPECT_FALSE(tree.monotonic);
+  ASSERT_FALSE(tree.errors.empty());
+  EXPECT_NE(tree.errors[0].find("process 0:1"), std::string::npos)
+      << tree.errors[0];
+  std::ostringstream os;
+  write_request_tree_json(os, tree);
+  EXPECT_NE(os.str().find("\"monotonic\":false"), std::string::npos);
+}
+
 TEST(Spans, CountsUnmatchedSendsAndOrphanDeliveries) {
   const ProcessId a = proc(0), b = proc(1);
   const ViewId v = view(1, 0);

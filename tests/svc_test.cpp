@@ -18,6 +18,7 @@
 
 #include "net/event_loop.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "objects/lock_manager.hpp"
 #include "objects/mergeable_kv.hpp"
 #include "objects/replicated_file.hpp"
@@ -549,6 +550,63 @@ TEST(SvcObjects, InFlightPutIsFencedAcrossViewChange) {
   ASSERT_TRUE(c.await([&]() {
     return c.obj(victim).get("fenced").value_or("") == "value";
   }));
+}
+
+TEST(SvcObjects, TracedRequestAttributesPhaseLatencies) {
+  ObjectCluster<objects::MergeableKv, app::GroupObjectConfig> c(
+      3, 16, [](const auto& u) { return plain_config(u); });
+  c.world().trace_bus().set_enabled(true);
+  ASSERT_TRUE(c.await_all_normal(c.all_indices()));
+  const std::size_t victim = 1;
+  const std::uint64_t epoch = c.obj(victim).view_epoch();
+
+  // Happy path: a sampled Put runs order -> deliver -> apply, so the order
+  // and apply histograms populate and RequestOrdered/Applied land on the
+  // bus under the request's trace id; the fence histogram stays empty.
+  SvcRequest traced = make_request(SvcOp::Put, epoch, "k", "v");
+  traced.trace_id = 0x0badc0ffee0ddf00ull;
+  traced.sampled = true;
+  Capture put;
+  c.obj(victim).svc_request(traced, put.fn());
+  ASSERT_TRUE(c.await([&]() { return put.response.has_value(); }));
+  EXPECT_EQ(put.response->status, SvcStatus::Ok);
+  EXPECT_GE(c.obj(victim).order_latency().count(), 1u);
+  EXPECT_GE(c.obj(victim).apply_latency().count(), 1u);
+  EXPECT_EQ(c.obj(victim).fence_latency().count(), 0u);
+  bool saw_ordered = false, saw_applied = false;
+  for (const obs::TraceEvent& e : c.world().trace_bus().events()) {
+    if (e.seq != traced.trace_id) continue;
+    saw_ordered |= e.kind == obs::EventKind::RequestOrdered;
+    saw_applied |= e.kind == obs::EventKind::RequestApplied;
+  }
+  EXPECT_TRUE(saw_ordered);
+  EXPECT_TRUE(saw_applied);
+
+  // Fence path: same blocked-endpoint window as InFlightPutIsFenced...
+  // above, but with a sampled request — the view-change fence must
+  // attribute the wait to the fence histogram and emit RequestFenced.
+  c.world().network().set_partition({{c.site(0)}, {c.site(1), c.site(2)}});
+  ASSERT_TRUE(c.await([&]() { return c.obj(victim).blocked(); },
+                      120 * kSecond, kMillisecond / 4));
+  ASSERT_EQ(c.obj(victim).view_epoch(), epoch);
+
+  SvcRequest fenced = make_request(SvcOp::Put, epoch, "fenced", "value");
+  fenced.trace_id = 0x7ace7ace7ace7aceull;
+  fenced.sampled = true;
+  Capture blocked_put;
+  c.obj(victim).svc_request(fenced, blocked_put.fn());
+  EXPECT_FALSE(blocked_put.response.has_value());  // genuinely in flight
+
+  ASSERT_TRUE(c.await([&]() { return blocked_put.response.has_value(); }));
+  EXPECT_EQ(blocked_put.response->status, SvcStatus::InvalidEpoch);
+  EXPECT_GT(blocked_put.response->view_epoch, epoch);
+  EXPECT_GE(c.obj(victim).fence_latency().count(), 1u);
+  bool saw_fenced = false;
+  for (const obs::TraceEvent& e : c.world().trace_bus().events()) {
+    saw_fenced |= e.seq == fenced.trace_id &&
+                  e.kind == obs::EventKind::RequestFenced;
+  }
+  EXPECT_TRUE(saw_fenced);
 }
 
 TEST(SvcObjects, LockConflictCarriesLeaseRetryHint) {

@@ -361,6 +361,10 @@ int main(int argc, char** argv) {
     if (options.svc_queue > 0) sc.max_pending = options.svc_queue;
     svc_server = std::make_unique<svc::SvcServer>(rt.loop(), svc_addr->ip,
                                                   svc_addr->port, sc);
+    // Request lifecycle events (Admitted/Replied) land in the runtime's
+    // shared ring under the hosted node's identity — the svc server has no
+    // protocol identity of its own.
+    svc_server->set_trace(&rt.trace_bus(), rt.self());
     if (multi_group) {
       svc_server->set_handler(
           [&router](runtime::SvcRequest req, runtime::SvcRespondFn respond) {

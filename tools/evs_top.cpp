@@ -1,18 +1,28 @@
-// evs_top: fleet-wide live status, one row per node.
+// evs_top: fleet-wide live status, one row per hosted group instance.
 //
 // Polls the admin endpoint (net/admin.hpp) of every `admin` line in a
 // node config — any node's config names the whole fleet — and renders a
 // refreshing table:
 //
-//   site  addr             view     mode   ev  mbrs sv/set blk   deliv  msg/s  drops lag
-//   0     127.0.0.1:9100   2@p0.1   normal 1   3    1/1    -     120    50.0   0     0
+//   site  addr             grp view     mode   ev  mbrs sv/set blk   deliv  msg/s    rx  drops lag hlth
+//   0     127.0.0.1:9100   -   2@p0.1   normal 1   3    1/1    -     120    50.0   840      0   0 ok
 //
 // Columns: the node's installed view id, its enriched-view mode (normal =
 // degenerate structure, split = subview structure present), e-view seq,
 // member count, subview/sv-set counts, blocked flag, app messages
-// delivered, delivery rate since the previous poll, the sum of transport
-// drop counters (from /metrics), and peer lag (max fleet view epoch minus
-// this node's epoch). Unreachable nodes stay in the table as "down".
+// delivered, delivery rate since the previous poll, wire frames received
+// (per group on multi-group hosts), the sum of transport drop counters
+// (from /metrics), peer lag (max fleet view epoch minus this node's
+// epoch), and the node's live-oracle health (/status "health": ok until
+// the online checker observes a safety violation). Unreachable nodes stay
+// in the table as "down".
+//
+// A process hosting several group instances (config `group` lines)
+// expands to one row per group — a 4-shard log host renders 4 rows, each
+// with its own view/mode/delivery columns (from the per-group "groups"
+// array of /status) and its own wire-frame slice (from the transport's
+// transport.group<id>.* counters).
+//
 // Every poll round issues all per-node GETs as one concurrent batch under
 // a single deadline (tools/http_client.hpp), so --timeout-ms bounds the
 // whole scrape, not each node in turn.
@@ -121,8 +131,9 @@ std::size_t count_objects(const std::string& body, std::size_t from,
   return n;
 }
 
-struct NodeSample {
-  bool up = false;
+/// The per-node-object columns, parsed from one admin_status_json() blob
+/// (either the top-level "node" or one entry of the "groups" array).
+struct NodeRow {
   std::string view;
   std::uint64_t epoch = 0;
   std::string mode;
@@ -133,7 +144,23 @@ struct NodeSample {
   bool blocked = false;
   std::uint64_t app_delivered = 0;
   std::uint64_t data_delivered = 0;
+};
+
+/// One hosted group instance of a multi-group process.
+struct GroupSample {
+  std::uint32_t id = 0;
+  bool alive = false;
+  NodeRow row;
+  std::uint64_t frames_rx = 0;  // transport.group<id>.frames_received
+};
+
+struct NodeSample {
+  bool up = false;
+  int health = -1;  // /status "health": 1 true, 0 false, -1 absent
+  NodeRow row;      // the primary node object
+  std::uint64_t frames_rx = 0;  // transport.frames_received
   std::uint64_t drops = 0;
+  std::vector<GroupSample> groups;  // empty for single-group hosts
 };
 
 /// Sums every `transport.dropped_*` counter in a /metrics JSON body.
@@ -153,36 +180,83 @@ std::uint64_t sum_drop_counters(const std::string& metrics) {
   return total;
 }
 
+NodeRow parse_node_row(const std::string& body) {
+  NodeRow r;
+  r.view = json_str(body, "view").value_or("?");
+  r.epoch = json_u64(body, "view_epoch").value_or(0);
+  r.mode = json_str(body, "mode").value_or("?");
+  r.ev_seq = json_u64(body, "ev_seq").value_or(0);
+  r.blocked = json_bool(body, "blocked").value_or(false);
+  r.app_delivered = json_u64(body, "app_delivered").value_or(0);
+  r.data_delivered = json_u64(body, "data_delivered").value_or(0);
+  // Member count: entries of the "members" array.
+  if (const std::size_t at = body.find("\"members\":[");
+      at != std::string::npos) {
+    const std::size_t end = body.find(']', at);
+    if (end != std::string::npos && end > at + 11)
+      r.members = 1 + static_cast<std::size_t>(
+                          std::count(body.begin() + at, body.begin() + end,
+                                     ','));
+  }
+  const std::size_t sv_at = body.find("\"subviews\":[");
+  const std::size_t set_at = body.find("\"svsets\":[");
+  if (sv_at != std::string::npos && set_at != std::string::npos) {
+    r.subviews = count_objects(body, sv_at, set_at);
+    r.svsets = count_objects(body, set_at, body.size());
+  }
+  return r;
+}
+
+/// Splits the /status "groups" array into one substring per group object
+/// by brace matching (the generated JSON never puts braces in strings).
+std::vector<std::string> split_group_objects(const std::string& body) {
+  std::vector<std::string> out;
+  const std::size_t at = body.find("\"groups\":[");
+  if (at == std::string::npos) return out;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = at + 10; i < body.size(); ++i) {
+    const char c = body[i];
+    if (c == '{') {
+      if (depth++ == 0) start = i;
+    } else if (c == '}') {
+      if (--depth == 0) out.push_back(body.substr(start, i - start + 1));
+    } else if (c == ']' && depth == 0) {
+      break;
+    }
+  }
+  return out;
+}
+
 NodeSample parse_sample(const tools::HttpResponse& status_response,
                         const tools::HttpResponse& metrics_response) {
   NodeSample s;
   if (!status_response.ok || status_response.status != 200) return s;
   const std::string& status = status_response.body;
   s.up = true;
-  s.view = json_str(status, "view").value_or("?");
-  s.epoch = json_u64(status, "view_epoch").value_or(0);
-  s.mode = json_str(status, "mode").value_or("?");
-  s.ev_seq = json_u64(status, "ev_seq").value_or(0);
-  s.blocked = json_bool(status, "blocked").value_or(false);
-  s.app_delivered = json_u64(status, "app_delivered").value_or(0);
-  s.data_delivered = json_u64(status, "data_delivered").value_or(0);
-  // Member count: entries of the "members" array.
-  if (const std::size_t at = status.find("\"members\":[");
-      at != std::string::npos) {
-    const std::size_t end = status.find(']', at);
-    if (end != std::string::npos && end > at + 11)
-      s.members = 1 + static_cast<std::size_t>(
-                          std::count(status.begin() + at, status.begin() + end,
-                                     ','));
+  if (const auto health = json_bool(status, "health"))
+    s.health = *health ? 1 : 0;
+  // The primary node's fields come first in the body, so row parsing over
+  // the whole blob finds them before any "groups" entry.
+  s.row = parse_node_row(status);
+  const std::string* metrics = nullptr;
+  if (metrics_response.ok && metrics_response.status == 200) {
+    metrics = &metrics_response.body;
+    s.drops = sum_drop_counters(*metrics);
+    s.frames_rx = json_u64(*metrics, "transport.frames_received").value_or(0);
   }
-  const std::size_t sv_at = status.find("\"subviews\":[");
-  const std::size_t set_at = status.find("\"svsets\":[");
-  if (sv_at != std::string::npos && set_at != std::string::npos) {
-    s.subviews = count_objects(status, sv_at, set_at);
-    s.svsets = count_objects(status, set_at, status.size());
+  for (const std::string& object : split_group_objects(status)) {
+    GroupSample g;
+    g.id = static_cast<std::uint32_t>(json_u64(object, "id").value_or(0));
+    g.alive = json_bool(object, "alive").value_or(false);
+    g.row = parse_node_row(object);
+    if (metrics != nullptr)
+      g.frames_rx =
+          json_u64(*metrics, "transport.group" + std::to_string(g.id) +
+                                 ".frames_received")
+              .value_or(0);
+    s.groups.push_back(std::move(g));
   }
-  if (metrics_response.ok && metrics_response.status == 200)
-    s.drops = sum_drop_counters(metrics_response.body);
   return s;
 }
 
@@ -278,39 +352,75 @@ int main(int argc, char** argv) {
 
     std::uint64_t max_epoch = 0;
     for (const auto& [site, s] : samples)
-      if (s.up && s.epoch > max_epoch) max_epoch = s.epoch;
+      if (s.up && s.row.epoch > max_epoch) max_epoch = s.row.epoch;
 
     if (tty && !options.once) std::printf("\x1b[2J\x1b[H");
-    std::printf("%-5s %-21s %-10s %-7s %-4s %-5s %-6s %-4s %8s %8s %6s %4s\n",
-                "site", "addr", "view", "mode", "ev", "mbrs", "sv/set", "blk",
-                "deliv", "msg/s", "drops", "lag");
+    std::printf(
+        "%-5s %-21s %-4s %-10s %-7s %-4s %-5s %-6s %-4s %8s %8s %8s %6s %4s "
+        "%-4s\n",
+        "site", "addr", "grp", "view", "mode", "ev", "mbrs", "sv/set", "blk",
+        "deliv", "msg/s", "rx", "drops", "lag", "hlth");
+    const auto rate_of = [&](std::uint64_t now_delivered,
+                             std::uint64_t prev_delivered, bool have_prev) {
+      if (!have_prev || now_ms <= previous_at_ms ||
+          now_delivered < prev_delivered)
+        return 0.0;
+      return 1000.0 * static_cast<double>(now_delivered - prev_delivered) /
+             static_cast<double>(now_ms - previous_at_ms);
+    };
+    const auto print_row = [&](SiteId site, const net::PeerAddr& addr,
+                               const char* grp, const NodeRow& r,
+                               std::uint64_t frames_rx, std::uint64_t drops,
+                               int health, double rate) {
+      char svset[16];
+      std::snprintf(svset, sizeof(svset), "%zu/%zu", r.subviews, r.svsets);
+      std::printf(
+          "%-5u %-21s %-4s %-10s %-7s %-4llu %-5zu %-6s %-4s %8llu %8.1f "
+          "%8llu %6llu %4llu %-4s\n",
+          site.value, addr.str().c_str(), grp, r.view.c_str(), r.mode.c_str(),
+          static_cast<unsigned long long>(r.ev_seq), r.members, svset,
+          r.blocked ? "yes" : "-",
+          static_cast<unsigned long long>(r.app_delivered), rate,
+          static_cast<unsigned long long>(frames_rx),
+          static_cast<unsigned long long>(drops),
+          static_cast<unsigned long long>(max_epoch - r.epoch),
+          health < 0 ? "-" : (health == 1 ? "ok" : "BAD"));
+    };
     for (const auto& [site, addr] : config.admin) {
       const NodeSample& s = samples.at(site);
       if (!s.up) {
         std::printf("%-5u %-21s down\n", site.value, addr.str().c_str());
         continue;
       }
-      double rate = 0;
       const auto prev = previous.find(site);
-      if (prev != previous.end() && prev->second.up &&
-          now_ms > previous_at_ms &&
-          s.data_delivered >= prev->second.data_delivered) {
-        rate = 1000.0 *
-               static_cast<double>(s.data_delivered -
-                                   prev->second.data_delivered) /
-               static_cast<double>(now_ms - previous_at_ms);
+      const bool have_prev = prev != previous.end() && prev->second.up;
+      if (s.groups.empty()) {
+        print_row(site, addr, "-", s.row, s.frames_rx, s.drops, s.health,
+                  rate_of(s.row.data_delivered,
+                          have_prev ? prev->second.row.data_delivered : 0,
+                          have_prev));
+        continue;
       }
-      char svset[16];
-      std::snprintf(svset, sizeof(svset), "%zu/%zu", s.subviews, s.svsets);
-      std::printf(
-          "%-5u %-21s %-10s %-7s %-4llu %-5zu %-6s %-4s %8llu %8.1f %6llu "
-          "%4llu\n",
-          site.value, addr.str().c_str(), s.view.c_str(), s.mode.c_str(),
-          static_cast<unsigned long long>(s.ev_seq), s.members, svset,
-          s.blocked ? "yes" : "-",
-          static_cast<unsigned long long>(s.app_delivered), rate,
-          static_cast<unsigned long long>(s.drops),
-          static_cast<unsigned long long>(max_epoch - s.epoch));
+      // One row per hosted group instance; node-level drops and health
+      // repeat on every row (they are per-process, not per-group).
+      for (const GroupSample& g : s.groups) {
+        std::uint64_t prev_delivered = 0;
+        bool have_group_prev = false;
+        if (have_prev) {
+          for (const GroupSample& pg : prev->second.groups) {
+            if (pg.id != g.id) continue;
+            prev_delivered = pg.row.data_delivered;
+            have_group_prev = true;
+            break;
+          }
+        }
+        std::string grp = std::to_string(g.id);
+        if (!g.alive) grp += "!";
+        print_row(site, addr, grp.c_str(), g.row, g.frames_rx, s.drops,
+                  s.health,
+                  rate_of(g.row.data_delivered, prev_delivered,
+                          have_group_prev));
+      }
     }
 
     // Convergence: every endpoint up, one view id, one mode, fleet-wide.
@@ -324,16 +434,16 @@ int main(int argc, char** argv) {
         continue;
       }
       if (view.empty()) {
-        view = s.view;
-        mode = s.mode;
-      } else if (s.view != view || s.mode != mode) {
+        view = s.row.view;
+        mode = s.row.mode;
+      } else if (s.row.view != view || s.row.mode != mode) {
         converged = false;
         if (options.expect_converged)
           std::fprintf(stderr,
                        "diverged: site %u reports view=%s mode=%s, expected "
                        "view=%s mode=%s\n",
-                       site.value, s.view.c_str(), s.mode.c_str(), view.c_str(),
-                       mode.c_str());
+                       site.value, s.row.view.c_str(), s.row.mode.c_str(),
+                       view.c_str(), mode.c_str());
       }
     }
 

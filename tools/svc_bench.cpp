@@ -61,6 +61,11 @@ struct Options {
   /// riding out InvalidEpoch) and stamp it into every open-loop request —
   /// the bench then measures the fenced path instead of the wildcard.
   bool fence = false;
+  /// Stamp every Nth request with the sampled trace flag (trace id = the
+  /// request id), so the servers record its whole lifecycle and
+  /// `trace_check --request <id>` can assemble the span tree afterwards.
+  /// 0 = never sample (the default: zero tracing work server-side).
+  std::uint64_t sample_every = 0;
 };
 
 int usage(const char* argv0) {
@@ -68,7 +73,7 @@ int usage(const char* argv0) {
                "usage: %s --addr IP:PORT [--conns N] [--rate OPS_PER_SEC]\n"
                "          [--duration-ms N] [--drain-ms N] [--op get|put|mix]\n"
                "          [--view-epoch N] [--key-space N] [--value-bytes N]\n"
-               "          [--fence]\n",
+               "          [--fence] [--sample-every N]\n",
                argv0);
   return 2;
 }
@@ -100,6 +105,8 @@ struct Stats {
   std::uint64_t not_leader = 0;
   std::uint64_t conns_refused = 0;  // connect failed / closed before use
   std::uint64_t conns_closed = 0;   // closed mid-run with traffic in flight
+  std::uint64_t sampled = 0;        // requests stamped with a trace id
+  std::uint64_t last_trace_id = 0;  // the final sampled request's trace id
   std::vector<std::uint64_t> latencies_us;
 };
 
@@ -173,6 +180,8 @@ int main(int argc, char** argv) {
       options.key_space = std::max<std::uint64_t>(1, n);
     } else if (arg == "--value-bytes" && parse_u64(v, n)) {
       options.value_bytes = n;
+    } else if (arg == "--sample-every" && parse_u64(v, n)) {
+      options.sample_every = n;
     } else {
       return usage(argv[0]);
     }
@@ -243,6 +252,13 @@ int main(int argc, char** argv) {
         req.view_epoch = options.view_epoch;
         req.key = "bench-k" + std::to_string(next_id % options.key_space);
         if (do_put) req.value = value;
+        if (options.sample_every != 0 &&
+            next_id % options.sample_every == 0) {
+          req.trace_id = next_id;  // request ids start at 1: never zero
+          req.sampled = true;
+          ++stats.sampled;
+          stats.last_trace_id = next_id;
+        }
         svc::append_frame(conn.out, svc::encode_request(next_id, req));
         inflight.emplace(next_id, now);
         ++next_id;
@@ -383,6 +399,7 @@ int main(int argc, char** argv) {
       "\"ok\":%llu,\"conflict\":%llu,\"stale_epoch\":%llu,"
       "\"unavailable\":%llu,\"unsupported\":%llu,\"not_leader\":%llu,"
       "\"conns_refused\":%llu,\"conns_closed\":%llu,\"lost\":%zu,"
+      "\"sampled\":%llu,\"last_trace_id\":%llu,"
       "\"duration_ms\":%llu,\"ops_per_sec\":%.1f,"
       "\"p50_us\":%llu,\"p95_us\":%llu,\"p99_us\":%llu}\n",
       options.conns, static_cast<unsigned long long>(stats.attempted),
@@ -395,6 +412,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.not_leader),
       static_cast<unsigned long long>(stats.conns_refused),
       static_cast<unsigned long long>(stats.conns_closed), inflight.size(),
+      static_cast<unsigned long long>(stats.sampled),
+      static_cast<unsigned long long>(stats.last_trace_id),
       static_cast<unsigned long long>(wall_us / 1'000), ops_per_sec,
       static_cast<unsigned long long>(percentile(stats.latencies_us, 0.50)),
       static_cast<unsigned long long>(percentile(stats.latencies_us, 0.95)),

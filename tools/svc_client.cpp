@@ -158,8 +158,23 @@ void SvcClient::sleep_backoff(std::uint64_t hint_ms, std::uint32_t streak) {
   ::nanosleep(&ts, nullptr);
 }
 
+std::uint64_t SvcClient::next_trace_id() {
+  rng_ ^= rng_ >> 12;
+  rng_ ^= rng_ << 25;
+  rng_ ^= rng_ >> 27;
+  const std::uint64_t id = rng_ * 2685821657736338717ULL;
+  return id != 0 ? id : 1;  // 0 means "unsampled" on the wire
+}
+
 SvcResponse SvcClient::call(SvcRequest req, bool fence) {
   ++stats_.calls;
+  if (config_.sample) {
+    if (req.trace_id == 0) req.trace_id = next_trace_id();
+    req.sampled = true;
+    last_trace_id_ = req.trace_id;
+  } else if (req.trace_id != 0 && req.sampled) {
+    last_trace_id_ = req.trace_id;  // caller-managed sampling
+  }
   const std::uint64_t deadline =
       config_.call_timeout_ms > 0 ? now_ms() + config_.call_timeout_ms : 0;
   std::uint32_t fail_streak = 0;

@@ -59,6 +59,12 @@ struct SvcClientConfig {
   std::uint64_t io_timeout_ms = 2'000;
   /// Jitter seed; 0 seeds from the monotonic clock.
   std::uint64_t seed = 0;
+  /// Stamp every call with the sampled flag and (when the caller left
+  /// req.trace_id zero) a fresh random 64-bit trace id, so the request's
+  /// whole lifecycle is recorded server-side and `trace_check --request`
+  /// can assemble its span tree. Off by default: an unsampled request
+  /// propagates trace id 0 and the servers skip all tracing work.
+  bool sample = false;
 };
 
 struct SvcClientStats {
@@ -89,6 +95,9 @@ class SvcClient {
 
   /// Epoch adopted from the last Ok / InvalidEpoch answer.
   std::uint64_t fenced_epoch() const { return epoch_; }
+  /// Trace id stamped on the most recent sampled call (caller-supplied or
+  /// generated); 0 before the first one.
+  std::uint64_t last_trace_id() const { return last_trace_id_; }
   /// Address of the node the client currently talks to.
   const SvcAddr& current_addr() const { return addr_; }
   const SvcClientStats& stats() const { return stats_; }
@@ -102,12 +111,14 @@ class SvcClient {
       const runtime::SvcRequest& req);
   void sleep_backoff(std::uint64_t hint_ms, std::uint32_t streak);
   std::uint64_t next_jitter(std::uint64_t bound_ms);
+  std::uint64_t next_trace_id();
 
   SvcAddr addr_;
   SvcClientConfig config_;
   int fd_ = -1;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t epoch_ = 0;
+  std::uint64_t last_trace_id_ = 0;
   std::uint64_t rng_;
   std::size_t rr_ = 0;  // round-robin cursor into the site book
   SvcClientStats stats_;

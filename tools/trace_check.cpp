@@ -1,7 +1,8 @@
 // trace_check: replay recorded traces through the RunChecker.
 //
 // Usage: trace_check [--merge] [--group N] [--spans-json FILE]
-//                    [--spans-chrome FILE] <run.trace.jsonl>...
+//                    [--spans-chrome FILE] [--request ID [--request-json FILE]]
+//                    <run.trace.jsonl>...
 //
 // Reads each JSONL trace produced by obs::TraceBus::write_jsonl (e.g. via
 // EVS_TRACE_OUT), validates it against the view-synchrony properties
@@ -27,6 +28,14 @@
 // estimation, per-channel latency histograms and view-change phase
 // breakdowns as JSON, or Chrome-trace flow events for Perfetto. Either
 // flag also prints the per-round phase summary to stdout.
+//
+// --request ID assembles the causal span tree of one traced client
+// request (the 64-bit trace id the svc client propagated) from the union
+// of all input files: every Request* lifecycle hop, ordered on the
+// corrected clock, validated for per-node phase monotonicity on raw
+// clocks. Prints the tree to stdout; --request-json FILE also writes it
+// as one JSON object. Exits 1 when the id is absent or the phase order is
+// violated.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -96,7 +105,17 @@ int main(int argc, char** argv) {
   std::optional<evs::GroupId> only_group;
   std::string spans_json_path;
   std::string spans_chrome_path;
+  std::optional<std::uint64_t> request_id;
+  std::string request_json_path;
   std::vector<const char*> files;
+  const auto usage = [argv]() {
+    std::fprintf(stderr,
+                 "usage: %s [--merge] [--group N] [--spans-json FILE] "
+                 "[--spans-chrome FILE] [--request ID [--request-json FILE]] "
+                 "<run.trace.jsonl>...\n",
+                 argv[0]);
+    return 2;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--merge") {
@@ -107,24 +126,27 @@ int main(int argc, char** argv) {
       spans_json_path = argv[++i];
     } else if (arg == "--spans-chrome" && i + 1 < argc) {
       spans_chrome_path = argv[++i];
+    } else if (arg == "--request" && i + 1 < argc) {
+      request_id = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--request-json" && i + 1 < argc) {
+      request_json_path = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr,
-                   "usage: %s [--merge] [--group N] [--spans-json FILE] "
-                   "[--spans-chrome FILE] <run.trace.jsonl>...\n",
-                   argv[0]);
-      return 2;
+      return usage();
     } else {
       files.push_back(argv[i]);
     }
   }
-  if (files.empty()) {
-    std::fprintf(stderr,
-                 "usage: %s [--merge] [--group N] [--spans-json FILE] "
-                 "[--spans-chrome FILE] <run.trace.jsonl>...\n",
-                 argv[0]);
+  if (files.empty()) return usage();
+  if (request_id && *request_id == 0) {
+    std::fprintf(stderr, "--request: trace id must be nonzero\n");
     return 2;
   }
-  const bool want_spans = !spans_json_path.empty() || !spans_chrome_path.empty();
+  if (!request_json_path.empty() && !request_id) {
+    std::fprintf(stderr, "--request-json requires --request\n");
+    return 2;
+  }
+  const bool want_spans = !spans_json_path.empty() ||
+                          !spans_chrome_path.empty() || request_id.has_value();
 
   bool ok = true;
   std::vector<evs::obs::TraceEvent> merged;
@@ -174,6 +196,34 @@ int main(int argc, char** argv) {
           evs::obs::write_chrome_flows(os, analysis);
         }))
       ok = false;
+
+    if (request_id) {
+      const evs::obs::RequestTree tree =
+          evs::obs::assemble_request_tree(merged, *request_id, analysis.clocks);
+      std::printf("request %llu: %zu hops across %zu processes%s\n",
+                  static_cast<unsigned long long>(tree.trace_id),
+                  tree.hops.size(), tree.processes.size(),
+                  !tree.found      ? " (NOT FOUND)"
+                  : !tree.monotonic ? " (PHASE ORDER VIOLATED)"
+                                    : "");
+      for (const evs::obs::RequestHop& hop : tree.hops)
+        std::printf("  %12.1fus  %s g=%u %s value=%llu aux=%llu\n",
+                    hop.time_corrected,
+                    (std::to_string(hop.proc.site.value) + ":" +
+                     std::to_string(hop.proc.incarnation))
+                        .c_str(),
+                    hop.group, evs::obs::to_string(hop.kind),
+                    static_cast<unsigned long long>(hop.value),
+                    static_cast<unsigned long long>(hop.aux));
+      for (const std::string& err : tree.errors)
+        std::printf("  ERROR: %s\n", err.c_str());
+      if (!request_json_path.empty() &&
+          !write_file(request_json_path, [&](std::ostream& os) {
+            evs::obs::write_request_tree_json(os, tree);
+          }))
+        ok = false;
+      if (!tree.found || !tree.monotonic) ok = false;
+    }
   }
   return ok ? 0 : 1;
 }
