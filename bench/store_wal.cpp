@@ -1,0 +1,117 @@
+// STORE — WAL group-commit amortisation on a real filesystem.
+//
+// The durable store's group commit buffers put()/erase() records and
+// issues one write() + one fdatasync() per flush() (the net runtime
+// flushes once per event-loop iteration). This bench measures exactly
+// that amortisation: appends of a fixed-size value, flushed every B
+// records, for B = 1, 4, 16, 64, 256. We report:
+//   - appends per second (wall clock, sync cost included),
+//   - fsyncs per append — the headline: 1.0 at B=1, falling as 1/B,
+//     which the committed BENCH_store_wal.json pins for the bench-smoke
+//     CI check (store.fsync_calls < store.puts for any B > 1),
+//   - synced WAL bytes per append (framing overhead included),
+//   - recovery time and recovered records for the image the run left
+//     behind, measured by reopening the store (the restart path the
+//     crash-restart loopback test exercises end to end).
+//
+// Numbers include real disk/fs cost (fdatasync on the CI filesystem is
+// the dominant term at B=1); EXPERIMENTS.md discusses the regime.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "store/wal_store.hpp"
+
+namespace evs::bench {
+namespace {
+
+/// Fresh scratch directory per run; removed on destruction.
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/evs_bench_store_XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) std::abort();
+    path = tmpl;
+  }
+  ~TempDir() {
+    const std::string cmd = "rm -rf " + path;
+    if (std::system(cmd.c_str()) != 0) std::perror("rm -rf");
+  }
+  std::string path;
+};
+
+void BM_WalAppendGroupCommit(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kValueBytes = 256;
+  const Bytes value(kValueBytes, 0xab);
+
+  std::uint64_t appends = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t wal_bytes = 0;
+  double recover_us = 0;
+  std::uint64_t recovered = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    TempDir dir;
+    store::WalStoreConfig config;
+    config.dir = dir.path;
+    config.snapshot_after_bytes = 0;  // isolate the append path
+    state.ResumeTiming();
+    {
+      store::WalStore wal(config);
+      // Distinct keys: every append is a new record and a new image
+      // entry, like the per-key object/epoch writes the runtime issues.
+      constexpr int kAppends = 2048;
+      for (int i = 0; i < kAppends; ++i) {
+        wal.put("key/" + std::to_string(i), value);
+        if ((i + 1) % batch == 0) wal.flush();
+      }
+      wal.flush();
+      appends += kAppends;
+      fsyncs += wal.stats().fsync_calls;
+      wal_bytes += wal.stats().wal_bytes;
+    }
+    // The restart path: reopen and replay what the run just synced.
+    state.PauseTiming();
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      store::WalStore reopened(config);
+      recovered += reopened.stats().recovered_records +
+                   reopened.stats().recovered_snapshot_keys;
+    }
+    recover_us += std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    state.ResumeTiming();
+  }
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(appends));
+  state.counters["fsyncs_per_append"] =
+      appends > 0 ? static_cast<double>(fsyncs) / appends : 0;
+  state.counters["wal_bytes_per_append"] =
+      appends > 0 ? static_cast<double>(wal_bytes) / appends : 0;
+  state.counters["appends_per_sec"] = benchmark::Counter(
+      static_cast<double>(appends), benchmark::Counter::kIsRate);
+  state.counters["recover_us_per_run"] =
+      state.iterations() > 0 ? recover_us / state.iterations() : 0;
+  state.counters["recovered_per_run"] =
+      state.iterations() > 0
+          ? static_cast<double>(recovered) / state.iterations()
+          : 0;
+}
+
+BENCHMARK(BM_WalAppendGroupCommit)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+
+}  // namespace
+}  // namespace evs::bench

@@ -11,6 +11,9 @@ namespace evs::app {
 namespace {
 
 constexpr const char* kEpochKey = "evs.last_epoch";
+/// Durable snapshot of the object state (config.persist_state); recovered
+/// in on_start so a restarted member Pulls a bounded delta, not everything.
+constexpr const char* kObjectStateKey = "object.state";
 
 int popcount(ProblemSet p) {
   int n = 0;
@@ -38,6 +41,18 @@ void GroupObjectBase::on_start() {
       recovered_epoch_ = dec.get_u64();
     } catch (const DecodeError&) {
       recovered_epoch_ = 0;
+    }
+  }
+  // Recover the persisted object state (durable store only). The state is
+  // installed but NOT current: it is the *basis* the settle protocol
+  // upgrades — via a bounded delta when the source supports one — before
+  // this member may serve again.
+  if (object_config_.persist_state) {
+    if (const auto bytes = store().get(kObjectStateKey)) {
+      if (!checked_install(*bytes)) {
+        EVS_DEBUG(to_string(id()) << " persisted object state unreadable;"
+                  << " starting empty");
+      }
     }
   }
   machine_.emplace(now());
@@ -175,6 +190,8 @@ void GroupObjectBase::on_eview(const core::EView& eview) {
     offers_.clear();
     chunks_.clear();
     awaiting_full_from_.reset();
+    awaiting_delta_from_.reset();
+    delta_retry_full_ = false;
     last_merge_request_ev_ = UINT64_MAX;
   }
   EVS_DEBUG(to_string(id()) << " on_eview " << gms::to_string(eview.view)
@@ -196,6 +213,7 @@ void GroupObjectBase::on_eview(const core::EView& eview) {
   maybe_finish_chunks();
   maybe_request_merges();
   try_reconcile();
+  persist_object_state();
   if (view_observer_) view_observer_(eview);
 }
 
@@ -245,9 +263,19 @@ void GroupObjectBase::dispatch_frame(ProcessId sender, const Bytes& payload) {
     case FrameKind::Chunk:
       handle_chunk(sender, dec);
       break;
+    case FrameKind::Pull:
+      handle_pull(sender, dec);
+      break;
+    case FrameKind::Delta:
+      handle_delta(sender, dec);
+      break;
     default:
       throw DecodeError("GroupObject: unknown frame");
   }
+  // Write-behind durability for every state-bearing delivery: ordered
+  // operations, installed snapshots, chunks and deltas alike. The store
+  // batches per loop iteration, so this is a buffered append, not a sync.
+  persist_object_state();
 }
 
 // ----------------------------------------------------------------- mode ---
@@ -352,15 +380,37 @@ void GroupObjectBase::send_offer_if_rep(const core::EView& eview) {
     offer.serving = prior_mode_ == Mode::Normal;
   }
 
-  const Bytes full = snapshot_state();
-  const bool split = object_config_.transfer == TransferStrategy::SplitSmallLarge &&
-                     full.size() > object_config_.chunk_bytes;
-  if (split) {
-    offer.snapshot = snapshot_small();
-    offer.chunk_count =
-        (full.size() + object_config_.chunk_bytes - 1) / object_config_.chunk_bytes;
+  // Delta transfer: when the settle already classified as a transfer (the
+  // enriched classifier is local, so this is known before offers go out),
+  // representatives withhold their snapshots. Stale members Pull against
+  // their own recovered basis instead of taking the full state off the
+  // offer — and the stale side's snapshot was dead weight anyway. The
+  // serving subview's representative only defers when its state is
+  // current, because only then will it answer the Pulls.
+  bool deferred = false;
+  if (object_config_.delta_transfer &&
+      object_config_.classifier == ClassifierMode::Enriched &&
+      classification_ready_ && classification_.serving_subviews.size() == 1) {
+    const bool i_serve = classification_.serving_subviews.front() == offer.subview;
+    deferred = !i_serve || state_current_;
+  }
+  offer.deferred = deferred;
+
+  Bytes full;
+  bool split = false;
+  if (deferred) {
+    ++object_stats_.deferred_offers;
   } else {
-    offer.snapshot = full;
+    full = snapshot_state();
+    split = object_config_.transfer == TransferStrategy::SplitSmallLarge &&
+            full.size() > object_config_.chunk_bytes;
+    if (split) {
+      offer.snapshot = snapshot_small();
+      offer.chunk_count =
+          (full.size() + object_config_.chunk_bytes - 1) / object_config_.chunk_bytes;
+    } else {
+      offer.snapshot = full;
+    }
   }
   object_stats_.snapshot_bytes += offer.snapshot.size();
   ++object_stats_.offer_messages;
@@ -375,6 +425,7 @@ void GroupObjectBase::send_offer_if_rep(const core::EView& eview) {
   enc.put_varint(offer.version);
   enc.put_varint(offer.recovered_epoch);
   enc.put_varint(offer.chunk_count);
+  enc.put_bool(offer.deferred);
   enc.put_bytes(offer.snapshot);
   app_multicast(std::move(enc).take());
 
@@ -422,6 +473,7 @@ void GroupObjectBase::handle_offer(ProcessId sender, Decoder& dec) {
   offer.version = dec.get_varint();
   offer.recovered_epoch = dec.get_varint();
   offer.chunk_count = dec.get_varint();
+  offer.deferred = dec.get_bool();
   offer.snapshot = dec.get_bytes();
   if (offer.view != eview().view.id) return;  // stale
   offers_[sender] = std::move(offer);
@@ -458,8 +510,14 @@ void GroupObjectBase::maybe_finish_chunks() {
   Bytes full;
   for (const auto& [index, part] : it->second.parts)
     full.insert(full.end(), part.begin(), part.end());
-  install_state(full);
   awaiting_full_from_.reset();
+  if (!checked_install(full)) {
+    // The assembled state was garbage: surrender the small-part serve
+    // claim too — a member must not keep serving on state it cannot
+    // complete. The next view change restarts the settle.
+    state_current_ = false;
+    return;
+  }
   current_settle_.fully_done = now();
   if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
     bus->record({now(), id(), obs::EventKind::ReconcilePhase,
@@ -468,6 +526,119 @@ void GroupObjectBase::maybe_finish_chunks() {
   }
   settle_log_.push_back(current_settle_);
   try_reconcile();
+}
+
+// ------------------------------------------------------- delta transfer ---
+
+void GroupObjectBase::send_pull(bool want_full) {
+  EVS_CHECK(awaiting_delta_from_.has_value());
+  ++object_stats_.delta_pulls;
+  Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(FrameKind::Pull));
+  enc.put_view_id(eview().view.id);
+  enc.put_process(*awaiting_delta_from_);
+  enc.put_bool(want_full);
+  enc.put_bytes(want_full ? Bytes{} : delta_basis());
+  EVS_DEBUG(to_string(id()) << " pulls " << (want_full ? "full" : "delta")
+            << " from " << to_string(*awaiting_delta_from_));
+  app_multicast(std::move(enc).take());
+}
+
+void GroupObjectBase::handle_pull(ProcessId sender, Decoder& dec) {
+  const ViewId view = dec.get_view_id();
+  const ProcessId target = dec.get_process();
+  const bool want_full = dec.get_bool();
+  const Bytes basis = dec.get_bytes();
+  if (view != eview().view.id) return;  // stale
+  if (target != id()) return;           // someone else's source
+  // Only a member with current state may answer; a view change rescues a
+  // Pull that raced past the source (the settle restarts with new offers).
+  if (!state_current_) return;
+  std::optional<Bytes> payload;
+  if (!want_full) payload = snapshot_delta(basis);
+  const bool full = !payload.has_value();
+  if (full) {
+    payload = snapshot_state();
+    ++object_stats_.delta_full_fallbacks;
+  }
+  ++object_stats_.delta_serves;
+  object_stats_.delta_bytes_sent += payload->size();
+  object_stats_.snapshot_bytes += payload->size();
+  Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(FrameKind::Delta));
+  enc.put_view_id(view);
+  enc.put_process(sender);
+  enc.put_bool(full);
+  enc.put_bytes(*payload);
+  EVS_DEBUG(to_string(id()) << " serves " << (full ? "full" : "delta")
+            << " (" << payload->size() << "B) to " << to_string(sender));
+  app_multicast(std::move(enc).take());
+}
+
+void GroupObjectBase::handle_delta(ProcessId sender, Decoder& dec) {
+  const ViewId view = dec.get_view_id();
+  const ProcessId target = dec.get_process();
+  const bool full = dec.get_bool();
+  const Bytes payload = dec.get_bytes();
+  if (view != eview().view.id) return;  // stale
+  if (target != id()) return;           // answer to another member's Pull
+  if (!awaiting_delta_from_ || *awaiting_delta_from_ != sender) return;
+  object_stats_.delta_bytes_received += payload.size();
+  if (full) {
+    if (!checked_install(payload)) return;  // counted; stay settling
+  } else {
+    bool applied = false;
+    try {
+      applied = install_delta(payload);
+    } catch (const DecodeError&) {
+      ++object_stats_.snapshot_decode_errors;
+    }
+    if (!applied) {
+      // The delta no longer matches the local state (ordered writes landed
+      // between our Pull and this answer, or the payload was malformed):
+      // one full-snapshot retry, then give up until the next view change.
+      if (!delta_retry_full_) {
+        delta_retry_full_ = true;
+        send_pull(true);
+      }
+      return;
+    }
+    ++object_stats_.delta_installs;
+  }
+  finish_delta_settle();
+}
+
+void GroupObjectBase::finish_delta_settle() {
+  awaiting_delta_from_.reset();
+  state_current_ = true;
+  const SimTime t_now = now();
+  current_settle_.serve_ready = t_now;
+  current_settle_.fully_done = t_now;
+  if (auto* bus = trace(); bus != nullptr && bus->enabled()) {
+    bus->record({t_now, id(), obs::EventKind::ReconcilePhase,
+                 eview().view.id, {},
+                 static_cast<std::uint64_t>(obs::ReconcilePhase::FullyDone)});
+  }
+  settle_log_.push_back(current_settle_);
+  maybe_request_merges();
+  try_reconcile();
+}
+
+bool GroupObjectBase::checked_install(const Bytes& snapshot) {
+  try {
+    install_state(snapshot);
+    return true;
+  } catch (const DecodeError& err) {
+    ++object_stats_.snapshot_decode_errors;
+    EVS_DEBUG(to_string(id()) << " rejected malformed snapshot ("
+              << snapshot.size() << "B): " << err.what());
+    return false;
+  }
+}
+
+void GroupObjectBase::persist_object_state() {
+  if (!object_config_.persist_state) return;
+  store().put(kObjectStateKey, snapshot_state());
 }
 
 void GroupObjectBase::maybe_complete_settle() {
@@ -556,12 +727,24 @@ void GroupObjectBase::adopt_states() {
       if (!full) return;  // chunks still in flight; retry on next chunk
       inputs.push_back(*std::move(full));
     }
-    install_state(merge_cluster_states(inputs));
-    state_current_ = true;
+    // merge_cluster_states decodes peer snapshots too: a malformed input
+    // is a counted rejection (everyone computes the same merge over the
+    // same inputs, so everyone rejects together), never a crash or a
+    // half-merged install.
+    bool ok = false;
+    try {
+      const Bytes merged = merge_cluster_states(inputs);
+      ok = checked_install(merged);
+    } catch (const DecodeError&) {
+      ++object_stats_.snapshot_decode_errors;
+    }
     ++object_stats_.merges;
     if (!classification_.r_set.empty()) ++object_stats_.transfers;
-    current_settle_.serve_ready = t_now;
-    current_settle_.fully_done = t_now;
+    if (ok) {
+      state_current_ = true;
+      current_settle_.serve_ready = t_now;
+      current_settle_.fully_done = t_now;
+    }
   } else if (serving.size() == 1) {
     // State transfer: stale members adopt the serving subview's state.
     const SubviewId src = serving.front();
@@ -574,21 +757,39 @@ void GroupObjectBase::adopt_states() {
       current_settle_.fully_done = t_now;
     } else {
       const Offer* offer = source.at(src);
-      if (offer->chunk_count == 0) {
-        install_state(offer->snapshot);
-        current_settle_.fully_done = t_now;
+      if (offer->deferred) {
+        // Bounded-delta path: the source withheld its snapshot; ask it to
+        // upgrade this member's recovered basis instead. finish_delta_
+        // settle() supplies the timestamps once the answer installs.
+        awaiting_delta_from_ = source_sender.at(src);
+        send_pull(false);
+      } else if (offer->chunk_count == 0) {
+        if (checked_install(offer->snapshot)) {
+          state_current_ = true;
+          current_settle_.serve_ready = t_now;
+          current_settle_.fully_done = t_now;
+        }
       } else {
         // Split strategy: critical part now, bulk later.
-        install_small(offer->snapshot);
+        bool small_ok = true;
+        try {
+          install_small(offer->snapshot);
+        } catch (const DecodeError&) {
+          ++object_stats_.snapshot_decode_errors;
+          small_ok = false;
+        }
         if (const auto full = full_of(src)) {
-          install_state(*full);
-          current_settle_.fully_done = t_now;
-        } else {
+          if (checked_install(*full)) {
+            state_current_ = true;
+            current_settle_.serve_ready = t_now;
+            current_settle_.fully_done = t_now;
+          }
+        } else if (small_ok) {
           awaiting_full_from_ = source_sender.at(src);
+          state_current_ = true;
+          current_settle_.serve_ready = t_now;
         }
       }
-      state_current_ = true;
-      current_settle_.serve_ready = t_now;
     }
     ++object_stats_.transfers;
   } else {
@@ -607,20 +808,28 @@ void GroupObjectBase::adopt_states() {
       }
     }
     EVS_CHECK(winner != nullptr);
+    bool ok = true;
     if (winner_sender != id()) {
       auto full = full_of(winner->subview);
       if (winner->chunk_count != 0 && !full) {
-        install_small(winner->snapshot);
-        awaiting_full_from_ = winner_sender;  // bulk still streaming
+        try {
+          install_small(winner->snapshot);
+          awaiting_full_from_ = winner_sender;  // bulk still streaming
+        } catch (const DecodeError&) {
+          ++object_stats_.snapshot_decode_errors;
+          ok = false;
+        }
       } else if (full) {
-        install_state(*full);
-        current_settle_.fully_done = t_now;
+        ok = checked_install(*full);
+        if (ok) current_settle_.fully_done = t_now;
       }
     } else {
       current_settle_.fully_done = t_now;
     }
-    state_current_ = true;
-    current_settle_.serve_ready = t_now;
+    if (ok) {
+      state_current_ = true;
+      current_settle_.serve_ready = t_now;
+    }
     ++object_stats_.creations;
   }
 
@@ -700,6 +909,18 @@ void GroupObjectBase::export_metrics(obs::MetricsRegistry& registry,
   registry.counter(prefix + ".chunk_messages").set(object_stats_.chunk_messages);
   registry.counter(prefix + ".ambiguous_classifications")
       .set(object_stats_.ambiguous_classifications);
+  registry.counter(prefix + ".snapshot_decode_errors")
+      .set(object_stats_.snapshot_decode_errors);
+  registry.counter(prefix + ".deferred_offers").set(object_stats_.deferred_offers);
+  registry.counter(prefix + ".delta_pulls").set(object_stats_.delta_pulls);
+  registry.counter(prefix + ".delta_serves").set(object_stats_.delta_serves);
+  registry.counter(prefix + ".delta_installs").set(object_stats_.delta_installs);
+  registry.counter(prefix + ".delta_bytes_sent")
+      .set(object_stats_.delta_bytes_sent);
+  registry.counter(prefix + ".delta_bytes_received")
+      .set(object_stats_.delta_bytes_received);
+  registry.counter(prefix + ".delta_full_fallbacks")
+      .set(object_stats_.delta_full_fallbacks);
   // Per-phase attribution of svc-originated operations (see the accessor
   // docs in group_object.hpp for the exact spans each one measures).
   registry.histogram(prefix + ".svc.order_us") = order_us_;

@@ -79,6 +79,22 @@ struct GroupObjectConfig {
   /// Retry hint (ms) carried in Unavailable/Conflict responses to
   /// external clients (runtime::Node::svc_request).
   std::uint64_t svc_retry_after_ms = 50;
+  /// Persist the object's snapshot into the stable store (key
+  /// "object.state") after every state change, and recover it in
+  /// on_start: behind a durable store a restarted process re-enters the
+  /// group with its pre-crash state and version instead of empty. Off by
+  /// default — the simulator's recovery scenarios model permanence
+  /// explicitly; evs_node switches it on when the config names a store
+  /// directory.
+  bool persist_state = false;
+  /// Bounded-delta state transfer (enriched classifier only): when the
+  /// settle classifies as a transfer, representatives defer their
+  /// snapshots (the offer carries a flag instead of the bytes) and each
+  /// stale member Pulls against its own recovered basis; the serving
+  /// representative answers with snapshot_delta(basis), falling back to
+  /// the full snapshot when no bounded delta exists. Off by default
+  /// (changes settle traffic); evs_node enables it with persist_state.
+  bool delta_transfer = false;
 };
 
 struct SettleRecord {
@@ -101,6 +117,17 @@ struct ObjectStats {
   std::uint64_t snapshot_bytes = 0;
   std::uint64_t chunk_messages = 0;
   std::uint64_t ambiguous_classifications = 0;  // flat: |possibility set| > 1
+  /// Malformed snapshot/delta payloads rejected by install/merge — the
+  /// counted alternative to decoding garbage into protocol state.
+  std::uint64_t snapshot_decode_errors = 0;
+  // Bounded-delta transfer accounting (config.delta_transfer).
+  std::uint64_t deferred_offers = 0;       // offers sent without snapshots
+  std::uint64_t delta_pulls = 0;           // Pull requests this member sent
+  std::uint64_t delta_serves = 0;          // Pulls answered as the source
+  std::uint64_t delta_installs = 0;        // deltas applied over local state
+  std::uint64_t delta_bytes_sent = 0;      // payload bytes of served answers
+  std::uint64_t delta_bytes_received = 0;  // payload bytes of applied answers
+  std::uint64_t delta_full_fallbacks = 0;  // answers that shipped full state
   ProblemSet last_problems = kNoProblem;
 };
 
@@ -176,6 +203,24 @@ class GroupObjectBase : public core::EvsEndpoint, private core::EvsDelegate {
   /// Small critical part for SplitSmallLarge (default: whole snapshot).
   virtual Bytes snapshot_small() const { return snapshot_state(); }
   virtual void install_small(const Bytes& snapshot) { install_state(snapshot); }
+  /// Bounded-delta transfer hooks (config.delta_transfer). A stale member
+  /// describes its recovered state with an opaque basis; the serving
+  /// source produces a delta upgrading exactly that basis to its current
+  /// state, or nullopt when no bounded delta exists (unknown basis,
+  /// rewritten history) — then the full snapshot ships instead. The
+  /// defaults force the full-snapshot fallback, so objects without delta
+  /// support stay correct under the protocol.
+  virtual Bytes delta_basis() const { return {}; }
+  virtual std::optional<Bytes> snapshot_delta(const Bytes& basis) const {
+    (void)basis;
+    return std::nullopt;
+  }
+  /// Applies a snapshot_delta product over the current state; returns
+  /// false when it no longer matches (the member re-pulls the full state).
+  virtual bool install_delta(const Bytes& delta) {
+    (void)delta;
+    return false;
+  }
   /// Object-level application traffic (external-operation messages).
   virtual void on_object_deliver(ProcessId sender, const Bytes& payload) = 0;
   virtual void on_mode_change(Mode previous, Mode current) {
@@ -215,7 +260,13 @@ class GroupObjectBase : public core::EvsEndpoint, private core::EvsDelegate {
   }
 
  private:
-  enum class FrameKind : std::uint8_t { Object = 1, Offer = 2, Chunk = 3 };
+  enum class FrameKind : std::uint8_t {
+    Object = 1,
+    Offer = 2,
+    Chunk = 3,
+    Pull = 4,   // stale member asks the serving source for a delta
+    Delta = 5,  // source's targeted answer (bounded delta or full state)
+  };
 
   struct Offer {
     ViewId view;
@@ -226,6 +277,9 @@ class GroupObjectBase : public core::EvsEndpoint, private core::EvsDelegate {
     std::uint64_t version = 0;
     std::uint64_t recovered_epoch = 0;
     std::uint64_t chunk_count = 0;  // >0: snapshot streamed separately
+    /// Delta transfer: the snapshot was withheld — receivers that need it
+    /// Pull against their own basis instead of reading it off the offer.
+    bool deferred = false;
     Bytes snapshot;
   };
 
@@ -247,6 +301,20 @@ class GroupObjectBase : public core::EvsEndpoint, private core::EvsDelegate {
   void send_offer_if_rep(const core::EView& eview);
   void handle_offer(ProcessId sender, Decoder& dec);
   void handle_chunk(ProcessId sender, Decoder& dec);
+  void handle_pull(ProcessId sender, Decoder& dec);
+  void handle_delta(ProcessId sender, Decoder& dec);
+  /// Multicasts a Pull against this member's current basis (want_full
+  /// forces the source to answer with the whole snapshot).
+  void send_pull(bool want_full);
+  /// install_state with the malformed-input contract: a DecodeError is
+  /// counted (snapshot_decode_errors) and reported as failure instead of
+  /// propagating — the member stays settling with its prior state.
+  bool checked_install(const Bytes& snapshot);
+  /// Marks the settle state-complete (delta path): timestamps, trace,
+  /// settle log, reconciliation.
+  void finish_delta_settle();
+  /// Durable snapshot of the object state (config.persist_state).
+  void persist_object_state();
   void maybe_complete_settle();
   void adopt_states();
   void maybe_finish_chunks();
@@ -277,6 +345,11 @@ class GroupObjectBase : public core::EvsEndpoint, private core::EvsDelegate {
   std::map<ProcessId, ChunkAssembly> chunks_;
   /// Set while a split transfer's bulk is still streaming in.
   std::optional<ProcessId> awaiting_full_from_;
+  /// Set while a deferred (delta) transfer's answer is outstanding.
+  std::optional<ProcessId> awaiting_delta_from_;
+  /// One full-snapshot retry per settle when the served delta no longer
+  /// applies over the local state (writes raced between Pull and Delta).
+  bool delta_retry_full_ = false;
   std::uint64_t last_merge_request_ev_ = UINT64_MAX;
   SettleRecord current_settle_;
 

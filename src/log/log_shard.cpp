@@ -246,19 +246,32 @@ Bytes LogShard::encode_state(const LogShard& s) {
 }
 
 void LogShard::decode_state(Decoder& dec) {
-  version_ = dec.get_varint();
-  next_local_ = dec.get_varint();
-  trim_floor_ = dec.get_varint();
-  sealed_epoch_ = dec.get_varint();
-  slots_.clear();
+  // Decode the whole snapshot into temporaries before committing: a
+  // truncated or bit-flipped snapshot throws DecodeError with the shard's
+  // state untouched (the settle engine counts the rejection); the old
+  // in-place decode left half-mutated protocol state behind the throw.
+  const std::uint64_t version = dec.get_varint();
+  const std::uint64_t next_local = dec.get_varint();
+  const std::uint64_t trim_floor = dec.get_varint();
+  const std::uint64_t sealed_epoch = dec.get_varint();
   const std::uint64_t n = dec.get_varint();
+  // Every slot costs at least 3 encoded bytes; a length field larger than
+  // the remaining payload can ever justify is corruption, not a big log.
+  if (n > dec.remaining()) throw DecodeError("LogShard: slot count too large");
+  std::map<std::uint64_t, LogSlot> slots;
   for (std::uint64_t i = 0; i < n; ++i) {
     const std::uint64_t local = dec.get_varint();
     LogSlot slot;
     slot.filled = dec.get_u8() != 0;
     slot.data = dec.get_string();
-    slots_[local] = std::move(slot);
+    slots[local] = std::move(slot);
   }
+  dec.expect_end();
+  version_ = version;
+  next_local_ = next_local;
+  trim_floor_ = trim_floor;
+  sealed_epoch_ = sealed_epoch;
+  slots_ = std::move(slots);
 }
 
 Bytes LogShard::snapshot_state() const { return encode_state(*this); }
@@ -276,9 +289,22 @@ Bytes LogShard::merge_cluster_states(const std::vector<Bytes>& snapshots) {
   std::uint64_t best_tail = 0;
   std::uint64_t best_version = 0;
   for (const Bytes& snapshot : snapshots) {
+    // Validate the whole candidate, not just its header: a truncated or
+    // bit-flipped snapshot must fail the merge here (counted upstream),
+    // not win on a corrupt tail field and poison the install.
     Decoder dec(snapshot);
     const std::uint64_t version = dec.get_varint();
     const std::uint64_t tail = dec.get_varint();
+    dec.get_varint();  // trim_floor
+    dec.get_varint();  // sealed_epoch
+    const std::uint64_t n = dec.get_varint();
+    if (n > dec.remaining()) throw DecodeError("LogShard: slot count too large");
+    for (std::uint64_t i = 0; i < n; ++i) {
+      dec.get_varint();
+      dec.get_u8();
+      dec.get_string();
+    }
+    dec.expect_end();
     if (best == nullptr || tail > best_tail ||
         (tail == best_tail && version > best_version)) {
       best = &snapshot;
@@ -286,7 +312,8 @@ Bytes LogShard::merge_cluster_states(const std::vector<Bytes>& snapshots) {
       best_version = version;
     }
   }
-  EVS_CHECK(best != nullptr);
+  if (best == nullptr)
+    throw DecodeError("LogShard: no cluster state to merge");
   return *best;
 }
 

@@ -124,6 +124,11 @@ bool parse_node_config(std::istream& in, NodeConfig& out, std::string& error) {
       if (!(fields >> token)) return fail("expected: admin_token <secret>");
       if (!out.admin_token.empty()) return fail("duplicate admin_token");
       out.admin_token = token;
+    } else if (keyword == "store") {
+      std::string dir;
+      if (!(fields >> dir)) return fail("expected: store <directory>");
+      if (!out.store_dir.empty()) return fail("duplicate store");
+      out.store_dir = dir;
     } else if (keyword == "coalesce") {
       std::string value;
       if (!(fields >> value) || (value != "on" && value != "off"))

@@ -17,6 +17,8 @@
 //   svc 1 127.0.0.1:9201     # (binary request/response, see svc/server.hpp)
 //   coalesce off             # optional; default on (pack small frames
 //                            # into one datagram per peer per flush)
+//   store /var/lib/evs/s0    # optional durable store directory (WAL +
+//                            # snapshots, src/store/); omitted = volatile
 //   group 0 kv               # optional: group instances this process
 //   group 1 log              # hosts, one line per instance — id is the
 //   group 2 log              # wire-level GroupId, the word names the
@@ -87,6 +89,14 @@ struct NodeConfig {
   std::map<SiteId, PeerAddr> svc;
   /// Shared secret for admin-plane POST commands; empty = write side off.
   std::string admin_token;
+  /// Directory for the durable store (WAL + snapshots, src/store/). Empty
+  /// = volatile MemoryStore, exactly the pre-durability behaviour. With a
+  /// directory configured the runtime also persists and monotonically
+  /// bumps the incarnation across restarts (a restarted process must
+  /// never reuse its predecessor's incarnation — peers drop frames
+  /// addressed to a stale one), and hosted objects persist their state
+  /// and rejoin via bounded-delta state transfer.
+  std::string store_dir;
   /// Small-message coalescing on the wire path (UdpTransport); on by
   /// default, `coalesce off` pins every frame to its own datagram.
   bool coalesce = true;

@@ -4,13 +4,55 @@
 
 #include <sstream>
 
+#include "codec/codec.hpp"
 #include "common/check.hpp"
 #include "obs/dump.hpp"
 
 namespace evs::net {
+namespace {
+
+/// Durable record of the last incarnation that ran at this site.
+constexpr char kIncarnationKey[] = "node/incarnation";
+
+}  // namespace
+
+NodeConfig NetRuntime::boot_config() {
+  if (!config_.store_dir.empty()) {
+    store::WalStoreConfig store_config;
+    store_config.dir = config_.store_dir;
+    wal_store_ = std::make_unique<store::WalStore>(store_config);
+    // A restarted process must never reuse its predecessor's incarnation:
+    // peers' receive validation silently drops frames addressed to a
+    // stale one, so a same-incarnation restart would be invisible until
+    // the detector timed the old incarnation out — and then still
+    // indistinguishable from it. Bump monotonically past the durable
+    // record and sync before any traffic can leave this process.
+    if (const auto prev = wal_store_->get(kIncarnationKey)) {
+      try {
+        Decoder dec(*prev);
+        const std::uint32_t last = dec.get_u32();
+        dec.expect_end();
+        config_.incarnation = std::max(config_.incarnation, last + 1);
+      } catch (const DecodeError&) {
+        // Unreadable record: fall through and overwrite it below.
+      }
+    }
+    Encoder enc;
+    enc.put_u32(config_.incarnation);
+    wal_store_->put(kIncarnationKey, std::move(enc).take());
+    wal_store_->flush();
+    // Group commit rides the event loop: this hook runs before the
+    // transport's own flush hook (registered next, in the UdpTransport
+    // constructor), so every record buffered during a loop iteration is
+    // on disk before any frame sent in that iteration hits the socket.
+    store_flush_hook_ =
+        loop_.add_flush_hook([this] { wal_store_->flush(); });
+  }
+  return config_;
+}
 
 NetRuntime::NetRuntime(NodeConfig config)
-    : config_(config), transport_(loop_, std::move(config)) {
+    : config_(std::move(config)), transport_(loop_, boot_config()) {
   // Same opt-in as sim::World: EVS_TRACE_OUT turns recording on without
   // per-binary plumbing.
   if (!obs::trace_out_dir().empty()) trace_bus_.set_enabled(true);
@@ -80,6 +122,15 @@ NetRuntime::NetRuntime(NodeConfig config)
 void NetRuntime::refresh_metrics() {
   transport_.export_metrics(metrics_, "transport");
   if (admin_ != nullptr) admin_->export_metrics(metrics_, "admin");
+  if (wal_store_ != nullptr) {
+    wal_store_->export_metrics(metrics_, "store");
+    metrics_.counter("store.writes")
+        .set(wal_store_->stats().puts + wal_store_->stats().erases);
+  } else {
+    metrics_.counter("store.writes").set(memory_store_.writes());
+    metrics_.counter("store.bytes").set(memory_store_.bytes());
+    metrics_.counter("store.keys").set(memory_store_.size());
+  }
   metrics_.counter("obs.events_checked").set(checker_.events_checked());
   metrics_.counter("obs.oracle_violations").set(checker_.violations());
   metrics_.counter("obs.checker_saturated").set(checker_.saturated());
@@ -87,6 +138,7 @@ void NetRuntime::refresh_metrics() {
 }
 
 NetRuntime::~NetRuntime() {
+  if (store_flush_hook_ != 0) loop_.remove_flush_hook(store_flush_hook_);
   if (trace_dumped_ || trace_bus_.recorded() == 0) return;
   if (obs::trace_out_dir().empty()) return;
   dump_trace("evsnode-site" + std::to_string(config_.self.value) + "-p" +
@@ -107,8 +159,8 @@ void NetRuntime::host_group(GroupId id, runtime::Node& node) {
   HostedGroup hosted;
   hosted.channel = std::make_unique<GroupChannel>(transport_, id);
   hosted.trace = std::make_unique<obs::GroupTraceBus>(trace_bus_, id);
-  hosted.store =
-      std::make_unique<runtime::PrefixStore>(store_, "g" + std::to_string(id) + "/");
+  hosted.store = std::make_unique<runtime::PrefixStore>(
+      store(), "g" + std::to_string(id) + "/");
   hosted.node = &node;
 
   runtime::Env env;

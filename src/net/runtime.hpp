@@ -40,6 +40,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/runtime.hpp"
+#include "store/wal_store.hpp"
 #include "vsync/endpoint.hpp"
 
 namespace evs::net {
@@ -53,7 +54,20 @@ class NetRuntime {
 
   EventLoop& loop() { return loop_; }
   UdpTransport& transport() { return transport_; }
-  runtime::MemoryStore& store() { return store_; }
+  /// The site's stable store: the durable WAL store (src/store/) when the
+  /// config names a `store` directory, the volatile MemoryStore
+  /// otherwise. Both sit behind the same runtime::StableStore seam the
+  /// hosted nodes persist through.
+  runtime::StableStore& store() {
+    if (wal_store_ != nullptr) return *wal_store_;
+    return memory_store_;
+  }
+  /// The durable store, or nullptr when running volatile.
+  store::WalStore* wal_store() { return wal_store_.get(); }
+  /// The incarnation this runtime actually runs as: the config's value,
+  /// or the durably bumped one when a store directory shows a previous
+  /// incarnation already lived at this site.
+  std::uint32_t incarnation() const { return config_.incarnation; }
   obs::TraceBus& trace_bus() { return trace_bus_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
   /// The online oracle checker fed from the trace bus's observer tap: as
@@ -136,10 +150,22 @@ class NetRuntime {
   /// the lowest hosted group's node, else nullptr.
   runtime::Node* primary_node() const;
 
+  /// Opens the durable store (when configured), recovers + bumps the
+  /// incarnation from it, and registers the store's group-commit flush
+  /// hook — all before the transport exists, so no frame can leave with
+  /// a reused incarnation or ahead of its batch's sync. Returns the
+  /// (possibly adjusted) config the transport binds with.
+  NodeConfig boot_config();
+
   NodeConfig config_;
   EventLoop loop_;
+  /// Durable store; non-null iff config_.store_dir is set. Declared
+  /// before transport_: recovery and the incarnation bump must precede
+  /// binding, and destruction must outlast the transport's final flush.
+  std::unique_ptr<store::WalStore> wal_store_;
+  runtime::MemoryStore memory_store_;
+  EventLoop::FlushHookId store_flush_hook_ = 0;
   UdpTransport transport_;
-  runtime::MemoryStore store_;
   obs::TraceBus trace_bus_;
   obs::LiveChecker checker_;
   obs::MetricsRegistry metrics_;

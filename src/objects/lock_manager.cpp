@@ -154,16 +154,20 @@ void LockManager::install_state(const Bytes& snapshot) {
   // The settle engine only hands us the agreed authoritative state; any
   // local divergence (e.g. state touched while our view was already
   // superseded) must be discarded, so no monotonicity guard here.
+  // Decode to temporaries with exhaustion checked, then commit: a
+  // malformed snapshot must not leave a half-installed lock (version
+  // bumped, holder untouched).
   Decoder dec(snapshot);
-  version_ = dec.get_varint();
+  const std::uint64_t version = dec.get_varint();
+  const std::uint64_t grant_stamp = dec.get_u64();
+  std::optional<ProcessId> holder;
+  if (dec.get_bool()) holder = dec.get_process();
+  dec.expect_end();
+  version_ = version;
   // Never shorten a lease fence we already know about: the authoritative
   // side may not have seen the latest grant we did (or vice versa).
-  grant_stamp_ = std::max(grant_stamp_, dec.get_u64());
-  if (dec.get_bool()) {
-    holder_ = dec.get_process();
-  } else {
-    holder_.reset();
-  }
+  grant_stamp_ = std::max(grant_stamp_, grant_stamp);
+  holder_ = holder;
 }
 
 Bytes LockManager::merge_cluster_states(const std::vector<Bytes>& snapshots) {
@@ -171,15 +175,23 @@ Bytes LockManager::merge_cluster_states(const std::vector<Bytes>& snapshots) {
   // classification orders it first. Its state is authoritative; versions
   // break ties defensively.
   Bytes best;
+  bool found = false;
   std::uint64_t best_version = 0;
   for (const Bytes& snapshot : snapshots) {
+    // Validate the whole candidate so a malformed cluster snapshot fails
+    // the merge (counted upstream) instead of winning it.
     Decoder dec(snapshot);
     const std::uint64_t version = dec.get_varint();
-    if (best.empty() || version > best_version) {
+    dec.get_u64();
+    if (dec.get_bool()) dec.get_process();
+    dec.expect_end();
+    if (!found || version > best_version) {
+      found = true;
       best_version = version;
       best = snapshot;
     }
   }
+  if (!found) throw DecodeError("LockManager: no cluster state to merge");
   return best;
 }
 

@@ -92,6 +92,9 @@ void MergeableKv::decode_entries(Decoder& dec,
   version = dec.get_varint();
   lamport = dec.get_varint();
   const std::uint64_t n = dec.get_varint();
+  // Each entry takes several encoded bytes: a count beyond the remaining
+  // payload is a corrupt length field, rejected before it can loop.
+  if (n > dec.remaining()) throw DecodeError("MergeableKv: entry count too large");
   for (std::uint64_t i = 0; i < n; ++i) {
     std::string key = dec.get_string();
     Entry entry;
@@ -100,6 +103,7 @@ void MergeableKv::decode_entries(Decoder& dec,
     entry.writer = dec.get_process();
     out[std::move(key)] = std::move(entry);
   }
+  dec.expect_end();
 }
 
 Bytes MergeableKv::snapshot_state() const {

@@ -75,11 +75,15 @@ void ParallelDb::install_state(const Bytes& snapshot) {
   Decoder dec(snapshot);
   const std::uint64_t version = dec.get_varint();
   const std::uint64_t n = dec.get_varint();
+  // Each entry takes at least 2 encoded bytes: a larger count is a
+  // corrupt length field, not a big snapshot.
+  if (n > dec.remaining()) throw DecodeError("ParallelDb: entry count too large");
   std::map<std::string, std::string> entries;
   for (std::uint64_t i = 0; i < n; ++i) {
     std::string key = dec.get_string();
     entries[std::move(key)] = dec.get_string();
   }
+  dec.expect_end();
   entries_ = std::move(entries);
   version_ = std::max(version_, version);
 }
@@ -95,12 +99,18 @@ Bytes ParallelDb::merge_cluster_states(const std::vector<Bytes>& snapshots) {
     Decoder dec(snapshot);
     version = std::max(version, dec.get_varint());
     const std::uint64_t n = dec.get_varint();
+    // Same rejection rule as install_state: a count the payload cannot
+    // hold, or trailing bytes, fail the merge (counted upstream) rather
+    // than feeding a corrupt candidate into the union.
+    if (n > dec.remaining())
+      throw DecodeError("ParallelDb: entry count too large");
     for (std::uint64_t i = 0; i < n; ++i) {
       std::string key = dec.get_string();
       std::string value = dec.get_string();
       auto [it, inserted] = merged.emplace(std::move(key), value);
       if (!inserted && value > it->second) it->second = std::move(value);
     }
+    dec.expect_end();
   }
   Encoder enc;
   enc.put_varint(version + 1);

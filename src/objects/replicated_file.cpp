@@ -7,8 +7,21 @@
 namespace evs::objects {
 
 namespace {
+
 constexpr const char* kStateKey = "file.state";
+
+/// FNV-1a 64 over a content prefix — the delta basis's cheap proof that
+/// the source's file still begins with the receiver's recovered bytes.
+std::uint64_t fnv1a(const std::string& data, std::size_t len) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 1099511628211ull;
+  }
+  return hash;
 }
+
+}  // namespace
 
 ReplicatedFile::ReplicatedFile(ReplicatedFileConfig config)
     : app::GroupObjectBase(config.object), config_(std::move(config)) {
@@ -152,9 +165,15 @@ void ReplicatedFile::install_state(const Bytes& snapshot) {
   // local version that is *higher* can only come from writes applied in a
   // superseded view that never reached a quorum — they are correctly
   // discarded here (one-copy semantics).
+  // Decode to temporaries and demand exhaustion before committing: a
+  // malformed snapshot must be rejected whole (the settle engine counts
+  // the DecodeError), never half-installed.
   Decoder dec(snapshot);
-  version_ = dec.get_varint();
-  content_ = dec.get_string();
+  const std::uint64_t version = dec.get_varint();
+  std::string content = dec.get_string();
+  dec.expect_end();
+  version_ = version;
+  content_ = std::move(content);
   persist();
 }
 
@@ -168,25 +187,82 @@ Bytes ReplicatedFile::snapshot_small() const {
 void ReplicatedFile::install_small(const Bytes& snapshot) {
   Decoder dec(snapshot);
   const std::uint64_t version = dec.get_varint();
+  dec.get_string();  // empty content placeholder
+  dec.expect_end();
   // Adopt the version marker only; local content stays (stale reads are
   // allowed) until the streamed full state arrives.
   if (version > version_) version_ = version;
+}
+
+Bytes ReplicatedFile::delta_basis() const {
+  Encoder enc;
+  enc.put_varint(version_);
+  enc.put_varint(content_.size());
+  enc.put_u64(fnv1a(content_, content_.size()));
+  return std::move(enc).take();
+}
+
+std::optional<Bytes> ReplicatedFile::snapshot_delta(const Bytes& basis) const {
+  std::uint64_t base_version = 0;
+  std::uint64_t base_len = 0;
+  std::uint64_t base_hash = 0;
+  try {
+    Decoder dec(basis);
+    base_version = dec.get_varint();
+    base_len = dec.get_varint();
+    base_hash = dec.get_u64();
+    dec.expect_end();
+  } catch (const DecodeError&) {
+    return std::nullopt;  // unreadable basis: ship the full state
+  }
+  // Bounded delta exists iff the receiver's recovered file is a prefix of
+  // ours — i.e. only appends happened since it went away.
+  if (base_version > version_ || base_len > content_.size()) return std::nullopt;
+  if (fnv1a(content_, static_cast<std::size_t>(base_len)) != base_hash)
+    return std::nullopt;
+  Encoder enc;
+  enc.put_varint(version_);
+  enc.put_varint(base_len);
+  enc.put_string(content_.substr(static_cast<std::size_t>(base_len)));
+  return std::move(enc).take();
+}
+
+bool ReplicatedFile::install_delta(const Bytes& delta) {
+  Decoder dec(delta);
+  const std::uint64_t version = dec.get_varint();
+  const std::uint64_t base_len = dec.get_varint();
+  std::string suffix = dec.get_string();
+  dec.expect_end();
+  // Ordered deliveries may have advanced this replica between its Pull and
+  // the answer; a length mismatch means the delta's basis is gone.
+  if (base_len != content_.size()) return false;
+  content_ += suffix;
+  version_ = version;
+  persist();
+  return true;
 }
 
 Bytes ReplicatedFile::merge_cluster_states(const std::vector<Bytes>& snapshots) {
   // Write quorums intersect, so at most one cluster can have accepted
   // writes; the highest version is the authoritative copy.
   Bytes best;
+  bool found = false;
   std::uint64_t best_version = 0;
   for (const Bytes& snapshot : snapshots) {
+    // Validate the whole candidate, not just the version header — a
+    // malformed cluster snapshot must fail the merge (counted upstream),
+    // not win it and detonate on install.
     Decoder dec(snapshot);
     const std::uint64_t version = dec.get_varint();
-    if (best.empty() || version > best_version) {
+    dec.get_string();
+    dec.expect_end();
+    if (!found || version > best_version) {
+      found = true;
       best_version = version;
       best = snapshot;
     }
   }
-  EVS_CHECK(!best.empty());
+  if (!found) throw DecodeError("ReplicatedFile: no cluster state to merge");
   return best;
 }
 

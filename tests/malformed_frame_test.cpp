@@ -20,7 +20,9 @@
 
 #include "codec/codec.hpp"
 #include "gms/wire.hpp"
+#include "log/log_shard.hpp"
 #include "net/datagram.hpp"
+#include "objects/parallel_db.hpp"
 #include "support/cluster.hpp"
 #include "svc/protocol.hpp"
 
@@ -576,6 +578,184 @@ TEST(MalformedFrame, EndpointDiscardsAndStaysLive) {
   c.world().crash_site(c.site(1));
   ASSERT_TRUE(c.await_stable_view({0}));
   EXPECT_NE(c.ep(0).view().id, before);
+}
+
+// ---------------------------------------------------------------------
+// Object snapshot decoders. The settle engine installs whatever snapshot
+// the classification hands it (and, behind a durable store, whatever a
+// crashed process left on disk), so install_state / merge_cluster_states
+// face torn and bit-flipped bytes exactly like the wire decoders: the
+// contract is DecodeError-or-success with the object state untouched on
+// rejection — never a crash, never a half-installed object.
+
+struct FuzzLogShard : log::LogShard {
+  using log::LogShard::LogShard;
+  using log::LogShard::install_state;
+  using log::LogShard::merge_cluster_states;
+  using log::LogShard::snapshot_state;
+};
+
+struct FuzzParallelDb : objects::ParallelDb {
+  using objects::ParallelDb::install_state;
+  using objects::ParallelDb::merge_cluster_states;
+  using objects::ParallelDb::ParallelDb;
+  using objects::ParallelDb::snapshot_state;
+};
+
+FuzzLogShard make_shard() { return FuzzLogShard(log::LogShardConfig{}); }
+FuzzParallelDb make_db() { return FuzzParallelDb(app::GroupObjectConfig{}); }
+
+/// A populated LogShard snapshot, hand-encoded in the wire format
+/// (version, next_local, trim_floor, sealed_epoch, slot count, slots).
+Bytes shard_seed() {
+  Encoder enc;
+  enc.put_varint(17);  // version
+  enc.put_varint(6);   // next_local
+  enc.put_varint(2);   // trim_floor
+  enc.put_varint(1);   // sealed_epoch
+  enc.put_varint(4);   // slots
+  for (std::uint64_t local = 2; local < 6; ++local) {
+    enc.put_varint(local);
+    enc.put_u8(local == 3 ? 1 : 0);  // one filled hole
+    enc.put_string(local == 3 ? "" : "rec" + std::to_string(local));
+  }
+  return std::move(enc).take();
+}
+
+/// A populated ParallelDb snapshot (version, entry count, entries).
+Bytes db_seed() {
+  Encoder enc;
+  enc.put_varint(9);
+  enc.put_varint(3);
+  for (const char* key : {"alpha", "beta", "gamma"}) {
+    enc.put_string(key);
+    enc.put_string(std::string("value-of-") + key);
+  }
+  return std::move(enc).take();
+}
+
+/// Installs `snapshot` into a fresh object; on DecodeError asserts the
+/// object is still bit-identical to a never-touched one (no partial
+/// mutation). Returns whether the install was accepted.
+template <typename MakeObject>
+bool install_or_reject(MakeObject make, const Bytes& snapshot) {
+  auto obj = make();
+  const Bytes before = obj.snapshot_state();
+  try {
+    obj.install_state(snapshot);
+    return true;
+  } catch (const DecodeError&) {
+    EXPECT_EQ(obj.snapshot_state(), before)
+        << "rejected snapshot left a partial install behind";
+    return false;
+  }
+}
+
+TEST(MalformedSnapshot, SeedsInstallAndRoundTrip) {
+  auto shard = make_shard();
+  shard.install_state(shard_seed());
+  EXPECT_EQ(shard.local_tail(), 6u);
+  EXPECT_EQ(shard.trim_floor(), 2u);
+  EXPECT_EQ(shard.records(), 4u);
+  EXPECT_EQ(shard.snapshot_state(), shard_seed());
+
+  auto db = make_db();
+  db.install_state(db_seed());
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_EQ(db.get("beta"), "value-of-beta");
+  EXPECT_EQ(db.snapshot_state(), db_seed());
+}
+
+TEST(MalformedSnapshot, EveryTruncationRejectsCleanly) {
+  const Bytes shard_full = shard_seed();
+  for (std::size_t len = 0; len < shard_full.size(); ++len)
+    EXPECT_FALSE(install_or_reject(
+        make_shard, Bytes(shard_full.begin(), shard_full.begin() + len)))
+        << "truncation to " << len << "B installed";
+  const Bytes db_full = db_seed();
+  for (std::size_t len = 0; len < db_full.size(); ++len)
+    EXPECT_FALSE(install_or_reject(
+        make_db, Bytes(db_full.begin(), db_full.begin() + len)))
+        << "truncation to " << len << "B installed";
+}
+
+TEST(MalformedSnapshot, BitFlipsRejectOrInstallAtomically) {
+  std::mt19937_64 rng(0x5709);
+  for (const Bytes& seed : {shard_seed(), db_seed()}) {
+    const bool is_shard = seed == shard_seed();
+    for (int round = 0; round < 600; ++round) {
+      Bytes mutated = seed;
+      std::uniform_int_distribution<int> flips(1, 8);
+      const int n = flips(rng);
+      for (int i = 0; i < n; ++i) {
+        std::uniform_int_distribution<std::size_t> pos(0, mutated.size() - 1);
+        std::uniform_int_distribution<int> bit(0, 7);
+        mutated[pos(rng)] ^= static_cast<std::uint8_t>(1 << bit(rng));
+      }
+      // Either a clean install of whatever the flip means, or a clean
+      // reject with the object untouched — install_or_reject asserts it.
+      if (is_shard)
+        install_or_reject(make_shard, mutated);
+      else
+        install_or_reject(make_db, mutated);
+    }
+  }
+}
+
+TEST(MalformedSnapshot, RandomGarbageRejectsCleanly) {
+  std::mt19937_64 rng(0xBAD5EED);
+  for (int round = 0; round < 2000; ++round) {
+    std::uniform_int_distribution<std::size_t> len_dist(0, 128);
+    Bytes garbage(len_dist(rng));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng());
+    install_or_reject(make_shard, garbage);
+    install_or_reject(make_db, garbage);
+  }
+}
+
+TEST(MalformedSnapshot, MergeRejectsCorruptCandidates) {
+  // A truncated or flipped candidate must fail the merge with a
+  // DecodeError (counted as snapshot_decode_errors upstream) — it must
+  // never win the merge and poison the subsequent install.
+  std::mt19937_64 rng(0x4D454747);
+  for (int round = 0; round < 400; ++round) {
+    for (const bool is_shard : {true, false}) {
+      const Bytes good = is_shard ? shard_seed() : db_seed();
+      Bytes bad = good;
+      std::uniform_int_distribution<int> mode(0, 1);
+      if (mode(rng) == 0 && bad.size() > 1) {
+        std::uniform_int_distribution<std::size_t> cut(0, bad.size() - 1);
+        bad.resize(cut(rng));
+      } else {
+        std::uniform_int_distribution<std::size_t> pos(0, bad.size() - 1);
+        bad[pos(rng)] ^= 0xff;
+      }
+      try {
+        if (is_shard) {
+          auto shard = make_shard();
+          const Bytes merged = shard.merge_cluster_states({good, bad});
+          EXPECT_TRUE(install_or_reject(make_shard, merged))
+              << "merge produced an uninstallable winner";
+        } else {
+          auto db = make_db();
+          const Bytes merged = db.merge_cluster_states({good, bad});
+          EXPECT_TRUE(install_or_reject(make_db, merged))
+              << "merge produced an uninstallable winner";
+        }
+      } catch (const DecodeError&) {
+        // The corrupt candidate was detected — the counted-error path.
+      }
+    }
+  }
+}
+
+TEST(MalformedSnapshot, MergeOfNothingThrows) {
+  auto shard = make_shard();
+  EXPECT_THROW(shard.merge_cluster_states({}), DecodeError);
+  auto db = make_db();
+  // ParallelDb's union-merge of zero candidates is legitimately empty.
+  const Bytes merged = db.merge_cluster_states({});
+  EXPECT_TRUE(install_or_reject(make_db, merged));
 }
 
 }  // namespace

@@ -30,7 +30,7 @@
 //
 // Config file format: see src/net/config.hpp. Every status line on stdout
 // is machine-parseable (the loopback ctests grep them):
-//   up site=<n> port=<p> universe=<k>
+//   up site=<n> port=<p> universe=<k> incarnation=<i>
 //   admin site=<n> port=<p>          (iff the config has `admin <self> ...`)
 //   svc site=<n> port=<p>            (iff the config has `svc <self> ...`)
 //   view epoch=<e> coordinator=<site> size=<n> members=<s0,s1,...>
@@ -277,6 +277,10 @@ int main(int argc, char** argv) {
     for (const net::GroupSpec& g : config.groups) {
       app::GroupObjectConfig oc;
       oc.endpoint = rt.endpoint_config();
+      // Behind a durable store, objects survive their process: persist
+      // state and rejoin via bounded-delta transfer after a restart.
+      oc.persist_state = !config.store_dir.empty();
+      oc.delta_transfer = oc.persist_state;
       std::unique_ptr<app::GroupObjectBase> obj;
       if (g.object == "kv") {
         obj = std::make_unique<objects::MergeableKv>(oc);
@@ -327,6 +331,8 @@ int main(int argc, char** argv) {
     }
     app::GroupObjectConfig oc;
     oc.endpoint = rt.endpoint_config();
+    oc.persist_state = !config.store_dir.empty();
+    oc.delta_transfer = oc.persist_state;
     if (options.object_kind == "kv") {
       object = std::make_unique<objects::MergeableKv>(oc);
     } else if (options.object_kind == "lock") {
@@ -380,7 +386,7 @@ int main(int argc, char** argv) {
   }
 
   rt.set_metrics_exporter([&endpoint, &object, &svc_server, &config,
-                           &group_objects, &rt](obs::MetricsRegistry& registry) {
+                           &group_objects](obs::MetricsRegistry& registry) {
     if (!group_objects.empty()) {
       // Aggregate view under "node" (the primary group) plus one labelled
       // slice per hosted group, mirroring the transport's per-group wire
@@ -395,8 +401,8 @@ int main(int argc, char** argv) {
       endpoint->export_metrics(registry, "node");
     }
     if (svc_server != nullptr) svc_server->export_metrics(registry, "svc");
-    registry.counter("store.writes").set(rt.store().writes());
-    registry.counter("store.bytes").set(rt.store().bytes());
+    // Store counters come from NetRuntime::refresh_metrics (WAL or
+    // MemoryStore variants) before this exporter runs.
   });
 
   g_loop = &rt.loop();
@@ -405,8 +411,9 @@ int main(int argc, char** argv) {
   ::sigaction(SIGINT, &sa, nullptr);
   ::sigaction(SIGTERM, &sa, nullptr);
 
-  std::printf("up site=%u port=%u universe=%zu\n", config.self.value,
-              rt.transport().bound_port(), config.peers.size());
+  std::printf("up site=%u port=%u universe=%zu incarnation=%u\n",
+              config.self.value, rt.transport().bound_port(),
+              config.peers.size(), rt.incarnation());
   if (rt.admin() != nullptr)
     std::printf("admin site=%u port=%u\n", config.self.value,
                 rt.admin()->bound_port());
